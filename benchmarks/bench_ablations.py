@@ -1,0 +1,131 @@
+"""Ablation benchmarks — cost of the design choices DESIGN.md calls out.
+
+* witness handling: exact verification of the adversary's own witness vs.
+  blind heuristic search vs. the (unneeded) exhaustive product search;
+* symmetry checking: exhaustive subset enumeration on small executions
+  vs. seeded sampling on large ones;
+* Algorithm 1: halted-at-line-26 (the paper's execution) vs. the fair
+  continuation used by the corollary experiment;
+* ordering analytics: clique-search-only vs. the full statistics pass.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import adversarial_scheduler
+from repro.analysis import max_disagreement_clique, ordering_stats
+from repro.broadcasts import (
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    UniformReliableBroadcast,
+)
+from repro.core import find_witness, verify_witness
+from repro.core.symmetry import check_compositional
+from repro.runtime import Simulator
+from repro.specs import KboBroadcastSpec
+
+
+@pytest.fixture(scope="module")
+def adversary_beta():
+    result = adversarial_scheduler(
+        3, 4, lambda pid, n: FirstKKsaBroadcast(pid, n)
+    )
+    return result
+
+
+class TestWitnessHandling:
+    def test_verify_known_witness(self, benchmark, adversary_beta):
+        result = adversary_beta
+        violations = benchmark(
+            verify_witness, result.beta, result.witness, [0, 1, 2, 3]
+        )
+        assert violations == []
+
+    def test_heuristic_search(self, benchmark, adversary_beta):
+        result = adversary_beta
+        witness = benchmark(find_witness, result.beta, result.n_value)
+        assert witness is not None
+
+    def test_exhaustive_product_search(self, benchmark, adversary_beta):
+        result = adversary_beta
+        witness = benchmark(
+            find_witness,
+            result.beta,
+            result.n_value,
+            max_combinations=4096,
+        )
+        assert witness is not None
+
+
+class TestSymmetryCheckingModes:
+    def _beta(self, per_process):
+        simulator = Simulator(
+            4,
+            lambda pid, n: UniformReliableBroadcast(pid, n),
+            seed=13,
+        )
+        result = simulator.run(
+            {p: [f"m{p}.{i}" for i in range(per_process)]
+             for p in range(4)}
+        )
+        return result.execution.broadcast_projection()
+
+    def test_exhaustive_small(self, benchmark):
+        beta = self._beta(2)  # 8 messages -> 254 proper subsets
+        result = benchmark(
+            check_compositional, KboBroadcastSpec(3), beta
+        )
+        assert result.holds
+
+    def test_sampled_large(self, benchmark):
+        beta = self._beta(4)  # 16 messages -> sampling kicks in
+        result = benchmark(
+            check_compositional,
+            KboBroadcastSpec(3),
+            beta,
+            max_cases=128,
+            rng=random.Random(7),
+        )
+        assert result.holds
+
+
+class TestAdversaryModes:
+    def test_halted_at_line26(self, benchmark):
+        result = benchmark(
+            adversarial_scheduler,
+            3,
+            2,
+            lambda pid, n: KboAttemptBroadcast(pid, n),
+        )
+        assert result.continuation_mark is None
+
+    def test_with_fair_continuation(self, benchmark):
+        result = benchmark(
+            adversarial_scheduler,
+            3,
+            2,
+            lambda pid, n: KboAttemptBroadcast(pid, n),
+            continue_after_flush=True,
+        )
+        assert result.continuation_mark is not None
+
+
+class TestOrderingAnalytics:
+    @pytest.fixture(scope="class")
+    def completed_beta(self):
+        result = adversarial_scheduler(
+            3,
+            2,
+            lambda pid, n: KboAttemptBroadcast(pid, n),
+            continue_after_flush=True,
+        )
+        return result.beta
+
+    def test_clique_only(self, benchmark, completed_beta):
+        clique = benchmark(max_disagreement_clique, completed_beta)
+        assert clique == 4
+
+    def test_full_statistics(self, benchmark, completed_beta):
+        stats = benchmark(ordering_stats, completed_beta)
+        assert stats.max_disagreement_clique == 4

@@ -1,0 +1,54 @@
+"""Performance P8 — application-layer replay throughput."""
+
+import pytest
+
+from repro.apps import (
+    orphaned_replies,
+    replay_counter,
+    replay_kv_store,
+)
+from repro.broadcasts import SendToAllBroadcast, TotalOrderBroadcast
+from repro.core.serialize import dumps, loads
+from repro.runtime import Simulator
+
+
+@pytest.fixture(scope="module")
+def smr_run():
+    simulator = Simulator(
+        4, lambda pid, n: TotalOrderBroadcast(pid, n), k=1, seed=5
+    )
+    return simulator.run(
+        {
+            p: [("inc", f"k{i % 3}", 1) for i in range(4)]
+            for p in range(4)
+        }
+    )
+
+
+def test_kv_replay(benchmark, smr_run):
+    states = benchmark(replay_kv_store, smr_run)
+    assert states.converged()
+
+
+def test_counter_replay(benchmark):
+    simulator = Simulator(
+        4, lambda pid, n: SendToAllBroadcast(pid, n), seed=6
+    )
+    result = simulator.run(
+        {p: [("inc", p, 1) for _ in range(4)] for p in range(4)}
+    )
+    states = benchmark(replay_counter, result)
+    assert states.converged()
+
+
+def test_chat_checker(benchmark, smr_run):
+    problems = benchmark(orphaned_replies, smr_run)
+    assert problems == []  # no "msg" contents at all: vacuous
+
+
+def test_trace_serialization_roundtrip(benchmark, smr_run):
+    def roundtrip():
+        return loads(dumps(smr_run.execution))
+
+    reloaded = benchmark(roundtrip)
+    assert reloaded == smr_run.execution

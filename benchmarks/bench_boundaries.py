@@ -1,0 +1,56 @@
+"""Benchmark B1 — the k = 1 and k = n boundary reductions."""
+
+import pytest
+
+from repro.agreement import (
+    solve_agreement_with_broadcast,
+    solve_nsa_trivially,
+)
+from repro.broadcasts import TotalOrderBroadcast
+from repro.experiments import boundaries
+from repro.runtime import CrashSchedule
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_consensus_via_total_order(benchmark, n):
+    def consensus():
+        outcome = solve_agreement_with_broadcast(
+            n,
+            lambda pid, size: TotalOrderBroadcast(pid, size),
+            {p: f"v{p}" for p in range(n)},
+            k=1,
+            seed=0,
+        )
+        assert outcome.satisfies_agreement(1)
+        return outcome
+
+    outcome = benchmark(consensus)
+    assert len(outcome.decisions) == n
+
+
+def test_consensus_with_crash(benchmark):
+    def consensus():
+        outcome = solve_agreement_with_broadcast(
+            4,
+            lambda pid, size: TotalOrderBroadcast(pid, size),
+            {p: f"v{p}" for p in range(4)},
+            k=1,
+            seed=1,
+            crash_schedule=CrashSchedule({3: 8}),
+        )
+        assert outcome.satisfies_agreement(1)
+        return outcome
+
+    benchmark(consensus)
+
+
+def test_trivial_nsa(benchmark):
+    decisions = benchmark(
+        solve_nsa_trivially, {p: f"v{p}" for p in range(64)}
+    )
+    assert len(decisions) == 64
+
+
+def test_full_boundary_tables(benchmark):
+    output = benchmark(boundaries.run)
+    assert "✗" not in output

@@ -1,0 +1,69 @@
+"""Performance P6 — exhaustive schedule exploration throughput."""
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.runtime import (
+    Simulator,
+    channels_property,
+    combine_properties,
+    explore_schedules,
+    spec_property,
+)
+from repro.specs import (
+    SendToAllSpec,
+    TotalOrderBroadcastSpec,
+    UniformReliableBroadcastSpec,
+)
+
+
+def test_exhaustive_urb_single_broadcast(benchmark):
+    simulator = Simulator(2, lambda pid, n: UniformReliableBroadcast(pid, n))
+
+    def explore():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"]},
+            combine_properties(
+                spec_property(UniformReliableBroadcastSpec()),
+                channels_property(),
+            ),
+        )
+        assert result.exhausted and result.ok
+        return result
+
+    result = benchmark(explore)
+    assert result.terminal_schedules == 8
+
+
+def test_exhaustive_two_senders(benchmark):
+    simulator = Simulator(2, lambda pid, n: SendToAllBroadcast(pid, n))
+
+    def explore():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            spec_property(SendToAllSpec()),
+        )
+        assert result.exhausted and result.ok
+        return result
+
+    result = benchmark(explore)
+    assert result.terminal_schedules == 80
+
+
+def test_violation_search(benchmark):
+    simulator = Simulator(2, lambda pid, n: SendToAllBroadcast(pid, n))
+
+    def search():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            spec_property(TotalOrderBroadcastSpec(),
+                          assume_complete=False),
+            stop_at_first_violation=True,
+        )
+        assert not result.ok
+        return result
+
+    benchmark(search)

@@ -1,0 +1,40 @@
+"""Benchmark F1 — regenerating Figure 1 (adversary + rendering).
+
+The paper's Figure 1 shows α_{k,N,B,B} for k = 3, N = 2.  The benchmark
+regenerates it from scratch — Algorithm 1 against the First-k
+implementation, plus the lane rendering — and asserts the caption's
+claims (N-solo witness, admissibility) on every iteration.
+"""
+
+from repro.adversary import adversarial_scheduler
+from repro.analysis import render_figure1
+from repro.broadcasts import FirstKKsaBroadcast
+from repro.core import verify_witness
+
+
+def regenerate_figure1() -> str:
+    result = adversarial_scheduler(
+        3, 2, lambda pid, n: FirstKKsaBroadcast(pid, n)
+    )
+    assert verify_witness(result.beta, result.witness, [0, 1, 2, 3]) == []
+    return render_figure1(result)
+
+
+def test_figure1_regeneration(benchmark):
+    rendered = benchmark(regenerate_figure1)
+    assert "Figure 1" in rendered
+    assert "⟦" in rendered
+
+
+def test_figure1_large_instance(benchmark):
+    def regenerate_large():
+        result = adversarial_scheduler(
+            5, 8, lambda pid, n: FirstKKsaBroadcast(pid, n)
+        )
+        assert verify_witness(
+            result.beta, result.witness, list(range(6))
+        ) == []
+        return result
+
+    result = benchmark(regenerate_large)
+    assert result.n_value == 8

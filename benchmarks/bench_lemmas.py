@@ -1,0 +1,44 @@
+"""Benchmark L1-8/L10 — the admissibility grid.
+
+Times one cell of the Lemma grid (adversary run + all nine lemma
+verifiers) and the whole small grid, asserting every lemma holds.
+"""
+
+import pytest
+
+from repro.adversary import adversarial_scheduler, check_all_lemmas
+from repro.broadcasts import KboAttemptBroadcast, TrivialKsaBroadcast
+from repro.experiments import lemma10_grid
+
+
+@pytest.mark.parametrize("k,n_value", [(2, 2), (4, 4)])
+def test_single_grid_cell(benchmark, k, n_value):
+    def cell():
+        result = adversarial_scheduler(
+            k, n_value, lambda pid, n: KboAttemptBroadcast(pid, n)
+        )
+        reports = check_all_lemmas(result)
+        assert all(r.ok for r in reports)
+        return reports
+
+    reports = benchmark(cell)
+    assert len(reports) == 9
+
+
+def test_small_grid(benchmark):
+    rows = benchmark(
+        lemma10_grid.rows,
+        ks=(2, 3),
+        ns=(1, 2),
+        algorithms=("trivial-ksa", "first-k"),
+    )
+    assert len(rows) == 8
+    assert all("✗" not in row for row in rows)
+
+
+def test_lemma_verifiers_only(benchmark):
+    result = adversarial_scheduler(
+        3, 4, lambda pid, n: TrivialKsaBroadcast(pid, n)
+    )
+    reports = benchmark(check_all_lemmas, result)
+    assert all(r.ok for r in reports)

@@ -1,0 +1,55 @@
+"""Performance P3 — Algorithm 1 construction cost in k and N.
+
+The adversarial execution grows with both the number of processes (k + 1)
+and the per-process delivery count N; these benchmarks map that scaling
+for the three attack targets.
+"""
+
+import pytest
+
+from repro.adversary import adversarial_scheduler
+from repro.broadcasts import (
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    TrivialKsaBroadcast,
+)
+
+TARGETS = {
+    "trivial-ksa": TrivialKsaBroadcast,
+    "first-k": FirstKKsaBroadcast,
+    "kbo-attempt": KboAttemptBroadcast,
+}
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_scaling_in_k(benchmark, k):
+    result = benchmark(
+        adversarial_scheduler,
+        k,
+        2,
+        lambda pid, n: FirstKKsaBroadcast(pid, n),
+    )
+    assert len(result.execution) > 0
+
+
+@pytest.mark.parametrize("n_value", [1, 4, 16])
+def test_scaling_in_n(benchmark, n_value):
+    result = benchmark(
+        adversarial_scheduler,
+        3,
+        n_value,
+        lambda pid, n: FirstKKsaBroadcast(pid, n),
+    )
+    assert result.n_value == n_value
+
+
+@pytest.mark.parametrize("name", list(TARGETS))
+def test_per_target_cost(benchmark, name):
+    algorithm_class = TARGETS[name]
+    result = benchmark(
+        adversarial_scheduler,
+        3,
+        2,
+        lambda pid, n: algorithm_class(pid, n),
+    )
+    assert len(result.witness.chosen) == 4

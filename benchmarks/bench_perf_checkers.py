@@ -1,0 +1,54 @@
+"""Performance P2 — cost of specification and axiom checkers vs trace size.
+
+Tracks the scaling of the k-BO clique search, the Total-Order pair scan,
+the channel/k-SA axioms and the N-solo witness search on growing traces.
+"""
+
+import pytest
+
+from repro.adversary import adversarial_scheduler
+from repro.broadcasts import TrivialKsaBroadcast, UniformReliableBroadcast
+from repro.core import check_channels, find_witness
+from repro.runtime import Simulator
+from repro.specs import KboBroadcastSpec, TotalOrderBroadcastSpec
+
+
+def _beta(per_process: int, n: int = 4, seed: int = 9):
+    simulator = Simulator(
+        n, lambda pid, size: UniformReliableBroadcast(pid, size), seed=seed
+    )
+    result = simulator.run(
+        {p: [f"m{p}.{i}" for i in range(per_process)] for p in range(n)}
+    )
+    return result
+
+
+@pytest.mark.parametrize("per_process", [2, 4, 8])
+def test_kbo_check_scaling(benchmark, per_process):
+    beta = _beta(per_process).execution.broadcast_projection()
+    spec = KboBroadcastSpec(2)
+    verdict = benchmark(spec.admits, beta)
+    assert verdict.safety_ok or not verdict.admitted
+
+
+@pytest.mark.parametrize("per_process", [2, 8])
+def test_total_order_check_scaling(benchmark, per_process):
+    beta = _beta(per_process).execution.broadcast_projection()
+    spec = TotalOrderBroadcastSpec()
+    benchmark(spec.admits, beta, assume_complete=False)
+
+
+@pytest.mark.parametrize("per_process", [2, 8])
+def test_channel_axioms_scaling(benchmark, per_process):
+    execution = _beta(per_process).execution
+    report = benchmark(check_channels, execution)
+    assert report.ok
+
+
+@pytest.mark.parametrize("n_value", [2, 8])
+def test_nsolo_search_scaling(benchmark, n_value):
+    result = adversarial_scheduler(
+        3, n_value, lambda pid, n: TrivialKsaBroadcast(pid, n)
+    )
+    witness = benchmark(find_witness, result.beta, n_value)
+    assert witness is not None

@@ -1,0 +1,57 @@
+"""Performance P1 — simulator throughput across algorithms and scales.
+
+Not a paper artifact: these benchmarks track the cost of the substrate
+itself (scheduler steps per second, message fan-out) so regressions in
+the runtime layer are visible.
+"""
+
+import pytest
+
+from repro.broadcasts import (
+    CausalBroadcast,
+    FifoBroadcast,
+    SendToAllBroadcast,
+    TotalOrderBroadcast,
+    UniformReliableBroadcast,
+)
+from repro.runtime import Simulator
+
+ALGORITHMS = {
+    "send-to-all": (SendToAllBroadcast, 1),
+    "uniform-reliable": (UniformReliableBroadcast, 1),
+    "fifo": (FifoBroadcast, 1),
+    "causal": (CausalBroadcast, 1),
+    "total-order": (TotalOrderBroadcast, 1),
+}
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_algorithm_throughput(benchmark, name):
+    algorithm_class, k = ALGORITHMS[name]
+
+    def workload():
+        simulator = Simulator(
+            4, lambda pid, n: algorithm_class(pid, n), k=k, seed=7
+        )
+        result = simulator.run(
+            {p: [f"m{p}.{i}" for i in range(4)] for p in range(4)}
+        )
+        assert result.quiescent
+        return result.steps_taken
+
+    steps = benchmark(workload)
+    assert steps > 0
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_scaling_with_processes(benchmark, n):
+    def workload():
+        simulator = Simulator(
+            n, lambda pid, size: UniformReliableBroadcast(pid, size),
+            seed=3,
+        )
+        result = simulator.run({p: ["x", "y"] for p in range(n)})
+        assert result.quiescent
+        return result.steps_taken
+
+    benchmark(workload)

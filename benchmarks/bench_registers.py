@@ -1,0 +1,39 @@
+"""Benchmark M1 — register-power specs vs. adversarial executions."""
+
+import pytest
+
+from repro.adversary import adversarial_scheduler
+from repro.broadcasts import FirstKKsaBroadcast
+from repro.experiments import register_power
+from repro.specs import (
+    MutualBroadcastSpec,
+    PairBroadcastSpec,
+    ScdBroadcastSpec,
+)
+
+
+def test_rejection_table(benchmark):
+    rows = benchmark(register_power.rejection_rows, ks=(2,), ns=(1,))
+    assert all(row[-1] == "NO (rejected)" for row in rows)
+
+
+@pytest.mark.parametrize(
+    "spec_class",
+    [MutualBroadcastSpec, PairBroadcastSpec, ScdBroadcastSpec],
+    ids=["mutual", "pair", "scd"],
+)
+def test_single_spec_rejection(benchmark, spec_class):
+    result = adversarial_scheduler(
+        3,
+        2,
+        lambda pid, n: FirstKKsaBroadcast(pid, n),
+        continue_after_flush=True,
+    )
+    spec = spec_class()
+    verdict = benchmark(spec.admits, result.beta, assume_complete=False)
+    assert not verdict.admitted
+
+
+def test_control_table(benchmark):
+    rows = benchmark(register_power.control_rows, seeds=(0,))
+    assert all(row[-1] == "yes" for row in rows)

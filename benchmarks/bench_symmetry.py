@@ -1,0 +1,50 @@
+"""Benchmark S1 — the symmetry matrix and its individual checkers."""
+
+from repro.core import check_compositional, check_content_neutral
+from repro.experiments import symmetry_matrix
+from repro.specs import KboBroadcastSpec, KSteppedBroadcastSpec
+from repro.specs.witnesses import kstepped_paper_example
+from repro.broadcasts import TotalOrderBroadcast
+from repro.runtime import Simulator
+
+
+def test_full_matrix(benchmark):
+    rows = benchmark(symmetry_matrix.rows)
+    verdicts = {row.spec.name: row for row in rows}
+    assert not verdicts["1-Stepped Broadcast"].compositional.holds
+    assert not verdicts["SA-tagged Broadcast (k=2)"].content_neutral.holds
+
+
+def _total_order_beta():
+    simulator = Simulator(
+        3, lambda pid, n: TotalOrderBroadcast(pid, n), k=1, seed=11
+    )
+    result = simulator.run({p: [f"c{p}.{i}" for i in range(2)]
+                            for p in range(3)})
+    return result.execution.broadcast_projection()
+
+
+def test_compositionality_checker_exhaustive(benchmark):
+    beta = _total_order_beta()
+    spec = KboBroadcastSpec(2)
+    result = benchmark(check_compositional, spec, beta, max_cases=1024)
+    assert result.holds
+
+
+def test_content_neutrality_checker(benchmark):
+    beta = _total_order_beta()
+    spec = KboBroadcastSpec(2)
+    result = benchmark(check_content_neutral, spec, beta, max_cases=12)
+    assert result.holds
+
+
+def test_paper_counterexample_discovery(benchmark):
+    execution, _ = kstepped_paper_example()
+    spec = KSteppedBroadcastSpec(1)
+
+    def discover():
+        result = check_compositional(spec, execution)
+        assert not result.holds
+        return result
+
+    benchmark(discover)

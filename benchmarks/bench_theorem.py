@@ -1,0 +1,62 @@
+"""Benchmark L9/T1 and C1 — the Theorem 1 pipeline and the corollary.
+
+Times the full Lemma 9 + Lemma 10 chain (solo runs, Algorithm 1,
+restriction, renaming, replay, spec verdicts) and the corollary's
+completed-execution clique search; asserts the contradiction is realized
+on every iteration.
+"""
+
+import pytest
+
+from repro.adversary import adversarial_scheduler, run_theorem_pipeline
+from repro.analysis import max_disagreement_clique
+from repro.broadcasts import FirstKKsaBroadcast, KboAttemptBroadcast
+from repro.specs import FirstKBroadcastSpec, KboBroadcastSpec
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_theorem_pipeline(benchmark, k):
+    def pipeline():
+        result = run_theorem_pipeline(
+            k,
+            lambda pid, n: FirstKKsaBroadcast(pid, n),
+            candidate_spec=FirstKBroadcastSpec(k),
+        )
+        assert result.agreement_violated
+        assert "compositionality" in result.failing_hypothesis
+        return result
+
+    result = benchmark(pipeline)
+    assert result.distinct_decisions == k + 1
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_corollary_kbo_violation(benchmark, k):
+    def corollary():
+        result = adversarial_scheduler(
+            k,
+            1,
+            lambda pid, n: KboAttemptBroadcast(pid, n),
+            continue_after_flush=True,
+        )
+        clique = max_disagreement_clique(result.beta)
+        assert clique == k + 1
+        return clique
+
+    assert benchmark(corollary) == k + 1
+
+
+def test_kbo_spec_admits_before_completion(benchmark):
+    """The halted prefix is safety-clean; the violation needs completion."""
+
+    def halted_prefix_check():
+        result = adversarial_scheduler(
+            2, 1, lambda pid, n: KboAttemptBroadcast(pid, n)
+        )
+        verdict = KboBroadcastSpec(2).admits(
+            result.beta, assume_complete=False
+        )
+        assert verdict.admitted
+        return verdict
+
+    benchmark(halted_prefix_check)

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates (part of) an experiment from the paper and
+asserts its qualitative claim before timing it, so `pytest benchmarks/
+--benchmark-only` doubles as a fast end-to-end reproduction check.
+"""

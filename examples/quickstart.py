@@ -1,0 +1,72 @@
+"""Quickstart: simulate broadcast algorithms and check their specifications.
+
+This walks the three layers of the library in ~60 lines:
+
+1. run a broadcast *algorithm* on the CAMP_n simulator (asynchrony,
+   crashes, seeded replayability);
+2. project the recorded execution to the broadcast level;
+3. check it against broadcast *specifications* and inspect ordering
+   analytics.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.analysis import ordering_stats
+from repro.broadcasts import CausalBroadcast, SendToAllBroadcast
+from repro.core import check_channels
+from repro.runtime import CrashSchedule, Simulator
+from repro.specs import CausalBroadcastSpec, FifoBroadcastSpec
+
+
+def main() -> None:
+    n = 4
+
+    # A 4-process chat where p3 crashes mid-run.
+    simulator = Simulator(
+        n, lambda pid, size: CausalBroadcast(pid, size), seed=2024
+    )
+    result = simulator.run(
+        {p: [f"hello-{p}.{i}" for i in range(3)] for p in range(n)},
+        crash_schedule=CrashSchedule({3: 40}),
+    )
+    print(f"simulated {result.steps_taken} steps, quiescent={result.quiescent}")
+    for p in range(n):
+        print(f"  p{p} delivered: {result.delivered_contents(p)}")
+
+    # The executions the simulator records are first-class objects ...
+    execution = result.execution
+    print(f"\nchannel axioms: {check_channels(execution)}")
+
+    # ... whose broadcast-level projection is what specifications judge.
+    beta = execution.broadcast_projection()
+    for spec in (CausalBroadcastSpec(), FifoBroadcastSpec()):
+        print(spec.admits(beta))
+
+    print(f"\nordering analytics: {ordering_stats(beta)}")
+
+    # Same seed, same run — everything is replayable.
+    replay = Simulator(
+        n, lambda pid, size: CausalBroadcast(pid, size), seed=2024
+    ).run(
+        {p: [f"hello-{p}.{i}" for i in range(3)] for p in range(n)},
+        crash_schedule=CrashSchedule({3: 40}),
+    )
+    assert replay.execution == result.execution
+    print("\nreplay with the same seed is step-identical ✓")
+
+    # Weaker abstractions admit more executions: the same workload under
+    # plain Send-To-All usually violates causal order somewhere.
+    weak = Simulator(
+        n, lambda pid, size: SendToAllBroadcast(pid, size), seed=5
+    ).run({p: [f"m{p}.{i}" for i in range(3)] for p in range(n)})
+    verdict = CausalBroadcastSpec().admits(
+        weak.execution.broadcast_projection()
+    )
+    print(
+        f"\nSend-To-All trace against the Causal spec: "
+        f"{'admitted' if verdict.admitted else 'rejected (as expected)'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — executable reproduction of Gay, Mostéfaoui & Perrin (PODC 2024),
+"No Broadcast Abstraction Characterizes k-Set-Agreement in Message-Passing
+Systems".
+
+The package turns the paper's mathematical machinery into running code:
+
+* :mod:`repro.core` — executions, broadcast specifications, the
+  compositionality / content-neutrality symmetry checkers, N-solo
+  executions, the k-SA and channel axioms;
+* :mod:`repro.specs` — the catalogue of broadcast abstractions as
+  predicates;
+* :mod:`repro.runtime` — the CAMP_n[H] simulation substrate;
+* :mod:`repro.broadcasts` — broadcast algorithms over the substrate;
+* :mod:`repro.agreement` — agreement algorithms and reductions;
+* :mod:`repro.adversary` — Algorithm 1, Definitions 4–5, Lemmas 1–10 and
+  the Theorem 1 contradiction pipeline;
+* :mod:`repro.analysis` — trace analytics and rendering (Figure 1);
+* :mod:`repro.experiments` — the per-figure / per-lemma harness.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

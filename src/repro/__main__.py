@@ -1,0 +1,58 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro                 # run every experiment
+    python -m repro figure1 [args]  # one experiment
+    python -m repro lemmas
+    python -m repro theorem
+    python -m repro symmetry
+    python -m repro registers
+    python -m repro boundaries
+    python -m repro costs
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import (
+    boundaries,
+    costs,
+    figure1,
+    lemma10_grid,
+    register_power,
+    run_all,
+    symmetry_matrix,
+    theorem_pipeline,
+)
+
+COMMANDS = {
+    "figure1": figure1.main,
+    "lemmas": lemma10_grid.main,
+    "theorem": theorem_pipeline.main,
+    "symmetry": symmetry_matrix.main,
+    "registers": register_power.main,
+    "boundaries": boundaries.main,
+    "costs": costs.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(run_all())
+        return 0
+    command = argv[0]
+    if command in ("-h", "--help") or command not in COMMANDS:
+        print(__doc__)
+        return 0 if command in ("-h", "--help") else 1
+    if command == "figure1":
+        figure1.main(argv[1:])
+    else:
+        COMMANDS[command]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Section 4, mechanized: Algorithm 1, Lemmas 1–10, Theorem 1.
+
+* :mod:`repro.adversary.scheduler` — Algorithm 1 and Definition 4's
+  executions α, β, γ_i;
+* :mod:`repro.adversary.lemmas` — runtime verifiers for Lemmas 1–8 and 10;
+* :mod:`repro.adversary.contradiction` — the Lemma 9 construction
+  (solo runs → N → restriction γ → renaming δ → k+1 decisions) and the
+  Theorem 1 driver.
+"""
+
+from .contradiction import TheoremPipelineResult, run_theorem_pipeline
+from .lemmas import LemmaReport, check_all_lemmas
+from .scheduler import (
+    SYNCH,
+    AdversaryResult,
+    AdversaryStalled,
+    adversarial_scheduler,
+)
+
+__all__ = [
+    "SYNCH",
+    "AdversaryResult",
+    "AdversaryStalled",
+    "LemmaReport",
+    "TheoremPipelineResult",
+    "adversarial_scheduler",
+    "check_all_lemmas",
+    "run_theorem_pipeline",
+]

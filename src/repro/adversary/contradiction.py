@@ -1,0 +1,202 @@
+"""Lemma 9's construction and the Theorem 1 contradiction, executed.
+
+Lemma 9 argues: if A solves k-SA in ``CAMP_{k+1}[B]`` with B compositional
+and content-neutral, then for ``N = max(1, N_1, …, N_{k+1})`` (the
+deliveries each process makes before deciding in its *solo* run), B admits
+no N-solo execution — because from any N-solo β one can build
+
+* ``γ`` — the restriction of β to N_i chosen messages per process
+  (admissible if B is **compositional**), then
+* ``δ`` — γ with those messages renamed into the solo-run messages
+  (admissible if B is **content-neutral**),
+
+and δ is indistinguishable, to each process, from its solo run α_i — so
+running A' on δ makes every process decide its own value: k+1 > k
+distinct decisions, violating k-SA-Agreement.
+
+Lemma 10 (via Algorithm 1) supplies an N-solo β for *any* B implemented
+in ``CAMP_{k+1}[k-SA]`` and any N.  :func:`run_theorem_pipeline` chains
+the two for a concrete candidate equivalence pair and reports where the
+contradiction lands:
+
+* the realized agreement violation (the k+1 decisions on δ), and
+* which hypothesis the candidate's *specification* actually fails —
+  found by checking the spec on β, γ and δ: a spec that admits β but not
+  γ is non-compositional; one that admits γ but not δ is
+  content-sensitive; one that admits δ cannot have been equivalent to
+  k-SA in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping
+
+from ..agreement.from_broadcast import (
+    BroadcastClient,
+    FirstDeliveredClient,
+    SoloRun,
+    replay_clients,
+    run_solo,
+)
+from ..core.broadcast_spec import BroadcastSpec, SpecVerdict
+from ..core.execution import Execution
+from ..core.message import MessageId, Renaming
+from ..runtime.process import BroadcastProcess
+from .scheduler import AdversaryResult, adversarial_scheduler
+
+__all__ = ["TheoremPipelineResult", "run_theorem_pipeline"]
+
+ClientFactory = Callable[[int, int, Hashable], BroadcastClient]
+
+
+@dataclass
+class TheoremPipelineResult:
+    """Every artifact of the Lemma 9 + Lemma 10 chain for one candidate."""
+
+    k: int
+    n_value: int
+    solo_runs: Mapping[int, SoloRun]
+    adversary: AdversaryResult
+    gamma: Execution
+    delta: Execution
+    renaming: Renaming
+    decisions: Mapping[int, Hashable]
+    beta_verdict: SpecVerdict | None
+    gamma_verdict: SpecVerdict | None
+    delta_verdict: SpecVerdict | None
+
+    @property
+    def n(self) -> int:
+        return self.k + 1
+
+    @property
+    def distinct_decisions(self) -> int:
+        return len(set(self.decisions.values()))
+
+    @property
+    def agreement_violated(self) -> bool:
+        """True when running A' on δ produced more than k distinct values."""
+        return self.distinct_decisions > self.k
+
+    @property
+    def failing_hypothesis(self) -> str:
+        """Which Theorem 1 hypothesis the candidate specification fails.
+
+        Only meaningful when a spec was supplied to the pipeline.
+        """
+        if self.beta_verdict is None:
+            return "no specification supplied"
+        if not self.beta_verdict.admitted:
+            return (
+                "implementation incorrect: the spec rejects the adversarial "
+                "execution β outright (B does not implement it in "
+                "CAMP[k-SA])"
+            )
+        if not self.gamma_verdict.admitted:
+            return "compositionality (spec rejects the restriction γ)"
+        if not self.delta_verdict.admitted:
+            return "content-neutrality (spec rejects the renaming δ)"
+        return (
+            "equivalence (spec admits δ, on which A' violates "
+            "k-SA-Agreement)"
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"Theorem 1 pipeline, k={self.k}, N={self.n_value}:",
+            f"  solo runs: N_i = "
+            f"{[self.solo_runs[i].n_i for i in sorted(self.solo_runs)]}",
+            f"  adversary: {len(self.adversary.execution)} steps, "
+            f"β is {self.n_value}-solo",
+            f"  γ (restriction): {len(self.gamma)} steps; "
+            f"δ (renaming): {len(self.delta)} steps",
+            f"  decisions of A' on δ: "
+            f"{dict(sorted(self.decisions.items()))} "
+            f"→ {self.distinct_decisions} distinct "
+            f"({'> k: k-SA-Agreement VIOLATED' if self.agreement_violated else '≤ k'})",
+            f"  failing hypothesis: {self.failing_hypothesis}",
+        ]
+        return "\n".join(lines)
+
+
+def run_theorem_pipeline(
+    k: int,
+    algorithm_factory: Callable[[int, int], BroadcastProcess],
+    *,
+    n_value: int | None = None,
+    candidate_spec: BroadcastSpec | None = None,
+    client_factory: ClientFactory = FirstDeliveredClient,
+    max_steps_per_process: int = 200_000,
+) -> TheoremPipelineResult:
+    """Execute the full Lemma 9 + Lemma 10 chain for one candidate pair.
+
+    Parameters
+    ----------
+    k:
+        Agreement parameter (k > 1 as in the theorem).
+    algorithm_factory:
+        The implementation B of the candidate abstraction in
+        ``CAMP_{k+1}[k-SA]`` (Lemma 10's hypothesis).
+    n_value:
+        Override for N; defaults to the Lemma 9 value
+        ``max(1, N_0, …, N_k)`` derived from the solo runs.
+    candidate_spec:
+        The candidate abstraction's specification, used to localize the
+        failing hypothesis.  Spec checks run in safety-only mode because
+        the adversarial execution is a halted prefix (Section 4.2).
+    client_factory:
+        The A' algorithm (defaults to decide-first-delivered).
+    """
+    n = k + 1
+    solo_runs = {
+        i: run_solo(client_factory, i, n, proposal=i) for i in range(n)
+    }
+    derived_n = max([1] + [run.n_i for run in solo_runs.values()])
+    n_value = derived_n if n_value is None else n_value
+
+    adversary = adversarial_scheduler(
+        k, n_value, algorithm_factory,
+        max_steps_per_process=max_steps_per_process,
+    )
+    beta = adversary.beta
+
+    # γ: keep N_i of the witness messages of each process (Lemma 9).
+    selected: dict[int, tuple[MessageId, ...]] = {
+        i: adversary.witness.chosen[i][: solo_runs[i].n_i]
+        for i in range(n)
+    }
+    kept = [uid for uids in selected.values() for uid in uids]
+    gamma = beta.restrict(kept)
+
+    # δ: rename each kept message into the matching solo-run message.
+    mapping: dict[MessageId, Hashable] = {}
+    for i in range(n):
+        for uid, solo_message in zip(selected[i], solo_runs[i].messages):
+            mapping[uid] = solo_message.content
+    renaming = Renaming(mapping)
+    delta = gamma.rename(renaming)
+
+    decisions = replay_clients(
+        client_factory, delta, {i: i for i in range(n)}
+    )
+
+    beta_verdict = gamma_verdict = delta_verdict = None
+    if candidate_spec is not None:
+        beta_verdict = candidate_spec.admits(beta, assume_complete=False)
+        gamma_verdict = candidate_spec.admits(gamma, assume_complete=False)
+        delta_verdict = candidate_spec.admits(delta, assume_complete=False)
+
+    return TheoremPipelineResult(
+        k=k,
+        n_value=n_value,
+        solo_runs=solo_runs,
+        adversary=adversary,
+        gamma=gamma,
+        delta=delta,
+        renaming=renaming,
+        decisions=decisions,
+        beta_verdict=beta_verdict,
+        gamma_verdict=gamma_verdict,
+        delta_verdict=delta_verdict,
+    )

@@ -1,0 +1,147 @@
+"""Runtime verifiers for Lemmas 1–8 and Lemma 10 (Section 4.2).
+
+Each lemma of the paper's admissibility argument becomes an executable
+check over an :class:`~repro.adversary.scheduler.AdversaryResult`:
+
+====== ======================================== =========================
+Lemma  paper statement                           checked on
+====== ======================================== =========================
+1      k-SA-Validity                             α and every γ_i
+2      k-SA-Agreement                            α and every γ_i
+3      k-SA-Termination                          α and every γ_i
+4      SR-Validity                               α and every γ_i
+5      SR-No-Duplication                         α and every γ_i
+6      well-formedness (Definition 1)            α and every γ_i
+7      Algorithm 1 terminates                    α is finite (witnessed)
+8      SR-Termination                            α only (see footnote 1)
+10     β is an N-solo execution (Definition 5)   β, exact witness check
+====== ======================================== =========================
+
+Liveness clauses on the γ_i use the crash annotations Definition 4
+prescribes (every process outside {p_i, p_k} crashed initially; p_k
+crashed at its cut-off), so "correct proposer decides" is evaluated
+against the right correct set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ksa import check_ksa
+from ..core.model import check_channels
+from ..core.nsolo import verify_witness
+from .scheduler import AdversaryResult
+
+__all__ = ["LemmaReport", "check_all_lemmas"]
+
+
+@dataclass
+class LemmaReport:
+    """Outcome of checking one lemma on one adversary run."""
+
+    lemma: str
+    statement: str
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        mark = "✓" if self.ok else "✗"
+        text = f"Lemma {self.lemma} ({self.statement}): {mark}"
+        return text + "".join(f"\n    {v}" for v in self.violations[:5])
+
+
+def check_all_lemmas(result: AdversaryResult) -> list[LemmaReport]:
+    """Verify Lemmas 1–8 and 10 on one adversarial execution."""
+    alpha = result.execution
+    gammas = {i: result.gamma(i) for i in range(result.n)}
+    reports: list[LemmaReport] = []
+
+    ksa_alpha = check_ksa(alpha, result.k)
+    ksa_gammas = {
+        i: check_ksa(g, result.k, assume_complete=True)
+        for i, g in gammas.items()
+    }
+
+    def gather(field_name: str) -> list[str]:
+        violations = [
+            f"α: {v}" for v in getattr(ksa_alpha, field_name)
+        ]
+        for i, report in ksa_gammas.items():
+            violations.extend(
+                f"γ_{i}: {v}" for v in getattr(report, field_name)
+            )
+        return violations
+
+    for lemma, statement, field_name in (
+        ("1", "k-SA-Validity", "validity"),
+        ("2", "k-SA-Agreement", "agreement"),
+        ("3", "k-SA-Termination", "termination"),
+    ):
+        violations = gather(field_name)
+        reports.append(
+            LemmaReport(lemma, statement, not violations, violations)
+        )
+
+    channels_alpha = check_channels(alpha)
+    channels_gammas = {
+        i: check_channels(g, assume_complete=False)
+        for i, g in gammas.items()
+    }
+
+    def gather_channels(field_name: str) -> list[str]:
+        violations = [
+            f"α: {v}" for v in getattr(channels_alpha, field_name)
+        ]
+        for i, report in channels_gammas.items():
+            violations.extend(
+                f"γ_{i}: {v}" for v in getattr(report, field_name)
+            )
+        return violations
+
+    for lemma, statement, field_name in (
+        ("4", "SR-Validity", "validity"),
+        ("5", "SR-No-Duplication", "no_duplication"),
+    ):
+        violations = gather_channels(field_name)
+        reports.append(
+            LemmaReport(lemma, statement, not violations, violations)
+        )
+
+    wf_violations = [f"α: {v}" for v in alpha.check_well_formed()]
+    for i, g in gammas.items():
+        wf_violations.extend(
+            f"γ_{i}: {v}" for v in g.check_well_formed()
+        )
+    reports.append(
+        LemmaReport(
+            "6", "well-formedness (Def. 1)", not wf_violations,
+            wf_violations,
+        )
+    )
+
+    reports.append(
+        LemmaReport(
+            "7",
+            "Algorithm 1 terminates",
+            True,
+            [f"α has {len(alpha)} steps (finite by construction)"],
+        )
+    )
+
+    sr_term = channels_alpha.termination
+    reports.append(
+        LemmaReport("8", "SR-Termination on α", not sr_term, sr_term)
+    )
+
+    nsolo_violations = verify_witness(
+        result.beta, result.witness, list(range(result.n))
+    )
+    reports.append(
+        LemmaReport(
+            "10",
+            f"β is {result.n_value}-solo (Def. 5)",
+            not nsolo_violations,
+            nsolo_violations,
+        )
+    )
+    return reports

@@ -1,0 +1,394 @@
+"""Algorithm 1 — the adversarial scheduler, line for line.
+
+Given any deterministic algorithm ``B`` implementing a broadcast
+abstraction ``B`` in ``CAMP_{k+1}[k-SA]``, the scheduler constructs the
+execution ``α_{k,N,B,B}`` of Definition 4:
+
+* processes run **sequentially**, ``p_0`` through ``p_k`` (paper:
+  ``p_1 … p_{k+1}``);
+* each process repeatedly ``sync-broadcast``\\ s the constant message
+  ``SYNCH`` until it has B-delivered N of its own messages;
+* point-to-point messages to *other* processes are withheld by the
+  scheduler (``sent`` buffer); self-sends are received immediately
+  (line 11);
+* k-SA proposals are decided adversarially: every process decides its own
+  value (line 19), except that the last process is forced to copy
+  ``p_k``'s decision when all first k processes proposed on the same
+  object (lines 17–18) — the only concession k-SA-Agreement extracts;
+* when that forcing becomes unavoidable — ``p_k`` (paper numbering)
+  proposes on an object everyone before it used — the scheduler flushes
+  ``p_k → p_{k+1}`` messages and resets ``p_k``'s delivery count
+  (lines 21–25), excluding pre-flush messages from its counted N;
+* finally all withheld messages are released (line 26) and the execution
+  halts — only safety matters beyond this point (Section 4.2).
+
+The result object packages α, its broadcast projection β, the Definition 5
+witness (the counted messages), the Definition 4 sub-executions γ_i, and
+the bookkeeping (reset positions, flush events) that the lemma verifiers
+in :mod:`repro.adversary.lemmas` need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from ..core.actions import PointToPointId
+from ..core.execution import Execution
+from ..core.message import Message, MessageFactory
+from ..core.nsolo import NSoloWitness
+from ..runtime.process import (
+    Blocked,
+    BroadcastProcess,
+    DeliverSetStep,
+    DeliverStep,
+    Idle,
+    LocalStep,
+    ProcessRuntime,
+    ProposeStep,
+    ReturnStep,
+    SendStep,
+)
+from ..runtime.trace import TraceRecorder
+
+__all__ = ["SYNCH", "AdversaryStalled", "AdversaryResult", "adversarial_scheduler"]
+
+#: The content every sync-broadcast message carries (Algorithm 1, line 7).
+SYNCH = "SYNCH"
+
+AlgorithmFactory = Callable[[int, int], BroadcastProcess]
+
+
+class AdversaryStalled(Exception):
+    """The algorithm B has no enabled step in a solo configuration.
+
+    A *correct* implementation of a broadcast abstraction can always make
+    progress in the executions γ_i (all other processes may legitimately
+    have crashed), by BC-Local-Termination and BC-Global-CS-Termination —
+    so stalling here certifies that the candidate B is not a correct
+    broadcast implementation in ``CAMP_{k+1}[k-SA]``.
+    """
+
+
+@dataclass
+class AdversaryResult:
+    """Everything Definition 4 names about one run of Algorithm 1."""
+
+    k: int
+    n_value: int
+    #: α_{k,N,B,B} — the full CAMP_{k+1}[k-SA] execution.
+    execution: Execution
+    #: Trace index where line 26 (the final flush) begins.
+    line26_mark: int
+    #: Trace indices at which line 25 resets happened (after the flush).
+    reset_marks: tuple[int, ...]
+    #: The counted messages per process — the Definition 5 witness.
+    witness: NSoloWitness
+    #: The adversary's decided[ksa][process] table.
+    decided: Mapping[str, Mapping[int, Hashable]]
+    #: Steps each process took (for diagnostics).
+    steps_per_process: Mapping[int, int]
+    #: Trace index where the post-Algorithm-1 continuation begins, or
+    #: ``None`` when the run halted at line 26 as the paper's does.
+    continuation_mark: int | None = None
+
+    @property
+    def n(self) -> int:
+        """System size (k + 1 processes)."""
+        return self.k + 1
+
+    @property
+    def beta(self) -> Execution:
+        """β_{k,N,B,B}: the broadcast-level projection of α (Def. 4)."""
+        return self.execution.broadcast_projection()
+
+    def gamma(self, i: int) -> Execution:
+        """γ_{k,N,B,B,i} (Definition 4), crash steps included.
+
+        Contains ``p_i``'s steps strictly before line 26, plus the steps
+        of ``p_k`` (paper numbering; index ``k-1`` here) that precede the
+        last line-25 reset.  All other processes crash initially, and
+        ``p_k`` crashes before its first excluded step.
+        """
+        anchor = self.k - 1  # the paper's p_k
+        last_reset = self.reset_marks[-1] if self.reset_marks else 0
+        kept: list = []
+        anchor_has_excluded_steps = False
+        anchor_last_kept_position = -1
+        for index, step in enumerate(self.execution):
+            if step.process == i and index < self.line26_mark:
+                kept.append(step)
+            elif step.process == anchor and i != anchor:
+                if index < last_reset:
+                    kept.append(step)
+                    anchor_last_kept_position = len(kept) - 1
+                else:
+                    anchor_has_excluded_steps = True
+        from ..core.actions import CrashAction
+        from ..core.steps import Step
+
+        if i != anchor and anchor_has_excluded_steps:
+            crash = Step(anchor, CrashAction())
+            kept.insert(anchor_last_kept_position + 1, crash)
+        others = [
+            p for p in range(self.n) if p not in (i, anchor)
+        ]
+        gamma = Execution.of(kept, self.n)
+        return gamma.with_crashes(others)
+
+    def __str__(self) -> str:
+        return (
+            f"adversarial execution: k={self.k}, N={self.n_value}, "
+            f"{len(self.execution)} steps, "
+            f"{len(self.reset_marks)} reset(s), witness of "
+            f"{self.n_value} message(s) per process"
+        )
+
+
+def adversarial_scheduler(
+    k: int,
+    n_value: int,
+    algorithm_factory: AlgorithmFactory,
+    *,
+    max_steps_per_process: int = 200_000,
+    continue_after_flush: bool = False,
+) -> AdversaryResult:
+    """Run Algorithm 1 against an implementation ``B`` of a broadcast.
+
+    Parameters
+    ----------
+    k:
+        The agreement parameter; the system has ``k + 1`` processes and
+        the oracle objects are k-SA (requires ``k > 1``, as in the paper).
+    n_value:
+        The paper's N — own deliveries each process must count.
+    algorithm_factory:
+        ``factory(pid, n)`` building each process's instance of B.
+    max_steps_per_process:
+        Safety budget against non-terminating candidates (Lemma 7
+        guarantees termination for correct ones).
+    continue_after_flush:
+        Algorithm 1 halts right after releasing the withheld messages
+        (line 26); their ``upon receive`` processing never runs, because
+        only safety matters for the proof (Section 4.2).  With this flag
+        the scheduler additionally lets every process run to quiescence
+        afterwards — a legal fair extension of the schedule in which the
+        deferred deliveries happen, materializing the ordering violations
+        the paper's grey boxes allude to (used by the corollary
+        experiment C1).  k-SA proposals made during the continuation are
+        decided benignly within the agreement envelope.
+
+    Raises
+    ------
+    AdversaryStalled
+        If B blocks in a solo configuration (B is then not a correct
+        broadcast implementation — see Lemma 7's argument).
+    """
+    if k <= 1:
+        raise ValueError(f"the construction requires k > 1, got k={k}")
+    if n_value <= 0:
+        raise ValueError(f"N must be positive, got {n_value}")
+
+    n = k + 1
+    anchor = k - 1  # the paper's p_k
+    last = k  # the paper's p_{k+1}
+    factory = MessageFactory()
+    runtimes = {
+        p: ProcessRuntime(algorithm_factory(p, n), message_factory=factory)
+        for p in range(n)
+    }
+    trace = TraceRecorder(n)
+    sent: list[tuple[PointToPointId, Hashable]] = []
+    decided: dict[str, dict[int, Hashable]] = {}
+    reset_marks: list[int] = []
+    counted: dict[int, list[Message]] = {p: [] for p in range(n)}
+    steps_per_process: dict[int, int] = {p: 0 for p in range(n)}
+
+    for i in range(n):
+        runtime = runtimes[i]
+        local_del = 0
+        current: Message | None = None
+        budget = max_steps_per_process
+        while local_del < n_value:
+            budget -= 1
+            if budget < 0:
+                raise AdversaryStalled(
+                    f"p{i} exceeded {max_steps_per_process} steps without "
+                    f"counting {n_value} own deliveries — B does not "
+                    f"terminate under the adversarial schedule"
+                )
+            steps_per_process[i] += 1
+            sync_done = (
+                current is not None
+                and current.uid in runtime.returned_uids
+                and runtime.has_delivered(current.uid)
+            )
+            if current is None or sync_done:
+                # Lines 6-7: start a new B.sync-broadcast(SYNCH).
+                if current is not None:
+                    trace.local(i, "return B.sync-broadcast(SYNCH)")
+                current = runtime.start_broadcast(SYNCH)
+                trace.broadcast_invoke(i, current)
+                continue
+            # Line 8: p_i's next local step in C(α), according to B.
+            outcome = runtime.next_step()
+            if isinstance(outcome, (Blocked, Idle)):
+                raise AdversaryStalled(
+                    f"p{i} is stalled ({outcome!r}) inside "
+                    f"B.sync-broadcast — B violates its termination "
+                    f"properties in the solo execution γ_{i}"
+                )
+            if isinstance(outcome, SendStep):
+                trace.send(i, outcome.p2p, outcome.payload)
+                if outcome.p2p.receiver == i:
+                    # Lines 10-11: self-sends are received immediately.
+                    trace.receive(i, outcome.p2p, outcome.payload)
+                    runtime.inject_receive(outcome.p2p, outcome.payload)
+                else:
+                    # Lines 12-13: withhold the message.
+                    sent.append((outcome.p2p, outcome.payload))
+            elif isinstance(outcome, DeliverStep):
+                # Lines 14-15.
+                trace.deliver(i, outcome.message)
+                if outcome.message.sender == i:
+                    if local_del >= 0:
+                        counted[i].append(outcome.message)
+                    local_del += 1
+            elif isinstance(outcome, DeliverSetStep):
+                # Lines 14-15, generalized to set-constrained delivery
+                # (the paper's Remark on Expressiveness): each own message
+                # in the delivered set counts.
+                trace.deliver_set(i, outcome.messages)
+                for message in outcome.messages:
+                    if message.sender == i:
+                        if local_del >= 0:
+                            counted[i].append(message)
+                        local_del += 1
+            elif isinstance(outcome, ProposeStep):
+                # Lines 16-20.
+                ksa = outcome.ksa
+                per_object = decided.setdefault(ksa, {})
+                if i in per_object:
+                    raise AdversaryStalled(
+                        f"p{i} proposes twice on {ksa} — B violates the "
+                        f"one-shot usage of k-SA objects"
+                    )
+                first_k_decided = all(
+                    j in per_object for j in range(k)
+                )
+                if i == last and first_k_decided:
+                    per_object[i] = per_object[anchor]  # line 18
+                else:
+                    per_object[i] = outcome.value  # line 19
+                trace.propose(i, ksa, outcome.value)
+                trace.decide(i, ksa, per_object[i])
+                runtime.resume_decide(per_object[i])
+                # Lines 21-25: the unavoidable-communication escape hatch.
+                if i == anchor and all(
+                    j in per_object for j in range(k)
+                ):
+                    remaining: list[tuple[PointToPointId, Hashable]] = []
+                    for p2p, payload in sent:
+                        if p2p.sender == anchor and p2p.receiver == last:
+                            trace.receive(last, p2p, payload)
+                            runtimes[last].inject_receive(p2p, payload)
+                        else:
+                            remaining.append((p2p, payload))
+                    sent[:] = remaining
+                    local_del = -1
+                    counted[i].clear()
+                    reset_marks.append(trace.mark())
+            elif isinstance(outcome, ReturnStep):
+                trace.broadcast_return(i, outcome.message)
+            elif isinstance(outcome, LocalStep):
+                trace.local(i, outcome.label)
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unexpected outcome {outcome!r}")
+
+    # Line 26: release every withheld message.
+    line26_mark = trace.mark()
+    for p2p, payload in sent:
+        trace.receive(p2p.receiver, p2p, payload)
+        runtimes[p2p.receiver].inject_receive(p2p, payload)
+    sent.clear()
+
+    continuation_mark: int | None = None
+    if continue_after_flush:
+        continuation_mark = trace.mark()
+        _run_continuation(
+            k, runtimes, trace, decided, max_steps_per_process
+        )
+
+    witness = NSoloWitness(
+        n_value,
+        {p: tuple(m.uid for m in counted[p]) for p in range(n)},
+    )
+    return AdversaryResult(
+        k=k,
+        n_value=n_value,
+        execution=trace.execution(),
+        line26_mark=line26_mark,
+        reset_marks=tuple(reset_marks),
+        witness=witness,
+        decided={ksa: dict(v) for ksa, v in decided.items()},
+        steps_per_process=steps_per_process,
+        continuation_mark=continuation_mark,
+    )
+
+
+def _run_continuation(
+    k: int,
+    runtimes: Mapping[int, ProcessRuntime],
+    trace: TraceRecorder,
+    decided: dict[str, dict[int, Hashable]],
+    budget: int,
+) -> None:
+    """Fairly run every process to quiescence after the line-26 flush.
+
+    Round-robin over the processes; sends are received immediately (a
+    synchronous tail keeps the extension finite); proposals are decided
+    benignly: own value while fewer than k distinct values are decided on
+    the object, else adopt the most recent decided value.
+    """
+    n = k + 1
+    progress = True
+    while progress and budget > 0:
+        progress = False
+        for i in range(n):
+            runtime = runtimes[i]
+            while runtime.has_enabled_step() and budget > 0:
+                budget -= 1
+                progress = True
+                outcome = runtime.next_step()
+                if isinstance(outcome, SendStep):
+                    trace.send(i, outcome.p2p, outcome.payload)
+                    trace.receive(
+                        outcome.p2p.receiver, outcome.p2p, outcome.payload
+                    )
+                    runtimes[outcome.p2p.receiver].inject_receive(
+                        outcome.p2p, outcome.payload
+                    )
+                elif isinstance(outcome, DeliverStep):
+                    trace.deliver(i, outcome.message)
+                elif isinstance(outcome, DeliverSetStep):
+                    trace.deliver_set(i, outcome.messages)
+                elif isinstance(outcome, ProposeStep):
+                    per_object = decided.setdefault(outcome.ksa, {})
+                    distinct = list(dict.fromkeys(per_object.values()))
+                    if (
+                        outcome.value in distinct
+                        or len(distinct) < k
+                    ):
+                        choice = outcome.value
+                    else:
+                        choice = distinct[-1]
+                    per_object[i] = choice
+                    trace.propose(i, outcome.ksa, outcome.value)
+                    trace.decide(i, outcome.ksa, choice)
+                    runtime.resume_decide(choice)
+                elif isinstance(outcome, ReturnStep):
+                    trace.broadcast_return(i, outcome.message)
+                elif isinstance(outcome, LocalStep):
+                    trace.local(i, outcome.label)
+                else:
+                    break

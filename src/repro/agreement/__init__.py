@@ -1,0 +1,46 @@
+"""Agreement algorithms and reductions.
+
+* :mod:`repro.agreement.from_broadcast` — k-SA from a broadcast
+  abstraction (both simulator-level and abstraction-level forms, the
+  latter being Lemma 9's A');
+* :mod:`repro.agreement.boundaries` — the k = 1 and k = n boundary cases.
+"""
+
+from .benor import BenOrProcess
+from .boundaries import solve_nsa_trivially
+from .floodset import FloodSetProcess
+from .iterated import (
+    IteratedOutcome,
+    round_decisions,
+    solve_iterated_agreement,
+)
+from .paxos import Ballot, PaxosProcess
+from .from_broadcast import (
+    AgreementOutcome,
+    BroadcastClient,
+    FirstDeliveredClient,
+    MultiRoundClient,
+    SoloRun,
+    replay_clients,
+    run_solo,
+    solve_agreement_with_broadcast,
+)
+
+__all__ = [
+    "AgreementOutcome",
+    "Ballot",
+    "BenOrProcess",
+    "BroadcastClient",
+    "FirstDeliveredClient",
+    "FloodSetProcess",
+    "IteratedOutcome",
+    "MultiRoundClient",
+    "PaxosProcess",
+    "SoloRun",
+    "replay_clients",
+    "round_decisions",
+    "run_solo",
+    "solve_agreement_with_broadcast",
+    "solve_iterated_agreement",
+    "solve_nsa_trivially",
+]

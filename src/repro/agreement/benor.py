@@ -1,0 +1,143 @@
+"""Ben-Or's randomized binary consensus — CAMP_n[coin] with a majority.
+
+The other classical escape from FLP (besides Ω, see
+:mod:`repro.agreement.paxos`): replace the oracle with randomness.
+Ben-Or (PODC 1983) solves *binary* consensus with probability-1
+termination when t < n/2 processes may crash.  Round r has two phases:
+
+1. **report** — broadcast ``R(r, estimate)``; collect n - t reports.
+   If more than n/2 report the same value v, propose v; else propose ⊥.
+2. **proposal** — broadcast ``P(r, proposal)``; collect n - t proposals.
+   * ≥ t + 1 of them carry the same v ≠ ⊥ → **decide v** and broadcast
+     ``D(v)`` so everyone else finishes immediately;
+   * ≥ 1 carries v ≠ ⊥ → adopt v as the new estimate;
+   * otherwise → flip a coin for the new estimate.
+
+Quorum intersection makes deciding safe (two deciders must share a
+proposal sender) and contagious (everyone adopts v next round); the coin
+breaks the symmetry FLP exploits.  Safety (agreement, validity) holds
+under any schedule and any coin outcomes; only termination is
+probabilistic — under the simulator's fair random schedules a handful of
+rounds suffices.  Coins are seeded per (seed, pid, instance, round), so
+runs stay replayable.
+
+This rounds out the message-passing agreement toolbox: oracle-backed
+k-SA objects (the model's axioms), leader-based consensus (Paxos over
+Ω), and coin-based consensus (Ben-Or) — all available at k = 1, while
+the paper's Theorem 1 shows the strict middle 1 < k < n admits no
+broadcast-abstraction characterization at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterator
+
+from ..runtime.effects import Effect, Wait
+from ..runtime.service import Invocation, ServiceProcess
+
+__all__ = ["BenOrProcess"]
+
+_ABSTAIN = "⊥"
+
+
+class BenOrProcess(ServiceProcess):
+    """Binary consensus by majority reports, proposal echoes and coins.
+
+    ``Invocation("propose", instance, v)`` with ``v ∈ {0, 1}`` returns
+    the decided bit.
+    """
+
+    def __init__(self, pid: int, n: int, *, coin_seed: int = 0) -> None:
+        super().__init__(pid, n)
+        self.coin_seed = coin_seed
+        #: tolerated crashes: the largest t with t < n/2
+        self.t = (n - 1) // 2
+        self._reports: dict[tuple[str, int], list[Hashable]] = {}
+        self._proposals: dict[tuple[str, int], list[Hashable]] = {}
+        self._decided: dict[str, Hashable] = {}
+        self._announced: set[str] = set()
+
+    @property
+    def _quorum(self) -> int:
+        return self.n - self.t
+
+    def _coin(self, instance: str, round_index: int) -> int:
+        return random.Random(
+            f"{self.coin_seed}/{self.pid}/{instance}/{round_index}"
+        ).randint(0, 1)
+
+    def _announce(self, instance: str, value: Hashable) -> Iterator[Effect]:
+        if instance not in self._announced:
+            self._announced.add(instance)
+            yield from self.send_to_all(("D", instance, 0, value))
+
+    def on_invoke(self, invocation: Invocation) -> Iterator[Effect]:
+        if invocation.operation != "propose":
+            raise ValueError(f"unknown operation {invocation.operation!r}")
+        if invocation.argument not in (0, 1):
+            raise ValueError("Ben-Or consensus is binary: propose 0 or 1")
+        instance = invocation.target
+        estimate = invocation.argument
+        round_index = 0
+        while instance not in self._decided:
+            key = (instance, round_index)
+            # phase 1: reports
+            self._reports.setdefault(key, [])
+            yield from self.send_to_all(
+                ("R", instance, round_index, estimate)
+            )
+            yield Wait(
+                lambda k=key: len(self._reports[k]) >= self._quorum
+                or instance in self._decided,
+                f"round-{round_index} reports for {instance}",
+            )
+            if instance in self._decided:
+                break
+            reports = self._reports[key]
+            proposal: Hashable = _ABSTAIN
+            for bit in (0, 1):
+                if reports.count(bit) > self.n // 2:
+                    proposal = bit
+            # phase 2: proposals
+            self._proposals.setdefault(key, [])
+            yield from self.send_to_all(
+                ("P", instance, round_index, proposal)
+            )
+            yield Wait(
+                lambda k=key: len(self._proposals[k]) >= self._quorum
+                or instance in self._decided,
+                f"round-{round_index} proposals for {instance}",
+            )
+            if instance in self._decided:
+                break
+            proposals = self._proposals[key]
+            for bit in (0, 1):
+                count = proposals.count(bit)
+                if count >= self.t + 1:
+                    self._decided[instance] = bit
+                    yield from self._announce(instance, bit)
+                    break
+                if count >= 1:
+                    estimate = bit
+                    break
+            else:
+                estimate = self._coin(instance, round_index)
+            round_index += 1
+        value = self._decided[instance]
+        yield from self._announce(instance, value)
+        return value
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        kind, instance, round_index, value = payload
+        key = (instance, round_index)
+        if kind == "R":
+            self._reports.setdefault(key, []).append(value)
+        elif kind == "P":
+            self._proposals.setdefault(key, []).append(value)
+        elif kind == "D":
+            if instance not in self._decided:
+                self._decided[instance] = value
+            yield from self._announce(instance, value)
+        return
+        yield

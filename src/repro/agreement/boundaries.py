@@ -1,0 +1,33 @@
+"""The boundary cases k = 1 and k = n (Section 4, opening remarks).
+
+* **k = 1** — consensus, characterized by Total-Order Broadcast: the
+  reduction TO-broadcast → consensus is "decide the first TO-delivered
+  proposal" (:func:`repro.agreement.from_broadcast.solve_agreement_with_
+  broadcast` with :class:`~repro.broadcasts.total_order.TotalOrderBroadcast`);
+  the converse reduction consensus → TO-broadcast is
+  :class:`~repro.broadcasts.total_order.TotalOrderBroadcast` itself,
+  which is built from consensus (k = 1 oracle) objects.
+
+* **k = n** — n-set agreement "can be trivially solved without any
+  communication, rendering it equivalent to Send-To-All Broadcast":
+  :func:`solve_nsa_trivially` decides each process's own value with zero
+  steps.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+__all__ = ["solve_nsa_trivially"]
+
+
+def solve_nsa_trivially(
+    proposals: Mapping[int, Hashable],
+) -> dict[int, Hashable]:
+    """n-set agreement with no communication: decide your own proposal.
+
+    With at most n processes, at most n distinct values are decided, so
+    n-SA-Agreement holds vacuously; validity and termination are
+    immediate.
+    """
+    return dict(proposals)

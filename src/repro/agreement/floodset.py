@@ -1,0 +1,78 @@
+"""FloodSet consensus in CAMP_n[P] — wait-free, given a perfect detector.
+
+The third point of the agreement landscape the paper's backdrop spans:
+
+* **CAMP_n[∅]** — consensus impossible with one crash (FLP), k-SA
+  impossible for k ≤ t (the paper's setting);
+* **CAMP_n[Ω] + majority** — Paxos (:mod:`repro.agreement.paxos`);
+* **CAMP_n[P]** — *wait-free* consensus (t = n - 1) by flooding: with a
+  detector that never lies, rounds can wait for exactly the unsuspected
+  processes, and t + 1 rounds guarantee a round in which no crash
+  occurs, after which all known-sets are equal.
+
+Each process floods its set of known proposals for t + 1 rounds, each
+round waiting for the round messages of every currently-trusted process;
+after the last round it decides the minimum known value.  Safety *and*
+liveness both lean on P's strong accuracy — with an unreliable detector
+this algorithm is wrong, which is precisely why P sits at the top of the
+detector hierarchy.
+
+The oracle here is instantaneous (``lag=0``): in an event-driven
+simulation a lagging detector can freeze the clock (everyone waits, no
+events advance time), and P's power is what is being exercised, not its
+detection latency.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..detectors.oracles import PerfectDetector
+from ..runtime.effects import Effect, Wait
+from ..runtime.service import Invocation, ServiceProcess
+
+__all__ = ["FloodSetProcess"]
+
+
+class FloodSetProcess(ServiceProcess):
+    """t + 1 rounds of flooding, waiting on the detector's trusted set."""
+
+    def __init__(
+        self, pid: int, n: int, detector: PerfectDetector
+    ) -> None:
+        super().__init__(pid, n)
+        self.detector = detector
+        self.t = n - 1  # wait-free: any number of crashes tolerated
+        self._received: dict[tuple[str, int], dict[int, frozenset]] = {}
+
+    def _round_complete(self, instance: str, round_index: int) -> bool:
+        """Heard from every process the detector still trusts?"""
+        heard = self._received.get((instance, round_index), {})
+        return self.detector.trusted() <= set(heard) | {self.pid}
+
+    def on_invoke(self, invocation: Invocation) -> Iterator[Effect]:
+        if invocation.operation != "propose":
+            raise ValueError(f"unknown operation {invocation.operation!r}")
+        instance = invocation.target
+        known: frozenset = frozenset({invocation.argument})
+        for round_index in range(self.t + 1):
+            yield from self.send_to_all(
+                ("FLOOD", instance, round_index, known)
+            )
+            yield Wait(
+                lambda r=round_index: self._round_complete(instance, r),
+                f"round-{round_index} flood for {instance}",
+            )
+            for values in self._received.get(
+                (instance, round_index), {}
+            ).values():
+                known |= values
+        return min(known)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        _kind, instance, round_index, values = payload
+        self._received.setdefault((instance, round_index), {})[sender] = (
+            values
+        )
+        return
+        yield

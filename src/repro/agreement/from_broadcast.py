@@ -1,0 +1,274 @@
+"""Solving k-set agreement *from* a broadcast abstraction.
+
+Two forms are provided:
+
+* :func:`solve_agreement_with_broadcast` — an end-to-end run on the free
+  simulator: every process broadcasts its proposal through a given
+  broadcast algorithm and decides the first content it delivers.  If the
+  algorithm's executions satisfy the First-k (or k-BO, or Total-Order for
+  k = 1) ordering property, at most k distinct values are decided — this
+  is the "k-SA can be trivially solved by broadcasting all proposed
+  values and deciding on the first delivered ones" direction of
+  Section 1.4.
+
+* :class:`BroadcastClient` / :class:`FirstDeliveredClient` — the same
+  algorithm as an *abstraction-level* state machine (denoted A' in
+  Lemma 9: it uses only ``broadcast`` and ``deliver``, no send/receive).
+  The contradiction pipeline replays these clients against hand-built
+  abstraction executions (the solo runs α_i and the renamed execution δ).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from ..core.execution import Execution
+from ..core.message import Message, MessageFactory
+from ..runtime.crash import CrashSchedule
+from ..runtime.ksa_objects import DecisionPolicy
+from ..runtime.process import BroadcastProcess
+from ..runtime.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "AgreementOutcome",
+    "solve_agreement_with_broadcast",
+    "BroadcastClient",
+    "FirstDeliveredClient",
+    "SoloRun",
+    "run_solo",
+    "replay_clients",
+]
+
+
+@dataclass
+class AgreementOutcome:
+    """Decisions reached by running agreement-from-broadcast end to end."""
+
+    decisions: Mapping[int, Hashable]
+    simulation: SimulationResult
+
+    @property
+    def distinct(self) -> set[Hashable]:
+        return set(self.decisions.values())
+
+    def satisfies_agreement(self, k: int) -> bool:
+        """True iff at most k distinct values were decided."""
+        return len(self.distinct) <= k
+
+
+def solve_agreement_with_broadcast(
+    n: int,
+    algorithm_factory: Callable[[int, int], BroadcastProcess],
+    proposals: Mapping[int, Hashable],
+    *,
+    k: int = 1,
+    ksa_policy: DecisionPolicy | None = None,
+    seed: int = 0,
+    crash_schedule: CrashSchedule | None = None,
+) -> AgreementOutcome:
+    """Each process broadcasts its proposal and decides its first delivery.
+
+    ``proposals[p]`` is the value process ``p`` proposes; processes absent
+    from the map do not participate (they still deliver).  Returns the
+    per-process decisions (first-delivered contents) and the underlying
+    simulation for inspection.
+    """
+    simulator = Simulator(
+        n, algorithm_factory, k=k, ksa_policy=ksa_policy, seed=seed
+    )
+    scripts = {p: [("prop", p, v)] for p, v in proposals.items()}
+    result = simulator.run(scripts, crash_schedule=crash_schedule)
+    decisions: dict[int, Hashable] = {}
+    for p in proposals:
+        head = result.execution.first_delivered(p)
+        if head is not None:
+            decisions[p] = head.content[2]
+    return AgreementOutcome(decisions=decisions, simulation=result)
+
+
+# ---------------------------------------------------------------------------
+# Abstraction-level clients (the A' of Lemma 9)
+# ---------------------------------------------------------------------------
+
+
+class BroadcastClient(ABC):
+    """A k-SA algorithm over the *broadcast interface only* (A' in Lemma 9).
+
+    A client proposes a value by broadcasting contents and decides based
+    solely on the sequence of messages it delivers.  It never touches
+    send/receive — Lemma 9's transformation A → A' is thus built in.
+    """
+
+    def __init__(self, pid: int, n: int, proposal: Hashable) -> None:
+        self.pid = pid
+        self.n = n
+        self.proposal = proposal
+        self.decision: Hashable | None = None
+
+    @abstractmethod
+    def initial_broadcasts(self) -> Sequence[Hashable]:
+        """Contents to broadcast when the client starts."""
+
+    @abstractmethod
+    def on_deliver(self, message: Message) -> None:
+        """React to one B-delivery; may set :attr:`decision`."""
+
+    @property
+    def decided(self) -> bool:
+        return self.decision is not None
+
+
+class FirstDeliveredClient(BroadcastClient):
+    """Propose by broadcasting; decide the first delivered proposal."""
+
+    def initial_broadcasts(self) -> Sequence[Hashable]:
+        return [("prop", self.pid, self.proposal)]
+
+    def on_deliver(self, message: Message) -> None:
+        if self.decision is None:
+            content = message.content
+            if (
+                isinstance(content, tuple)
+                and len(content) == 3
+                and content[0] == "prop"
+            ):
+                self.decision = content[2]
+
+
+class MultiRoundClient(BroadcastClient):
+    """Broadcast several messages; decide only after ``rounds`` deliveries.
+
+    A deliberately "slower" A' whose solo runs deliver ``rounds`` messages
+    before deciding (``N_i = rounds``), exercising the Lemma 9 machinery
+    with N > 1: the pipeline must then request N-solo executions with N
+    witness messages per process from Algorithm 1.  The decision is the
+    first delivered proposal content, as in
+    :class:`FirstDeliveredClient`.
+    """
+
+    rounds = 3
+
+    def __init__(self, pid: int, n: int, proposal: Hashable) -> None:
+        super().__init__(pid, n, proposal)
+        self._delivered_count = 0
+        self._first_proposal: Hashable | None = None
+
+    def initial_broadcasts(self) -> Sequence[Hashable]:
+        head = [("prop", self.pid, self.proposal)]
+        fillers = [
+            ("round", self.pid, index) for index in range(1, self.rounds)
+        ]
+        return head + fillers
+
+    def on_deliver(self, message: Message) -> None:
+        content = message.content
+        if (
+            self._first_proposal is None
+            and isinstance(content, tuple)
+            and len(content) == 3
+            and content[0] == "prop"
+        ):
+            self._first_proposal = content[2]
+        self._delivered_count += 1
+        if (
+            self.decision is None
+            and self._delivered_count >= self.rounds
+            and self._first_proposal is not None
+        ):
+            self.decision = self._first_proposal
+
+
+@dataclass
+class SoloRun:
+    """The solo execution α_i of Lemma 9 for one process.
+
+    ``messages`` are the messages the process B-delivered before deciding
+    (the paper's ``m_{i,1} … m_{i,N_i}``); by BC-Validity they are its own
+    broadcasts in a solo execution.
+    """
+
+    pid: int
+    proposal: Hashable
+    decision: Hashable
+    messages: tuple[Message, ...]
+
+    @property
+    def n_i(self) -> int:
+        """The paper's N_i: deliveries before the decision."""
+        return len(self.messages)
+
+
+def run_solo(
+    client_factory: Callable[[int, int, Hashable], BroadcastClient],
+    pid: int,
+    n: int,
+    proposal: Hashable,
+    *,
+    factory: MessageFactory | None = None,
+    max_broadcasts: int = 1000,
+) -> SoloRun:
+    """Execute A' solo: all other processes crash before any step.
+
+    Every broadcast abstraction must admit this schedule (the client's own
+    messages are delivered to it, by BC-Local-Termination and
+    BC-Global-CS-Termination), so the run is abstraction-independent —
+    exactly why Lemma 9 can quantify over all B.
+    """
+    factory = factory or MessageFactory()
+    client = client_factory(pid, n, proposal)
+    pending = list(client.initial_broadcasts())
+    delivered: list[Message] = []
+    broadcasts = 0
+    while not client.decided:
+        if not pending:
+            raise RuntimeError(
+                f"p{pid}: client neither decides nor broadcasts in its "
+                f"solo run — it cannot satisfy k-SA-Termination"
+            )
+        if broadcasts >= max_broadcasts:
+            raise RuntimeError(
+                f"p{pid}: client exceeded {max_broadcasts} broadcasts "
+                f"without deciding in its solo run"
+            )
+        content = pending.pop(0)
+        broadcasts += 1
+        message = factory.new(pid, content)
+        delivered.append(message)
+        client.on_deliver(message)
+    if client.decision != proposal:
+        raise RuntimeError(
+            f"p{pid}: decided {client.decision!r} in a solo run where only "
+            f"{proposal!r} was proposed — k-SA-Validity violated"
+        )
+    return SoloRun(
+        pid=pid,
+        proposal=proposal,
+        decision=client.decision,
+        messages=tuple(delivered),
+    )
+
+
+def replay_clients(
+    client_factory: Callable[[int, int, Hashable], BroadcastClient],
+    execution: Execution,
+    proposals: Mapping[int, Hashable],
+) -> dict[int, Hashable]:
+    """Feed an abstraction-level execution's deliveries to fresh clients.
+
+    For each process, a new client is created and receives exactly the
+    delivery sequence the execution prescribes; the resulting decisions
+    are returned.  Used on δ in the Theorem 1 pipeline.
+    """
+    decisions: dict[int, Hashable] = {}
+    for pid, proposal in proposals.items():
+        client = client_factory(pid, execution.n, proposal)
+        client.initial_broadcasts()  # the broadcasts are already in δ
+        for message in execution.deliveries_of(pid):
+            client.on_deliver(message)
+            if client.decided:
+                break
+        if client.decided:
+            decisions[pid] = client.decision
+    return decisions

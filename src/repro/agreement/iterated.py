@@ -1,0 +1,104 @@
+"""Iterated k-set agreement over k-Stepped Broadcast (Section 3.2).
+
+The paper's motivation for k-Stepped Broadcast: "the ordering of messages
+within each S_a set could determine the set of values decided on a
+sequence of k-SA objects, and conversely, thereby establishing
+equivalence."  This module executes that claim: every process broadcasts
+its round-a proposal as its a-th message, and decides round a on the
+content of the first S_a member it delivers.  The k-Stepped ordering
+property bounds each round's distinct decisions by k.
+
+(The §3.2 criticism is *not* that this fails — it works, as
+:func:`solve_iterated_agreement` shows — but that the abstraction
+providing it is not compositional, so it cannot serve as a system-wide
+communication service; see ``examples/composition_pitfalls.py`` and the
+S1/T1 experiments.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Sequence
+
+from ..core.execution import Execution
+from ..runtime.ksa_objects import DecisionPolicy
+from ..runtime.process import BroadcastProcess
+from ..runtime.simulator import SimulationResult, Simulator
+
+__all__ = ["IteratedOutcome", "round_decisions", "solve_iterated_agreement"]
+
+
+class IteratedOutcome:
+    """Per-round decisions of an iterated-agreement run."""
+
+    def __init__(
+        self,
+        decisions: Mapping[int, Mapping[int, Hashable]],
+        simulation: SimulationResult,
+    ) -> None:
+        #: ``decisions[round][process]`` — the value decided in a round.
+        self.decisions = decisions
+        self.simulation = simulation
+
+    def distinct_per_round(self) -> dict[int, int]:
+        return {
+            round_index: len(set(values.values()))
+            for round_index, values in self.decisions.items()
+        }
+
+    def satisfies_agreement(self, k: int) -> bool:
+        """At most k distinct values decided in every round."""
+        return all(
+            count <= k for count in self.distinct_per_round().values()
+        )
+
+
+def round_decisions(
+    execution: Execution, rounds: int
+) -> dict[int, dict[int, Hashable]]:
+    """Decisions read off an execution: first-delivered S_a member per
+    process, where S_a is the set of a-th messages of all processes."""
+    decisions: dict[int, dict[int, Hashable]] = {}
+    for process in range(execution.n):
+        sequence = execution.deliveries_of(process)
+        for round_index in range(rounds):
+            head = next(
+                (m for m in sequence if m.uid.seq == round_index), None
+            )
+            if head is not None:
+                decisions.setdefault(round_index, {})[process] = (
+                    head.content
+                )
+    return decisions
+
+
+def solve_iterated_agreement(
+    n: int,
+    algorithm_factory: Callable[[int, int], BroadcastProcess],
+    proposals: Mapping[int, Sequence[Hashable]],
+    *,
+    k: int,
+    ksa_policy: DecisionPolicy | None = None,
+    seed: int = 0,
+) -> IteratedOutcome:
+    """Solve one k-SA instance per round through a stepped broadcast.
+
+    ``proposals[p][a]`` is process p's proposal for round a; all processes
+    must participate in every round (the lock-step pattern the
+    abstraction needs).
+    """
+    rounds = {len(values) for values in proposals.values()}
+    if len(rounds) != 1:
+        raise ValueError(
+            "iterated agreement needs the lock-step pattern: every "
+            "process proposes in every round"
+        )
+    (round_count,) = rounds
+    simulator = Simulator(
+        n, algorithm_factory, k=k, ksa_policy=ksa_policy, seed=seed,
+        sync_broadcasts=True,
+    )
+    result = simulator.run({p: list(v) for p, v in proposals.items()})
+    decisions = round_decisions(
+        result.execution.broadcast_projection(), round_count
+    )
+    return IteratedOutcome(decisions, result)

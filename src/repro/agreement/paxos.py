@@ -1,0 +1,199 @@
+"""Single-decree Paxos over Ω + majority — consensus in CAMP_n[Ω].
+
+The paper's k = 1 boundary equates consensus with Total-Order Broadcast;
+this module supplies consensus itself as a *message-passing algorithm*
+rather than an oracle: the classic synod protocol, safe under any
+asynchrony and failure pattern, live once the eventual-leader detector Ω
+stabilizes and a majority of processes is correct — the celebrated
+weakest-failure-detector setting.  (For k > 1 no such luck exists in the
+wait-free model, which is the paper's backdrop.)
+
+Every process plays all three roles:
+
+* **acceptor** — answers PREPARE with a promise (or a NACK carrying the
+  higher promised ballot) and ACCEPT with an acceptance;
+* **proposer** — while Ω says it leads, runs ballots
+  ``(round, pid)``: phase 1 collects a majority of promises and adopts
+  the highest-ballot accepted value (or its own proposal), phase 2
+  collects a majority of acceptances and then broadcasts DECIDE;
+* **learner** — adopts any DECIDE it receives and re-broadcasts it once
+  (so every correct process decides).
+
+The ``propose`` operation (:class:`~repro.runtime.service.Invocation`
+``("propose", instance, value)``) returns the decided value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from ..detectors.oracles import OmegaOracle
+from ..runtime.effects import Effect, Send, Wait
+from ..runtime.service import Invocation, ServiceProcess
+
+__all__ = ["Ballot", "PaxosProcess"]
+
+
+@dataclass(frozen=True, order=True)
+class Ballot:
+    """A totally ordered ballot number: (round, proposer pid)."""
+
+    round: int
+    proposer: int
+
+
+_ZERO = Ballot(-1, -1)
+
+
+@dataclass
+class _InstanceState:
+    """One consensus instance's acceptor/learner/proposer state."""
+
+    promised: Ballot = _ZERO
+    accepted_ballot: Ballot = _ZERO
+    accepted_value: Hashable = None
+    decided: Hashable = None
+    has_decided: bool = False
+    announced: bool = False
+    # proposer bookkeeping, per ballot:
+    promises: dict[Ballot, list[tuple[Ballot, Hashable]]] = field(
+        default_factory=dict
+    )
+    acceptances: dict[Ballot, int] = field(default_factory=dict)
+    preempted: set[Ballot] = field(default_factory=set)
+
+
+class PaxosProcess(ServiceProcess):
+    """Synod consensus: all roles in one process, one state per instance."""
+
+    def __init__(self, pid: int, n: int, omega: OmegaOracle) -> None:
+        super().__init__(pid, n)
+        self.omega = omega
+        self._instances: dict[str, _InstanceState] = {}
+        self._next_round = 0
+
+    def _state(self, instance: str) -> _InstanceState:
+        return self._instances.setdefault(instance, _InstanceState())
+
+    @property
+    def _majority(self) -> int:
+        return self.n // 2 + 1
+
+    # -- proposer ----------------------------------------------------------
+
+    def on_invoke(self, invocation: Invocation) -> Iterator[Effect]:
+        if invocation.operation != "propose":
+            raise ValueError(
+                f"unknown operation {invocation.operation!r}"
+            )
+        instance = invocation.target
+        proposal = invocation.argument
+        state = self._state(instance)
+        while not state.has_decided:
+            if self.omega.leader() != self.pid:
+                yield Wait(
+                    lambda: state.has_decided
+                    or self.omega.leader() == self.pid,
+                    f"decision or leadership for {instance}",
+                )
+                continue
+            ballot = Ballot(self._next_round, self.pid)
+            self._next_round += 1
+            yield from self._run_ballot(instance, state, ballot, proposal)
+        return state.decided
+
+    def _run_ballot(
+        self,
+        instance: str,
+        state: _InstanceState,
+        ballot: Ballot,
+        proposal: Hashable,
+    ) -> Iterator[Effect]:
+        state.promises[ballot] = []
+        state.acceptances[ballot] = 0
+        yield from self.send_to_all(("PREPARE", instance, ballot))
+        yield Wait(
+            lambda: len(state.promises[ballot]) >= self._majority
+            or ballot in state.preempted
+            or state.has_decided
+            or self.omega.leader() != self.pid,
+            f"phase-1 quorum for {instance} ballot {ballot}",
+        )
+        if (
+            state.has_decided
+            or ballot in state.preempted
+            or len(state.promises[ballot]) < self._majority
+        ):
+            return
+        highest = max(
+            state.promises[ballot], key=lambda pair: pair[0]
+        )
+        value = highest[1] if highest[0] != _ZERO else proposal
+        yield from self.send_to_all(("ACCEPT", instance, ballot, value))
+        yield Wait(
+            lambda: state.acceptances[ballot] >= self._majority
+            or ballot in state.preempted
+            or state.has_decided
+            or self.omega.leader() != self.pid,
+            f"phase-2 quorum for {instance} ballot {ballot}",
+        )
+        if state.has_decided or ballot in state.preempted:
+            return
+        if state.acceptances[ballot] >= self._majority:
+            yield from self.send_to_all(("DECIDE", instance, value))
+
+    # -- acceptor / learner --------------------------------------------------
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        kind = payload[0]
+        instance = payload[1]
+        state = self._state(instance)
+        if kind == "PREPARE":
+            ballot = payload[2]
+            if ballot > state.promised:
+                state.promised = ballot
+                yield Send(
+                    sender,
+                    (
+                        "PROMISE",
+                        instance,
+                        ballot,
+                        state.accepted_ballot,
+                        state.accepted_value,
+                    ),
+                )
+            else:
+                yield Send(sender, ("NACK", instance, ballot))
+        elif kind == "ACCEPT":
+            ballot, value = payload[2], payload[3]
+            if ballot >= state.promised:
+                state.promised = ballot
+                state.accepted_ballot = ballot
+                state.accepted_value = value
+                yield Send(sender, ("ACCEPTED", instance, ballot))
+            else:
+                yield Send(sender, ("NACK", instance, ballot))
+        elif kind == "PROMISE":
+            ballot, accepted_ballot, accepted_value = (
+                payload[2], payload[3], payload[4],
+            )
+            if ballot in state.promises:
+                state.promises[ballot].append(
+                    (accepted_ballot, accepted_value)
+                )
+        elif kind == "ACCEPTED":
+            ballot = payload[2]
+            if ballot in state.acceptances:
+                state.acceptances[ballot] += 1
+        elif kind == "NACK":
+            ballot = payload[2]
+            state.preempted.add(ballot)
+        elif kind == "DECIDE":
+            value = payload[2]
+            if not state.has_decided:
+                state.has_decided = True
+                state.decided = value
+            if not state.announced:
+                state.announced = True
+                yield from self.send_to_all(("DECIDE", instance, value))

@@ -1,0 +1,34 @@
+"""Trace analytics and rendering.
+
+* :mod:`repro.analysis.ordering` — delivery-order agreement statistics and
+  the disagreement-clique size that k-BO Broadcast bounds;
+* :mod:`repro.analysis.causality` — vector clocks and happened-before;
+* :mod:`repro.analysis.report` — the Figure 1 renderer and ASCII tables.
+"""
+
+from .causality import VectorClock, concurrent_steps, happened_before_graph
+from .complexity import CostProfile, cost_profile
+from .dot import happened_before_dot
+from .latency import LatencyStats, delivery_latencies, latency_stats
+from .ordering import OrderingStats, max_disagreement_clique, ordering_stats
+from .report import ascii_table, render_figure1, render_lanes
+from .svg import render_figure1_svg
+
+__all__ = [
+    "CostProfile",
+    "LatencyStats",
+    "OrderingStats",
+    "VectorClock",
+    "ascii_table",
+    "concurrent_steps",
+    "cost_profile",
+    "delivery_latencies",
+    "happened_before_dot",
+    "happened_before_graph",
+    "latency_stats",
+    "max_disagreement_clique",
+    "ordering_stats",
+    "render_figure1",
+    "render_figure1_svg",
+    "render_lanes",
+]

@@ -1,0 +1,111 @@
+"""Causality analytics: vector clocks and the happened-before relation.
+
+These utilities support the causal-broadcast machinery and the tests: a
+standalone :class:`VectorClock` value type, and
+:func:`happened_before_graph`, which builds Lamport's happened-before
+relation over the *steps* of an execution (program order, send→receive,
+broadcast→deliver), the "relativistic notion of time" of the paper's
+conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+from ..core.actions import (
+    BroadcastInvoke,
+    DeliverAction,
+    ReceiveAction,
+    SendAction,
+)
+from ..core.execution import Execution
+
+__all__ = ["VectorClock", "happened_before_graph", "concurrent_steps"]
+
+
+@dataclass(frozen=True)
+class VectorClock:
+    """An immutable vector clock over ``n`` processes."""
+
+    entries: tuple[int, ...]
+
+    @staticmethod
+    def zero(n: int) -> "VectorClock":
+        return VectorClock((0,) * n)
+
+    def tick(self, process: int) -> "VectorClock":
+        """Advance one process's component by one."""
+        entries = list(self.entries)
+        entries[process] += 1
+        return VectorClock(tuple(entries))
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum."""
+        if len(self.entries) != len(other.entries):
+            raise ValueError("vector clocks of different dimensions")
+        return VectorClock(
+            tuple(max(a, b) for a, b in zip(self.entries, other.entries))
+        )
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(a <= b for a, b in zip(self.entries, other.entries))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self.entries != other.entries
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not (self <= other) and not (other <= self)
+
+    def __getitem__(self, process: int) -> int:
+        return self.entries[process]
+
+    def __str__(self) -> str:
+        return "⟨" + ",".join(map(str, self.entries)) + "⟩"
+
+
+def happened_before_graph(execution: Execution) -> nx.DiGraph:
+    """Lamport's happened-before over step indices of the execution.
+
+    Edges: consecutive steps of the same process (program order), each
+    ``send`` to its matching ``receive``, and each ``broadcast`` to every
+    delivery of its message.  Nodes are step indices.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(execution)))
+    last_of_process: dict[int, int] = {}
+    send_index: dict[object, int] = {}
+    invoke_index: dict[object, int] = {}
+    for index, step in enumerate(execution):
+        previous = last_of_process.get(step.process)
+        if previous is not None:
+            graph.add_edge(previous, index)
+        last_of_process[step.process] = index
+        action = step.action
+        if isinstance(action, SendAction):
+            send_index[action.p2p] = index
+        elif isinstance(action, ReceiveAction):
+            if action.p2p in send_index:
+                graph.add_edge(send_index[action.p2p], index)
+        elif isinstance(action, BroadcastInvoke):
+            invoke_index[action.message.uid] = index
+        elif isinstance(action, DeliverAction):
+            if action.message.uid in invoke_index:
+                graph.add_edge(invoke_index[action.message.uid], index)
+    return graph
+
+
+def concurrent_steps(execution: Execution) -> Iterator[tuple[int, int]]:
+    """Pairs of step indices unordered by happened-before."""
+    graph = happened_before_graph(execution)
+    closure = nx.transitive_closure_dag(graph)
+    total = len(execution)
+    for a in range(total):
+        reachable = set(closure.successors(a))
+        ancestors = set(closure.predecessors(a))
+        for b in range(a + 1, total):
+            if b not in reachable and b not in ancestors:
+                yield (a, b)

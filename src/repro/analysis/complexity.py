@@ -1,0 +1,93 @@
+"""Cost analytics: message, step and oracle complexity of executions.
+
+The paper proves an impossibility, not a complexity bound — but the
+algorithms implemented here have classical costs worth tracking (e.g.
+forward-then-deliver is Θ(n²) messages per broadcast, the round-based
+agreement algorithms add one oracle invocation per process per round).
+:func:`cost_profile` extracts the counts from a recorded execution, and
+the P4 experiment/bench tabulates them per algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.actions import (
+    DeliverAction,
+    DeliverSetAction,
+    ProposeAction,
+    ReceiveAction,
+    SendAction,
+)
+from ..core.execution import Execution
+
+__all__ = ["CostProfile", "cost_profile"]
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Aggregate event counts of one execution."""
+
+    broadcasts: int
+    deliveries: int
+    sends: int
+    receives: int
+    proposals: int
+    steps: int
+
+    @property
+    def sends_per_broadcast(self) -> float:
+        """Point-to-point messages per broadcast invocation."""
+        if self.broadcasts == 0:
+            return 0.0
+        return self.sends / self.broadcasts
+
+    @property
+    def proposals_per_broadcast(self) -> float:
+        """Oracle invocations per broadcast invocation."""
+        if self.broadcasts == 0:
+            return 0.0
+        return self.proposals / self.broadcasts
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Deliveries per broadcast (n for full dissemination)."""
+        if self.broadcasts == 0:
+            return 0.0
+        return self.deliveries / self.broadcasts
+
+    def __str__(self) -> str:
+        return (
+            f"{self.broadcasts} broadcasts, {self.sends} sends "
+            f"({self.sends_per_broadcast:.1f}/bcast), "
+            f"{self.proposals} proposals "
+            f"({self.proposals_per_broadcast:.2f}/bcast), "
+            f"{self.deliveries} deliveries"
+        )
+
+
+def cost_profile(execution: Execution) -> CostProfile:
+    """Count the cost-relevant events of one execution."""
+    broadcasts = deliveries = sends = receives = proposals = 0
+    for step in execution:
+        action = step.action
+        if step.is_invoke():
+            broadcasts += 1
+        elif isinstance(action, DeliverAction):
+            deliveries += 1
+        elif isinstance(action, DeliverSetAction):
+            deliveries += len(action.messages)
+        elif isinstance(action, SendAction):
+            sends += 1
+        elif isinstance(action, ReceiveAction):
+            receives += 1
+        elif isinstance(action, ProposeAction):
+            proposals += 1
+    return CostProfile(
+        broadcasts=broadcasts,
+        deliveries=deliveries,
+        sends=sends,
+        receives=receives,
+        proposals=proposals,
+        steps=len(execution),
+    )

@@ -1,0 +1,76 @@
+"""Graphviz DOT export of the happened-before relation.
+
+Renders Lamport's happened-before over an execution's steps as a DOT
+digraph: one cluster (column) per process in program order, solid edges
+for message transport (send → receive), dashed edges for broadcast-level
+causality (B.broadcast → B.deliver).  Feed the output to ``dot -Tsvg``
+or any Graphviz viewer::
+
+    from repro.analysis.dot import happened_before_dot
+    open("hb.dot", "w").write(happened_before_dot(execution))
+"""
+
+from __future__ import annotations
+
+from ..core.actions import (
+    BroadcastInvoke,
+    DeliverAction,
+    ReceiveAction,
+    SendAction,
+)
+from ..core.execution import Execution
+
+__all__ = ["happened_before_dot"]
+
+
+def _label(step) -> str:
+    text = str(step.action)
+    if len(text) > 28:
+        text = text[:27] + "…"
+    return text.replace('"', "'")
+
+
+def happened_before_dot(execution: Execution) -> str:
+    """The execution's happened-before relation as a DOT digraph."""
+    lines = [
+        "digraph happened_before {",
+        "  rankdir=TB;",
+        '  node [shape=box, fontsize=9, fontname="monospace"];',
+    ]
+    per_process: dict[int, list[int]] = {}
+    for index, step in enumerate(execution):
+        per_process.setdefault(step.process, []).append(index)
+
+    for process in sorted(per_process):
+        lines.append(f"  subgraph cluster_p{process} {{")
+        lines.append(f'    label="p{process + 1}";')
+        for index in per_process[process]:
+            lines.append(
+                f'    s{index} [label="{_label(execution[index])}"];'
+            )
+        chain = per_process[process]
+        for earlier, later in zip(chain, chain[1:]):
+            lines.append(f"    s{earlier} -> s{later} [style=bold];")
+        lines.append("  }")
+
+    send_index: dict[object, int] = {}
+    invoke_index: dict[object, int] = {}
+    for index, step in enumerate(execution):
+        action = step.action
+        if isinstance(action, SendAction):
+            send_index[action.p2p] = index
+        elif isinstance(action, ReceiveAction):
+            origin = send_index.get(action.p2p)
+            if origin is not None:
+                lines.append(f"  s{origin} -> s{index};")
+        elif isinstance(action, BroadcastInvoke):
+            invoke_index[action.message.uid] = index
+        elif isinstance(action, DeliverAction):
+            origin = invoke_index.get(action.message.uid)
+            if origin is not None and origin != index:
+                lines.append(
+                    f"  s{origin} -> s{index} [style=dashed, "
+                    f"color=steelblue];"
+                )
+    lines.append("}")
+    return "\n".join(lines)

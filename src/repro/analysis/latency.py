@@ -1,0 +1,84 @@
+"""Delivery-latency analytics: how long messages wait, in scheduler steps.
+
+Latency here is *logical*: the number of scheduler steps between a
+message's ``B.broadcast`` invocation and each of its deliveries.  It is
+the natural progress metric for comparing algorithms (Send-To-All
+delivers in one network hop; forward-then-deliver in two; the round-based
+agreement algorithms whenever their round closes) and scheduling policies
+(a targeted delay shows up directly in the victim's tail latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.execution import Execution
+from ..core.message import MessageId
+
+__all__ = ["LatencyStats", "delivery_latencies", "latency_stats"]
+
+
+def delivery_latencies(
+    execution: Execution,
+) -> Mapping[tuple[MessageId, int], int]:
+    """``(message, deliverer) -> steps`` from invocation to delivery."""
+    invoked_at: dict[MessageId, int] = {}
+    latencies: dict[tuple[MessageId, int], int] = {}
+    for index, step in enumerate(execution):
+        if step.is_invoke():
+            invoked_at[step.action.message.uid] = index
+        elif step.is_deliver():
+            uid = step.action.message.uid
+            if uid in invoked_at:
+                latencies[(uid, step.process)] = index - invoked_at[uid]
+        elif step.is_deliver_set():
+            for message in step.action.messages:
+                if message.uid in invoked_at:
+                    latencies[(message.uid, step.process)] = (
+                        index - invoked_at[message.uid]
+                    )
+    return latencies
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency distribution (in scheduler steps)."""
+
+    count: int
+    minimum: int
+    median: float
+    p90: float
+    maximum: int
+    mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} deliveries: min {self.minimum}, median "
+            f"{self.median:.0f}, p90 {self.p90:.0f}, max {self.maximum}"
+        )
+
+
+def latency_stats(execution: Execution) -> LatencyStats | None:
+    """Distribution summary over all (message, deliverer) latencies."""
+    values = sorted(delivery_latencies(execution).values())
+    if not values:
+        return None
+
+    def percentile(q: float) -> float:
+        if len(values) == 1:
+            return float(values[0])
+        position = q * (len(values) - 1)
+        low = int(position)
+        high = min(low + 1, len(values) - 1)
+        fraction = position - low
+        return values[low] * (1 - fraction) + values[high] * fraction
+
+    return LatencyStats(
+        count=len(values),
+        minimum=values[0],
+        median=percentile(0.5),
+        p90=percentile(0.9),
+        maximum=values[-1],
+        mean=sum(values) / len(values),
+    )

@@ -1,0 +1,92 @@
+"""Delivery-order analytics over broadcast-level executions.
+
+Extends :mod:`repro.core.order` with aggregate statistics used by the
+benchmark harness — how much delivery-order agreement an algorithm
+achieves, where first deliveries land, and how large the largest
+"disagreement clique" is (the quantity k-BO Broadcast bounds by k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import networkx as nx
+
+from ..core.execution import Execution
+from ..core.order import (
+    delivery_positions,
+    disagreement_graph,
+    first_delivered_set,
+    pair_orders,
+)
+
+__all__ = ["OrderingStats", "ordering_stats", "max_disagreement_clique"]
+
+
+@dataclass(frozen=True)
+class OrderingStats:
+    """Aggregate ordering quality of one execution."""
+
+    messages: int
+    comparable_pairs: int
+    agreeing_pairs: int
+    disagreeing_pairs: int
+    first_delivered_count: int
+    max_disagreement_clique: int
+
+    @property
+    def agreement_ratio(self) -> float:
+        """Fraction of comparable pairs delivered in one uniform order."""
+        if self.comparable_pairs == 0:
+            return 1.0
+        return self.agreeing_pairs / self.comparable_pairs
+
+    def satisfies_kbo(self, k: int) -> bool:
+        """True iff the execution satisfies k-BO ordering."""
+        return self.max_disagreement_clique <= k
+
+    def __str__(self) -> str:
+        return (
+            f"{self.messages} messages, "
+            f"{self.agreeing_pairs}/{self.comparable_pairs} pairs uniformly "
+            f"ordered (ratio {self.agreement_ratio:.3f}), "
+            f"{self.first_delivered_count} first-delivered, "
+            f"max disagreement clique {self.max_disagreement_clique}"
+        )
+
+
+def max_disagreement_clique(execution: Execution) -> int:
+    """Size of the largest set of pairwise non-uniformly-ordered messages.
+
+    An execution satisfies k-BO ordering iff this is at most k (and Total
+    Order iff it is at most 1).
+    """
+    graph = disagreement_graph(execution)
+    if graph.number_of_edges() == 0:
+        return 1 if graph.number_of_nodes() else 0
+    _, size = nx.max_weight_clique(graph, weight=None)
+    return size
+
+
+def ordering_stats(execution: Execution) -> OrderingStats:
+    """Compute the aggregate delivery-order statistics of one execution."""
+    positions = delivery_positions(execution)
+    uids = [m.uid for m in execution.broadcast_messages]
+    comparable = agreeing = disagreeing = 0
+    for first, second in combinations(uids, 2):
+        orders = pair_orders(positions, first, second)
+        if orders:
+            comparable += 1
+            if len(orders) == 1:
+                agreeing += 1
+            else:
+                disagreeing += 1
+    return OrderingStats(
+        messages=len(uids),
+        comparable_pairs=comparable,
+        agreeing_pairs=agreeing,
+        disagreeing_pairs=disagreeing,
+        first_delivered_count=len(first_delivered_set(execution)),
+        max_disagreement_clique=max_disagreement_clique(execution),
+    )

@@ -1,0 +1,150 @@
+"""Rendering: the Figure 1 diagram and plain-text result tables.
+
+:func:`render_figure1` regenerates the paper's only figure — the
+adversarial execution ``α_{k,N,B,B}`` — as a per-process lane diagram in
+the paper's conventions: processes are printed ``p1 … p_{k+1}`` (1-based),
+plain tokens are send/receive steps, ``□…→…`` are k-SA propositions with
+their decided values, ``B(…)``/``dv(…)`` are B-broadcasts and
+B-deliveries, and the final N counted messages of each process — the
+paper's grey boxes, "incompatible with an implementation of k-set
+agreement" — are bracketed ``⟦…⟧``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..adversary.scheduler import AdversaryResult
+from ..core.actions import (
+    BroadcastInvoke,
+    BroadcastReturn,
+    CrashAction,
+    DecideAction,
+    DeliverAction,
+    DeliverSetAction,
+    LocalAction,
+    ProposeAction,
+    ReceiveAction,
+    SendAction,
+)
+from ..core.execution import Execution
+
+__all__ = ["render_figure1", "render_lanes", "ascii_table"]
+
+
+def _short_value(value: object, limit: int = 18) -> str:
+    text = str(value)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def _token(step, witness_uids: frozenset) -> str:
+    action = step.action
+    if isinstance(action, BroadcastInvoke):
+        return f"B({action.message.uid})"
+    if isinstance(action, BroadcastReturn):
+        return "ret"
+    if isinstance(action, DeliverAction):
+        body = f"dv({action.message.uid})"
+        if action.message.uid in witness_uids:
+            return f"⟦{body}⟧"
+        return body
+    if isinstance(action, DeliverSetAction):
+        parts = []
+        for message in action.messages:
+            part = str(message.uid)
+            if message.uid in witness_uids:
+                part = f"⟦{part}⟧"
+            parts.append(part)
+        return f"dv{{{','.join(parts)}}}"
+    if isinstance(action, SendAction):
+        return f"s→p{action.p2p.receiver + 1}"
+    if isinstance(action, ReceiveAction):
+        return f"r←p{action.p2p.sender + 1}"
+    if isinstance(action, ProposeAction):
+        return f"□{_short_value(action.ksa)}?{_short_value(action.value, 10)}"
+    if isinstance(action, DecideAction):
+        return f"→{_short_value(action.value, 10)}"
+    if isinstance(action, CrashAction):
+        return "✝"
+    if isinstance(action, LocalAction):
+        if "sync" in action.label:
+            return "■"
+        return f"·{action.label}" if action.label else "·"
+    return "?"
+
+
+def render_lanes(
+    execution: Execution,
+    *,
+    witness_uids: Iterable = (),
+    width: int = 100,
+) -> str:
+    """Per-process lane rendering of any execution."""
+    witness = frozenset(witness_uids)
+    lanes: dict[int, list[str]] = {}
+    for step in execution:
+        lanes.setdefault(step.process, []).append(_token(step, witness))
+    lines: list[str] = []
+    for process in sorted(lanes):
+        tokens = lanes[process]
+        prefix = f"p{process + 1}: "
+        indent = " " * len(prefix)
+        line = prefix
+        for token in tokens:
+            if len(line) + len(token) + 1 > width:
+                lines.append(line)
+                line = indent
+            line += token + " "
+        lines.append(line.rstrip())
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_figure1(result: AdversaryResult, *, width: int = 100) -> str:
+    """Regenerate Figure 1 for one adversarial execution.
+
+    Conventions of the paper's caption: square tokens are propositions on
+    k-SA objects with decided values, ``B``/``dv`` the broadcast-level
+    events, and the grey boxes (here ``⟦…⟧``) the final N messages of each
+    process.
+    """
+    witness_uids = {
+        uid for uids in result.witness.chosen.values() for uid in uids
+    }
+    header = [
+        f"Figure 1 — adversarial execution α(k={result.k}, "
+        f"N={result.n_value}) over {result.n} processes "
+        f"(paper numbering p1…p{result.n})",
+        f"  {len(result.execution)} steps, "
+        f"{len(result.reset_marks)} local_del reset(s) "
+        f"(lines 21-25), withheld messages released at step "
+        f"{result.line26_mark} (line 26)",
+        "  legend: B(m)=B.broadcast  dv(m)=B.deliver  ⟦dv(m)⟧=counted "
+        "(grey box)  □obj?v=propose  →w=decide",
+        "          s→p/r←p=send/receive  ■=sync-broadcast return  "
+        "✝=crash",
+        "",
+    ]
+    return "\n".join(header) + render_lanes(
+        result.execution, witness_uids=witness_uids, width=width
+    )
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A minimal fixed-width table renderer for experiment output."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)

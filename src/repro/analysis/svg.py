@@ -1,0 +1,213 @@
+"""A graphical Figure 1: the adversarial execution as an SVG diagram.
+
+Complements the ASCII lanes of :mod:`repro.analysis.report` with a
+self-contained SVG in the visual conventions of the paper's Figure 1:
+
+* one horizontal timeline per process (paper numbering ``p1 … p_{k+1}``);
+* plain grey arrows for point-to-point messages (send → receive) — the
+  long late arrows are the withheld messages released at line 26;
+* dotted arrows for the broadcast-level events (B.broadcast → B.deliver);
+* white squares for k-SA propositions, with the decided value printed
+  above (the forced copy at ``p_{k+1}`` is visible as a value that does
+  not match the proposer's own);
+* deliveries as diamonds, with the counted ones — the paper's grey
+  boxes — wrapped in grey rectangles.
+
+No external dependency: the SVG is assembled textually and validated as
+XML in the tests.  Write it to a file and open it in any browser::
+
+    from repro.analysis.svg import render_figure1_svg
+    svg = render_figure1_svg(result)
+    open("figure1.svg", "w").write(svg)
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+
+from ..adversary.scheduler import AdversaryResult
+from ..core.actions import (
+    BroadcastInvoke,
+    DecideAction,
+    DeliverAction,
+    DeliverSetAction,
+    ProposeAction,
+    ReceiveAction,
+    SendAction,
+)
+
+__all__ = ["render_figure1_svg"]
+
+_STEP_WIDTH = 11
+_LANE_HEIGHT = 64
+_MARGIN_LEFT = 56
+_MARGIN_TOP = 70
+
+
+@dataclass
+class _Layout:
+    n: int
+    steps: int
+
+    def x(self, index: int) -> float:
+        return _MARGIN_LEFT + index * _STEP_WIDTH
+
+    def y(self, process: int) -> float:
+        return _MARGIN_TOP + process * _LANE_HEIGHT
+
+    @property
+    def width(self) -> float:
+        return self.x(self.steps) + 40
+
+    @property
+    def height(self) -> float:
+        return self.y(self.n - 1) + 60
+
+
+def _escape(value: object, limit: int = 16) -> str:
+    text = str(value)
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return html.escape(text)
+
+
+def render_figure1_svg(result: AdversaryResult) -> str:
+    """Render one adversarial execution as a standalone SVG document."""
+    execution = result.execution
+    layout = _Layout(n=result.n, steps=len(execution))
+    witness_uids = {
+        uid for uids in result.witness.chosen.values() for uid in uids
+    }
+
+    body: list[str] = []
+
+    # lanes and labels
+    for process in range(result.n):
+        y = layout.y(process)
+        body.append(
+            f'<line x1="{_MARGIN_LEFT - 16}" y1="{y}" '
+            f'x2="{layout.width - 20}" y2="{y}" class="lane"/>'
+        )
+        body.append(
+            f'<text x="{_MARGIN_LEFT - 24}" y="{y + 4}" '
+            f'class="plabel">p{process + 1}</text>'
+        )
+
+    send_positions: dict[object, int] = {}
+    propose_positions: dict[tuple[int, str], int] = {}
+
+    # pass 1: collect arrow endpoints
+    for index, step in enumerate(execution):
+        if isinstance(step.action, SendAction):
+            send_positions[step.action.p2p] = index
+
+    invoke_positions: dict[object, int] = {}
+    for index, step in enumerate(execution):
+        if isinstance(step.action, BroadcastInvoke):
+            invoke_positions[step.action.message.uid] = index
+
+    def _deliveries_of(action):
+        if isinstance(action, DeliverAction):
+            return (action.message,)
+        if isinstance(action, DeliverSetAction):
+            return action.messages
+        return ()
+
+    # pass 2: arrows first (under the glyphs)
+    for index, step in enumerate(execution):
+        action = step.action
+        if isinstance(action, ReceiveAction):
+            origin = send_positions.get(action.p2p)
+            if origin is None:
+                continue
+            x1, y1 = layout.x(origin), layout.y(action.p2p.sender)
+            x2, y2 = layout.x(index), layout.y(step.process)
+            cls = "selfmsg" if action.p2p.sender == step.process else "msg"
+            body.append(
+                f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+                f'class="{cls}" marker-end="url(#arrow)"/>'
+            )
+        else:
+            for message in _deliveries_of(action):
+                origin = invoke_positions.get(message.uid)
+                if origin is not None and origin != index:
+                    x1 = layout.x(origin)
+                    y1 = layout.y(message.sender)
+                    x2, y2 = layout.x(index), layout.y(step.process)
+                    body.append(
+                        f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+                        f'class="bcast" marker-end="url(#arrow)"/>'
+                    )
+
+    # pass 3: glyphs
+    for index, step in enumerate(execution):
+        action = step.action
+        x, y = layout.x(index), layout.y(step.process)
+        if isinstance(action, BroadcastInvoke):
+            body.append(
+                f'<circle cx="{x}" cy="{y}" r="4" class="invoke">'
+                f"<title>{_escape(action, 60)}</title></circle>"
+            )
+        elif isinstance(action, (DeliverAction, DeliverSetAction)):
+            delivered = _deliveries_of(action)
+            if any(m.uid in witness_uids for m in delivered):
+                body.append(
+                    f'<rect x="{x - 8}" y="{y - 8}" width="16" '
+                    f'height="16" class="greybox"/>'
+                )
+            body.append(
+                f'<path d="M {x} {y - 5} L {x + 5} {y} L {x} {y + 5} '
+                f'L {x - 5} {y} Z" class="deliver">'
+                f"<title>{_escape(action, 60)}</title></path>"
+            )
+        elif isinstance(action, ProposeAction):
+            propose_positions[(step.process, action.ksa)] = index
+            body.append(
+                f'<rect x="{x - 5}" y="{y - 5}" width="10" height="10" '
+                f'class="propose"><title>{_escape(action, 60)}</title>'
+                f"</rect>"
+            )
+        elif isinstance(action, DecideAction):
+            origin = propose_positions.get((step.process, action.ksa))
+            anchor = layout.x(origin) if origin is not None else x
+            body.append(
+                f'<text x="{anchor}" y="{y - 12}" class="decision">'
+                f"{_escape(action.value, 12)}</text>"
+            )
+
+    title = (
+        f"Figure 1 — adversarial execution α(k={result.k}, "
+        f"N={result.n_value}), {len(execution)} steps, "
+        f"{len(result.reset_marks)} reset(s)"
+    )
+    legend = (
+        "● B.broadcast   ◆ B.deliver   grey box = counted (Def. 5 "
+        "witness)   □ propose (decided value above)   solid = "
+        "send/receive   dotted = broadcast-level"
+    )
+    return f"""<svg xmlns="http://www.w3.org/2000/svg" width="{layout.width:.0f}" height="{layout.height:.0f}" viewBox="0 0 {layout.width:.0f} {layout.height:.0f}">
+<defs>
+<marker id="arrow" viewBox="0 0 8 8" refX="7" refY="4" markerWidth="5" markerHeight="5" orient="auto">
+<path d="M 0 0 L 8 4 L 0 8 z" fill="#888"/>
+</marker>
+<style>
+.lane {{ stroke: #222; stroke-width: 1.1; }}
+.plabel {{ font: bold 13px sans-serif; text-anchor: end; }}
+.msg {{ stroke: #999; stroke-width: 0.8; }}
+.selfmsg {{ stroke: #ccc; stroke-width: 0.6; }}
+.bcast {{ stroke: #3465a4; stroke-width: 0.9; stroke-dasharray: 3 3; }}
+.invoke {{ fill: #111; }}
+.deliver {{ fill: #3465a4; }}
+.greybox {{ fill: #bbb; opacity: 0.65; }}
+.propose {{ fill: #fff; stroke: #111; stroke-width: 1.1; }}
+.decision {{ font: 9px monospace; text-anchor: middle; fill: #444; }}
+.title {{ font: bold 14px sans-serif; }}
+.legend {{ font: 11px sans-serif; fill: #333; }}
+</style>
+</defs>
+<text x="{_MARGIN_LEFT - 16}" y="24" class="title">{html.escape(title)}</text>
+<text x="{_MARGIN_LEFT - 16}" y="42" class="legend">{html.escape(legend)}</text>
+{chr(10).join(body)}
+</svg>
+"""

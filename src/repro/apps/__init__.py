@@ -1,0 +1,37 @@
+"""Application layer: the workloads the paper's introduction motivates.
+
+Each application consumes a :class:`~repro.runtime.simulator.
+SimulationResult` and interprets the delivery logs, so every app runs
+over every broadcast — making the abstraction hierarchy *observable*:
+
+* :mod:`repro.apps.state_machine` / :mod:`repro.apps.kv_store` —
+  replicated state machines; converge over Total-Order Broadcast,
+  diverge over weaker ones when commands conflict;
+* :mod:`repro.apps.counter` — a grow-only counter CRDT; commutativity
+  makes plain reliable dissemination sufficient (Generic Broadcast's
+  empty-conflict case);
+* :mod:`repro.apps.chat` — threaded chat; "no reply before its parent"
+  is exactly Causal Broadcast's guarantee.
+"""
+
+from .chat import orphaned_replies
+from .counter import apply_increment, counter_value, replay_counter
+from .kv_store import EMPTY_STORE, apply_command, replay_kv_store
+from .state_machine import (
+    ReplicaStates,
+    logs_prefix_related,
+    replay_replicas,
+)
+
+__all__ = [
+    "EMPTY_STORE",
+    "ReplicaStates",
+    "apply_command",
+    "apply_increment",
+    "counter_value",
+    "logs_prefix_related",
+    "orphaned_replies",
+    "replay_counter",
+    "replay_kv_store",
+    "replay_replicas",
+]

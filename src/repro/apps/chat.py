@@ -1,0 +1,41 @@
+"""A threaded chat room: the workload that motivates Causal Broadcast.
+
+Messages are ``("msg", author, text, reply_to)`` where ``reply_to`` is
+the text of the parent message (or ``None`` for thread roots).  The
+user-visible sanity condition is: *nobody ever sees a reply before the
+message it answers* — exactly the happened-before guarantee Causal
+Broadcast provides and Send-To-All does not (a third party can receive
+the reply first when the network is unkind; see
+:class:`~repro.runtime.policies.TargetedDelayPolicy`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..runtime.simulator import SimulationResult
+
+__all__ = ["orphaned_replies"]
+
+
+def orphaned_replies(result: SimulationResult) -> list[str]:
+    """Replies some process saw before their parent, with diagnostics.
+
+    Returns one entry per (process, reply) whose parent text had not
+    been delivered at that process when the reply arrived.  Empty for
+    every run over a causal (or stronger) broadcast.
+    """
+    problems: list[str] = []
+    for process in range(result.execution.n):
+        seen: set[Hashable] = set()
+        for content in result.delivered_contents(process):
+            if not (isinstance(content, tuple) and content[0] == "msg"):
+                continue
+            _tag, author, text, reply_to = content
+            if reply_to is not None and reply_to not in seen:
+                problems.append(
+                    f"p{process} saw the reply {text!r} (by p{author}) "
+                    f"before its parent {reply_to!r}"
+                )
+            seen.add(text)
+    return problems

@@ -1,0 +1,43 @@
+"""A grow-only counter CRDT: commutativity makes weak broadcasts enough.
+
+The counter-point (literally) to the KV store: per-process increments
+``("inc", origin, amount)`` commute, so *any* reliable dissemination —
+plain Send-To-All included — converges, delivery order be damned.  This
+is the degenerate end of the Generic Broadcast spectrum (§3.2): with no
+conflicting pairs, its ordering predicate is empty and the abstraction
+collapses to reliability.
+
+State is the per-origin contribution vector (a frozenset of
+(origin, total) pairs); the counter value is the sum.  The state is a
+pure function of the *set* of delivered increments, which is why order
+cannot matter.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..runtime.simulator import SimulationResult
+from .state_machine import ReplicaStates, replay_replicas
+
+__all__ = ["apply_increment", "counter_value", "replay_counter"]
+
+
+def apply_increment(state: frozenset, command: Hashable) -> frozenset:
+    """Fold one ``("inc", origin, amount)`` into the contribution vector."""
+    op, origin, amount = command
+    if op != "inc":
+        raise ValueError(f"unknown command {command!r}")
+    mapping = dict(state)
+    mapping[origin] = mapping.get(origin, 0) + amount
+    return frozenset(mapping.items())
+
+
+def counter_value(state: frozenset) -> int:
+    """The counter's value: the sum of all contributions."""
+    return sum(total for _origin, total in state)
+
+
+def replay_counter(result: SimulationResult) -> ReplicaStates:
+    """Replay a simulation's delivery logs through the G-counter."""
+    return replay_replicas(result, apply_increment, frozenset())

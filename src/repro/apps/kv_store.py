@@ -1,0 +1,45 @@
+"""A replicated key-value store: the canonical non-commuting workload.
+
+Commands are ``("put", key, value)``, ``("inc", key, delta)`` and
+``("del", key)``.  ``put``/``del`` on the same key do not commute, so
+replicas need Total-Order (or at least Generic-Broadcast-for-conflicts)
+delivery to converge; ``inc`` commands commute with each other, which is
+exactly the structure Generic Broadcast exploits.
+
+State is a frozenset of (key, value) pairs, a value type, so replica
+equality is state equality.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..runtime.simulator import SimulationResult
+from .state_machine import ReplicaStates, replay_replicas
+
+__all__ = ["apply_command", "replay_kv_store", "EMPTY_STORE"]
+
+EMPTY_STORE: frozenset = frozenset()
+
+
+def apply_command(state: frozenset, command: Hashable) -> frozenset:
+    """One step of the store's transition function."""
+    mapping = dict(state)
+    op = command[0]
+    if op == "put":
+        _, key, value = command
+        mapping[key] = value
+    elif op == "inc":
+        _, key, delta = command
+        mapping[key] = mapping.get(key, 0) + delta
+    elif op == "del":
+        _, key = command
+        mapping.pop(key, None)
+    else:
+        raise ValueError(f"unknown command {command!r}")
+    return frozenset(mapping.items())
+
+
+def replay_kv_store(result: SimulationResult) -> ReplicaStates:
+    """Replay a simulation's delivery logs through the KV store."""
+    return replay_replicas(result, apply_command, EMPTY_STORE)

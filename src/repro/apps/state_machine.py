@@ -1,0 +1,90 @@
+"""Generic state-machine replication over any broadcast abstraction.
+
+Section 1.2's motivating application: State Machine Replication builds
+on Total-Order Broadcast because replicas that apply the same commands
+in the same order end in the same state.  This module makes that
+statement checkable for *any* broadcast: replay each replica's delivery
+log through a reducer and compare.
+
+* Over :class:`~repro.broadcasts.total_order.TotalOrderBroadcast`,
+  replicas always converge (and their logs are prefix-related).
+* Over weaker abstractions, convergence holds exactly when the commands
+  commute — the observation Generic Broadcast (§3.2) turns into a
+  specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping
+
+from ..runtime.simulator import SimulationResult
+
+__all__ = ["ReplicaStates", "replay_replicas", "logs_prefix_related"]
+
+Reducer = Callable[[Hashable, Hashable], Hashable]
+
+
+@dataclass
+class ReplicaStates:
+    """Final state and applied log per replica, plus convergence checks."""
+
+    states: Mapping[int, Hashable]
+    logs: Mapping[int, tuple[Hashable, ...]]
+    correct: frozenset[int]
+
+    def converged(self) -> bool:
+        """All *correct* replicas reached the same state."""
+        reference = None
+        for process in sorted(self.correct):
+            if reference is None:
+                reference = self.states[process]
+            elif self.states[process] != reference:
+                return False
+        return True
+
+    def divergent_pairs(self) -> list[tuple[int, int]]:
+        """Pairs of correct replicas with different final states."""
+        ordered = sorted(self.correct)
+        return [
+            (a, b)
+            for index, a in enumerate(ordered)
+            for b in ordered[index + 1:]
+            if self.states[a] != self.states[b]
+        ]
+
+
+def replay_replicas(
+    result: SimulationResult,
+    reducer: Reducer,
+    initial: Hashable,
+) -> ReplicaStates:
+    """Apply each replica's delivery log through ``reducer``.
+
+    ``reducer(state, command) -> state`` must be pure; ``initial`` is the
+    common starting state.  States should be values (tuples, frozen
+    dataclasses, immutables) so equality means convergence.
+    """
+    states: dict[int, Hashable] = {}
+    logs: dict[int, tuple[Hashable, ...]] = {}
+    for process in range(result.execution.n):
+        log = tuple(result.delivered_contents(process))
+        state = initial
+        for command in log:
+            state = reducer(state, command)
+        states[process] = state
+        logs[process] = log
+    return ReplicaStates(
+        states=states, logs=logs, correct=result.execution.correct
+    )
+
+
+def logs_prefix_related(states: ReplicaStates) -> bool:
+    """True iff all correct replicas' logs are prefixes of the longest.
+
+    The signature guarantee of Total-Order Broadcast: nobody ever applies
+    commands in an order another replica contradicts.
+    """
+    logs = [states.logs[p] for p in sorted(states.correct)]
+    longest = max(logs, key=len, default=())
+    return all(log == longest[: len(log)] for log in logs)

@@ -1,0 +1,48 @@
+"""Broadcast *algorithms* (implementations over the runtime substrate).
+
+Implementable in ``CAMP_n[∅]`` (send/receive only):
+
+* :class:`SendToAllBroadcast` — the baseline;
+* :class:`UniformReliableBroadcast` — forward-then-deliver;
+* :class:`FifoBroadcast` — per-sender sequence numbers;
+* :class:`CausalBroadcast` — vector clocks.
+
+Requiring oracle objects (``CAMP_n[k-SA]``):
+
+* :class:`TotalOrderBroadcast` — rounds of consensus (k = 1);
+* :class:`KboAttemptBroadcast` — rounds of k-SA (the doomed corollary
+  candidate);
+* :class:`TrivialKsaBroadcast` — private k-SA objects, minimal adversary
+  input;
+* :class:`FirstKKsaBroadcast` — one shared k-SA object (Section 1.4's
+  candidate).
+
+All are deterministic step machines over
+:class:`~repro.runtime.process.BroadcastProcess`, runnable both under the
+free simulator and under Algorithm 1's adversarial scheduler.
+"""
+
+from .causal import CausalBroadcast
+from .fifo import FifoBroadcast
+from .first_k_ksa import FirstKKsaBroadcast
+from .kbo_attempt import KboAttemptBroadcast
+from .kstepped_ksa import KSteppedKsaBroadcast
+from .scd import ScdBroadcast
+from .send_to_all import SendToAllBroadcast
+from .total_order import RoundAgreementBroadcast, TotalOrderBroadcast
+from .trivial_ksa import TrivialKsaBroadcast
+from .uniform_reliable import UniformReliableBroadcast
+
+__all__ = [
+    "CausalBroadcast",
+    "FifoBroadcast",
+    "FirstKKsaBroadcast",
+    "KSteppedKsaBroadcast",
+    "KboAttemptBroadcast",
+    "RoundAgreementBroadcast",
+    "ScdBroadcast",
+    "SendToAllBroadcast",
+    "TotalOrderBroadcast",
+    "TrivialKsaBroadcast",
+    "UniformReliableBroadcast",
+]

@@ -1,0 +1,53 @@
+"""FIFO Broadcast — uniform reliable dissemination + per-sender ordering.
+
+Each sender numbers its broadcasts; receivers buffer out-of-order messages
+and deliver each sender's stream in sequence-number order.  Built on the
+forward-then-deliver dissemination of
+:class:`~repro.broadcasts.uniform_reliable.UniformReliableBroadcast`, so
+the FIFO guarantee comes on top of uniform reliability.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message, MessageId
+from ..runtime.effects import Deliver, Effect
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["FifoBroadcast"]
+
+
+class FifoBroadcast(BroadcastProcess):
+    """Deliver each sender's messages in broadcast order, buffering gaps."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._known: set[MessageId] = set()
+        self._next_seq: dict[int, int] = {}
+        self._buffer: dict[int, dict[int, tuple[Message, int]]] = {}
+        self._my_seq = 0
+
+    def _learn(self, message: Message, seq: int) -> Iterator[Effect]:
+        if message.uid in self._known:
+            return
+        self._known.add(message.uid)
+        yield from self.send_to_all((message, seq))
+        sender_buffer = self._buffer.setdefault(message.sender, {})
+        sender_buffer[seq] = (message, seq)
+        expected = self._next_seq.get(message.sender, 0)
+        while expected in sender_buffer:
+            ready, _ = sender_buffer.pop(expected)
+            yield Deliver(ready)
+            expected += 1
+        self._next_seq[message.sender] = expected
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        seq = self._my_seq
+        self._my_seq += 1
+        yield from self._learn(message, seq)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message, seq = payload
+        assert isinstance(message, Message)
+        yield from self._learn(message, seq)

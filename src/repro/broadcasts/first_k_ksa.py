@@ -1,0 +1,90 @@
+"""First-k Broadcast over a single shared k-SA object (Section 1.4).
+
+The Introduction's "simplistic" equivalence candidate, implemented: one
+k-SA object (``"first"``) "selects the set of messages eligible for
+initial delivery".  Before its first delivery, a process proposes the
+first message it knows (its own broadcast, or the first one it receives)
+and delivers the decided message first; everything else is delivered in
+arrival order behind it.  Dissemination is forward-then-deliver.
+
+In benign runs, at most k distinct messages are ever delivered first
+(k-SA-Agreement on the shared object), i.e. the produced executions
+satisfy :class:`~repro.specs.first_k.FirstKBroadcastSpec` — which is why
+the abstraction solves k-SA (decide the content of your first delivery).
+It is also the star witness of the Theorem 1 pipeline: Algorithm 1 runs
+this very implementation into N-solo executions whose restriction to the
+witness messages breaks the spec — localizing the equivalence failure in
+the spec's missing compositionality.
+
+The message decided by the shared object travels *through* the object
+(k-SA transports proposed values), so a process may deliver a message it
+has never received on the network — legal, and exactly the behaviour the
+adversary's lines 17–25 must handle.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message, MessageId
+from ..runtime.effects import Deliver, Effect, Propose
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["FirstKKsaBroadcast"]
+
+
+class FirstKKsaBroadcast(BroadcastProcess):
+    """Agree on the first delivery through one shared k-SA object."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._known: set[MessageId] = set()
+        self._delivered: set[MessageId] = set()
+        self._backlog: list[Message] = []
+        self._proposed = False
+        self._head_done = False
+
+    def _head(self, message: Message) -> Iterator[Effect]:
+        """Ensure the agreed first delivery happened, seeding with ``message``.
+
+        Messages learned while the proposition is in flight are buffered
+        by :meth:`_tail` and released here, right behind the agreed head
+        — nothing may be delivered before it.
+        """
+        if self._proposed:
+            return
+        self._proposed = True
+        decided = yield Propose("first", message)
+        if decided.uid not in self._delivered:
+            self._delivered.add(decided.uid)
+            yield Deliver(decided)
+        self._head_done = True
+        for buffered in self._backlog:
+            if buffered.uid not in self._delivered:
+                self._delivered.add(buffered.uid)
+                yield Deliver(buffered)
+        self._backlog.clear()
+
+    def _tail(self, message: Message) -> Iterator[Effect]:
+        if not self._head_done:
+            self._backlog.append(message)
+            return
+        if message.uid not in self._delivered:
+            self._delivered.add(message.uid)
+            yield Deliver(message)
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        self._known.add(message.uid)
+        yield from self._head(message)
+        yield from self.send_to_all(message)
+        yield from self._tail(message)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message = payload
+        assert isinstance(message, Message)
+        if message.uid in self._known:
+            return
+        self._known.add(message.uid)
+        yield from self._head(message)
+        yield from self.send_to_all(message)
+        yield from self._tail(message)

@@ -1,0 +1,33 @@
+"""A k-BO Broadcast *attempt* over k-SA objects — doomed by the corollary.
+
+Section 1.3 notes that in shared memory k-BO Broadcast is equivalent to
+k-set agreement, but that implementing k-BO Broadcast *from k-SA objects
+alone* in message passing "remains unproven" — and a corollary of the
+paper is that it is impossible.  This class is the natural transposition
+of the shared-memory construction: the round-based batch agreement of
+:class:`~repro.broadcasts.total_order.RoundAgreementBroadcast`, with each
+round's consensus replaced by a k-SA object.  Up to k different batches
+can be decided per round, so disagreement on the delivery order is
+"bounded per round".
+
+The experiments show both halves of the corollary's story:
+
+* under lock-step schedules the produced executions satisfy the k-BO
+  ordering predicate (the bounded disagreement does not accumulate);
+* under the adversarial scheduler of Algorithm 1 the algorithm yields
+  N-solo executions for every N, which for N ≥ 1 and k+1 processes
+  contain k+1 messages no two of which are uniformly ordered — a k-BO
+  violation witness.  No tweak can fix this: that is Theorem 1.
+"""
+
+from __future__ import annotations
+
+from .total_order import RoundAgreementBroadcast
+
+__all__ = ["KboAttemptBroadcast"]
+
+
+class KboAttemptBroadcast(RoundAgreementBroadcast):
+    """Round-based batch agreement where each round is one k-SA object."""
+
+    object_prefix = "kbo"

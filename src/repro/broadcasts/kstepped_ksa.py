@@ -1,0 +1,85 @@
+"""k-Stepped Broadcast over one k-SA object per round (Section 3.2).
+
+The paper introduces k-Stepped Broadcast as the would-be characterization
+of *iterated* k-SA: for each round ``a``, the set ``S_a`` of the a-th
+messages of all processes may contribute at most k distinct "first of
+the round" deliveries.  This class implements it the obvious way — one
+shared k-SA object per round selects the round's head message:
+
+* the a-th ``broadcast(m)`` proposes ``m`` on object ``step:a`` and
+  delivers the decided message before anything else of round a;
+* messages of round a received *before* the local a-th broadcast are
+  buffered, so the agreed head is always the local first-of-round;
+* everything buffered is flushed right behind the head.
+
+On the free simulator the produced executions satisfy
+:class:`~repro.specs.kstepped.KSteppedBroadcastSpec` — so iterated k-SA
+is indeed solvable over it, one instance per round (see
+:func:`repro.agreement.iterated.solve_iterated_agreement`).  The paper's
+§3.2 point stands on top: this abstraction is *not compositional*
+(restriction re-numbers the rounds), so it is not an admissible answer
+to the characterization question — the Theorem 1 pipeline localizes its
+failure to compositionality just like First-k's.
+
+A process that receives round-a messages but never performs an a-th
+broadcast of its own buffers them until its next broadcast; at
+quiescence the driver's scripts are arranged so that all processes
+broadcast in every round (the "lock-step pattern" the paper criticizes —
+the abstraction is only meaningful under it).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message, MessageId
+from ..runtime.effects import Deliver, Effect, Propose
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["KSteppedKsaBroadcast"]
+
+
+class KSteppedKsaBroadcast(BroadcastProcess):
+    """One k-SA object per round selects each round's first delivery."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._known: set[MessageId] = set()
+        self._delivered: set[MessageId] = set()
+        self._rounds_opened = 0  # rounds whose head was delivered locally
+        self._buffer: dict[int, list[Message]] = {}
+
+    def _deliver_new(self, message: Message) -> Iterator[Effect]:
+        if message.uid not in self._delivered:
+            self._delivered.add(message.uid)
+            yield Deliver(message)
+
+    def _flush_open_rounds(self) -> Iterator[Effect]:
+        for round_index in sorted(list(self._buffer)):
+            if round_index >= self._rounds_opened:
+                continue
+            for message in self._buffer.pop(round_index):
+                yield from self._deliver_new(message)
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        round_index = message.uid.seq
+        self._known.add(message.uid)
+        decided = yield Propose(f"step:{round_index}", message)
+        self._rounds_opened = max(self._rounds_opened, round_index + 1)
+        yield from self._deliver_new(decided)
+        yield from self.send_to_all(message)
+        yield from self._deliver_new(message)
+        yield from self._flush_open_rounds()
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message = payload
+        assert isinstance(message, Message)
+        if message.uid in self._known:
+            return
+        self._known.add(message.uid)
+        yield from self.send_to_all(message)
+        round_index = message.uid.seq
+        if round_index < self._rounds_opened:
+            yield from self._deliver_new(message)
+        else:
+            self._buffer.setdefault(round_index, []).append(message)

@@ -1,0 +1,30 @@
+"""Send-To-All Broadcast algorithm — the ``CAMP_n[∅]`` baseline.
+
+Its implementation "involves simply sending messages to all participants"
+(Section 3.1): the broadcast operation sends the message to every process
+(itself included) and returns; delivery happens upon reception.  It
+satisfies exactly the four base BC properties for messages of correct
+senders and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message
+from ..runtime.effects import Deliver, Effect
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["SendToAllBroadcast"]
+
+
+class SendToAllBroadcast(BroadcastProcess):
+    """``broadcast(m)`` = send ``m`` to all; ``deliver`` upon reception."""
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        yield from self.send_to_all(message)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message = payload
+        assert isinstance(message, Message)
+        yield Deliver(message)

@@ -1,0 +1,99 @@
+"""Total-Order Broadcast from consensus objects — the k = 1 anchor.
+
+The classical reduction (Chandra & Toueg [7]) adapted to axiomatic
+consensus oracles: processes disseminate messages reliably, and agree on
+the delivery order by running a sequence of consensus instances
+``to:0, to:1, …``, each deciding a *batch* (a set of pending messages,
+delivered in a deterministic order).  Every process walks the rounds in
+order, proposing its pending set and delivering whatever batch the round's
+consensus decided, so all processes deliver identical batch sequences —
+total order.
+
+Together with :func:`repro.agreement.from_broadcast.solve_agreement_with_
+broadcast` (consensus = decide the first TO-delivered proposal) this
+realizes the consensus ⇔ Total-Order-Broadcast equivalence recalled in
+Section 1.2, the k = 1 boundary of the paper's question.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message, MessageId
+from ..runtime.effects import Deliver, Effect, Propose
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["TotalOrderBroadcast", "RoundAgreementBroadcast"]
+
+
+class RoundAgreementBroadcast(BroadcastProcess):
+    """Round-based agreement on delivery batches over k-SA oracles.
+
+    With k = 1 oracles (consensus) every round decides a single batch and
+    the result is Total-Order Broadcast.  With k > 1 oracles up to k
+    batches per round may be decided — the "k-BO attempt" studied by the
+    corollary experiments (see
+    :class:`repro.broadcasts.kbo_attempt.KboAttemptBroadcast`).
+
+    ``object_prefix`` names the oracle family (one object per round).
+    """
+
+    object_prefix = "to"
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._known: set[MessageId] = set()
+        self._delivered: set[MessageId] = set()
+        self._pending: list[Message] = []
+        self._next_round = 0
+        self._advancing = False
+
+    def _advance_rounds(self) -> Iterator[Effect]:
+        """Propose round objects until all currently-pending is delivered."""
+        while any(m.uid not in self._delivered for m in self._pending):
+            batch = tuple(
+                sorted(
+                    (m for m in self._pending
+                     if m.uid not in self._delivered),
+                    key=lambda m: m.uid,
+                )
+            )
+            round_name = f"{self.object_prefix}:{self._next_round}"
+            self._next_round += 1
+            decided_batch = yield Propose(round_name, batch)
+            for message in decided_batch:
+                if message.uid not in self._delivered:
+                    self._delivered.add(message.uid)
+                    yield Deliver(message)
+
+    def _learn(self, message: Message) -> Iterator[Effect]:
+        if message.uid in self._known:
+            return
+        self._known.add(message.uid)
+        yield from self.send_to_all(message)
+        self._pending.append(message)
+        # One round-walking generator at a time: rounds must be proposed
+        # and their batches delivered strictly in order, and the active
+        # generator re-reads ``pending``, so messages learned while it is
+        # suspended across a propose are picked up by the next round.
+        if self._advancing:
+            return
+        self._advancing = True
+        try:
+            yield from self._advance_rounds()
+        finally:
+            self._advancing = False
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        yield from self._learn(message)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message = payload
+        assert isinstance(message, Message)
+        yield from self._learn(message)
+
+
+class TotalOrderBroadcast(RoundAgreementBroadcast):
+    """Total-Order Broadcast: run :class:`RoundAgreementBroadcast` on k=1."""
+
+    object_prefix = "to"

@@ -1,0 +1,45 @@
+"""The simplest correct broadcast algorithm in ``CAMP_{k+1}[k-SA]``.
+
+``broadcast(m)``: propose ``m`` on a *private* k-SA object (named after the
+message), deliver the decision locally, then send ``m`` to everyone;
+``upon receive``: forward-then-deliver.  The private object has a single
+proposer, so the decision is always ``m`` itself and the algorithm
+implements (uniform reliable) Send-To-All semantics — but it genuinely
+*uses* k-SA objects, making it the minimal non-degenerate input for
+Algorithm 1: the adversary's ``decided`` bookkeeping engages on every
+broadcast while the cross-process forcing of lines 17–25 never triggers
+(each object has one proposer), producing the cleanest N-solo executions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message, MessageId
+from ..runtime.effects import Deliver, Effect, Propose
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["TrivialKsaBroadcast"]
+
+
+class TrivialKsaBroadcast(BroadcastProcess):
+    """Propose on a private k-SA object, deliver, then disseminate."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._known: set[MessageId] = set()
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        self._known.add(message.uid)
+        decided = yield Propose(f"guard:{message.uid}", message)
+        yield from self.send_to_all(message)
+        yield Deliver(decided)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message = payload
+        assert isinstance(message, Message)
+        if message.uid in self._known:
+            return
+        self._known.add(message.uid)
+        yield from self.send_to_all(message)
+        yield Deliver(message)

@@ -1,0 +1,48 @@
+"""Uniform Reliable Broadcast — forward-then-deliver.
+
+The classical wait-free algorithm over reliable channels (Hadzilacos &
+Toueg): upon learning a message for the first time — whether by
+broadcasting it or by receiving it — a process first *forwards* it to all
+processes and only then delivers it.  Because channels satisfy
+SR-Termination unconditionally on the sender, the forwards of a process
+that delivers ``m`` reach every correct process even if it crashes right
+after delivering, which yields the *uniform* agreement clause: if any
+process delivers ``m``, all correct processes do.
+
+Works for any number of failures (t = n - 1); no quorum is needed because
+channels are reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..core.message import Message, MessageId
+from ..runtime.effects import Deliver, Effect
+from ..runtime.process import BroadcastProcess
+
+__all__ = ["UniformReliableBroadcast"]
+
+
+class UniformReliableBroadcast(BroadcastProcess):
+    """Forward to all, then deliver; at most one forward per message."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._known: set[MessageId] = set()
+
+    def _learn(self, message: Message) -> Iterator[Effect]:
+        """Forward-then-deliver a message seen for the first time."""
+        if message.uid in self._known:
+            return
+        self._known.add(message.uid)
+        yield from self.send_to_all(message)
+        yield Deliver(message)
+
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        yield from self._learn(message)
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        message = payload
+        assert isinstance(message, Message)
+        yield from self._learn(message)

@@ -1,0 +1,86 @@
+"""Core formal objects of the paper: executions, specs, symmetries, k-SA.
+
+This subpackage contains everything Section 2–4 of the paper manipulates
+mathematically, in executable form:
+
+* :mod:`repro.core.message` — unique messages and injective renamings;
+* :mod:`repro.core.actions` / :mod:`repro.core.steps` — the step vocabulary;
+* :mod:`repro.core.execution` — executions with restriction (Def. 2),
+  renaming (Def. 3) and the broadcast projection (Def. 4);
+* :mod:`repro.core.model` — the send/receive channel axioms;
+* :mod:`repro.core.ksa` — the k-set-agreement object properties;
+* :mod:`repro.core.broadcast_spec` — broadcast abstractions as predicates;
+* :mod:`repro.core.symmetry` — compositionality and content-neutrality
+  checkers;
+* :mod:`repro.core.nsolo` — N-solo executions (Def. 5);
+* :mod:`repro.core.order` — delivery-order relations used by the concrete
+  specifications in :mod:`repro.specs`.
+"""
+
+from .actions import (
+    Action,
+    BroadcastInvoke,
+    BroadcastReturn,
+    CrashAction,
+    DecideAction,
+    DeliverAction,
+    LocalAction,
+    PointToPointId,
+    ProposeAction,
+    ReceiveAction,
+    SendAction,
+)
+from .broadcast_spec import BroadcastSpec, SpecVerdict, check_base_properties
+from .execution import Execution, WellFormednessError
+from .ksa import KsaReport, check_ksa
+from .message import (
+    Message,
+    MessageFactory,
+    MessageId,
+    Renaming,
+    fresh_renaming,
+)
+from .model import ChannelReport, check_channels
+from .nsolo import NSoloWitness, find_witness, is_n_solo, verify_witness
+from .steps import Step
+from .symmetry import (
+    SymmetryResult,
+    check_compositional,
+    check_content_neutral,
+)
+
+__all__ = [
+    "Action",
+    "BroadcastInvoke",
+    "BroadcastReturn",
+    "BroadcastSpec",
+    "ChannelReport",
+    "CrashAction",
+    "DecideAction",
+    "DeliverAction",
+    "Execution",
+    "KsaReport",
+    "LocalAction",
+    "Message",
+    "MessageFactory",
+    "MessageId",
+    "NSoloWitness",
+    "PointToPointId",
+    "ProposeAction",
+    "ReceiveAction",
+    "Renaming",
+    "SendAction",
+    "SpecVerdict",
+    "Step",
+    "SymmetryResult",
+    "WellFormednessError",
+    "check_base_properties",
+    "check_channels",
+    "check_compositional",
+    "check_content_neutral",
+    "check_ksa",
+    "find_witness",
+    "fresh_renaming",
+    "is_n_solo",
+    "verify_witness",
+]

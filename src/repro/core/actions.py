@@ -1,0 +1,191 @@
+"""Step actions of the CAMP_n[H] model.
+
+An execution (Section 2 of the paper) is a sequence of steps
+``⟨p_i : a⟩`` where ``a`` is an action.  This module enumerates the action
+vocabulary used throughout the library:
+
+* point-to-point primitives: :class:`SendAction` / :class:`ReceiveAction`;
+* broadcast-abstraction events: :class:`BroadcastInvoke`,
+  :class:`BroadcastReturn`, :class:`DeliverAction`;
+* k-set-agreement operations: :class:`ProposeAction` / :class:`DecideAction`;
+* failures and bookkeeping: :class:`CrashAction`, :class:`LocalAction`.
+
+Actions are small frozen dataclasses so that steps and executions are
+hashable, comparable and cheap to copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Union
+
+from .message import Message
+
+__all__ = [
+    "PointToPointId",
+    "SendAction",
+    "ReceiveAction",
+    "BroadcastInvoke",
+    "BroadcastReturn",
+    "DeliverAction",
+    "DeliverSetAction",
+    "ProposeAction",
+    "DecideAction",
+    "CrashAction",
+    "LocalAction",
+    "Action",
+    "BROADCAST_ACTIONS",
+]
+
+
+@dataclass(frozen=True, order=True)
+class PointToPointId:
+    """Unique identity of one point-to-point message (sends are unique)."""
+
+    sender: int
+    receiver: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"s[{self.sender}->{self.receiver}.{self.seq}]"
+
+
+@dataclass(frozen=True)
+class SendAction:
+    """``send m to p_r`` — low-level emission of a point-to-point message."""
+
+    p2p: PointToPointId
+    payload: Hashable = None
+
+    def __str__(self) -> str:
+        return f"send {self.p2p} payload={self.payload!r}"
+
+
+@dataclass(frozen=True)
+class ReceiveAction:
+    """``receive m from p_s`` — low-level reception event."""
+
+    p2p: PointToPointId
+    payload: Hashable = None
+
+    def __str__(self) -> str:
+        return f"receive {self.p2p} payload={self.payload!r}"
+
+
+@dataclass(frozen=True)
+class BroadcastInvoke:
+    """Invocation of ``B.broadcast(m)`` by the sender of ``m``."""
+
+    message: Message
+
+    def __str__(self) -> str:
+        return f"B.broadcast({self.message})"
+
+
+@dataclass(frozen=True)
+class BroadcastReturn:
+    """Response (return) of a ``B.broadcast(m)`` invocation."""
+
+    message: Message
+
+    def __str__(self) -> str:
+        return f"return B.broadcast({self.message})"
+
+
+@dataclass(frozen=True)
+class DeliverAction:
+    """``B.deliver m from p_j`` — the origin is ``message.sender``."""
+
+    message: Message
+
+    @property
+    def origin(self) -> int:
+        return self.message.sender
+
+    def __str__(self) -> str:
+        return f"B.deliver({self.message}) from p{self.message.sender}"
+
+
+@dataclass(frozen=True)
+class DeliverSetAction:
+    """``B.deliver S`` — set-constrained delivery of a message *set*.
+
+    SCD Broadcast and k-SCD Broadcast (the paper's "Remark on
+    Expressiveness", Section 3.1) deliver messages within unordered sets
+    rather than individually.  ``messages`` is stored as a sorted tuple
+    for determinism; set semantics (no internal order) is what the SCD
+    ordering predicate relies on.
+    """
+
+    messages: tuple[Message, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.messages, key=lambda m: m.uid))
+        object.__setattr__(self, "messages", ordered)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(m) for m in self.messages)
+        return f"B.deliver_set({{{inner}}})"
+
+
+@dataclass(frozen=True)
+class ProposeAction:
+    """``ksa.propose(v)`` on the k-SA object named ``ksa``."""
+
+    ksa: str
+    value: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.ksa}.propose({self.value!r})"
+
+
+@dataclass(frozen=True)
+class DecideAction:
+    """``ksa.decide(w)`` — the response of the matching propose."""
+
+    ksa: str
+    value: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.ksa}.decide({self.value!r})"
+
+
+@dataclass(frozen=True)
+class CrashAction:
+    """The process halts; it takes no further step in the execution."""
+
+    def __str__(self) -> str:
+        return "crash"
+
+
+@dataclass(frozen=True)
+class LocalAction:
+    """An internal computation step, labeled for diagnostics only."""
+
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"local({self.label})"
+
+
+Action = Union[
+    SendAction,
+    ReceiveAction,
+    BroadcastInvoke,
+    BroadcastReturn,
+    DeliverAction,
+    DeliverSetAction,
+    ProposeAction,
+    DecideAction,
+    CrashAction,
+    LocalAction,
+]
+
+#: The action types that constitute the broadcast-level projection
+#: (Definition 4's execution β keeps exactly these).
+BROADCAST_ACTIONS = (
+    BroadcastInvoke,
+    BroadcastReturn,
+    DeliverAction,
+    DeliverSetAction,
+)

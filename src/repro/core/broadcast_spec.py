@@ -1,0 +1,170 @@
+"""Broadcast abstractions as specifications (Section 3).
+
+A broadcast abstraction is, semantically, the set of executions it admits.
+This module gives that semantics an executable form: a
+:class:`BroadcastSpec` decides admissibility of a finite (broadcast-level)
+execution, split into:
+
+* the four properties common to *all* broadcast abstractions —
+  **BC-Validity**, **BC-No-Duplication**, **BC-Local-Termination**,
+  **BC-Global-CS-Termination** (Section 3.1);
+* an abstraction-specific **ordering predicate** (safety), implemented by
+  subclasses in :mod:`repro.specs`;
+* optional abstraction-specific **liveness** (e.g. Uniform Reliable
+  Broadcast's "if anyone delivers, every correct process delivers").
+
+Liveness on finite executions is checked under the usual completeness
+assumption (see :mod:`repro.core.model`); pass ``assume_complete=False``
+to check safety only — this is the mode used on the adversarial prefix of
+Section 4.2, where the paper notes that only safety matters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from .execution import Execution
+from .message import MessageId
+
+__all__ = ["SpecVerdict", "BroadcastSpec", "check_base_properties"]
+
+
+@dataclass
+class SpecVerdict:
+    """The outcome of checking one execution against one specification."""
+
+    spec_name: str
+    validity: list[str] = field(default_factory=list)
+    no_duplication: list[str] = field(default_factory=list)
+    local_termination: list[str] = field(default_factory=list)
+    global_cs_termination: list[str] = field(default_factory=list)
+    ordering: list[str] = field(default_factory=list)
+    liveness: list[str] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> bool:
+        """True when the execution is admitted by the specification."""
+        return not self.all_violations()
+
+    @property
+    def safety_ok(self) -> bool:
+        """True when no *safety* clause is violated (liveness ignored)."""
+        return not (self.validity + self.no_duplication + self.ordering)
+
+    def all_violations(self) -> list[str]:
+        return (
+            self.validity
+            + self.no_duplication
+            + self.local_termination
+            + self.global_cs_termination
+            + self.ordering
+            + self.liveness
+        )
+
+    def __str__(self) -> str:
+        if self.admitted:
+            return f"{self.spec_name}: admitted"
+        head = f"{self.spec_name}: rejected"
+        return head + "".join(
+            f"\n  - {violation}" for violation in self.all_violations()
+        )
+
+
+def check_base_properties(
+    execution: Execution, *, assume_complete: bool = True
+) -> SpecVerdict:
+    """Check the four properties shared by all broadcast abstractions."""
+    verdict = SpecVerdict(spec_name="base")
+    broadcast_before: dict[MessageId, int] = {}
+    delivered_by: dict[int, set[MessageId]] = {}
+
+    for index, step in enumerate(execution):
+        if step.is_invoke():
+            message = step.action.message
+            if message.uid in broadcast_before:
+                verdict.validity.append(
+                    f"step {index}: {message} broadcast twice"
+                )
+            if message.sender != step.process:
+                verdict.validity.append(
+                    f"step {index}: p{step.process} broadcasts a message "
+                    f"attributed to p{message.sender}"
+                )
+            broadcast_before[message.uid] = index
+        elif step.is_deliver() or step.is_deliver_set():
+            if step.is_deliver():
+                delivered_messages = (step.action.message,)
+            else:
+                delivered_messages = step.action.messages
+            seen = delivered_by.setdefault(step.process, set())
+            for message in delivered_messages:
+                if message.uid not in broadcast_before:
+                    verdict.validity.append(
+                        f"step {index}: p{step.process} delivers {message} "
+                        f"which was never broadcast"
+                    )
+                if message.uid in seen:
+                    verdict.no_duplication.append(
+                        f"step {index}: p{step.process} delivers "
+                        f"{message} twice"
+                    )
+                seen.add(message.uid)
+
+    if assume_complete:
+        correct = execution.correct
+        returned = {
+            step.action.message.uid
+            for step in execution
+            if step.is_return()
+        }
+        for message in execution.broadcast_messages:
+            sender_correct = message.sender in correct
+            if sender_correct and message.uid not in returned:
+                verdict.local_termination.append(
+                    f"correct p{message.sender} never returns from "
+                    f"broadcast({message})"
+                )
+            if sender_correct:
+                for process in correct:
+                    if message.uid not in delivered_by.get(process, ()):
+                        verdict.global_cs_termination.append(
+                            f"correct p{process} never delivers {message} "
+                            f"broadcast by correct p{message.sender}"
+                        )
+    return verdict
+
+
+class BroadcastSpec(ABC):
+    """A broadcast abstraction, i.e. a predicate on executions.
+
+    Subclasses define :attr:`name` and :meth:`ordering_violations`, and may
+    override :meth:`liveness_violations` for extra liveness clauses.
+    """
+
+    #: Human-readable abstraction name (e.g. ``"k-BO Broadcast (k=2)"``).
+    name: str = "broadcast"
+
+    @abstractmethod
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        """Return violations of the abstraction's ordering predicate."""
+
+    def liveness_violations(self, execution: Execution) -> list[str]:
+        """Extra liveness clauses beyond BC-Global-CS-Termination."""
+        return []
+
+    def admits(
+        self, execution: Execution, *, assume_complete: bool = True
+    ) -> SpecVerdict:
+        """Decide admissibility of ``execution`` (full verdict)."""
+        verdict = check_base_properties(
+            execution, assume_complete=assume_complete
+        )
+        verdict.spec_name = self.name
+        verdict.ordering = self.ordering_violations(execution)
+        if assume_complete:
+            verdict.liveness = self.liveness_violations(execution)
+        return verdict
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,112 @@
+"""Checkers for the k-set-agreement object properties (Section 4.1).
+
+k-SA is a one-shot agreement object with a single ``propose`` operation:
+
+* **k-SA-Validity** — every decided value was proposed (on that object);
+* **k-SA-Agreement** — at most ``k`` distinct values are decided per object;
+* **k-SA-Termination** — every correct proposer eventually decides.
+
+As with the channel axioms, the two safety properties are absolute and the
+liveness property is checked under an ``assume_complete`` flag.  A fourth,
+structural property is enforced: each process proposes at most once per
+object (the problem's one-shot nature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .actions import DecideAction, ProposeAction
+from .execution import Execution
+
+__all__ = ["KsaReport", "check_ksa"]
+
+
+@dataclass
+class KsaReport:
+    """Result of checking the k-SA properties on one execution."""
+
+    k: int
+    validity: list[str] = field(default_factory=list)
+    agreement: list[str] = field(default_factory=list)
+    termination: list[str] = field(default_factory=list)
+    one_shot: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.validity or self.agreement or self.termination
+            or self.one_shot
+        )
+
+    def all_violations(self) -> list[str]:
+        return (
+            self.validity + self.agreement + self.termination + self.one_shot
+        )
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                f"{self.k}-SA: Validity ✓  Agreement ✓  Termination ✓  "
+                f"One-shot ✓"
+            )
+        return f"{self.k}-SA: " + "; ".join(self.all_violations())
+
+
+def check_ksa(
+    execution: Execution, k: int, *, assume_complete: bool = True
+) -> KsaReport:
+    """Check the three k-SA properties (plus one-shotness) per object.
+
+    All k-SA objects appearing in the execution (named by their ``ksa``
+    string) are checked independently against the same ``k``.
+    """
+    report = KsaReport(k=k)
+    proposals: dict[str, dict[int, list[Hashable]]] = {}
+    decisions: dict[str, dict[int, Hashable]] = {}
+
+    for index, step in enumerate(execution):
+        action = step.action
+        if isinstance(action, ProposeAction):
+            per_process = proposals.setdefault(action.ksa, {})
+            history = per_process.setdefault(step.process, [])
+            history.append(action.value)
+            if len(history) > 1:
+                report.one_shot.append(
+                    f"step {index}: p{step.process} proposes twice on "
+                    f"{action.ksa}"
+                )
+        elif isinstance(action, DecideAction):
+            proposed_here = {
+                value
+                for values in proposals.get(action.ksa, {}).values()
+                for value in values
+            }
+            if action.value not in proposed_here:
+                report.validity.append(
+                    f"step {index}: p{step.process} decides "
+                    f"{action.value!r} on {action.ksa}, never proposed"
+                )
+            decisions.setdefault(action.ksa, {})[step.process] = action.value
+
+    for ksa, decided in decisions.items():
+        distinct = set(decided.values())
+        if len(distinct) > k:
+            report.agreement.append(
+                f"{ksa}: {len(distinct)} distinct decisions "
+                f"{sorted(map(repr, distinct))} > k={k}"
+            )
+
+    if assume_complete:
+        correct = execution.correct
+        for ksa, per_process in proposals.items():
+            for process in per_process:
+                if process in correct and process not in decisions.get(
+                    ksa, {}
+                ):
+                    report.termination.append(
+                        f"{ksa}: correct p{process} proposed but never "
+                        f"decided"
+                    )
+    return report

@@ -1,0 +1,123 @@
+"""Message identity and content.
+
+The paper (Section 2) insists that *every sent or broadcast message is
+unique, regardless of having identical content*.  We therefore separate a
+message's *identity* (:class:`MessageId`, never two alike in an execution)
+from its *content* (an arbitrary hashable value, possibly shared).
+
+Content-neutrality (Definition 3) substitutes messages through an injective
+function ``r``; in this library a renaming keeps the broadcast/delivery
+*event structure* (and hence the identity skeleton) intact and rewrites the
+content attached to each identity.  See :meth:`repro.core.execution.Execution.rename`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+__all__ = [
+    "MessageId",
+    "Message",
+    "MessageFactory",
+    "Renaming",
+    "fresh_renaming",
+]
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Globally unique identity of a broadcast message.
+
+    ``sender`` is the identifier of the broadcasting process and ``seq`` the
+    per-sender sequence number of the broadcast invocation, so identities
+    are unique by construction and carry the provenance required by
+    ``B.deliver m from p_i`` events.
+    """
+
+    sender: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"m[{self.sender}.{self.seq}]"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A broadcast message: a unique identity plus an arbitrary content."""
+
+    uid: MessageId
+    content: Hashable = None
+
+    @property
+    def sender(self) -> int:
+        """The process that broadcast this message."""
+        return self.uid.sender
+
+    def with_content(self, content: Hashable) -> "Message":
+        """Return a copy of this message carrying ``content`` instead."""
+        return Message(self.uid, content)
+
+    def __str__(self) -> str:
+        if self.content is None:
+            return str(self.uid)
+        return f"{self.uid}:{self.content!r}"
+
+
+class MessageFactory:
+    """Mints unique :class:`Message` objects, one sequence per sender."""
+
+    def __init__(self) -> None:
+        self._counters: dict[int, itertools.count] = {}
+
+    def new(self, sender: int, content: Hashable = None) -> Message:
+        """Create a fresh message broadcast by ``sender``."""
+        counter = self._counters.setdefault(sender, itertools.count())
+        return Message(MessageId(sender, next(counter)), content)
+
+
+@dataclass(frozen=True)
+class Renaming:
+    """An injective substitution of message contents, keyed by identity.
+
+    This realizes the function ``r`` of Definition 3 (content-neutrality):
+    the execution structure is preserved while every occurrence of a message
+    ``m`` is replaced by ``r(m)`` — a message with the same identity
+    skeleton but substituted content.  Injectivity is interpreted on
+    messages: distinct identities must not be collapsed, which holds by
+    construction because identities are preserved.
+    """
+
+    mapping: Mapping[MessageId, Hashable] = field(default_factory=dict)
+
+    def apply(self, message: Message) -> Message:
+        """Rename one message (identity preserved, content substituted)."""
+        if message.uid in self.mapping:
+            return message.with_content(self.mapping[message.uid])
+        return message
+
+    def __contains__(self, uid: MessageId) -> bool:
+        return uid in self.mapping
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def items(self) -> Iterator[tuple[MessageId, Hashable]]:
+        return iter(self.mapping.items())
+
+
+def fresh_renaming(
+    uids: Iterable[MessageId], contents: Iterable[Hashable]
+) -> Renaming:
+    """Build a :class:`Renaming` pairing ``uids`` with ``contents`` in order.
+
+    Raises :class:`ValueError` if there are fewer contents than identities.
+    """
+    uid_list = list(uids)
+    content_list = list(itertools.islice(contents, len(uid_list)))
+    if len(content_list) < len(uid_list):
+        raise ValueError(
+            f"need {len(uid_list)} contents, got {len(content_list)}"
+        )
+    return Renaming(dict(zip(uid_list, content_list)))

@@ -1,0 +1,109 @@
+"""Checkers for the send/receive channel axioms of CAMP_n (Section 2).
+
+The communication model is a complete network of reliable, non-FIFO,
+asynchronous uni-directional channels, governed by three properties:
+
+* **SR-Validity** — every reception matches a prior emission;
+* **SR-No-Duplication** — no point-to-point message is received twice;
+* **SR-Termination** — a message sent to a correct process is eventually
+  received.
+
+Safety properties (the first two) are absolute.  SR-Termination is a
+liveness property; on a finite execution it is checked under the reading
+"the execution is complete", i.e. every message sent to a correct process
+has been received *within* the prefix.  Pass ``assume_complete=False`` to
+skip the liveness check (useful on prefixes of ongoing runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .actions import ReceiveAction, SendAction
+from .execution import Execution
+
+__all__ = ["ChannelReport", "check_channels"]
+
+
+@dataclass
+class ChannelReport:
+    """Result of checking the three SR properties on one execution."""
+
+    validity: list[str] = field(default_factory=list)
+    no_duplication: list[str] = field(default_factory=list)
+    termination: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no property is violated."""
+        return not (self.validity or self.no_duplication or self.termination)
+
+    def all_violations(self) -> list[str]:
+        return self.validity + self.no_duplication + self.termination
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "channels: SR-Validity ✓  SR-No-Duplication ✓  SR-Termination ✓"
+        return "channels: " + "; ".join(self.all_violations())
+
+
+def check_channels(
+    execution: Execution, *, assume_complete: bool = True
+) -> ChannelReport:
+    """Check SR-Validity, SR-No-Duplication and SR-Termination.
+
+    Parameters
+    ----------
+    execution:
+        The execution to check (full CAMP steps, not the broadcast
+        projection).
+    assume_complete:
+        When True (default), SR-Termination is checked: every message sent
+        to a correct process must have been received within the execution.
+        When False only the two safety properties are checked.
+    """
+    report = ChannelReport()
+    sent_before: dict[object, int] = {}
+    received_at: dict[object, int] = {}
+
+    for index, step in enumerate(execution):
+        action = step.action
+        if isinstance(action, SendAction):
+            if action.p2p in sent_before:
+                report.validity.append(
+                    f"step {index}: duplicate emission of {action.p2p}"
+                )
+            if action.p2p.sender != step.process:
+                report.validity.append(
+                    f"step {index}: p{step.process} sends a message whose "
+                    f"declared sender is p{action.p2p.sender}"
+                )
+            sent_before[action.p2p] = index
+        elif isinstance(action, ReceiveAction):
+            if action.p2p.receiver != step.process:
+                report.validity.append(
+                    f"step {index}: p{step.process} receives a message "
+                    f"addressed to p{action.p2p.receiver}"
+                )
+            emission = sent_before.get(action.p2p)
+            if emission is None:
+                report.validity.append(
+                    f"step {index}: {action.p2p} received but never sent"
+                )
+            if action.p2p in received_at:
+                report.no_duplication.append(
+                    f"step {index}: {action.p2p} received again (first at "
+                    f"step {received_at[action.p2p]})"
+                )
+            else:
+                received_at[action.p2p] = index
+
+    if assume_complete:
+        correct = execution.correct
+        for p2p in sent_before:
+            if p2p.receiver in correct and p2p not in received_at:
+                report.termination.append(
+                    f"{p2p} sent to correct p{p2p.receiver} but never "
+                    f"received"
+                )
+    return report

@@ -1,0 +1,174 @@
+"""N-solo executions (Definition 5) — detection and verification.
+
+An execution β of ``CAMP_n[B]`` is *N-solo* if for each process ``p_i``
+there exist N messages broadcast by ``p_i`` such that every process
+delivers all of its own chosen messages before delivering any chosen
+message of another process.
+
+The N-solo property is the pivot of the paper: Lemma 9 shows a broadcast
+abstraction equivalent to k-SA admits no N-solo execution for some N,
+while Lemma 10 shows any abstraction implementable on k-SA admits N-solo
+executions for every N.
+
+Verification of a candidate witness is exact (:func:`verify_witness`).
+Witness *search* is NP-hard in general; :func:`find_witness` applies the
+strategies that cover the executions arising in the paper's construction
+(private-message sets, earliest-N and latest-N own deliveries), falling
+back to bounded exhaustive search on small executions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .execution import Execution
+from .message import MessageId
+
+__all__ = ["NSoloWitness", "verify_witness", "find_witness", "is_n_solo"]
+
+
+@dataclass(frozen=True)
+class NSoloWitness:
+    """A candidate witness for Definition 5: N chosen messages per process."""
+
+    n_value: int
+    chosen: Mapping[int, tuple[MessageId, ...]]
+
+    def __str__(self) -> str:
+        rows = ", ".join(
+            f"p{p}: [{', '.join(map(str, uids))}]"
+            for p, uids in sorted(self.chosen.items())
+        )
+        return f"N-solo witness (N={self.n_value}): {rows}"
+
+
+def verify_witness(
+    execution: Execution,
+    witness: NSoloWitness,
+    processes: Sequence[int] | None = None,
+) -> list[str]:
+    """Exactly check a witness against Definition 5; return violations.
+
+    ``processes`` restricts which processes must carry witness sets
+    (defaults to every process of the system).
+    """
+    violations: list[str] = []
+    participants = (
+        list(processes) if processes is not None else list(range(execution.n))
+    )
+    positions = {
+        p: {m.uid: r for r, m in enumerate(execution.deliveries_of(p))}
+        for p in participants
+    }
+    owners = {
+        uid: owner
+        for owner, uids in witness.chosen.items()
+        for uid in uids
+    }
+    for p in participants:
+        chosen = witness.chosen.get(p, ())
+        if len(chosen) != witness.n_value:
+            violations.append(
+                f"p{p} has {len(chosen)} chosen messages, expected "
+                f"{witness.n_value}"
+            )
+            continue
+        for uid in chosen:
+            if uid not in execution.message_by_uid:
+                violations.append(f"p{p}: chosen {uid} was never broadcast")
+            elif execution.message_by_uid[uid].sender != p:
+                violations.append(
+                    f"p{p}: chosen {uid} was broadcast by "
+                    f"p{execution.message_by_uid[uid].sender}"
+                )
+        own_ranks = [positions[p].get(uid) for uid in chosen]
+        if any(rank is None for rank in own_ranks):
+            missing = [
+                str(uid)
+                for uid, rank in zip(chosen, own_ranks)
+                if rank is None
+            ]
+            violations.append(
+                f"p{p} never delivers its own chosen {', '.join(missing)}"
+            )
+            continue
+        last_own = max(own_ranks)
+        for uid, rank in positions[p].items():
+            owner = owners.get(uid)
+            if owner is not None and owner != p and rank < last_own:
+                violations.append(
+                    f"p{p} delivers p{owner}'s chosen {uid} (rank {rank}) "
+                    f"before finishing its own chosen messages "
+                    f"(last at rank {last_own})"
+                )
+    return violations
+
+
+def _candidate_sets(
+    execution: Execution, process: int, n_value: int
+) -> list[tuple[MessageId, ...]]:
+    """Heuristic candidate witness sets for one process, best first."""
+    own_delivered = [
+        m.uid
+        for m in execution.deliveries_of(process)
+        if m.sender == process
+    ]
+    delivered_elsewhere = {
+        m.uid
+        for p, sequence in execution.delivery_sequences.items()
+        if p != process
+        for m in sequence
+    }
+    private = [u for u in own_delivered if u not in delivered_elsewhere]
+    candidates: list[tuple[MessageId, ...]] = []
+    if len(private) >= n_value:
+        candidates.append(tuple(private[:n_value]))
+        candidates.append(tuple(private[-n_value:]))
+    if len(own_delivered) >= n_value:
+        candidates.append(tuple(own_delivered[:n_value]))
+        candidates.append(tuple(own_delivered[-n_value:]))
+    unique: list[tuple[MessageId, ...]] = []
+    for candidate in candidates:
+        if candidate not in unique:
+            unique.append(candidate)
+    return unique
+
+
+def find_witness(
+    execution: Execution,
+    n_value: int,
+    processes: Sequence[int] | None = None,
+    *,
+    max_combinations: int = 4096,
+) -> NSoloWitness | None:
+    """Search for an N-solo witness; ``None`` if none is found.
+
+    The search first tries the heuristic candidate sets per process
+    (sufficient for all executions produced by Algorithm 1), then falls
+    back to trying up to ``max_combinations`` elements of their product.
+    """
+    participants = (
+        list(processes) if processes is not None else list(range(execution.n))
+    )
+    per_process = {
+        p: _candidate_sets(execution, p, n_value) for p in participants
+    }
+    if any(not sets for sets in per_process.values()):
+        return None
+    combos = itertools.product(*(per_process[p] for p in participants))
+    for combo in itertools.islice(combos, max_combinations):
+        witness = NSoloWitness(n_value, dict(zip(participants, combo)))
+        if not verify_witness(execution, witness, participants):
+            return witness
+    return None
+
+
+def is_n_solo(
+    execution: Execution,
+    n_value: int,
+    processes: Sequence[int] | None = None,
+) -> bool:
+    """True iff the execution is N-solo (a witness can be found)."""
+    return find_witness(execution, n_value, processes) is not None

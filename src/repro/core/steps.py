@@ -1,0 +1,63 @@
+"""Steps: the atoms of executions.
+
+A step is the pair ``⟨p_i : a⟩`` of Section 2 — a process identifier and an
+action taken by that process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .actions import (
+    Action,
+    BROADCAST_ACTIONS,
+    BroadcastInvoke,
+    BroadcastReturn,
+    CrashAction,
+    DeliverAction,
+    DeliverSetAction,
+    ProposeAction,
+    ReceiveAction,
+    SendAction,
+)
+
+__all__ = ["Step"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One step ``⟨p_i : a⟩`` of an execution."""
+
+    process: int
+    action: Action
+
+    def is_broadcast_event(self) -> bool:
+        """True if this step belongs to the broadcast-level projection."""
+        return isinstance(self.action, BROADCAST_ACTIONS)
+
+    def is_invoke(self) -> bool:
+        return isinstance(self.action, BroadcastInvoke)
+
+    def is_return(self) -> bool:
+        return isinstance(self.action, BroadcastReturn)
+
+    def is_deliver(self) -> bool:
+        return isinstance(self.action, DeliverAction)
+
+    def is_deliver_set(self) -> bool:
+        return isinstance(self.action, DeliverSetAction)
+
+    def is_send(self) -> bool:
+        return isinstance(self.action, SendAction)
+
+    def is_receive(self) -> bool:
+        return isinstance(self.action, ReceiveAction)
+
+    def is_propose(self) -> bool:
+        return isinstance(self.action, ProposeAction)
+
+    def is_crash(self) -> bool:
+        return isinstance(self.action, CrashAction)
+
+    def __str__(self) -> str:
+        return f"<p{self.process}: {self.action}>"

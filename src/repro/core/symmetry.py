@@ -1,0 +1,224 @@
+"""The paper's two symmetry properties, as machine checkers.
+
+* **Compositionality** (Definition 2): for every admissible execution α and
+  every subset M of its messages, the restriction of α onto M is
+  admissible.
+* **Content-Neutrality** (Definition 3): for every admissible execution α
+  and every injective message substitution r, the renamed execution is
+  admissible.
+
+Both are universally quantified; the checkers here are *falsifiers* over a
+given execution: they enumerate (exhaustively when the message count is
+small, by seeded sampling otherwise) subsets or renamings and search for a
+counterexample, exactly as the paper does when it exhibits the
+``{m'_0, m_1}`` restriction that breaks 1-Stepped Broadcast (Section 3.2).
+
+A successful check is evidence, not proof, of the symmetry property — but a
+returned counterexample *is* a proof of its violation, which is the
+direction Theorem 1 needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from .broadcast_spec import BroadcastSpec, SpecVerdict
+from .execution import Execution
+from .message import MessageId, Renaming
+
+__all__ = [
+    "SymmetryResult",
+    "check_compositional",
+    "check_content_neutral",
+    "subset_restrictions",
+    "sample_renamings",
+]
+
+#: Exhaustive subset enumeration is used up to this many messages (2^12
+#: subsets); beyond that the checker samples.
+_EXHAUSTIVE_LIMIT = 12
+
+
+@dataclass
+class SymmetryResult:
+    """Outcome of a symmetry check on one (spec, execution) pair."""
+
+    property_name: str
+    spec_name: str
+    holds: bool
+    cases_checked: int
+    counterexample: object | None = None
+    counterexample_verdict: SpecVerdict | None = None
+    skipped_reason: str | None = None
+
+    def __str__(self) -> str:
+        if self.skipped_reason:
+            return (
+                f"{self.property_name}({self.spec_name}): skipped — "
+                f"{self.skipped_reason}"
+            )
+        if self.holds:
+            return (
+                f"{self.property_name}({self.spec_name}): no counterexample "
+                f"in {self.cases_checked} cases"
+            )
+        return (
+            f"{self.property_name}({self.spec_name}): VIOLATED by "
+            f"{self.counterexample}"
+        )
+
+
+def subset_restrictions(
+    execution: Execution,
+    *,
+    max_cases: int = 4096,
+    rng: random.Random | None = None,
+) -> Iterator[tuple[frozenset[MessageId], Execution]]:
+    """Yield (subset, restricted execution) pairs for Definition 2.
+
+    All proper, non-empty subsets are enumerated when there are at most
+    :data:`_EXHAUSTIVE_LIMIT` messages; otherwise ``max_cases`` subsets are
+    sampled with ``rng`` (seeded externally for reproducibility).
+    """
+    uids = [m.uid for m in execution.broadcast_messages]
+    if len(uids) <= _EXHAUSTIVE_LIMIT:
+        cases: Iterable[tuple[MessageId, ...]] = itertools.chain.from_iterable(
+            itertools.combinations(uids, size)
+            for size in range(1, len(uids))
+        )
+        for subset in itertools.islice(cases, max_cases):
+            frozen = frozenset(subset)
+            yield frozen, execution.restrict(frozen)
+    else:
+        rng = rng or random.Random(0)
+        for _ in range(max_cases):
+            size = rng.randint(1, len(uids) - 1)
+            subset = frozenset(rng.sample(uids, size))
+            yield subset, execution.restrict(subset)
+
+
+def check_compositional(
+    spec: BroadcastSpec,
+    execution: Execution,
+    *,
+    assume_complete: bool = True,
+    max_cases: int = 4096,
+    rng: random.Random | None = None,
+    subsets: Iterable[frozenset[MessageId]] | None = None,
+) -> SymmetryResult:
+    """Search for a restriction of ``execution`` that ``spec`` rejects.
+
+    Definition 2 quantifies over executions admitted by the abstraction, so
+    if ``spec`` does not admit ``execution`` in the first place the check
+    is vacuous and reported as skipped.  Pass explicit ``subsets`` to test
+    targeted witnesses (e.g. the paper's ``{m'_0, m_1}``) instead of the
+    enumerated/sampled ones.
+    """
+    if not spec.admits(execution, assume_complete=assume_complete).admitted:
+        return SymmetryResult(
+            "compositionality", spec.name, True, 0,
+            skipped_reason="base execution not admitted (vacuous)",
+        )
+    checked = 0
+    cases = (
+        ((frozenset(s), execution.restrict(s)) for s in subsets)
+        if subsets is not None
+        else subset_restrictions(execution, max_cases=max_cases, rng=rng)
+    )
+    for subset, restricted in cases:
+        checked += 1
+        verdict = spec.admits(restricted, assume_complete=assume_complete)
+        if not verdict.admitted:
+            return SymmetryResult(
+                "compositionality", spec.name, False, checked,
+                counterexample=tuple(sorted(subset)),
+                counterexample_verdict=verdict,
+            )
+    return SymmetryResult("compositionality", spec.name, True, checked)
+
+
+class _FreshToken:
+    """An opaque, unique, hashable content used by generated renamings."""
+
+    _counter = itertools.count()
+
+    def __init__(self) -> None:
+        self._index = next(_FreshToken._counter)
+
+    def __repr__(self) -> str:
+        return f"fresh#{self._index}"
+
+
+def sample_renamings(
+    execution: Execution,
+    *,
+    max_cases: int = 16,
+    rng: random.Random | None = None,
+) -> Iterator[Renaming]:
+    """Yield injective renamings of the execution's messages (Def. 3).
+
+    Three families are produced: (1) all-fresh opaque contents, (2) random
+    permutations of message contents across identities, (3) partial
+    renamings touching a random subset of messages with fresh contents.
+    Every renaming is injective on messages because identities are
+    preserved.
+    """
+    rng = rng or random.Random(0)
+    uids = [m.uid for m in execution.broadcast_messages]
+    if not uids:
+        return
+    yield Renaming({uid: _FreshToken() for uid in uids})
+    produced = 1
+    while produced < max_cases:
+        if produced % 2 == 1 and len(uids) > 1:
+            shuffled = list(uids)
+            rng.shuffle(shuffled)
+            contents = [execution.message_by_uid[u].content for u in uids]
+            yield Renaming(dict(zip(shuffled, contents)))
+        else:
+            size = rng.randint(1, len(uids))
+            subset = rng.sample(uids, size)
+            yield Renaming({uid: _FreshToken() for uid in subset})
+        produced += 1
+
+
+def check_content_neutral(
+    spec: BroadcastSpec,
+    execution: Execution,
+    *,
+    assume_complete: bool = True,
+    max_cases: int = 16,
+    rng: random.Random | None = None,
+    renamings: Iterable[Renaming] | None = None,
+) -> SymmetryResult:
+    """Search for an injective renaming of ``execution`` that ``spec`` rejects.
+
+    Pass explicit ``renamings`` to test targeted witnesses (e.g. renaming
+    plain messages into the SA-typed contents of Section 3.2) instead of
+    the sampled ones.
+    """
+    if not spec.admits(execution, assume_complete=assume_complete).admitted:
+        return SymmetryResult(
+            "content-neutrality", spec.name, True, 0,
+            skipped_reason="base execution not admitted (vacuous)",
+        )
+    checked = 0
+    cases = (
+        renamings
+        if renamings is not None
+        else sample_renamings(execution, max_cases=max_cases, rng=rng)
+    )
+    for renaming in cases:
+        checked += 1
+        renamed = execution.rename(renaming)
+        verdict = spec.admits(renamed, assume_complete=assume_complete)
+        if not verdict.admitted:
+            return SymmetryResult(
+                "content-neutrality", spec.name, False, checked,
+                counterexample=renaming,
+                counterexample_verdict=verdict,
+            )
+    return SymmetryResult("content-neutrality", spec.name, True, checked)

@@ -1,0 +1,24 @@
+"""Failure detectors: oracles over the failure pattern.
+
+The paper's bibliography tracks the quest for the weakest failure
+detector for k-SA in message passing ([4], [12], [19]); this subpackage
+supplies the two classical detectors needed to *solve* agreement in the
+library's crash-prone model and the consensus algorithm they enable:
+
+* :class:`~repro.detectors.oracles.OmegaOracle` — Ω, the eventual leader
+  oracle (the weakest detector for consensus with a majority);
+* :class:`~repro.detectors.oracles.PerfectDetector` — P, never wrong and
+  eventually complete;
+* :class:`~repro.agreement.paxos.PaxosProcess` (in
+  :mod:`repro.agreement`) — single-decree Paxos over Ω + majority.
+
+Detectors are *oracles over the failure pattern*: they read the run's
+crash schedule and the current scheduler time (a shared
+:class:`~repro.detectors.oracles.Clock` the simulator ticks), never the
+algorithm state — matching their formal definition as functions of the
+failure pattern only.
+"""
+
+from .oracles import Clock, OmegaOracle, PerfectDetector
+
+__all__ = ["Clock", "OmegaOracle", "PerfectDetector"]

@@ -1,0 +1,47 @@
+"""The experiment harness: one module per paper artifact.
+
+==========  ===========================================  =====================
+experiment  paper artifact                                module
+==========  ===========================================  =====================
+F1          Figure 1 (adversarial execution)              :mod:`.figure1`
+L1-8, L10   Lemmas 1–8 and 10 (admissibility grid)        :mod:`.lemma10_grid`
+L9/T1, C1   Lemma 9 + Theorem 1, and the k-BO corollary   :mod:`.theorem_pipeline`
+S1          Section 3.2 symmetry worked examples          :mod:`.symmetry_matrix`
+M1          §1.3 "k-SA cannot emulate shared memory"      :mod:`.register_power`
+P4          (ours) algorithm cost profiles                :mod:`.costs`
+B1          k = 1 and k = n boundary cases                :mod:`.boundaries`
+==========  ===========================================  =====================
+
+Each module exposes ``run(...) -> str`` (the rendered result) and a
+``main()`` for command-line use; :func:`run_all` concatenates everything
+(this is what ``EXPERIMENTS.md`` records).
+"""
+
+from . import boundaries, costs, figure1, lemma10_grid, register_power
+from . import symmetry_matrix, theorem_pipeline
+
+__all__ = [
+    "boundaries",
+    "costs",
+    "figure1",
+    "lemma10_grid",
+    "register_power",
+    "run_all",
+    "symmetry_matrix",
+    "theorem_pipeline",
+]
+
+
+def run_all() -> str:
+    """Run every experiment and concatenate the rendered outputs."""
+    sections = [
+        figure1.run(),
+        lemma10_grid.run(),
+        theorem_pipeline.run(),
+        symmetry_matrix.run(),
+        register_power.run(),
+        boundaries.run(),
+        costs.run(),
+    ]
+    rule = "\n" + "=" * 78 + "\n"
+    return rule.join(sections)

@@ -1,0 +1,121 @@
+"""Experiment P4 — cost profiles of the broadcast algorithms.
+
+Not a paper artifact (the paper proves an impossibility, no complexity
+bounds); this table tracks the classical costs of the implemented
+algorithms on identical workloads so that regressions and the expected
+asymptotics stay visible:
+
+* Send-To-All: n sends per broadcast, no oracle use;
+* forward-then-deliver family (uniform-reliable, FIFO, causal): ~n²
+  sends per broadcast (each process forwards once);
+* the agreement-based algorithms add oracle proposals (one per process
+  per round);
+* the trivial/first-k k-SA algorithms use O(1) proposals per broadcast.
+
+Run as a script::
+
+    python -m repro.experiments.costs
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.complexity import cost_profile
+from ..analysis.latency import latency_stats
+from ..analysis.report import ascii_table
+from ..broadcasts import (
+    CausalBroadcast,
+    FifoBroadcast,
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    ScdBroadcast,
+    SendToAllBroadcast,
+    TotalOrderBroadcast,
+    TrivialKsaBroadcast,
+    UniformReliableBroadcast,
+)
+from ..runtime.simulator import Simulator
+
+__all__ = ["rows", "run", "main"]
+
+HEADERS = (
+    "algorithm",
+    "oracle",
+    "broadcasts",
+    "sends",
+    "sends/bcast",
+    "proposals/bcast",
+    "deliveries/bcast",
+    "latency p50/p90",
+)
+
+ALGORITHMS = (
+    ("send-to-all", SendToAllBroadcast, None),
+    ("uniform-reliable", UniformReliableBroadcast, None),
+    ("fifo", FifoBroadcast, None),
+    ("causal", CausalBroadcast, None),
+    ("total-order", TotalOrderBroadcast, 1),
+    ("trivial-ksa", TrivialKsaBroadcast, 2),
+    ("first-k", FirstKKsaBroadcast, 2),
+    ("kbo-attempt", KboAttemptBroadcast, 2),
+    ("scd", ScdBroadcast, 1),
+)
+
+
+def rows(
+    *, n: int = 4, per_process: int = 3, seeds: Sequence[int] = (0, 1, 2)
+) -> list[tuple]:
+    """Average cost profiles over identical workloads and seeds."""
+    table: list[tuple] = []
+    for name, algorithm_class, k in ALGORITHMS:
+        profiles = []
+        latencies = []
+        for seed in seeds:
+            simulator = Simulator(
+                n,
+                lambda pid, size: algorithm_class(pid, size),
+                k=k or 1,
+                seed=seed,
+            )
+            result = simulator.run(
+                {
+                    p: [f"m{p}.{i}" for i in range(per_process)]
+                    for p in range(n)
+                }
+            )
+            assert result.quiescent, (name, seed, result.blocked)
+            profiles.append(cost_profile(result.execution))
+            latencies.append(latency_stats(result.execution))
+        count = len(profiles)
+        mean = lambda values: sum(values) / count  # noqa: E731
+        table.append(
+            (
+                name,
+                f"{k}-SA" if k else "—",
+                profiles[0].broadcasts,
+                round(mean([p.sends for p in profiles])),
+                f"{mean([p.sends_per_broadcast for p in profiles]):.1f}",
+                f"{mean([p.proposals_per_broadcast for p in profiles]):.2f}",
+                f"{mean([p.delivery_ratio for p in profiles]):.1f}",
+                f"{mean([s.median for s in latencies]):.0f}/"
+                f"{mean([s.p90 for s in latencies]):.0f}",
+            )
+        )
+    return table
+
+
+def run(*, n: int = 4, per_process: int = 3) -> str:
+    header = (
+        f"Experiment P4 — cost profiles on identical workloads "
+        f"({n} processes × {per_process} broadcasts, mean of 3 seeds):\n"
+    )
+    return header + ascii_table(HEADERS, rows(n=n, per_process=per_process))
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

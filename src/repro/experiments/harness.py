@@ -1,0 +1,93 @@
+"""Shared plumbing for the experiment harness.
+
+Keeps the registry of broadcast implementations the adversary can attack
+(every candidate B written against the ``CAMP_{k+1}[k-SA]`` substrate) and
+the candidate (implementation, specification) pairs the Theorem 1 pipeline
+investigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..broadcasts import (
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    KSteppedKsaBroadcast,
+    ScdBroadcast,
+    TrivialKsaBroadcast,
+)
+from ..core.broadcast_spec import BroadcastSpec
+from ..runtime.process import BroadcastProcess
+from ..specs import (
+    FirstKBroadcastSpec,
+    KboBroadcastSpec,
+    KSteppedBroadcastSpec,
+    ScdBroadcastSpec,
+    SendToAllSpec,
+)
+
+__all__ = ["Candidate", "KSA_ALGORITHMS", "CANDIDATES", "algorithm_factory"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate equivalence pair for the Theorem 1 pipeline."""
+
+    name: str
+    algorithm: type[BroadcastProcess]
+    spec_builder: Callable[[int], BroadcastSpec]
+    note: str
+
+
+#: Broadcast algorithms implementable in CAMP_{k+1}[k-SA] (Lemma 10 inputs).
+KSA_ALGORITHMS: dict[str, type[BroadcastProcess]] = {
+    "trivial-ksa": TrivialKsaBroadcast,
+    "first-k": FirstKKsaBroadcast,
+    "kbo-attempt": KboAttemptBroadcast,
+    "scd-attempt": ScdBroadcast,
+    "k-stepped": KSteppedKsaBroadcast,
+}
+
+#: The equivalence candidates the theorem pipeline dissects.
+CANDIDATES: tuple[Candidate, ...] = (
+    Candidate(
+        "first-k",
+        FirstKKsaBroadcast,
+        lambda k: FirstKBroadcastSpec(k),
+        "Section 1.4's one-shot candidate — fails compositionality",
+    ),
+    Candidate(
+        "kbo-attempt",
+        KboAttemptBroadcast,
+        lambda k: KboBroadcastSpec(k),
+        "Section 1.3's corollary — not implementable from k-SA in MP",
+    ),
+    Candidate(
+        "trivial-ksa",
+        TrivialKsaBroadcast,
+        lambda k: SendToAllSpec(),
+        "baseline: symmetric spec, but too weak to solve k-SA",
+    ),
+    Candidate(
+        "scd-attempt",
+        ScdBroadcast,
+        lambda k: ScdBroadcastSpec(),
+        "set-delivery interface (§3.1 remark); register power out of "
+        "k-SA's reach",
+    ),
+    Candidate(
+        "k-stepped",
+        KSteppedKsaBroadcast,
+        lambda k: KSteppedBroadcastSpec(k),
+        "§3.2's iterated-k-SA candidate — fails compositionality",
+    ),
+)
+
+
+def algorithm_factory(
+    algorithm: type[BroadcastProcess],
+) -> Callable[[int, int], BroadcastProcess]:
+    """A (pid, n) factory for one algorithm class."""
+    return lambda pid, n: algorithm(pid, n)

@@ -1,0 +1,32 @@
+"""Shared-memory emulation: the other side of the paper's §1.3 contrast.
+
+The paper's impossibility hinges on the divide between shared memory and
+message passing: k-BO Broadcast is equivalent to k-SA *given registers*,
+and k-SA (k > 1) cannot provide them.  This subpackage supplies the
+register side:
+
+* :mod:`repro.registers.abd` — the ABD majority-quorum atomic register
+  emulation (needs t < n/2; the tests show exactly how it blocks without
+  a majority, which is why the paper's wait-free model has no registers);
+* :mod:`repro.registers.history` / :mod:`repro.registers.linearizability`
+  — operation histories with real-time precedence and an exact
+  linearizability checker;
+* :mod:`repro.registers.simulator` — the request/response counterpart of
+  the broadcast simulator.
+"""
+
+from .abd import AbdRegisterProcess, RegularRegisterProcess, Timestamp
+from .history import History, OperationRecord
+from .linearizability import LinearizabilityReport, check_linearizable
+from .simulator import ServiceRun, ServiceSimulator
+
+__all__ = [
+    "AbdRegisterProcess",
+    "RegularRegisterProcess",
+    "History",
+    "LinearizabilityReport",
+    "OperationRecord",
+    "ServiceRun",
+    "ServiceSimulator",
+    "Timestamp",
+]

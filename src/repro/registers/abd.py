@@ -1,0 +1,199 @@
+"""ABD: atomic registers from majority quorums (Attiya, Bar-Noy, Dolev).
+
+The canonical emulation of multi-writer multi-reader atomic read/write
+registers in a crash-prone asynchronous message-passing system with a
+**majority of correct processes** (t < n/2) — the construction behind
+the paper's §1.3 observation that consensus-free shared memory exists in
+message passing *only* under that assumption, while the paper's own
+model is wait-free (t = n - 1), where registers are out of reach (as
+experiment M1 shows from the broadcast side).
+
+Protocol (per register, timestamps are ``(counter, writer_pid)`` pairs):
+
+* ``write(v)``: query a majority for their timestamps; pick a timestamp
+  greater than all reported; store-broadcast ``(ts, v)``; return once a
+  majority acknowledged.
+* ``read()``: query a majority for their ``(ts, v)`` pairs; select the
+  largest; **write it back** to a majority (the famous second phase that
+  makes reads atomic rather than merely regular); return its value.
+
+Each phase tags its messages with a fresh request id, so stale replies
+from earlier phases are ignored.  Liveness requires only a majority of
+correct processes: the waits are on quorum counters, and the simulator's
+blocked-process diagnostics show exactly which waits starve when the
+majority assumption is broken (see the tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..runtime.effects import Effect, Wait
+from ..runtime.service import Invocation, ServiceProcess
+
+__all__ = ["Timestamp", "AbdRegisterProcess"]
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """A totally ordered write timestamp: (counter, writer pid)."""
+
+    counter: int
+    writer: int
+
+    def __str__(self) -> str:
+        return f"{self.counter}.{self.writer}"
+
+
+_INITIAL = Timestamp(0, -1)
+
+
+class AbdRegisterProcess(ServiceProcess):
+    """One process of the ABD multi-register emulation.
+
+    Operations: ``Invocation("write", register, value)`` and
+    ``Invocation("read", register)``; ``initial`` is the value reads
+    return before any write is applied.
+    """
+
+    def __init__(self, pid: int, n: int, *, initial: Hashable = 0) -> None:
+        super().__init__(pid, n)
+        self.initial = initial
+        self._store: dict[str, tuple[Timestamp, Hashable]] = {}
+        self._request_ids = itertools.count()
+        self._ts_replies: dict[int, list[Timestamp]] = {}
+        self._value_replies: dict[int, list[tuple[Timestamp, Hashable]]] = {}
+        self._write_acks: dict[int, int] = {}
+
+    # -- local register state --------------------------------------------
+
+    def _current(self, register: str) -> tuple[Timestamp, Hashable]:
+        return self._store.get(register, (_INITIAL, self.initial))
+
+    def _apply(
+        self, register: str, ts: Timestamp, value: Hashable
+    ) -> None:
+        if ts > self._current(register)[0]:
+            self._store[register] = (ts, value)
+
+    @property
+    def _majority(self) -> int:
+        return self.n // 2 + 1
+
+    # -- quorum phases -----------------------------------------------------
+
+    def _query_timestamps(self, register: str) -> Iterator[Effect]:
+        rid = next(self._request_ids)
+        self._ts_replies[rid] = []
+        yield from self.send_to_all(("QUERY_TS", rid, register))
+        yield Wait(
+            lambda: len(self._ts_replies[rid]) >= self._majority,
+            f"timestamp quorum for {register}",
+        )
+        return rid
+
+    def _query_values(self, register: str) -> Iterator[Effect]:
+        rid = next(self._request_ids)
+        self._value_replies[rid] = []
+        yield from self.send_to_all(("QUERY_VAL", rid, register))
+        yield Wait(
+            lambda: len(self._value_replies[rid]) >= self._majority,
+            f"value quorum for {register}",
+        )
+        return rid
+
+    def _store_phase(
+        self, register: str, ts: Timestamp, value: Hashable
+    ) -> Iterator[Effect]:
+        rid = next(self._request_ids)
+        self._write_acks[rid] = 0
+        yield from self.send_to_all(("STORE", rid, register, ts, value))
+        yield Wait(
+            lambda: self._write_acks[rid] >= self._majority,
+            f"store quorum for {register}",
+        )
+
+    # -- the operations ------------------------------------------------------
+
+    def on_invoke(self, invocation: Invocation) -> Iterator[Effect]:
+        register = invocation.target
+        if invocation.operation == "write":
+            rid = yield from self._query_timestamps(register)
+            highest = max(
+                self._ts_replies[rid], default=_INITIAL
+            )
+            ts = Timestamp(highest.counter + 1, self.pid)
+            yield from self._store_phase(register, ts, invocation.argument)
+            return "ok"
+        if invocation.operation == "read":
+            rid = yield from self._query_values(register)
+            ts, value = max(
+                self._value_replies[rid],
+                key=lambda pair: pair[0],
+                default=self._current(register),
+            )
+            # write-back: later reads must not see an older value
+            yield from self._store_phase(register, ts, value)
+            return value
+        raise ValueError(f"unknown operation {invocation.operation!r}")
+
+    # -- the server side -----------------------------------------------------
+
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        kind = payload[0]
+        if kind == "QUERY_TS":
+            _, rid, register = payload
+            ts, _value = self._current(register)
+            yield from self._reply(sender, ("REPLY_TS", rid, ts))
+        elif kind == "QUERY_VAL":
+            _, rid, register = payload
+            ts, value = self._current(register)
+            yield from self._reply(sender, ("REPLY_VAL", rid, ts, value))
+        elif kind == "STORE":
+            _, rid, register, ts, value = payload
+            self._apply(register, ts, value)
+            yield from self._reply(sender, ("STORE_ACK", rid))
+        elif kind == "REPLY_TS":
+            _, rid, ts = payload
+            if rid in self._ts_replies:
+                self._ts_replies[rid].append(ts)
+        elif kind == "REPLY_VAL":
+            _, rid, ts, value = payload
+            if rid in self._value_replies:
+                self._value_replies[rid].append((ts, value))
+        elif kind == "STORE_ACK":
+            _, rid = payload
+            if rid in self._write_acks:
+                self._write_acks[rid] += 1
+
+    def _reply(self, dest: int, payload: Hashable) -> Iterator[Effect]:
+        from ..runtime.effects import Send
+
+        yield Send(dest, payload)
+
+
+class RegularRegisterProcess(AbdRegisterProcess):
+    """ABD **without** the read write-back phase — only a *regular* register.
+
+    Ablation: dropping the second phase of ``read`` admits the classical
+    *new/old inversion* — a read sees a concurrent write's value, and a
+    strictly later read misses it — i.e. the register is regular but not
+    atomic.  The linearizability checker exhibits the difference (see
+    ``tests/registers/test_abd.py``).
+    """
+
+    def on_invoke(self, invocation: Invocation) -> Iterator[Effect]:
+        if invocation.operation != "read":
+            result = yield from super().on_invoke(invocation)
+            return result
+        register = invocation.target
+        rid = yield from self._query_values(register)
+        ts, value = max(
+            self._value_replies[rid],
+            key=lambda pair: pair[0],
+            default=self._current(register),
+        )
+        self._apply(register, ts, value)
+        return value

@@ -1,0 +1,108 @@
+"""Linearizability checking for register histories.
+
+A register history is linearizable if there is a total order of its
+operations that (1) extends real-time precedence (an operation that
+responded before another was invoked comes first) and (2) is a legal
+sequential register behaviour: every read returns the value of the
+latest preceding write, or the initial value if none.
+
+The checker is an exhaustive backtracking search over the per-register
+subhistory (registers are independent objects, so each is checked
+separately).  Exponential in the worst case, comfortably fast for the
+test-scale histories produced here; incomplete *pending* writes are
+treated as possibly-effective (they may be linearized anywhere after
+their invocation or dropped), the standard completion rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from .history import History, OperationRecord
+
+__all__ = ["LinearizabilityReport", "check_linearizable"]
+
+
+@dataclass
+class LinearizabilityReport:
+    """Per-register verdicts plus a witness order when one exists."""
+
+    verdicts: dict[str, bool] = field(default_factory=dict)
+    witnesses: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.verdicts.values())
+
+    def __str__(self) -> str:
+        parts = [
+            f"{target}: {'linearizable' if verdict else 'NOT linearizable'}"
+            for target, verdict in sorted(self.verdicts.items())
+        ]
+        return "; ".join(parts) if parts else "empty history"
+
+
+def _is_legal_extension(
+    sequence: list[OperationRecord],
+    candidate: OperationRecord,
+    initial: Hashable,
+) -> bool:
+    """Would appending ``candidate`` keep the sequence register-legal?"""
+    if candidate.operation != "read":
+        return True
+    current = initial
+    for record in sequence:
+        if record.operation == "write":
+            current = record.argument
+    return candidate.result == current
+
+
+def _search(
+    remaining: list[OperationRecord],
+    sequence: list[OperationRecord],
+    initial: Hashable,
+) -> list[OperationRecord] | None:
+    if not remaining:
+        return list(sequence)
+    # candidates: minimal w.r.t. real-time precedence among remaining
+    for index, candidate in enumerate(remaining):
+        if any(
+            other.precedes(candidate)
+            for other in remaining
+            if other is not candidate
+        ):
+            continue
+        # pending operations may also be dropped entirely (they might
+        # never have taken effect); completed ones must appear.
+        rest = remaining[:index] + remaining[index + 1:]
+        if _is_legal_extension(sequence, candidate, initial):
+            sequence.append(candidate)
+            found = _search(rest, sequence, initial)
+            if found is not None:
+                return found
+            sequence.pop()
+        if not candidate.complete:
+            dropped = _search(rest, sequence, initial)
+            if dropped is not None:
+                return dropped
+    return None
+
+
+def check_linearizable(
+    history: History, *, initial: Hashable = 0
+) -> LinearizabilityReport:
+    """Check each register's subhistory for linearizability.
+
+    ``initial`` is the value reads may return before any write is
+    linearized.  Completed operations must all be linearized; pending
+    ones may take effect or be dropped.
+    """
+    report = LinearizabilityReport()
+    for target in history.targets():
+        records = history.on_target(target)
+        witness = _search(list(records), [], initial)
+        report.verdicts[target] = witness is not None
+        if witness is not None:
+            report.witnesses[target] = tuple(r.op_id for r in witness)
+    return report

@@ -1,0 +1,192 @@
+"""The service simulator: seeded runs of request/response emulations.
+
+Mirrors :class:`repro.runtime.simulator.Simulator` for
+:class:`~repro.runtime.service.ServiceProcess` algorithms: each process
+executes a script of operation invocations, the scheduler chooses among
+enabled events (local steps, receptions, next invocations) under a
+pluggable policy, crashes are injected deterministically, and the run
+produces both a CAMP execution trace and an operation
+:class:`~repro.registers.history.History` for the linearizability
+checker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from ..core.execution import Execution
+from ..runtime.crash import CrashSchedule
+from ..runtime.policies import SchedulingPolicy, UniformPolicy
+from ..runtime.network import Network
+from ..runtime.process import Blocked, LocalStep, SendStep
+from ..runtime.service import (
+    Invocation,
+    ResponseStep,
+    ServiceProcess,
+    ServiceRuntime,
+)
+from ..runtime.trace import TraceRecorder
+from .history import History
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..detectors.oracles import Clock
+
+__all__ = ["ServiceRun", "ServiceSimulator"]
+
+ServiceFactory = Callable[[int, int], ServiceProcess]
+
+
+@dataclass
+class ServiceRun:
+    """Everything observable after one service-simulation run."""
+
+    execution: Execution
+    history: History
+    quiescent: bool
+    steps_taken: int
+    blocked: Mapping[int, str] = field(default_factory=dict)
+
+
+class ServiceSimulator:
+    """Runs a request/response emulation under seeded asynchrony."""
+
+    def __init__(
+        self,
+        n: int,
+        service_factory: ServiceFactory,
+        *,
+        seed: int = 0,
+        scheduling_policy: SchedulingPolicy | None = None,
+        clock: "Clock | None" = None,
+    ) -> None:
+        self.n = n
+        self.service_factory = service_factory
+        self.seed = seed
+        self.scheduling_policy = scheduling_policy or UniformPolicy()
+        #: Optional shared clock ticked with the scheduler step counter,
+        #: the time source of failure-detector oracles.
+        self.clock = clock
+
+    def run(
+        self,
+        scripts: Mapping[int, Sequence[Invocation]],
+        *,
+        crash_schedule: CrashSchedule | None = None,
+        max_steps: int = 100_000,
+    ) -> ServiceRun:
+        rng = random.Random(self.seed)
+        crashes = crash_schedule or CrashSchedule.none()
+        runtimes = {
+            p: ServiceRuntime(self.service_factory(p, self.n))
+            for p in range(self.n)
+        }
+        network = Network()
+        trace = TraceRecorder(self.n)
+        history = History()
+        remaining = {p: list(scripts.get(p, ())) for p in range(self.n)}
+        open_records: dict[int, object] = {}
+        alive = set(range(self.n))
+
+        for p in sorted(crashes.initially):
+            trace.crash(p)
+            alive.discard(p)
+
+        steps = 0
+        while steps < max_steps:
+            if self.clock is not None:
+                self.clock.tick(steps)
+            for p in sorted(alive):
+                if crashes.due(p, steps):
+                    trace.crash(p)
+                    alive.discard(p)
+
+            choices = self._enabled_choices(
+                alive, runtimes, network, remaining
+            )
+            if not choices:
+                break
+            kind, payload = self.scheduling_policy.select(
+                choices, rng, steps
+            )
+            steps += 1
+            if kind == "local":
+                self._take_local_step(
+                    payload, runtimes[payload], trace, network,
+                    open_records, steps,
+                )
+            elif kind == "recv":
+                item = payload
+                network.receive(item.p2p)
+                trace.receive(item.receiver, item.p2p, item.payload)
+                runtimes[item.receiver].inject_receive(
+                    item.p2p, item.payload
+                )
+            else:  # "invoke"
+                p = payload
+                invocation = remaining[p].pop(0)
+                runtimes[p].invoke(invocation)
+                open_records[p] = history.begin(
+                    p,
+                    invocation.operation,
+                    invocation.target,
+                    invocation.argument,
+                    at=steps,
+                )
+                trace.local(
+                    p,
+                    f"invoke {invocation.operation}({invocation.argument!r})"
+                    f" on {invocation.target}",
+                )
+
+        blocked = {}
+        for p in sorted(alive):
+            runtime = runtimes[p]
+            if runtime.busy and not runtime.has_enabled_step():
+                blocked[p] = runtime.waiting_reason or "operation waiting"
+        quiescent = not self._enabled_choices(
+            alive, runtimes, network, remaining
+        )
+        return ServiceRun(
+            execution=trace.execution(),
+            history=history,
+            quiescent=quiescent,
+            steps_taken=steps,
+            blocked=blocked,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _enabled_choices(self, alive, runtimes, network, remaining):
+        choices = []
+        for p in sorted(alive):
+            runtime = runtimes[p]
+            if runtime.has_enabled_step():
+                choices.append(("local", p))
+            if remaining[p] and not runtime.busy:
+                choices.append(("invoke", p))
+        for item in network.deliverable(alive):
+            choices.append(("recv", item))
+        return choices
+
+    def _take_local_step(
+        self, p, runtime, trace, network, open_records, now
+    ) -> None:
+        outcome = runtime.next_step()
+        if isinstance(outcome, SendStep):
+            trace.send(p, outcome.p2p, outcome.payload)
+            network.send(outcome.p2p, outcome.payload)
+        elif isinstance(outcome, ResponseStep):
+            record = open_records.pop(p, None)
+            if record is not None:
+                record.responded_at = now
+                record.result = outcome.result
+            trace.local(
+                p,
+                f"response {outcome.invocation.operation} -> "
+                f"{outcome.result!r}",
+            )
+        elif isinstance(outcome, LocalStep):
+            trace.local(p, outcome.label)
+        # Blocked / Idle: an empty handler drained itself, nothing to record

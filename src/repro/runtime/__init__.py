@@ -1,0 +1,102 @@
+"""The CAMP_n[H] substrate: step machines, network, oracles, simulator.
+
+This subpackage is the "machine" underneath both execution drivers:
+
+* :mod:`repro.runtime.effects` / :mod:`repro.runtime.process` — algorithms
+  as deterministic step machines (the form Algorithm 1 requires);
+* :mod:`repro.runtime.network` — the reliable asynchronous network;
+* :mod:`repro.runtime.ksa_objects` — axiomatic k-SA oracle objects with
+  pluggable decision policies;
+* :mod:`repro.runtime.crash` — deterministic failure injection;
+* :mod:`repro.runtime.trace` — step recording into core executions;
+* :mod:`repro.runtime.simulator` — the seeded free scheduler.
+"""
+
+from .crash import CrashSchedule
+from .effects import Deliver, DeliverSet, Effect, LocalNote, Propose, Send, Wait
+from .explorer import (
+    ExplorationResult,
+    Violation,
+    channels_property,
+    combine_properties,
+    explore_schedules,
+    spec_property,
+)
+from .ksa_objects import (
+    DecisionPolicy,
+    FirstProposalsPolicy,
+    KsaObject,
+    KsaRegistry,
+    OwnValuePolicy,
+    ScriptedPolicy,
+)
+from .network import InFlight, Network
+from .policies import (
+    ChannelFifoPolicy,
+    LockstepPolicy,
+    SchedulingPolicy,
+    TargetedDelayPolicy,
+    UniformPolicy,
+)
+from .process import (
+    Blocked,
+    BroadcastProcess,
+    DeliverSetStep,
+    DeliverStep,
+    Idle,
+    LocalStep,
+    ProcessRuntime,
+    ProposeStep,
+    ProtocolError,
+    ReturnStep,
+    RuntimeOutcome,
+    SendStep,
+)
+from .simulator import Gated, SimulationResult, Simulator
+from .trace import TraceRecorder
+
+__all__ = [
+    "Blocked",
+    "BroadcastProcess",
+    "ChannelFifoPolicy",
+    "CrashSchedule",
+    "DecisionPolicy",
+    "Deliver",
+    "DeliverSet",
+    "DeliverSetStep",
+    "DeliverStep",
+    "Effect",
+    "ExplorationResult",
+    "FirstProposalsPolicy",
+    "Gated",
+    "Idle",
+    "InFlight",
+    "KsaObject",
+    "KsaRegistry",
+    "LocalNote",
+    "LockstepPolicy",
+    "LocalStep",
+    "Network",
+    "OwnValuePolicy",
+    "ProcessRuntime",
+    "Propose",
+    "ProposeStep",
+    "ProtocolError",
+    "ReturnStep",
+    "RuntimeOutcome",
+    "ScriptedPolicy",
+    "SchedulingPolicy",
+    "Send",
+    "SendStep",
+    "SimulationResult",
+    "Simulator",
+    "TargetedDelayPolicy",
+    "TraceRecorder",
+    "UniformPolicy",
+    "Violation",
+    "Wait",
+    "channels_property",
+    "combine_properties",
+    "explore_schedules",
+    "spec_property",
+]

@@ -1,0 +1,47 @@
+"""Crash failure injection.
+
+Processes in CAMP_n may halt prematurely at any point; the model places no
+bound on how many (t = n - 1).  A :class:`CrashSchedule` tells the
+simulator *when* each faulty process crashes, counted in scheduler
+decisions, so that failure injection is deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["CrashSchedule"]
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """When each faulty process crashes.
+
+    ``at_step`` maps a process identifier to the global scheduler-step
+    index at (or after) which it crashes; processes absent from the map
+    are correct.  ``initially`` lists processes crashed before taking any
+    step — the device Theorem 1 uses to embed CAMP_{k+1} into CAMP_n.
+    """
+
+    at_step: Mapping[int, int] = field(default_factory=dict)
+    initially: frozenset[int] = field(default_factory=frozenset)
+
+    @staticmethod
+    def none() -> "CrashSchedule":
+        """The failure-free schedule."""
+        return CrashSchedule()
+
+    @staticmethod
+    def initial(processes: Iterable[int]) -> "CrashSchedule":
+        """Crash ``processes`` before they take any step."""
+        return CrashSchedule(initially=frozenset(processes))
+
+    def faulty(self) -> frozenset[int]:
+        """All processes that crash at some point under this schedule."""
+        return frozenset(self.at_step) | self.initially
+
+    def due(self, process: int, step_index: int) -> bool:
+        """True if ``process`` should crash now (at ``step_index``)."""
+        deadline = self.at_step.get(process)
+        return deadline is not None and step_index >= deadline

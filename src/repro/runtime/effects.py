@@ -1,0 +1,97 @@
+"""Effects: what a broadcast algorithm's step machine can do.
+
+Algorithms in :mod:`repro.broadcasts` are written as Python generators that
+*yield* effects; the drivers (:class:`repro.runtime.process.ProcessRuntime`
+under the free simulator or the adversarial scheduler) turn each yielded
+effect into exactly one step of the execution.  This gives the library the
+paper's notion of "the next local step of p_i according to B in the
+configuration C(α)" (Algorithm 1, line 8) for free.
+
+Effect vocabulary:
+
+* :class:`Send` — emit one point-to-point message (one ``send`` step);
+* :class:`Propose` — invoke ``ksa.propose(v)``; the generator is resumed
+  with the decided value (one ``propose`` step plus one ``decide`` step);
+* :class:`Deliver` — trigger ``B.deliver`` of a message locally;
+* :class:`Wait` — block until a guard over local state becomes true
+  (allowed only in operation bodies, not in atomic ``upon receive``
+  handlers);
+* :class:`LocalNote` — an explicit internal step, for algorithms that want
+  observable local computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Union
+
+from ..core.message import Message
+
+__all__ = [
+    "Send",
+    "Propose",
+    "Deliver",
+    "DeliverSet",
+    "Wait",
+    "LocalNote",
+    "Effect",
+]
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send ``payload`` to process ``dest`` over the point-to-point network."""
+
+    dest: int
+    payload: Hashable = None
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Propose ``value`` on the k-SA object named ``ksa``.
+
+    The yielding generator is suspended across the propose/decide step pair
+    and resumed with the decided value::
+
+        decided = yield Propose("ksa:round3", my_value)
+    """
+
+    ksa: str
+    value: Hashable = None
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """B-deliver ``message`` at the local process."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class DeliverSet:
+    """B-deliver a *set* of messages at once (SCD-style interfaces)."""
+
+    messages: tuple[Message, ...]
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Suspend the operation body until ``guard()`` returns true.
+
+    The guard is evaluated against the algorithm's own mutable state, which
+    ``upon receive`` handlers update.  ``reason`` appears in blocked-process
+    diagnostics.
+    """
+
+    guard: Callable[[], bool]
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class LocalNote:
+    """An observable internal computation step (diagnostics only)."""
+
+    label: str = ""
+
+
+Effect = Union[Send, Propose, Deliver, DeliverSet, Wait, LocalNote]

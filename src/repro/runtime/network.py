@@ -1,0 +1,92 @@
+"""The asynchronous reliable network of CAMP_n (Section 2).
+
+Channels are reliable (no loss, corruption or creation), **not** FIFO, and
+asynchronous: a sent message stays *in flight* until the scheduler decides
+to deliver it, with no bound on how long that takes.  The
+:class:`Network` is a passive pool of in-flight messages; scheduling
+policy (who receives next) lives in the simulator or the adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from ..core.actions import PointToPointId
+
+__all__ = ["InFlight", "Network"]
+
+
+@dataclass(frozen=True)
+class InFlight:
+    """One point-to-point message currently in transit."""
+
+    p2p: PointToPointId
+    payload: Hashable
+
+    @property
+    def sender(self) -> int:
+        return self.p2p.sender
+
+    @property
+    def receiver(self) -> int:
+        return self.p2p.receiver
+
+
+class Network:
+    """The pool of in-flight point-to-point messages.
+
+    Insertion order is preserved per destination so that deterministic
+    schedulers (seeded, or the adversary's explicit flushes) are
+    replayable.
+    """
+
+    def __init__(self) -> None:
+        self._in_flight: dict[PointToPointId, InFlight] = {}
+
+    def __len__(self) -> int:
+        return len(self._in_flight)
+
+    def send(self, p2p: PointToPointId, payload: Hashable) -> InFlight:
+        """Put one message in flight; sends are unique by identity."""
+        if p2p in self._in_flight:
+            raise ValueError(f"duplicate emission of {p2p}")
+        item = InFlight(p2p, payload)
+        self._in_flight[p2p] = item
+        return item
+
+    def deliverable(
+        self, to: Iterator[int] | set[int] | None = None
+    ) -> list[InFlight]:
+        """In-flight messages, optionally filtered by destination set."""
+        if to is None:
+            return list(self._in_flight.values())
+        destinations = set(to)
+        return [
+            item
+            for item in self._in_flight.values()
+            if item.receiver in destinations
+        ]
+
+    def receive(self, p2p: PointToPointId) -> InFlight:
+        """Remove one in-flight message, committing its reception."""
+        try:
+            return self._in_flight.pop(p2p)
+        except KeyError:
+            raise ValueError(f"{p2p} is not in flight") from None
+
+    def pending_to(self, receiver: int) -> list[InFlight]:
+        """In-flight messages addressed to ``receiver``, oldest first."""
+        return [
+            item
+            for item in self._in_flight.values()
+            if item.receiver == receiver
+        ]
+
+    def pending_between(self, sender: int, receiver: int) -> list[InFlight]:
+        """In-flight messages on one directed channel, oldest first."""
+        return [
+            item
+            for item in self._in_flight.values()
+            if item.sender == sender and item.receiver == receiver
+        ]

@@ -1,0 +1,134 @@
+"""Scheduling policies: shaping the asynchrony of the free simulator.
+
+The CAMP model leaves event ordering entirely to the environment; the
+simulator makes that environment explicit as a *policy* choosing, at each
+point, one of the enabled events.  Policies let tests and experiments
+build the schedules the paper's discussion needs:
+
+* :class:`UniformPolicy` — seeded uniform choice (the default); explores
+  "typical" asynchrony.
+* :class:`LockstepPolicy` — drains local steps and pending broadcasts
+  before receptions and takes everything in deterministic order,
+  approximating synchronous rounds.  Under it the k-BO *attempt*
+  satisfies k-BO ordering — the failure exposed by Algorithm 1 is
+  genuinely adversarial.
+* :class:`ChannelFifoPolicy` — receptions on each directed channel are
+  forced oldest-first (the model's channels are *not* FIFO; this policy
+  shows what that assumption would buy).
+* :class:`TargetedDelayPolicy` — starves one victim process of incoming
+  messages until a given step, a deterministic "partition" that
+  manufactures causal anomalies for algorithms without causal barriers.
+
+Policies only *choose among enabled events*; they can delay but never
+suppress a reception forever (a starved event is released once nothing
+else is enabled, or past the deadline), so SR-Termination is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from .network import InFlight
+
+__all__ = [
+    "SchedulingPolicy",
+    "UniformPolicy",
+    "LockstepPolicy",
+    "ChannelFifoPolicy",
+    "TargetedDelayPolicy",
+]
+
+Choice = tuple[str, object]
+
+
+class SchedulingPolicy(ABC):
+    """Chooses the next event among the currently enabled ones."""
+
+    @abstractmethod
+    def select(
+        self,
+        choices: Sequence[Choice],
+        rng: random.Random,
+        step_index: int,
+    ) -> Choice:
+        """Pick one element of ``choices`` (non-empty)."""
+
+
+class UniformPolicy(SchedulingPolicy):
+    """Seeded uniform choice over all enabled events (default)."""
+
+    def select(self, choices, rng, step_index):
+        return choices[rng.randrange(len(choices))]
+
+
+class LockstepPolicy(SchedulingPolicy):
+    """Deterministic near-synchronous rounds: drain the network first.
+
+    Receptions have top priority, then local algorithm steps, and a new
+    broadcast starts only when the system is otherwise quiet — so every
+    message is fully disseminated before the next one enters, which is
+    the "lock-step pattern" of Section 3.2.  Within each class events are
+    taken in their (stable) enumeration order, so the schedule is fully
+    deterministic regardless of the seed.
+    """
+
+    _priority = {"recv": 0, "local": 1, "bcast": 2}
+
+    def select(self, choices, rng, step_index):
+        return min(
+            choices, key=lambda choice: self._priority[choice[0]]
+        )
+
+
+class ChannelFifoPolicy(SchedulingPolicy):
+    """Receptions happen oldest-first per directed channel.
+
+    Among receive events, only the head of each channel is eligible
+    (``Network`` preserves per-channel insertion order); the choice among
+    channel heads and other events stays uniform.
+    """
+
+    def select(self, choices, rng, step_index):
+        heads: dict[tuple[int, int], Choice] = {}
+        eligible: list[Choice] = []
+        for choice in choices:
+            kind, payload = choice
+            if kind != "recv":
+                eligible.append(choice)
+                continue
+            assert isinstance(payload, InFlight)
+            channel = (payload.sender, payload.receiver)
+            if channel not in heads:
+                heads[channel] = choice
+        eligible.extend(heads.values())
+        return eligible[rng.randrange(len(eligible))]
+
+
+class TargetedDelayPolicy(SchedulingPolicy):
+    """Starve ``victim`` of incoming messages until ``until_step``.
+
+    Other events proceed uniformly; once past the deadline — or when the
+    starved receptions are the only enabled events — the embargo lifts,
+    preserving liveness.
+    """
+
+    def __init__(self, victim: int, until_step: int) -> None:
+        self.victim = victim
+        self.until_step = until_step
+
+    def _starved(self, choice: Choice) -> bool:
+        kind, payload = choice
+        return (
+            kind == "recv"
+            and isinstance(payload, InFlight)
+            and payload.receiver == self.victim
+        )
+
+    def select(self, choices, rng, step_index):
+        if step_index < self.until_step:
+            allowed = [c for c in choices if not self._starved(c)]
+            if allowed:
+                return allowed[rng.randrange(len(allowed))]
+        return choices[rng.randrange(len(choices))]

@@ -1,0 +1,388 @@
+"""Deterministic per-process step machines.
+
+A :class:`BroadcastProcess` is one process's instance of a broadcast
+algorithm ``B``: event-handler generators written against the effect
+vocabulary of :mod:`repro.runtime.effects`.  A :class:`ProcessRuntime`
+drives one such instance step by step, exposing exactly the interface
+Algorithm 1 needs:
+
+* :meth:`ProcessRuntime.start_broadcast` — begin a ``B.broadcast(m)``
+  invocation (Algorithm 1 line 7);
+* :meth:`ProcessRuntime.next_step` — produce "p_i's next local step
+  according to B in C(α)" (line 8);
+* :meth:`ProcessRuntime.inject_receive` — a ``receive`` event occurred
+  (lines 11/23/26); the matching ``upon receive`` handler runs atomically
+  over the subsequent ``next_step`` calls;
+* :meth:`ProcessRuntime.resume_decide` — the pending ``propose`` was
+  decided (lines 16–20).
+
+Scheduling inside one process is deterministic: pending ``upon receive``
+handlers run first (FIFO, to completion), then the operation body.  The
+operation body may suspend on :class:`~repro.runtime.effects.Wait` guards;
+a process whose operation is waiting and whose handler queue is empty has
+no enabled local step and reports :class:`Blocked`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from ..core.actions import PointToPointId
+from ..core.message import Message, MessageFactory, MessageId
+from .effects import (
+    Deliver,
+    DeliverSet,
+    Effect,
+    LocalNote,
+    Propose,
+    Send,
+    Wait,
+)
+
+__all__ = [
+    "BroadcastProcess",
+    "ProcessRuntime",
+    "SendStep",
+    "ProposeStep",
+    "DeliverStep",
+    "DeliverSetStep",
+    "ReturnStep",
+    "LocalStep",
+    "Blocked",
+    "Idle",
+    "RuntimeOutcome",
+    "ProtocolError",
+]
+
+
+class ProtocolError(Exception):
+    """An algorithm or driver violated the step-machine protocol."""
+
+
+class BroadcastProcess(ABC):
+    """One process's instance of a broadcast algorithm.
+
+    Subclasses implement the two event handlers as generators over
+    :class:`~repro.runtime.effects.Effect`:
+
+    * :meth:`on_broadcast` — the body of ``B.broadcast(m)``; it runs until
+      exhaustion, at which point the invocation returns.  May ``Wait``.
+    * :meth:`on_receive` — the ``upon receive`` handler; atomic, must not
+      ``Wait``.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        self.pid = pid
+        self.n = n
+
+    @abstractmethod
+    def on_broadcast(self, message: Message) -> Iterator[Effect]:
+        """Steps taken while executing ``B.broadcast(message)``."""
+
+    @abstractmethod
+    def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
+        """Steps taken upon receiving ``payload`` from ``sender``."""
+
+    # -- convenience -----------------------------------------------------
+
+    def everyone(self) -> range:
+        """All process identifiers, including this process."""
+        return range(self.n)
+
+    def others(self) -> Iterator[int]:
+        """All process identifiers except this process."""
+        return (p for p in range(self.n) if p != self.pid)
+
+    def send_to_all(self, payload: Hashable) -> Iterator[Effect]:
+        """Yield ``Send`` effects addressing every process (self included)."""
+        for dest in self.everyone():
+            yield Send(dest, payload)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes of ProcessRuntime.next_step
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SendStep:
+    """The process emitted one point-to-point message."""
+
+    p2p: PointToPointId
+    payload: Hashable
+
+
+@dataclass(frozen=True)
+class ProposeStep:
+    """The process invoked ``ksa.propose(value)`` and awaits the decision."""
+
+    ksa: str
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class DeliverStep:
+    """The process B-delivered ``message``."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class DeliverSetStep:
+    """The process B-delivered a set of messages (SCD interface)."""
+
+    messages: tuple[Message, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStep:
+    """The pending ``B.broadcast(message)`` invocation returned."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class LocalStep:
+    """The process took an internal computation step."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class Blocked:
+    """No enabled local step: the operation body is waiting on a guard."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class Idle:
+    """No operation in progress and no pending handler work."""
+
+
+RuntimeOutcome = (
+    SendStep | ProposeStep | DeliverStep | DeliverSetStep | ReturnStep
+    | LocalStep | Blocked | Idle
+)
+
+
+class ProcessRuntime:
+    """Drives one :class:`BroadcastProcess` one step at a time."""
+
+    def __init__(
+        self,
+        algorithm: BroadcastProcess,
+        *,
+        message_factory: MessageFactory | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.pid = algorithm.pid
+        self.n = algorithm.n
+        self._factory = message_factory or MessageFactory()
+        self._p2p_seq: dict[int, int] = {}
+        self._handlers: deque[Iterator[Effect]] = deque()
+        self._operation: Iterator[Effect] | None = None
+        self._operation_message: Message | None = None
+        self._waiting: Wait | None = None
+        #: Generator that emitted a Propose and has not been decided yet.
+        self._awaiting_decide: Iterator[Effect] | None = None
+        #: Decided values waiting to be fed back, keyed by generator id.
+        #: Several generators can be suspended at once (the operation plus
+        #: the front 'upon receive' handler), so this is a map, not a slot.
+        self._resume_values: dict[int, Hashable] = {}
+        self._suspended: set[int] = set()
+        #: Messages delivered locally, in delivery order.
+        self.delivered: list[Message] = []
+        self._delivered_uids: set[MessageId] = set()
+        #: Messages whose broadcast invocation has returned.
+        self.returned_uids: set[MessageId] = set()
+
+    # -- driver API ------------------------------------------------------
+
+    def start_broadcast(self, content: Hashable) -> Message:
+        """Begin a ``B.broadcast`` invocation; returns the minted message."""
+        if self._operation is not None:
+            raise ProtocolError(
+                f"p{self.pid}: broadcast invoked while a previous "
+                f"invocation is pending"
+            )
+        message = self._factory.new(self.pid, content)
+        self._operation = self.algorithm.on_broadcast(message)
+        self._operation_message = message
+        self._waiting = None
+        return message
+
+    def inject_receive(self, p2p: PointToPointId, payload: Hashable) -> None:
+        """A ``receive`` event occurred; queue its handler."""
+        if p2p.receiver != self.pid:
+            raise ProtocolError(
+                f"p{self.pid}: received a message addressed to "
+                f"p{p2p.receiver}"
+            )
+        self._handlers.append(
+            self.algorithm.on_receive(payload, p2p.sender)
+        )
+
+    def resume_decide(self, value: Hashable) -> None:
+        """Provide the decided value for the pending ``propose``."""
+        if self._awaiting_decide is None:
+            raise ProtocolError(
+                f"p{self.pid}: decide without a pending proposal"
+            )
+        self._resume_values[id(self._awaiting_decide)] = value
+        self._awaiting_decide = None
+
+    def mint_p2p(self, dest: int) -> PointToPointId:
+        """Mint a unique point-to-point message identity towards ``dest``."""
+        seq = self._p2p_seq.get(dest, 0)
+        self._p2p_seq[dest] = seq + 1
+        return PointToPointId(self.pid, dest, seq)
+
+    @property
+    def operation_message(self) -> Message | None:
+        """The message of the in-progress broadcast invocation, if any."""
+        return self._operation_message
+
+    @property
+    def busy(self) -> bool:
+        """True while a broadcast invocation has not yet returned."""
+        return self._operation is not None
+
+    @property
+    def waiting_reason(self) -> str | None:
+        """The reason of the operation's current Wait, if it is waiting."""
+        if self._waiting is None:
+            return None
+        return self._waiting.reason or "operation waiting"
+
+    def has_delivered(self, uid: MessageId) -> bool:
+        return uid in self._delivered_uids
+
+    def has_enabled_step(self) -> bool:
+        """True if ``next_step`` would produce an actual step."""
+        outcome = self._peek()
+        return not isinstance(outcome, (Blocked, Idle))
+
+    def _peek(self) -> RuntimeOutcome | None:
+        if self._awaiting_decide is not None:
+            raise ProtocolError(
+                f"p{self.pid}: stepped while awaiting a k-SA decision"
+            )
+        if self._handlers or self._resume_values:
+            return None  # definitely has work
+        if self._operation is None:
+            return Idle()
+        if self._waiting is not None and not self._waiting.guard():
+            return Blocked(self._waiting.reason or "operation waiting")
+        return None
+
+    # -- the heart: one local step ----------------------------------------
+
+    def next_step(self) -> RuntimeOutcome:
+        """Produce the process's next local step according to the algorithm.
+
+        Handler generators take priority (FIFO, atomic); the operation body
+        runs when no handler is pending.  Exhausted generators are skipped
+        transparently; an exhausted operation body produces
+        :class:`ReturnStep`.
+        """
+        while True:
+            peeked = self._peek()
+            if peeked is not None:
+                return peeked
+            source, resume_value = self._pick_source()
+            try:
+                effect = source.send(resume_value)
+            except StopIteration:
+                if source is self._operation:
+                    message = self._operation_message
+                    assert message is not None
+                    self._operation = None
+                    self._operation_message = None
+                    self._waiting = None
+                    self.returned_uids.add(message.uid)
+                    return ReturnStep(message)
+                self._handlers.popleft()
+                continue
+            outcome = self._apply_effect(source, effect)
+            if outcome is not None:
+                return outcome
+
+    def _pick_source(self) -> tuple[Iterator[Effect], Hashable]:
+        """Choose the generator to advance and the value to resume it with.
+
+        'Upon receive' handlers run first (atomic event-handler
+        semantics); a generator suspended on a ``propose`` resumes with
+        its decided value when its turn comes.  In particular an
+        *operation* suspended on a decision resumes only once the handler
+        queue is quiet, so messages received across the propose/decide
+        pair are processed before the operation continues — this is the
+        window in which SCD-style batching accumulates.
+        """
+        source = self._handlers[0] if self._handlers else self._operation
+        assert source is not None
+        if id(source) in self._suspended:
+            if id(source) not in self._resume_values:
+                raise ProtocolError(
+                    f"p{self.pid}: generator suspended on a proposal "
+                    f"whose decision never arrived"
+                )
+            self._suspended.discard(id(source))
+            return source, self._resume_values.pop(id(source))
+        if source is self._operation:
+            self._waiting = None
+        return source, None
+
+    def _apply_effect(
+        self, source: Iterator[Effect], effect: Effect
+    ) -> RuntimeOutcome | None:
+        """Translate one yielded effect into a runtime outcome (or none)."""
+        if isinstance(effect, Send):
+            return SendStep(self.mint_p2p(effect.dest), effect.payload)
+        if isinstance(effect, Propose):
+            self._awaiting_decide = source
+            self._suspended.add(id(source))
+            return ProposeStep(effect.ksa, effect.value)
+        if isinstance(effect, Deliver):
+            if effect.message.uid in self._delivered_uids:
+                raise ProtocolError(
+                    f"p{self.pid}: algorithm delivers "
+                    f"{effect.message} twice"
+                )
+            self.delivered.append(effect.message)
+            self._delivered_uids.add(effect.message.uid)
+            return DeliverStep(effect.message)
+        if isinstance(effect, DeliverSet):
+            messages = tuple(
+                sorted(effect.messages, key=lambda m: m.uid)
+            )
+            if not messages:
+                raise ProtocolError(
+                    f"p{self.pid}: algorithm delivers an empty set"
+                )
+            for message in messages:
+                if message.uid in self._delivered_uids:
+                    raise ProtocolError(
+                        f"p{self.pid}: algorithm delivers {message} twice"
+                    )
+                self.delivered.append(message)
+                self._delivered_uids.add(message.uid)
+            return DeliverSetStep(messages)
+        if isinstance(effect, Wait):
+            if source is not self._operation:
+                raise ProtocolError(
+                    f"p{self.pid}: Wait inside an atomic 'upon receive' "
+                    f"handler"
+                )
+            if effect.guard():
+                return None  # guard already true: zero-cost transition
+            self._waiting = effect
+            return Blocked(effect.reason or "operation waiting")
+        if isinstance(effect, LocalNote):
+            return LocalStep(effect.label)
+        raise ProtocolError(
+            f"p{self.pid}: algorithm yielded unknown effect {effect!r}"
+        )

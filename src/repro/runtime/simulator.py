@@ -1,0 +1,333 @@
+"""The free scheduler: seeded, fair, replayable runs of CAMP_n[H].
+
+Where Algorithm 1 drives processes with a hand-crafted hostile schedule,
+the :class:`Simulator` explores *typical* asynchronous schedules: at each
+point it chooses uniformly at random (from an explicit seed) among all
+enabled events —
+
+* an enabled local step of some live process,
+* the reception of some in-flight message by a live process,
+* the start of the next scripted broadcast at an idle process,
+
+and injects crashes according to a :class:`~repro.runtime.crash.CrashSchedule`.
+The run ends when no event is enabled (quiescence) or a step budget is
+exhausted.  Every sent message addressed to a live process is eventually
+received because receptions stay enabled until taken — so finite quiescent
+runs satisfy SR-Termination by construction, and the checkers in
+:mod:`repro.core.model` re-verify it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping, Sequence
+
+from ..core.execution import Execution
+from ..core.message import Message, MessageFactory
+from .crash import CrashSchedule
+from .ksa_objects import DecisionPolicy, FirstProposalsPolicy, KsaRegistry
+from .network import Network
+from .policies import SchedulingPolicy, UniformPolicy
+from .process import (
+    Blocked,
+    BroadcastProcess,
+    DeliverSetStep,
+    DeliverStep,
+    Idle,
+    LocalStep,
+    ProcessRuntime,
+    ProposeStep,
+    ReturnStep,
+    SendStep,
+)
+from .trace import TraceRecorder
+
+__all__ = ["Gated", "SimulationResult", "Simulator"]
+
+AlgorithmFactory = Callable[[int, int], BroadcastProcess]
+
+
+@dataclass(frozen=True)
+class Gated:
+    """A script entry that waits for a delivery before broadcasting.
+
+    ``Gated(content, after)`` becomes eligible only once the process has
+    locally delivered a message whose content equals ``after`` — the way
+    scripts express *causal* dependencies across processes (a reply
+    gated on its parent, a command gated on an acknowledgement).
+    """
+
+    content: Hashable
+    after: Hashable
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable after one simulated run."""
+
+    execution: Execution
+    runtimes: Mapping[int, ProcessRuntime]
+    quiescent: bool
+    steps_taken: int
+    blocked: Mapping[int, str] = field(default_factory=dict)
+    #: Number of events that were enabled when a guided run exhausted its
+    #: guide (0 for free runs, which always run to quiescence/budget).
+    pending_choices: int = 0
+
+    def deliveries(self, process: int) -> list[Message]:
+        """The messages ``process`` B-delivered, in order."""
+        return list(self.runtimes[process].delivered)
+
+    def delivered_contents(self, process: int) -> list[Hashable]:
+        """The contents ``process`` B-delivered, in order."""
+        return [m.content for m in self.runtimes[process].delivered]
+
+
+class Simulator:
+    """Runs a broadcast algorithm under seeded random asynchrony.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    algorithm_factory:
+        ``factory(pid, n)`` building each process's algorithm instance.
+    k:
+        The ``k`` of the k-SA oracle objects available to the algorithm.
+    ksa_policy:
+        Decision policy of the oracles (default: first-proposals-win).
+    seed:
+        Seed of the scheduling randomness; equal seeds replay identically.
+    sync_broadcasts:
+        When true, a process starts its next scripted broadcast only after
+        the previous one returned *and* was delivered locally
+        (``sync-broadcast`` of Section 3.1); otherwise after return alone.
+    scheduling_policy:
+        How the next event is chosen among the enabled ones (default:
+        seeded uniform); see :mod:`repro.runtime.policies`.
+    atomic_local:
+        When true, local computation runs eagerly to quiescence (in pid
+        order) after every scheduled event, so the only scheduling
+        decisions are receptions and broadcast starts.  Local steps of a
+        deterministic algorithm commute with each other, so this is a
+        sound partial-order reduction for terminal-state properties —
+        it is what makes exhaustive exploration
+        (:mod:`repro.runtime.explorer`) tractable.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: AlgorithmFactory,
+        *,
+        k: int = 1,
+        ksa_policy: DecisionPolicy | None = None,
+        seed: int = 0,
+        sync_broadcasts: bool = False,
+        scheduling_policy: SchedulingPolicy | None = None,
+        atomic_local: bool = False,
+    ) -> None:
+        self.n = n
+        self.algorithm_factory = algorithm_factory
+        self.k = k
+        self.ksa_policy = ksa_policy or FirstProposalsPolicy()
+        self.seed = seed
+        self.sync_broadcasts = sync_broadcasts
+        self.scheduling_policy = scheduling_policy or UniformPolicy()
+        self.atomic_local = atomic_local
+
+    def run(
+        self,
+        scripts: Mapping[int, Sequence[Hashable]],
+        *,
+        crash_schedule: CrashSchedule | None = None,
+        max_steps: int = 100_000,
+        guide: Sequence[int] | None = None,
+    ) -> SimulationResult:
+        """Execute the scripted broadcasts to quiescence.
+
+        ``scripts[p]`` lists the contents process ``p`` broadcasts, in
+        order.  Returns the recorded execution plus per-process state.
+
+        ``guide`` switches the run to *guided* mode: the i-th scheduling
+        decision takes the ``guide[i]``-th enabled event instead of
+        consulting the policy, and the run stops when the guide is
+        exhausted, reporting how many events were enabled at that point
+        in :attr:`SimulationResult.pending_choices`.  Guided runs are the
+        replay primitive of the exhaustive schedule explorer
+        (:mod:`repro.runtime.explorer`).
+        """
+        rng = random.Random(self.seed)
+        crashes = crash_schedule or CrashSchedule.none()
+        factory = MessageFactory()
+        runtimes = {
+            p: ProcessRuntime(
+                self.algorithm_factory(p, self.n), message_factory=factory
+            )
+            for p in range(self.n)
+        }
+        registry = KsaRegistry(self.k, self.ksa_policy)
+        network = Network()
+        trace = TraceRecorder(self.n)
+        remaining = {p: list(scripts.get(p, ())) for p in range(self.n)}
+        last_sync_message: dict[int, Message | None] = {
+            p: None for p in range(self.n)
+        }
+        alive = set(range(self.n))
+
+        for p in sorted(crashes.initially):
+            trace.crash(p)
+            alive.discard(p)
+
+        steps = 0
+        pending_choices = 0
+        while steps < max_steps:
+            for p in sorted(alive):
+                if crashes.due(p, steps):
+                    trace.crash(p)
+                    alive.discard(p)
+
+            if self.atomic_local:
+                self._drain_local(alive, runtimes, trace, registry, network)
+
+            choices = self._enabled_choices(
+                alive, runtimes, network, remaining, last_sync_message
+            )
+            if not choices:
+                break
+            if guide is not None:
+                if steps >= len(guide):
+                    pending_choices = len(choices)
+                    break
+                kind, payload = choices[guide[steps] % len(choices)]
+            else:
+                kind, payload = self.scheduling_policy.select(
+                    choices, rng, steps
+                )
+            steps += 1
+            if kind == "local":
+                self._take_local_step(
+                    payload, runtimes[payload], trace, registry, network
+                )
+            elif kind == "recv":
+                item = payload
+                network.receive(item.p2p)
+                trace.receive(item.receiver, item.p2p, item.payload)
+                runtimes[item.receiver].inject_receive(
+                    item.p2p, item.payload
+                )
+            else:  # "bcast"
+                p = payload
+                entry = remaining[p].pop(0)
+                content = (
+                    entry.content if isinstance(entry, Gated) else entry
+                )
+                message = runtimes[p].start_broadcast(content)
+                last_sync_message[p] = message
+                trace.broadcast_invoke(p, message)
+
+        blocked = {
+            p: outcome.reason
+            for p, outcome in (
+                (p, self._peek_outcome(runtimes[p])) for p in sorted(alive)
+            )
+            if isinstance(outcome, Blocked)
+        }
+        quiescent = not self._enabled_choices(
+            alive, runtimes, network, remaining, last_sync_message
+        )
+        return SimulationResult(
+            execution=trace.execution(),
+            runtimes=runtimes,
+            quiescent=quiescent,
+            steps_taken=steps,
+            blocked=blocked,
+            pending_choices=pending_choices,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _drain_local(
+        self, alive, runtimes, trace, registry, network
+    ) -> None:
+        """Run every enabled local step, in pid order, to quiescence."""
+        progress = True
+        while progress:
+            progress = False
+            for p in sorted(alive):
+                runtime = runtimes[p]
+                while runtime.has_enabled_step():
+                    self._take_local_step(
+                        p, runtime, trace, registry, network
+                    )
+                    progress = True
+
+    def _enabled_choices(
+        self, alive, runtimes, network, remaining, last_sync_message
+    ) -> list[tuple[str, object]]:
+        choices: list[tuple[str, object]] = []
+        for p in sorted(alive):
+            runtime = runtimes[p]
+            if self.atomic_local:
+                pass  # local work was drained eagerly
+            elif runtime.has_enabled_step():
+                choices.append(("local", p))
+            if remaining[p] and self._may_start_broadcast(
+                runtime, last_sync_message[p], remaining[p][0]
+            ):
+                choices.append(("bcast", p))
+        for item in network.deliverable(alive):
+            choices.append(("recv", item))
+        return choices
+
+    def _may_start_broadcast(
+        self,
+        runtime: ProcessRuntime,
+        last_message: Message | None,
+        next_entry: Hashable = None,
+    ) -> bool:
+        if runtime.busy:
+            return False
+        if self.sync_broadcasts and last_message is not None:
+            if not runtime.has_delivered(last_message.uid):
+                return False
+        if isinstance(next_entry, Gated):
+            return any(
+                m.content == next_entry.after for m in runtime.delivered
+            )
+        return True
+
+    @staticmethod
+    def _peek_outcome(runtime: ProcessRuntime):
+        if runtime.has_enabled_step():
+            return None
+        if runtime.busy:
+            return Blocked(runtime.waiting_reason or "operation waiting")
+        return Idle()
+
+    def _take_local_step(
+        self, p: int, runtime: ProcessRuntime, trace, registry, network
+    ) -> None:
+        outcome = runtime.next_step()
+        if isinstance(outcome, SendStep):
+            trace.send(p, outcome.p2p, outcome.payload)
+            network.send(outcome.p2p, outcome.payload)
+        elif isinstance(outcome, ProposeStep):
+            trace.propose(p, outcome.ksa, outcome.value)
+            decided = registry.propose(outcome.ksa, p, outcome.value)
+            trace.decide(p, outcome.ksa, decided)
+            runtime.resume_decide(decided)
+        elif isinstance(outcome, DeliverStep):
+            trace.deliver(p, outcome.message)
+        elif isinstance(outcome, DeliverSetStep):
+            trace.deliver_set(p, outcome.messages)
+        elif isinstance(outcome, ReturnStep):
+            trace.broadcast_return(p, outcome.message)
+        elif isinstance(outcome, LocalStep):
+            trace.local(p, outcome.label)
+        else:
+            # Blocked / Idle: the apparent work was an 'upon receive'
+            # handler that produced no step (e.g. a duplicate message).
+            # next_step() has drained it; nothing to record.
+            pass

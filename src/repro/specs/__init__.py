@@ -1,0 +1,67 @@
+"""The catalogue of broadcast abstractions discussed in the paper.
+
+Each module defines one abstraction as a :class:`~repro.core.BroadcastSpec`
+subclass — a decidable predicate over broadcast-level executions:
+
+=====================================  ==============  ================
+abstraction                             compositional   content-neutral
+=====================================  ==============  ================
+:class:`SendToAllSpec`                  yes             yes
+:class:`ReliableBroadcastSpec`          yes             yes
+:class:`UniformReliableBroadcastSpec`   yes             yes
+:class:`FifoBroadcastSpec`              yes             yes
+:class:`CausalBroadcastSpec`            yes             yes
+:class:`TotalOrderBroadcastSpec`        yes             yes
+:class:`KboBroadcastSpec`               yes             yes
+:class:`MutualBroadcastSpec`            yes             yes
+:class:`PairBroadcastSpec`              yes             yes
+:class:`ScdBroadcastSpec` / k-SCD       yes             yes
+:class:`KSteppedBroadcastSpec`          **no**          yes
+:class:`FirstKBroadcastSpec`            **no**          yes
+:class:`SaTaggedBroadcastSpec`          no              **no**
+:class:`GenericBroadcastSpec`           yes             **no**
+=====================================  ==============  ================
+
+(the table is re-derived mechanically by experiment S1, see
+:mod:`repro.experiments.symmetry_matrix`).
+"""
+
+from .causal import CausalBroadcastSpec
+from .fifo import FifoBroadcastSpec
+from .first_k import FirstKBroadcastSpec
+from .generic import (
+    GenericBroadcastSpec,
+    command_content,
+    commands_conflict,
+)
+from .kbo import KboBroadcastSpec
+from .kstepped import KSteppedBroadcastSpec
+from .mutual import MutualBroadcastSpec
+from .pair import PairBroadcastSpec
+from .reliable import ReliableBroadcastSpec, UniformReliableBroadcastSpec
+from .sa_tagged import SaTaggedBroadcastSpec, sa_content
+from .scd import KScdBroadcastSpec, ScdBroadcastSpec, set_delivery_ranks
+from .send_to_all import SendToAllSpec
+from .total_order import TotalOrderBroadcastSpec
+
+__all__ = [
+    "CausalBroadcastSpec",
+    "FifoBroadcastSpec",
+    "FirstKBroadcastSpec",
+    "GenericBroadcastSpec",
+    "KScdBroadcastSpec",
+    "KboBroadcastSpec",
+    "KSteppedBroadcastSpec",
+    "MutualBroadcastSpec",
+    "PairBroadcastSpec",
+    "ReliableBroadcastSpec",
+    "SaTaggedBroadcastSpec",
+    "ScdBroadcastSpec",
+    "SendToAllSpec",
+    "TotalOrderBroadcastSpec",
+    "UniformReliableBroadcastSpec",
+    "command_content",
+    "commands_conflict",
+    "sa_content",
+    "set_delivery_ranks",
+]

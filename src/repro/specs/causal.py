@@ -1,0 +1,40 @@
+"""Causal Broadcast — delivery respects the happened-before order.
+
+Ordering predicate (Birman & Joseph; Raynal, Schiper & Toueg): if the
+broadcast of ``m`` causally precedes the broadcast of ``m'`` — same-sender
+order, or the broadcaster of ``m'`` delivered ``m`` before broadcasting
+``m'``, transitively — then no process delivers ``m'`` before ``m``.
+
+Causal Broadcast is implementable in ``CAMP_n[∅]`` and therefore offers the
+"relativistic" end of the paper's concluding time spectrum (Section 5),
+against Total-Order Broadcast's absolute timeline.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import causal_precedence, delivery_positions
+
+__all__ = ["CausalBroadcastSpec"]
+
+
+class CausalBroadcastSpec(BroadcastSpec):
+    """Causal Broadcast: causally-ordered messages delivered in order."""
+
+    name = "Causal Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        precedence = causal_precedence(execution)
+        positions = delivery_positions(execution)
+        for earlier, later in precedence.edges:
+            for process, ranks in positions.items():
+                if later in ranks and (
+                    earlier not in ranks or ranks[later] < ranks[earlier]
+                ):
+                    violations.append(
+                        f"p{process} delivers {later} without first "
+                        f"delivering its causal predecessor {earlier}"
+                    )
+        return violations

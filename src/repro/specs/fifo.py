@@ -1,0 +1,48 @@
+"""FIFO Broadcast — per-sender delivery order (Birman & Joseph).
+
+Ordering predicate: if a process broadcasts ``m`` before ``m'``, then no
+process delivers ``m'`` before ``m``.  The predicate constrains the
+relative order of same-sender messages only; it is content-neutral (it
+never inspects contents) and compositional (it is a conjunction of
+per-pair clauses, each invariant under restriction to any superset of the
+pair — the argument the paper spells out for k-BO in Section 3.2).
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import delivery_positions
+
+__all__ = ["FifoBroadcastSpec"]
+
+
+class FifoBroadcastSpec(BroadcastSpec):
+    """FIFO Broadcast: same-sender messages delivered in broadcast order."""
+
+    name = "FIFO Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        positions = delivery_positions(execution)
+        broadcast_rank = {
+            m.uid: rank for rank, m in enumerate(execution.broadcast_messages)
+        }
+        per_sender: dict[int, list] = {}
+        for message in execution.broadcast_messages:
+            per_sender.setdefault(message.sender, []).append(message.uid)
+        for sender, uids in per_sender.items():
+            uids.sort(key=broadcast_rank.__getitem__)
+            for earlier_index, earlier in enumerate(uids):
+                for later in uids[earlier_index + 1:]:
+                    for process, ranks in positions.items():
+                        if later in ranks and (
+                            earlier not in ranks
+                            or ranks[later] < ranks[earlier]
+                        ):
+                            violations.append(
+                                f"p{process} delivers {later} without "
+                                f"first delivering p{sender}'s earlier "
+                                f"{earlier}"
+                            )
+        return violations

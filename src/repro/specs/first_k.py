@@ -1,0 +1,47 @@
+"""First-k Broadcast — the Introduction's "simplistic" one-shot abstraction.
+
+Section 1.4 opens with the naive proposal: an ordering property stating
+that *at most k distinct messages can be delivered as the first messages
+by the processes*.  One k-SA object can select the eligible first
+messages, and conversely k-SA is solved by broadcasting proposals and
+deciding the first delivered one — so this abstraction *is* equivalent to
+(one-shot) k-SA.
+
+The paper rejects it as "unsatisfactory": the property is meaningful only
+once, so iterated use requires a fresh broadcast instance per k-SA object.
+Formally, the defect is a **compositionality** failure: restricting an
+admissible execution to a subset that excludes the agreed first messages
+yields more than k distinct first deliveries.  The symmetry checkers
+demonstrate this concretely (experiment S1), and the Theorem-1 pipeline
+(experiment L9/T1) uses this very spec as the equivalence candidate whose
+hypotheses fail.
+
+It is content-neutral: the predicate counts identities, not contents.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import first_delivered_set
+
+__all__ = ["FirstKBroadcastSpec"]
+
+
+class FirstKBroadcastSpec(BroadcastSpec):
+    """First-k Broadcast: at most k distinct first-delivered messages."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"First-{k} Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        firsts = first_delivered_set(execution)
+        if len(firsts) <= self.k:
+            return []
+        return [
+            f"{len(firsts)} distinct messages are delivered first "
+            f"({', '.join(map(str, sorted(firsts)))}) > k={self.k}"
+        ]

@@ -1,0 +1,77 @@
+"""Generic Broadcast (Pedone & Schiper) — content-sensitive by design.
+
+Section 3.2 uses Generic Broadcast as the literature's example of an
+abstraction that violates content-neutrality: messages encapsulate
+*commands* of a replicated data structure, and only **non-commuting**
+command pairs need a uniform delivery order (in the vein of Generalized
+Paxos).  Specifying it requires differentiating messages by content.
+
+Here commands are contents of the shape ``("cmd", key, op)`` with ``op``
+either ``"r"`` (read) or ``"w"`` (write); two commands *conflict* when
+they target the same key and at least one is a write.  The ordering
+predicate requires every conflicting pair to be delivered in the same
+order by all processes (the non-conflicting pairs — different keys, or
+two reads — are free).  Messages whose content is not command-shaped are
+unconstrained.
+
+The experiment S1 extension measures what the paper asserts: Generic
+Broadcast is **compositional** (a per-pair predicate) but **not
+content-neutral** — renaming two commuting reads into conflicting writes
+manufactures an ordering violation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import delivery_positions, pair_orders
+
+__all__ = ["GenericBroadcastSpec", "command_content", "commands_conflict"]
+
+
+def command_content(key: str, op: str) -> tuple[str, str, str]:
+    """Build a command content: ``op`` is ``"r"`` (read) or ``"w"`` (write)."""
+    if op not in ("r", "w"):
+        raise ValueError(f"op must be 'r' or 'w', got {op!r}")
+    return ("cmd", key, op)
+
+
+def _as_command(content: Hashable) -> tuple[str, str] | None:
+    if (
+        isinstance(content, tuple)
+        and len(content) == 3
+        and content[0] == "cmd"
+        and content[2] in ("r", "w")
+    ):
+        return (content[1], content[2])
+    return None
+
+
+def commands_conflict(first: Hashable, second: Hashable) -> bool:
+    """Two contents conflict iff same key and at least one write."""
+    a, b = _as_command(first), _as_command(second)
+    if a is None or b is None:
+        return False
+    return a[0] == b[0] and ("w" in (a[1], b[1]))
+
+
+class GenericBroadcastSpec(BroadcastSpec):
+    """Generic Broadcast: conflicting commands are uniformly ordered."""
+
+    name = "Generic Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        positions = delivery_positions(execution)
+        for first, second in combinations(execution.broadcast_messages, 2):
+            if not commands_conflict(first.content, second.content):
+                continue
+            if len(pair_orders(positions, first.uid, second.uid)) > 1:
+                violations.append(
+                    f"conflicting commands {first} and {second} are "
+                    f"delivered in different orders by different processes"
+                )
+        return violations

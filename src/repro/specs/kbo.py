@@ -1,0 +1,45 @@
+"""k-Bounded-Order (k-BO) Broadcast — Imbs, Mostéfaoui, Perrin & Raynal.
+
+Ordering predicate (Section 1.3): *every set of k+1 messages contains two
+messages delivered in the same order by all processes* (all processes that
+deliver both).  For k = 1 this is Total-Order Broadcast.
+
+k-BO Broadcast characterizes k-set agreement in the *shared-memory* model;
+the paper proves (as a corollary of Theorem 1) that it cannot be
+implemented from k-SA alone in message passing.  Section 3.2 uses it as
+the worked example of a **compositional** abstraction: the predicate is a
+universally-quantified property of message *sets*, so every subset of an
+admissible execution's messages keeps satisfying it.  It is also
+content-neutral, never inspecting contents.
+
+The checker searches for a (k+1)-clique in the disagreement graph — a set
+of k+1 messages no two of which are uniformly ordered.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import kbo_violation_witness
+
+__all__ = ["KboBroadcastSpec"]
+
+
+class KboBroadcastSpec(BroadcastSpec):
+    """k-BO Broadcast: every k+1 messages contain a uniformly ordered pair."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-BO Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        witness = kbo_violation_witness(execution, self.k)
+        if witness is None:
+            return []
+        return [
+            f"the {self.k + 1} messages "
+            f"{{{', '.join(map(str, witness))}}} contain no pair delivered "
+            f"in the same order by all processes"
+        ]

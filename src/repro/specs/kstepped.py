@@ -1,0 +1,68 @@
+"""k-Stepped Broadcast — the paper's non-compositional counterexample.
+
+Section 3.2 introduces this abstraction to motivate compositionality.
+Ordering predicate: *for each round index a, let S_a be the set containing
+the a-th message broadcast by each process; then at most k messages
+m ∈ S_a are delivered by some process before any other message of S_a.*
+
+A sequence of k-SA objects could be driven by the per-round first
+deliveries, so k-Stepped Broadcast "would" characterize iterated k-SA —
+except that its predicate hinges on the global sequence number ``a``,
+which is *not* preserved under restriction to a message subset.  The paper
+exhibits the witness for k = 1 and two processes broadcasting
+``m_i, m'_i``: deliveries ``[m_0, m'_0, m_1, m'_1]`` at p_0 and
+``[m_0, m_1, m'_0, m'_1]`` at p_1 satisfy the predicate, but the
+restriction to ``{m'_0, m_1}`` does not.  The compositionality checker
+reproduces exactly that counterexample (see
+``tests/specs/test_kstepped.py`` and experiment S1).
+
+The abstraction *is* content-neutral: the predicate never reads contents.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.message import MessageId
+
+__all__ = ["KSteppedBroadcastSpec"]
+
+
+class KSteppedBroadcastSpec(BroadcastSpec):
+    """k-Stepped Broadcast: at most k per-round first deliveries."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-Stepped Broadcast"
+
+    def _rounds(self, execution: Execution) -> list[set[MessageId]]:
+        """S_a sets: the a-th broadcast message of each process."""
+        per_sender: dict[int, list[MessageId]] = {}
+        for message in execution.broadcast_messages:
+            per_sender.setdefault(message.sender, []).append(message.uid)
+        depth = max((len(uids) for uids in per_sender.values()), default=0)
+        return [
+            {uids[a] for uids in per_sender.values() if len(uids) > a}
+            for a in range(depth)
+        ]
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        for round_index, round_set in enumerate(self._rounds(execution)):
+            first_in_round: set[MessageId] = set()
+            for process in range(execution.n):
+                for message in execution.deliveries_of(process):
+                    if message.uid in round_set:
+                        first_in_round.add(message.uid)
+                        break
+            if len(first_in_round) > self.k:
+                violations.append(
+                    f"round {round_index}: {len(first_in_round)} distinct "
+                    f"messages of S_{round_index} are delivered first by "
+                    f"some process "
+                    f"({', '.join(map(str, sorted(first_in_round)))}) "
+                    f"> k={self.k}"
+                )
+        return violations

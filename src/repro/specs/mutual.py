@@ -1,0 +1,70 @@
+"""Mutual Broadcast — the abstraction characterizing read/write registers.
+
+The paper's Introduction (§1.2) cites Mutual Broadcast [Déprés,
+Mostéfaoui, Perrin & Raynal, PODC 2023] as the broadcast abstraction
+computationally equivalent to atomic read/write registers.  Its ordering
+property (MB-Ordering) is a per-pair mutuality constraint:
+
+    for any two messages m broadcast by p and m' broadcast by q,
+    p delivers m' before m, **or** q delivers m before m'.
+
+(A process that never delivers the relevant message counts as "not
+before".)  The property forbids two processes from each "seeing their own
+message first" — it is exactly the two-message anti-*solo* condition, so
+Mutual Broadcast admits **no** 1-solo execution (Definition 5).  Combined
+with Lemma 10 this yields a satisfying companion result to the paper's
+corollary, demonstrated in experiment M1: *no algorithm over k-SA objects
+implements Mutual Broadcast in message passing* — the adversary's β is
+1-solo, which MB-Ordering rejects — matching the fact that k-SA (k > 1)
+cannot emulate shared memory (§1.3).
+
+Mutual Broadcast is both compositional (a per-pair predicate) and
+content-neutral, so it is an *admissible* abstraction in the paper's
+sense — just not one equivalent to k-SA.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import delivery_positions
+
+__all__ = ["MutualBroadcastSpec"]
+
+
+class MutualBroadcastSpec(BroadcastSpec):
+    """Mutual Broadcast: every cross-process message pair is mutual."""
+
+    name = "Mutual Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        positions = delivery_positions(execution)
+        messages = execution.broadcast_messages
+        for first, second in combinations(messages, 2):
+            p, q = first.sender, second.sender
+            if p == q:
+                continue
+            p_ranks = positions.get(p, {})
+            q_ranks = positions.get(q, {})
+            # p has irrevocably failed its half once it delivers its own m
+            # without having delivered m' strictly earlier (and dually for
+            # q); a pair is violated when both halves have failed — the
+            # safety reading, stable under extension of the execution.
+            p_failed = first.uid in p_ranks and not (
+                second.uid in p_ranks
+                and p_ranks[second.uid] < p_ranks[first.uid]
+            )
+            q_failed = second.uid in q_ranks and not (
+                first.uid in q_ranks
+                and q_ranks[first.uid] < q_ranks[second.uid]
+            )
+            if p_failed and q_failed:
+                violations.append(
+                    f"messages {first.uid} (p{p}) and {second.uid} (p{q}) "
+                    f"are not mutual: each sender delivers its own message "
+                    f"without having delivered the other's first"
+                )
+        return violations

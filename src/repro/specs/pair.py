@@ -1,0 +1,58 @@
+"""Pair Broadcast — capturing test-and-set / 2-process consensus.
+
+The paper's Introduction (§1.2) cites Pair Broadcast [Déprés,
+Mostéfaoui, Perrin & Raynal, DISC 2023] as the abstraction that
+characterizes the computational power of test-and-set and of consensus
+between two processes.  Its ordering property strengthens Mutual
+Broadcast's per-pair mutuality into per-pair *agreement*:
+
+    for any two messages m broadcast by p and m' broadcast by q (p ≠ q),
+    p and q deliver m and m' in the same relative order.
+
+Equivalently, restricted to the two *senders* of any message pair, the
+pair is uniformly ordered — between two processes this is Total-Order
+Broadcast (hence 2-process consensus), while across n processes it stays
+strictly weaker than Total Order (third parties may observe any order).
+
+The predicate is a conjunction of per-pair clauses over sender-local
+delivery orders, so Pair Broadcast is compositional, and it never reads
+contents, so it is content-neutral.  Like Mutual Broadcast it rejects
+1-solo executions — so it, too, has no implementation from k-SA objects
+(experiment M1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.order import delivery_positions
+
+__all__ = ["PairBroadcastSpec"]
+
+
+class PairBroadcastSpec(BroadcastSpec):
+    """Pair Broadcast: the two senders agree on their pair's order."""
+
+    name = "Pair Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        positions = delivery_positions(execution)
+        for first, second in combinations(execution.broadcast_messages, 2):
+            p, q = first.sender, second.sender
+            if p == q:
+                continue
+            orders = set()
+            for ranks in (positions.get(p, {}), positions.get(q, {})):
+                if first.uid in ranks and second.uid in ranks:
+                    orders.add(
+                        1 if ranks[first.uid] < ranks[second.uid] else -1
+                    )
+            if len(orders) > 1:
+                violations.append(
+                    f"senders p{p} and p{q} deliver their pair "
+                    f"{first.uid}/{second.uid} in opposite orders"
+                )
+        return violations

@@ -1,0 +1,74 @@
+"""(Uniform) Reliable Broadcast — liveness-strengthened abstractions.
+
+The paper cites Reliable Broadcast and Uniform Reliable Broadcast
+(Hadzilacos & Toueg) as the canonical examples of *liveness* predicates
+layered on Send-To-All Broadcast (Section 3.2):
+
+* **Reliable Broadcast** — if a *correct* process delivers ``m``, then all
+  correct processes deliver ``m`` (covers messages of faulty senders that
+  some correct process managed to deliver);
+* **Uniform Reliable Broadcast** — if *any* process (correct or not)
+  delivers ``m``, then all correct processes deliver ``m``.
+
+Both are content-neutral and compositional: their clauses quantify over
+individual messages, so restriction and renaming preserve them.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.message import MessageId
+
+__all__ = ["ReliableBroadcastSpec", "UniformReliableBroadcastSpec"]
+
+
+def _delivered_by(execution: Execution) -> dict[MessageId, set[int]]:
+    """Map each message to the set of processes that deliver it."""
+    delivered: dict[MessageId, set[int]] = {}
+    for process, sequence in execution.delivery_sequences.items():
+        for message in sequence:
+            delivered.setdefault(message.uid, set()).add(process)
+    return delivered
+
+
+class ReliableBroadcastSpec(BroadcastSpec):
+    """Reliable Broadcast: correct-delivery implies everywhere-delivery."""
+
+    name = "Reliable Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        return []
+
+    def liveness_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        correct = execution.correct
+        for uid, deliverers in _delivered_by(execution).items():
+            if deliverers & correct:
+                for process in correct - deliverers:
+                    violations.append(
+                        f"correct p{process} misses {uid}, delivered by "
+                        f"correct "
+                        f"p{min(deliverers & correct)}"
+                    )
+        return violations
+
+
+class UniformReliableBroadcastSpec(BroadcastSpec):
+    """Uniform Reliable Broadcast: any delivery implies correct delivery."""
+
+    name = "Uniform Reliable Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        return []
+
+    def liveness_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        correct = execution.correct
+        for uid, deliverers in _delivered_by(execution).items():
+            for process in correct - deliverers:
+                violations.append(
+                    f"correct p{process} misses {uid}, delivered by "
+                    f"p{min(deliverers)}"
+                )
+        return violations

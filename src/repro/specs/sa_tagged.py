@@ -1,0 +1,76 @@
+"""SA-tagged Broadcast — the paper's content-NON-neutral counterexample.
+
+Section 3.2 (Content Neutrality) sketches a broadcast abstraction
+equivalent to k-SA that cheats by inspecting message *contents*: an
+ordering property applying only to messages of the special type
+``SA(ksa, v)``, requiring that for each k-SA object identifier ``ksa``, at
+most k distinct messages of the form ``SA(ksa, _)`` are delivered first
+among that type by any process.
+
+Because the predicate keys on the content structure, an injective renaming
+that rewrites contents (for instance to opaque fresh tokens) makes every
+constraint vacuous in one direction and, conversely, renaming plain
+messages *into* ``SA``-typed ones manufactures violations — the
+abstraction is not content-neutral, which is exactly why the paper
+excludes such specifications.  In this library a content of the shape
+``("SA", ksa, v)`` (a 3-tuple with first element the string ``"SA"``) is
+recognized as an SA-typed message.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.message import MessageId
+
+__all__ = ["SaTaggedBroadcastSpec", "sa_content"]
+
+
+def sa_content(ksa: str, value: Hashable) -> tuple[str, str, Hashable]:
+    """Build the special SA-typed content ``SA(ksa, v)``."""
+    return ("SA", ksa, value)
+
+
+def _sa_key(content: Hashable) -> str | None:
+    """The ksa identifier if ``content`` is SA-typed, else ``None``."""
+    if (
+        isinstance(content, tuple)
+        and len(content) == 3
+        and content[0] == "SA"
+        and isinstance(content[1], str)
+    ):
+        return content[1]
+    return None
+
+
+class SaTaggedBroadcastSpec(BroadcastSpec):
+    """Per-ksa first-delivery bound on SA-typed messages (content-sensitive)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"SA-tagged Broadcast (k={self.k})"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        violations: list[str] = []
+        sa_uids: dict[str, set[MessageId]] = {}
+        for message in execution.broadcast_messages:
+            ksa = _sa_key(message.content)
+            if ksa is not None:
+                sa_uids.setdefault(ksa, set()).add(message.uid)
+        for ksa, uids in sa_uids.items():
+            firsts: set[MessageId] = set()
+            for process in range(execution.n):
+                for message in execution.deliveries_of(process):
+                    if message.uid in uids:
+                        firsts.add(message.uid)
+                        break
+            if len(firsts) > self.k:
+                violations.append(
+                    f"{ksa}: {len(firsts)} distinct SA({ksa}, _) messages "
+                    f"delivered first among that type > k={self.k}"
+                )
+        return violations

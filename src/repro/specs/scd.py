@@ -1,0 +1,113 @@
+"""SCD Broadcast and k-SCD Broadcast — set-constrained delivery.
+
+Section 3.1's "Remark on Expressiveness" points at Set-Constrained-
+Delivery Broadcast [Imbs, Mostéfaoui, Perrin & Raynal, TCS 2021] and its
+extension k-SCD Broadcast [same authors, DISC 2017] as abstractions whose
+interface deviates from single-message delivery: messages are delivered
+within *unordered sets*.  The paper notes its definitions and proofs
+generalize to this interface but keeps single deliveries for readability;
+this module implements the generalization the paper skips.
+
+Let ``m <_p m'`` denote "process p delivers the set containing m strictly
+before the set containing m'" (members of the same set are unordered).
+
+* **SCD (MS-Ordering)**: there are no processes p, q and messages m, m'
+  with ``m <_p m'`` and ``m' <_q m``.  SCD Broadcast is computationally
+  equivalent to read/write registers — like Mutual Broadcast, its
+  ordering rejects 1-solo executions, so it has no implementation from
+  k-SA objects (experiment M1).
+* **k-SCD**: our formalization generalizes MS-Ordering the way k-BO
+  generalizes Total Order: the *mutual-disorder graph* (an edge joins m
+  and m' when some p, q order them strictly oppositely) must contain no
+  clique of k+1 messages.  For k = 1 this is exactly MS-Ordering.
+
+Both predicates quantify over message pairs/sets independently of the
+rest of the execution, so they are compositional; neither reads contents,
+so they are content-neutral — SCD-style interfaces do not escape
+Theorem 1, which is why the paper can afford to skip them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping
+
+import networkx as nx
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+from ..core.message import MessageId
+
+__all__ = ["set_delivery_ranks", "ScdBroadcastSpec", "KScdBroadcastSpec"]
+
+
+def set_delivery_ranks(
+    execution: Execution,
+) -> Mapping[int, Mapping[MessageId, int]]:
+    """Per process, the index of the delivered *set* containing each message.
+
+    Two messages of the same set share a rank — they are unordered at
+    that process, which is the whole point of set-constrained delivery.
+    """
+    ranks: dict[int, dict[MessageId, int]] = {}
+    for process, sets in execution.set_delivery_sequences.items():
+        per_process: dict[MessageId, int] = {}
+        for index, delivered_set in enumerate(sets):
+            for message in delivered_set:
+                per_process[message.uid] = index
+        ranks[process] = per_process
+    return ranks
+
+
+def _mutual_disorder_graph(execution: Execution) -> nx.Graph:
+    """Edges join message pairs some two processes order strictly oppositely."""
+    ranks = set_delivery_ranks(execution)
+    graph = nx.Graph()
+    uids = [m.uid for m in execution.broadcast_messages]
+    graph.add_nodes_from(uids)
+    for first, second in combinations(uids, 2):
+        orders = set()
+        for per_process in ranks.values():
+            if first in per_process and second in per_process:
+                if per_process[first] < per_process[second]:
+                    orders.add(1)
+                elif per_process[first] > per_process[second]:
+                    orders.add(-1)
+                # equal ranks: same set, unordered — contributes nothing
+        if len(orders) > 1:
+            graph.add_edge(first, second)
+    return graph
+
+
+class KScdBroadcastSpec(BroadcastSpec):
+    """k-SCD Broadcast: no k+1 messages are pairwise mutually disordered."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-SCD Broadcast" if k > 1 else "SCD Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        graph = _mutual_disorder_graph(execution)
+        if self.k == 1:
+            return [
+                f"{first} and {second} are delivered in strictly opposite "
+                f"set orders by two processes (MS-Ordering violated)"
+                for first, second in graph.edges
+            ]
+        for clique in nx.find_cliques(graph):
+            if len(clique) >= self.k + 1:
+                witness = ", ".join(map(str, sorted(clique)[: self.k + 1]))
+                return [
+                    f"the {self.k + 1} messages {{{witness}}} are pairwise "
+                    f"mutually disordered"
+                ]
+        return []
+
+
+class ScdBroadcastSpec(KScdBroadcastSpec):
+    """SCD Broadcast: the k = 1 instance (plain MS-Ordering)."""
+
+    def __init__(self) -> None:
+        super().__init__(1)

@@ -1,0 +1,24 @@
+"""Send-To-All Broadcast — the weakest broadcast abstraction (Section 3.1).
+
+It is defined by the four base properties alone (BC-Validity,
+BC-No-Duplication, BC-Local-Termination, BC-Global-CS-Termination) and, in
+``CAMP_n[∅]``, is implemented by simply sending every message to every
+process.  The paper's k = n boundary case pairs it with the trivially
+solvable n-set agreement.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast_spec import BroadcastSpec
+from ..core.execution import Execution
+
+__all__ = ["SendToAllSpec"]
+
+
+class SendToAllSpec(BroadcastSpec):
+    """The minimal broadcast abstraction: no ordering predicate at all."""
+
+    name = "Send-To-All Broadcast"
+
+    def ordering_violations(self, execution: Execution) -> list[str]:
+        return []

@@ -1,0 +1,148 @@
+"""Hand-built executions for the paper's worked examples (Section 3.2).
+
+These are the concrete witnesses the paper reasons about in prose:
+
+* :func:`kstepped_paper_example` — the 1-Stepped Broadcast execution with
+  deliveries ``[m_0, m'_0, m_1, m'_1]`` at p_0 and ``[m_0, m_1, m'_0,
+  m'_1]`` at p_1, whose restriction to ``{m'_0, m_1}`` is not 1-Stepped;
+* :func:`first_k_agreed_execution` — everyone first-delivers the same
+  agreed message, then its own: admitted by First-k, but restricting away
+  the agreed message leaves n distinct first deliveries;
+* :func:`solo_first_execution` — every process delivers its own message
+  first (the shape of the adversary's β), plain contents: admitted by the
+  SA-tagged abstraction vacuously, and broken by renaming the messages
+  *into* SA-typed contents (:func:`sa_typed_renaming`).
+
+All executions are complete (every message delivered everywhere), so they
+pass the liveness clauses as well as safety.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..core.execution import Execution
+from ..core.message import Message, MessageFactory, MessageId, Renaming
+from ..core.steps import Step
+from ..core.actions import BroadcastInvoke, BroadcastReturn, DeliverAction
+from .sa_tagged import sa_content
+
+__all__ = [
+    "broadcast_steps",
+    "first_k_agreed_execution",
+    "generic_conflict_renaming",
+    "kstepped_paper_example",
+    "sa_typed_renaming",
+    "solo_first_execution",
+]
+
+
+def broadcast_steps(process: int, message: Message) -> list[Step]:
+    """The invoke/return step pair of one broadcast."""
+    return [
+        Step(process, BroadcastInvoke(message)),
+        Step(process, BroadcastReturn(message)),
+    ]
+
+
+def _deliveries(process: int, messages: Sequence[Message]) -> list[Step]:
+    return [Step(process, DeliverAction(m)) for m in messages]
+
+
+def kstepped_paper_example() -> tuple[Execution, frozenset[MessageId]]:
+    """The Section 3.2 counterexample to 1-Stepped compositionality.
+
+    Returns the execution together with the violating restriction subset
+    ``{m'_0, m_1}``.
+    """
+    factory = MessageFactory()
+    m0 = factory.new(0, "m0")
+    m0p = factory.new(0, "m0'")
+    m1 = factory.new(1, "m1")
+    m1p = factory.new(1, "m1'")
+    steps: list[Step] = []
+    steps += broadcast_steps(0, m0)
+    steps += broadcast_steps(1, m1)
+    steps += broadcast_steps(0, m0p)
+    steps += broadcast_steps(1, m1p)
+    steps += _deliveries(0, [m0, m0p, m1, m1p])
+    steps += _deliveries(1, [m0, m1, m0p, m1p])
+    return Execution.of(steps, 2), frozenset({m0p.uid, m1.uid})
+
+
+def first_k_agreed_execution(n: int) -> tuple[Execution, frozenset[MessageId]]:
+    """Everyone first-delivers p_0's message, then the rest.
+
+    Admitted by First-k Broadcast for every k ≥ 1 (a single distinct first
+    delivery).  Returns the execution and the restriction subset that
+    removes the agreed message — after which every process p ≠ 0
+    first-delivers its own message (and p_0 some other process's), i.e.
+    n - 1 distinct first deliveries: a violation of First-k for every
+    k < n - 1, so use ``n = k + 2`` to break First-k Broadcast.
+    """
+    factory = MessageFactory()
+    messages = [factory.new(p, f"v{p}") for p in range(n)]
+    steps: list[Step] = []
+    for p, message in enumerate(messages):
+        steps += broadcast_steps(p, message)
+    for p in range(n):
+        order = [messages[0]]
+        if p != 0:
+            order.append(messages[p])
+        order += [m for m in messages if m.sender not in (0, p)]
+        steps += _deliveries(p, order)
+    subset = frozenset(m.uid for m in messages[1:])
+    return Execution.of(steps, n), subset
+
+
+def solo_first_execution(n: int) -> Execution:
+    """Every process delivers its own message first, then the others.
+
+    This is the broadcast-level shape of the adversary's β for N = 1; with
+    plain contents it is vacuously admitted by the SA-tagged abstraction.
+    """
+    factory = MessageFactory()
+    messages = [factory.new(p, f"v{p}") for p in range(n)]
+    steps: list[Step] = []
+    for p, message in enumerate(messages):
+        steps += broadcast_steps(p, message)
+    for p in range(n):
+        order = [messages[p]] + [m for m in messages if m.sender != p]
+        steps += _deliveries(p, order)
+    return Execution.of(steps, n)
+
+
+def generic_conflict_renaming(execution: Execution, key: str = "x") -> Renaming:
+    """Rename every message into a *write* command on one shared key.
+
+    The inverse move of Generic Broadcast's commutativity: an execution
+    whose disagreeing pairs were all commuting (different keys, or reads)
+    becomes one where every pair conflicts — manufacturing ordering
+    violations and exhibiting the abstraction's content-sensitivity.
+    Distinct messages may map to equal contents; injectivity is on
+    messages (identities are preserved), as Definition 3 requires.
+    """
+    from .generic import command_content
+
+    return Renaming(
+        {
+            message.uid: command_content(key, "w")
+            for message in execution.broadcast_messages
+        }
+    )
+
+
+def sa_typed_renaming(execution: Execution, ksa: str = "ksa0") -> Renaming:
+    """Rename every message of the execution into ``SA(ksa, i)`` contents.
+
+    Injective (distinct values per message).  Applied to
+    :func:`solo_first_execution` it manufactures more than k distinct
+    first-delivered SA-typed messages, exhibiting the content-sensitivity
+    of the Section 3.2 counterexample abstraction.
+    """
+    return Renaming(
+        {
+            message.uid: sa_content(ksa, index)
+            for index, message in enumerate(execution.broadcast_messages)
+        }
+    )

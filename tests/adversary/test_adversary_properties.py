@@ -1,0 +1,85 @@
+"""Property-based tests: the adversary's guarantees over random inputs.
+
+Hypothesis draws (k, N, target implementation) combinations and checks
+that the invariants the paper proves — admissibility of α (Lemmas 1–8),
+the N-solo property of β (Lemma 10), witness shape, determinism — hold
+on every draw, not just the hand-picked grid.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import adversarial_scheduler, check_all_lemmas
+from repro.agreement import FirstDeliveredClient, MultiRoundClient
+from repro.adversary import run_theorem_pipeline
+from repro.broadcasts import (
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    TrivialKsaBroadcast,
+)
+from repro.core import verify_witness
+
+ALGORITHMS = [TrivialKsaBroadcast, FirstKKsaBroadcast, KboAttemptBroadcast]
+
+parameters = st.tuples(
+    st.integers(2, 5),           # k
+    st.integers(1, 5),           # N
+    st.sampled_from(ALGORITHMS),
+)
+
+
+@given(parameters)
+@settings(max_examples=30, deadline=None)
+def test_all_lemmas_hold_on_random_parameters(params):
+    k, n_value, algorithm_class = params
+    result = adversarial_scheduler(
+        k, n_value, lambda pid, n: algorithm_class(pid, n)
+    )
+    assert all(report.ok for report in check_all_lemmas(result))
+
+
+@given(parameters)
+@settings(max_examples=30, deadline=None)
+def test_witness_always_verifies(params):
+    k, n_value, algorithm_class = params
+    result = adversarial_scheduler(
+        k, n_value, lambda pid, n: algorithm_class(pid, n)
+    )
+    assert (
+        verify_witness(result.beta, result.witness, list(range(k + 1)))
+        == []
+    )
+    assert all(
+        len(uids) == n_value for uids in result.witness.chosen.values()
+    )
+
+
+@given(parameters)
+@settings(max_examples=15, deadline=None)
+def test_adversary_is_deterministic(params):
+    k, n_value, algorithm_class = params
+    first = adversarial_scheduler(
+        k, n_value, lambda pid, n: algorithm_class(pid, n)
+    )
+    second = adversarial_scheduler(
+        k, n_value, lambda pid, n: algorithm_class(pid, n)
+    )
+    assert first.execution == second.execution
+    assert first.reset_marks == second.reset_marks
+
+
+@given(
+    st.integers(2, 4),
+    st.sampled_from(ALGORITHMS),
+    st.sampled_from([FirstDeliveredClient, MultiRoundClient]),
+)
+@settings(max_examples=20, deadline=None)
+def test_pipeline_always_realizes_the_contradiction(
+    k, algorithm_class, client_factory
+):
+    result = run_theorem_pipeline(
+        k,
+        lambda pid, n: algorithm_class(pid, n),
+        client_factory=client_factory,
+    )
+    assert result.distinct_decisions == k + 1
+    assert result.agreement_violated

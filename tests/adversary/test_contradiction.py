@@ -1,0 +1,112 @@
+"""Tests for the Lemma 9 construction and the Theorem 1 pipeline."""
+
+import pytest
+
+from repro.adversary import run_theorem_pipeline
+from repro.agreement import FirstDeliveredClient, run_solo
+from repro.broadcasts import (
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    TrivialKsaBroadcast,
+)
+from repro.specs import (
+    FirstKBroadcastSpec,
+    KboBroadcastSpec,
+    SendToAllSpec,
+)
+
+
+def pipeline(k=2, algorithm=FirstKKsaBroadcast, spec=None, **kwargs):
+    return run_theorem_pipeline(
+        k,
+        lambda pid, n: algorithm(pid, n),
+        candidate_spec=spec,
+        **kwargs,
+    )
+
+
+class TestSoloRuns:
+    def test_first_delivered_client_decides_after_one_delivery(self):
+        solo = run_solo(FirstDeliveredClient, 0, 3, proposal=0)
+        assert solo.decision == 0
+        assert solo.n_i == 1
+        assert all(m.sender == 0 for m in solo.messages)
+
+    def test_n_defaults_to_max_n_i(self):
+        result = pipeline()
+        assert result.n_value == max(
+            1, *(s.n_i for s in result.solo_runs.values())
+        )
+
+    def test_n_override(self):
+        result = pipeline(n_value=3)
+        assert result.n_value == 3
+        assert result.adversary.n_value == 3
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+class TestContradiction:
+    def test_exactly_k_plus_one_decisions_on_delta(self, k):
+        result = pipeline(k=k)
+        assert sorted(result.decisions) == list(range(k + 1))
+        assert result.distinct_decisions == k + 1
+        assert result.agreement_violated
+
+    def test_delta_is_indistinguishable_from_solo_runs(self, k):
+        result = pipeline(k=k)
+        for i, solo in result.solo_runs.items():
+            delta_contents = [
+                m.content
+                for m in result.delta.deliveries_of(i)
+            ][: solo.n_i]
+            solo_contents = [m.content for m in solo.messages]
+            assert delta_contents == solo_contents
+
+
+class TestHypothesisLocalization:
+    def test_first_k_fails_compositionality(self):
+        result = pipeline(spec=FirstKBroadcastSpec(2))
+        assert "compositionality" in result.failing_hypothesis
+        assert result.beta_verdict.admitted
+        assert not result.gamma_verdict.admitted
+
+    def test_kbo_fails_equivalence(self):
+        result = pipeline(
+            algorithm=KboAttemptBroadcast, spec=KboBroadcastSpec(2)
+        )
+        assert "equivalence" in result.failing_hypothesis
+        assert result.delta_verdict.admitted
+
+    def test_send_to_all_fails_equivalence(self):
+        result = pipeline(
+            algorithm=TrivialKsaBroadcast, spec=SendToAllSpec()
+        )
+        assert "equivalence" in result.failing_hypothesis
+
+    def test_no_spec_supplied(self):
+        result = pipeline(spec=None)
+        assert result.failing_hypothesis == "no specification supplied"
+
+
+class TestRenamingStructure:
+    def test_renaming_covers_selected_messages_only(self):
+        result = pipeline()
+        selected = {
+            uid
+            for i in range(result.n)
+            for uid in result.adversary.witness.chosen[i][
+                : result.solo_runs[i].n_i
+            ]
+        }
+        assert set(result.renaming.mapping) == selected
+
+    def test_gamma_contains_only_witness_messages(self):
+        result = pipeline(k=3)
+        witness_uids = set(result.renaming.mapping)
+        for message in result.gamma.broadcast_messages:
+            assert message.uid in witness_uids
+
+    def test_summary_renders(self):
+        text = pipeline(spec=FirstKBroadcastSpec(2)).summary()
+        assert "Theorem 1" in text
+        assert "VIOLATED" in text

@@ -1,0 +1,53 @@
+"""Golden-trace regression test for the Figure 1 execution.
+
+The adversarial scheduler is fully deterministic, so the execution behind
+the Figure 1 reproduction (k = 3, N = 2, First-k target) is a stable
+artifact.  The golden JSON trace pins it: any behavioral drift in the
+scheduler, the step machine, the First-k implementation or the k-SA
+bookkeeping shows up as a diff here before it shows up anywhere subtler.
+
+Regenerate (after an *intentional* change) with::
+
+    python - <<'PY'
+    from repro.adversary import adversarial_scheduler
+    from repro.broadcasts import FirstKKsaBroadcast
+    from repro.core.serialize import dumps
+    result = adversarial_scheduler(3, 2, lambda p, n: FirstKKsaBroadcast(p, n))
+    open('tests/data/figure1_golden.json', 'w').write(
+        dumps(result.execution, indent=1))
+    PY
+"""
+
+from pathlib import Path
+
+from repro.adversary import adversarial_scheduler
+from repro.broadcasts import FirstKKsaBroadcast
+from repro.core.serialize import dumps, loads
+
+GOLDEN = Path(__file__).parent.parent / "data" / "figure1_golden.json"
+
+
+def regenerate():
+    return adversarial_scheduler(
+        3, 2, lambda pid, n: FirstKKsaBroadcast(pid, n)
+    )
+
+
+class TestGoldenTrace:
+    def test_execution_matches_golden(self):
+        result = regenerate()
+        golden = loads(GOLDEN.read_text())
+        assert result.execution == golden, (
+            "the Figure 1 execution changed — if intentional, regenerate "
+            "the golden file (see module docstring)"
+        )
+
+    def test_serialized_form_is_stable(self):
+        result = regenerate()
+        assert dumps(result.execution, indent=1) == GOLDEN.read_text()
+
+    def test_golden_structure_sanity(self):
+        golden = loads(GOLDEN.read_text())
+        assert golden.n == 4
+        assert len(golden) == 109
+        assert len(golden.broadcast_messages) == 9

@@ -1,0 +1,149 @@
+"""Tests for agreement-from-broadcast and the boundary reductions."""
+
+import pytest
+
+from repro.agreement import (
+    FirstDeliveredClient,
+    replay_clients,
+    run_solo,
+    solve_agreement_with_broadcast,
+    solve_nsa_trivially,
+)
+from repro.agreement.from_broadcast import BroadcastClient
+from repro.broadcasts import (
+    FirstKKsaBroadcast,
+    SendToAllBroadcast,
+    TotalOrderBroadcast,
+)
+from repro.runtime import CrashSchedule
+from repro.specs.witnesses import solo_first_execution
+
+
+class TestConsensusFromTotalOrder:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_decision_failure_free(self, seed):
+        outcome = solve_agreement_with_broadcast(
+            4,
+            lambda pid, n: TotalOrderBroadcast(pid, n),
+            {p: f"v{p}" for p in range(4)},
+            k=1,
+            seed=seed,
+        )
+        assert len(outcome.decisions) == 4
+        assert outcome.satisfies_agreement(1)
+        assert all(
+            v in {f"v{p}" for p in range(4)}
+            for v in outcome.distinct
+        )
+
+    def test_single_decision_with_crash(self):
+        outcome = solve_agreement_with_broadcast(
+            4,
+            lambda pid, n: TotalOrderBroadcast(pid, n),
+            {p: f"v{p}" for p in range(4)},
+            k=1,
+            seed=1,
+            crash_schedule=CrashSchedule({3: 8}),
+        )
+        # every correct proposer decides, and on a single value
+        correct = outcome.simulation.execution.correct
+        assert set(outcome.decisions) >= correct
+        assert outcome.satisfies_agreement(1)
+
+
+class TestKsaFromFirstK:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_at_most_k_decisions(self, k):
+        outcome = solve_agreement_with_broadcast(
+            4,
+            lambda pid, n: FirstKKsaBroadcast(pid, n),
+            {p: p for p in range(4)},
+            k=k,
+            seed=3,
+        )
+        assert outcome.satisfies_agreement(k)
+
+    def test_send_to_all_cannot_bound_disagreement(self):
+        # with plain send-to-all, some seed yields > 2 distinct decisions
+        seen = set()
+        for seed in range(10):
+            outcome = solve_agreement_with_broadcast(
+                4,
+                lambda pid, n: SendToAllBroadcast(pid, n),
+                {p: p for p in range(4)},
+                seed=seed,
+            )
+            seen.add(len(outcome.distinct))
+        assert max(seen) > 2
+
+
+class TestSoloRunErrors:
+    def test_non_broadcasting_client_rejected(self):
+        class Mute(BroadcastClient):
+            def initial_broadcasts(self):
+                return []
+
+            def on_deliver(self, message):
+                pass
+
+        with pytest.raises(RuntimeError, match="Termination"):
+            run_solo(Mute, 0, 3, proposal=0)
+
+    def test_never_deciding_client_rejected(self):
+        class Babbler(BroadcastClient):
+            def initial_broadcasts(self):
+                return ["a", "b"]
+
+            def on_deliver(self, message):
+                pass
+
+        with pytest.raises(RuntimeError, match="Termination"):
+            run_solo(Babbler, 0, 3, proposal=0)
+
+    def test_invalid_decision_rejected(self):
+        class Rogue(BroadcastClient):
+            def initial_broadcasts(self):
+                return ["a"]
+
+            def on_deliver(self, message):
+                self.decision = "not-the-proposal"
+
+        with pytest.raises(RuntimeError, match="Validity"):
+            run_solo(Rogue, 0, 3, proposal=0)
+
+
+class TestReplayClients:
+    def test_replay_on_solo_shape_decides_everywhere(self):
+        execution = solo_first_execution(3)
+        # rename messages into proposal-shaped contents
+        from repro.core import Renaming
+
+        renaming = Renaming(
+            {
+                m.uid: ("prop", m.sender, m.sender)
+                for m in execution.broadcast_messages
+            }
+        )
+        decisions = replay_clients(
+            FirstDeliveredClient,
+            execution.rename(renaming),
+            {p: p for p in range(3)},
+        )
+        assert decisions == {0: 0, 1: 1, 2: 2}
+
+    def test_non_proposal_deliveries_are_ignored(self):
+        execution = solo_first_execution(3)  # contents are plain strings
+        decisions = replay_clients(
+            FirstDeliveredClient, execution, {p: p for p in range(3)}
+        )
+        assert decisions == {}
+
+
+class TestTrivialNsa:
+    def test_everyone_decides_own_value(self):
+        proposals = {p: f"v{p}" for p in range(5)}
+        assert solve_nsa_trivially(proposals) == proposals
+
+    def test_distinct_bounded_by_n(self):
+        decisions = solve_nsa_trivially({p: p for p in range(6)})
+        assert len(set(decisions.values())) <= 6

@@ -1,0 +1,82 @@
+"""Tests for iterated k-SA over the k-Stepped implementation (§3.2)."""
+
+import pytest
+
+from repro.agreement import round_decisions, solve_iterated_agreement
+from repro.broadcasts import KSteppedKsaBroadcast
+from repro.core import check_channels
+from repro.specs import KSteppedBroadcastSpec
+
+
+def solve(n=4, rounds=3, k=2, seed=0):
+    return solve_iterated_agreement(
+        n,
+        lambda pid, size: KSteppedKsaBroadcast(pid, size),
+        {p: [f"v{p}.{a}" for a in range(rounds)] for p in range(n)},
+        k=k,
+        seed=seed,
+    )
+
+
+class TestIteratedAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_round_bounded_by_k(self, seed):
+        outcome = solve(seed=seed)
+        assert outcome.simulation.quiescent
+        assert outcome.satisfies_agreement(2)
+        assert set(outcome.decisions) == {0, 1, 2}
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_bound_tracks_k(self, k):
+        outcome = solve(k=k, seed=1)
+        assert outcome.satisfies_agreement(k)
+
+    def test_validity_per_round(self):
+        outcome = solve(seed=2)
+        for round_index, values in outcome.decisions.items():
+            proposals = {f"v{p}.{round_index}" for p in range(4)}
+            assert set(values.values()) <= proposals
+
+    def test_every_correct_process_decides_every_round(self):
+        outcome = solve(seed=3)
+        for values in outcome.decisions.values():
+            assert set(values) == {0, 1, 2, 3}
+
+    def test_lock_step_pattern_required(self):
+        with pytest.raises(ValueError, match="lock-step"):
+            solve_iterated_agreement(
+                2,
+                lambda pid, n: KSteppedKsaBroadcast(pid, n),
+                {0: ["a"], 1: ["b", "c"]},
+                k=1,
+            )
+
+
+class TestKSteppedImplementation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_satisfies_the_kstepped_spec(self, seed):
+        outcome = solve(seed=seed)
+        beta = outcome.simulation.execution.broadcast_projection()
+        verdict = KSteppedBroadcastSpec(2).admits(
+            beta, assume_complete=False
+        )
+        assert verdict.admitted, verdict.ordering[:2]
+        assert check_channels(outcome.simulation.execution).ok
+
+    def test_round_heads_come_from_the_round_objects(self):
+        outcome = solve(seed=1)
+        execution = outcome.simulation.execution
+        decided_heads = {
+            ksa: set(values.values())
+            for ksa, values in execution.decisions.items()
+        }
+        for round_index, values in outcome.decisions.items():
+            heads = decided_heads[f"step:{round_index}"]
+            head_contents = {m.content for m in heads}
+            assert set(values.values()) <= head_contents
+
+    def test_round_decisions_reads_any_execution(self):
+        outcome = solve(seed=0)
+        beta = outcome.simulation.execution.broadcast_projection()
+        recomputed = round_decisions(beta, 3)
+        assert recomputed == dict(outcome.decisions)

@@ -1,0 +1,171 @@
+"""Tests for the analysis layer: causality, ordering stats, rendering."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import adversarial_scheduler
+from repro.analysis import (
+    VectorClock,
+    ascii_table,
+    concurrent_steps,
+    happened_before_graph,
+    max_disagreement_clique,
+    ordering_stats,
+    render_figure1,
+    render_lanes,
+)
+from repro.broadcasts import FirstKKsaBroadcast
+from repro.core import Execution, Step
+from repro.core.actions import (
+    PointToPointId,
+    ReceiveAction,
+    SendAction,
+)
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+clocks = st.builds(
+    VectorClock, st.tuples(*[st.integers(0, 5)] * 3)
+)
+
+
+class TestVectorClock:
+    def test_zero_and_tick(self):
+        clock = VectorClock.zero(3).tick(1).tick(1)
+        assert clock.entries == (0, 2, 0)
+
+    def test_merge_is_componentwise_max(self):
+        a = VectorClock((1, 5, 0))
+        b = VectorClock((2, 1, 0))
+        assert a.merge(b).entries == (2, 5, 0)
+
+    def test_dimension_mismatch_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            VectorClock((1,)).merge(VectorClock((1, 2)))
+
+    @given(clocks, clocks)
+    @settings(max_examples=50)
+    def test_merge_is_commutative_and_dominating(self, a, b):
+        merged = a.merge(b)
+        assert merged == b.merge(a)
+        assert a <= merged and b <= merged
+
+    @given(clocks, clocks)
+    @settings(max_examples=50)
+    def test_order_trichotomy(self, a, b):
+        relations = [a < b, b < a, a.entries == b.entries,
+                     a.concurrent_with(b)]
+        assert sum(relations) == 1
+
+    def test_str(self):
+        assert str(VectorClock((1, 2))) == "⟨1,2⟩"
+
+
+class TestHappenedBefore:
+    def test_program_order_edges(self):
+        execution = complete_exchange(2)
+        graph = happened_before_graph(execution)
+        steps = execution.steps
+        for i in range(len(steps) - 1):
+            for j in range(i + 1, len(steps)):
+                if steps[i].process == steps[j].process:
+                    import networkx as nx
+
+                    assert nx.has_path(graph, i, j)
+                    break
+
+    def test_send_receive_edge(self):
+        p2p = PointToPointId(0, 1, 0)
+        execution = Execution.of(
+            [Step(0, SendAction(p2p, "x")), Step(1, ReceiveAction(p2p, "x"))],
+            2,
+        )
+        assert happened_before_graph(execution).has_edge(0, 1)
+
+    def test_broadcast_deliver_edge(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "m")
+        b.deliver(1, "m")
+        graph = happened_before_graph(b.build())
+        assert graph.has_edge(0, 2)
+
+    def test_concurrent_steps_found(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")  # steps 0,1 at p0
+        b.broadcast(1, "b")  # steps 2,3 at p1
+        pairs = list(concurrent_steps(b.build()))
+        assert (0, 2) in pairs
+
+    def test_totally_ordered_chain_has_no_concurrency(self):
+        b = ExecutionBuilder(1)
+        b.broadcast(0, "a")
+        b.deliver(0, "a")
+        assert list(concurrent_steps(b.build())) == []
+
+
+class TestOrderingStats:
+    def test_perfect_agreement(self):
+        stats = ordering_stats(complete_exchange(3))
+        assert stats.agreement_ratio == 1.0
+        assert stats.max_disagreement_clique == 1
+        assert stats.satisfies_kbo(1)
+
+    def test_rotated_disagreement(self):
+        b = ExecutionBuilder(3)
+        for p in range(3):
+            b.broadcast(p, f"m{p}")
+        labels = ["m0", "m1", "m2"]
+        for p in range(3):
+            b.deliver(p, *(labels[p:] + labels[:p]))
+        stats = ordering_stats(b.build())
+        assert stats.disagreeing_pairs == 3
+        assert stats.max_disagreement_clique == 3
+        assert not stats.satisfies_kbo(2)
+        assert stats.satisfies_kbo(3)
+
+    def test_empty_execution(self):
+        stats = ordering_stats(Execution.empty(2))
+        assert stats.messages == 0
+        assert stats.agreement_ratio == 1.0
+        assert max_disagreement_clique(Execution.empty(2)) == 0
+
+    def test_str_contains_numbers(self):
+        assert "messages" in str(ordering_stats(complete_exchange(2)))
+
+
+class TestRendering:
+    def test_figure1_contains_required_tokens(self):
+        result = adversarial_scheduler(
+            3, 2, lambda pid, n: FirstKKsaBroadcast(pid, n)
+        )
+        rendered = render_figure1(result)
+        assert "Figure 1" in rendered
+        assert "k=3" in rendered and "N=2" in rendered
+        assert "⟦" in rendered  # grey boxes present
+        assert "p4" in rendered  # paper numbering
+        assert "□" in rendered  # propositions
+
+    def test_grey_boxes_count_matches_witness(self):
+        result = adversarial_scheduler(
+            2, 2, lambda pid, n: FirstKKsaBroadcast(pid, n)
+        )
+        rendered = render_figure1(result)
+        expected = sum(
+            len(uids) for uids in result.witness.chosen.values()
+        )
+        assert rendered.count("⟦") == expected + 1  # +1: the legend line
+
+    def test_render_lanes_all_processes(self):
+        rendered = render_lanes(complete_exchange(3))
+        for p in (1, 2, 3):
+            assert f"p{p}:" in rendered
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(
+            ("col", "other"), [("a", 1), ("longer-cell", 22)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert "longer-cell" in lines[3]

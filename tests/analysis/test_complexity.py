@@ -1,0 +1,70 @@
+"""Tests for cost profiling and the P4 experiment table."""
+
+from repro.analysis import cost_profile
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.core import Execution
+from repro.experiments import costs
+from repro.runtime import Simulator
+from tests.conftest import complete_exchange
+
+
+def simulate(algorithm_class, *, n=4, per_process=2, seed=0):
+    simulator = Simulator(
+        n, lambda pid, size: algorithm_class(pid, size), seed=seed
+    )
+    return simulator.run(
+        {p: [f"m{p}.{i}" for i in range(per_process)] for p in range(n)}
+    )
+
+
+class TestCostProfile:
+    def test_empty_execution(self):
+        profile = cost_profile(Execution.empty(2))
+        assert profile.broadcasts == 0
+        assert profile.sends_per_broadcast == 0.0
+        assert profile.delivery_ratio == 0.0
+
+    def test_broadcast_level_counts(self):
+        profile = cost_profile(complete_exchange(3))
+        assert profile.broadcasts == 3
+        assert profile.deliveries == 9
+        assert profile.delivery_ratio == 3.0
+
+    def test_send_to_all_is_linear(self):
+        result = simulate(SendToAllBroadcast)
+        profile = cost_profile(result.execution)
+        assert profile.sends_per_broadcast == 4.0  # n sends per broadcast
+
+    def test_forwarding_is_quadratic(self):
+        result = simulate(UniformReliableBroadcast)
+        profile = cost_profile(result.execution)
+        assert profile.sends_per_broadcast == 16.0  # n² per broadcast
+
+    def test_receives_bounded_by_sends(self):
+        result = simulate(UniformReliableBroadcast)
+        profile = cost_profile(result.execution)
+        assert profile.receives <= profile.sends
+
+    def test_str(self):
+        text = str(cost_profile(complete_exchange(2)))
+        assert "broadcasts" in text
+
+
+class TestCostsExperiment:
+    def test_table_has_all_algorithms(self):
+        table = costs.rows(seeds=(0,))
+        assert len(table) == 9
+        names = [row[0] for row in table]
+        assert "send-to-all" in names and "scd" in names
+
+    def test_expected_asymptotics(self):
+        table = {row[0]: row for row in costs.rows(seeds=(0,))}
+        assert float(table["send-to-all"][4]) == 4.0
+        assert float(table["uniform-reliable"][4]) == 16.0
+        # one-shot first-k: a constant number of proposals overall
+        assert float(table["first-k"][5]) < 1.0
+        # round-based algorithms: about one proposal per process per round
+        assert float(table["total-order"][5]) >= 2.0
+
+    def test_render(self):
+        assert "P4" in costs.run()

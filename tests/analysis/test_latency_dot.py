@@ -1,0 +1,111 @@
+"""Tests for latency analytics and the DOT exporter."""
+
+import pytest
+
+from repro.analysis import (
+    delivery_latencies,
+    happened_before_dot,
+    latency_stats,
+)
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.core import Execution
+from repro.runtime import Simulator, TargetedDelayPolicy
+from tests.conftest import ExecutionBuilder
+
+
+def simulate(algorithm_class, *, n=3, seed=0, policy=None):
+    simulator = Simulator(
+        n,
+        lambda pid, size: algorithm_class(pid, size),
+        seed=seed,
+        scheduling_policy=policy,
+    )
+    return simulator.run({p: [f"m{p}"] for p in range(n)})
+
+
+class TestDeliveryLatencies:
+    def test_hand_built_latencies(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "m")          # invoke at step 0, return at 1
+        b.deliver(0, "m")            # step 2 -> latency 2
+        b.deliver(1, "m")            # step 3 -> latency 3
+        latencies = delivery_latencies(b.build())
+        assert sorted(latencies.values()) == [2, 3]
+
+    def test_every_delivery_measured(self):
+        result = simulate(UniformReliableBroadcast)
+        latencies = delivery_latencies(result.execution)
+        deliveries = sum(
+            1 for s in result.execution if s.is_deliver()
+        )
+        assert len(latencies) == deliveries
+
+    def test_targeted_delay_inflates_the_victims_latency(self):
+        def victim_latencies(result):
+            return [
+                value
+                for (uid, process), value in delivery_latencies(
+                    result.execution
+                ).items()
+                if process == 2
+                and result.execution.message_by_uid[uid].sender != 2
+            ]
+
+        scripts = {p: [f"m{p}.{i}" for i in range(3)] for p in range(3)}
+        simulator = Simulator(
+            3, lambda pid, n: SendToAllBroadcast(pid, n), seed=1
+        )
+        fast = simulator.run(scripts)
+        starved = Simulator(
+            3,
+            lambda pid, n: SendToAllBroadcast(pid, n),
+            seed=1,
+            scheduling_policy=TargetedDelayPolicy(
+                victim=2, until_step=60
+            ),
+        ).run(scripts)
+        assert min(victim_latencies(starved)) > min(
+            victim_latencies(fast)
+        )
+
+    def test_empty_execution_has_no_stats(self):
+        assert latency_stats(Execution.empty(2)) is None
+
+    def test_stats_shape(self):
+        stats = latency_stats(simulate(UniformReliableBroadcast).execution)
+        assert stats.minimum <= stats.median <= stats.p90 <= stats.maximum
+        assert stats.count > 0
+        assert "deliveries" in str(stats)
+
+
+class TestDotExport:
+    def test_structure(self):
+        result = simulate(SendToAllBroadcast, n=2)
+        dot = happened_before_dot(result.execution)
+        assert dot.startswith("digraph happened_before")
+        assert "cluster_p0" in dot and "cluster_p1" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_one_node_per_step(self):
+        result = simulate(SendToAllBroadcast, n=2)
+        dot = happened_before_dot(result.execution)
+        for index in range(len(result.execution)):
+            assert f"s{index} [" in dot
+
+    def test_message_edges_present(self):
+        import re
+
+        result = simulate(SendToAllBroadcast, n=2)
+        dot = happened_before_dot(result.execution)
+        receives = sum(1 for s in result.execution if s.is_receive())
+        cross_edges = re.findall(r"^  s\d+ -> s\d+;$", dot, re.MULTILINE)
+        assert len(cross_edges) == receives
+
+    def test_quotes_escaped(self):
+        b = ExecutionBuilder(1)
+        b.broadcast(0, "m", content='say "hi"')
+        dot = happened_before_dot(b.build())
+        import re
+
+        for match in re.findall(r'label="([^"]*)"', dot):
+            assert '"' not in match

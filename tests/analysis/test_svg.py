@@ -1,0 +1,85 @@
+"""Tests for the SVG Figure 1 renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.adversary import adversarial_scheduler
+from repro.analysis.svg import render_figure1_svg
+from repro.broadcasts import FirstKKsaBroadcast
+
+
+@pytest.fixture(scope="module")
+def result():
+    return adversarial_scheduler(
+        3, 2, lambda pid, n: FirstKKsaBroadcast(pid, n)
+    )
+
+
+@pytest.fixture(scope="module")
+def svg(result):
+    return render_figure1_svg(result)
+
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestSvgRenderer:
+    def test_is_well_formed_xml(self, svg):
+        root = ET.fromstring(svg)
+        assert root.tag == f"{NS}svg"
+
+    def test_one_lane_per_process(self, result, svg):
+        root = ET.fromstring(svg)
+        lanes = [
+            e for e in root.iter(f"{NS}line")
+            if e.get("class") == "lane"
+        ]
+        assert len(lanes) == result.n
+
+    def test_one_diamond_per_delivery(self, result, svg):
+        deliveries = sum(
+            1 for step in result.execution if step.is_deliver()
+        )
+        root = ET.fromstring(svg)
+        diamonds = [
+            e for e in root.iter(f"{NS}path")
+            if e.get("class") == "deliver"
+        ]
+        assert len(diamonds) == deliveries
+
+    def test_grey_boxes_match_witness(self, result, svg):
+        expected = sum(
+            len(uids) for uids in result.witness.chosen.values()
+        )
+        root = ET.fromstring(svg)
+        boxes = [
+            e for e in root.iter(f"{NS}rect")
+            if e.get("class") == "greybox"
+        ]
+        assert len(boxes) == expected
+
+    def test_one_square_per_proposition(self, result, svg):
+        proposals = sum(
+            1 for step in result.execution if step.is_propose()
+        )
+        root = ET.fromstring(svg)
+        squares = [
+            e for e in root.iter(f"{NS}rect")
+            if e.get("class") == "propose"
+        ]
+        assert len(squares) == proposals
+
+    def test_every_receive_has_an_arrow(self, result, svg):
+        receives = sum(
+            1 for step in result.execution if step.is_receive()
+        )
+        root = ET.fromstring(svg)
+        arrows = [
+            e for e in root.iter(f"{NS}line")
+            if e.get("class") in ("msg", "selfmsg")
+        ]
+        assert len(arrows) == receives
+
+    def test_title_mentions_parameters(self, svg):
+        assert "k=3" in svg and "N=2" in svg

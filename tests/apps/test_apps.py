@@ -1,0 +1,161 @@
+"""The application layer makes the abstraction hierarchy observable."""
+
+import pytest
+
+from repro.apps import (
+    apply_command,
+    apply_increment,
+    counter_value,
+    logs_prefix_related,
+    orphaned_replies,
+    replay_counter,
+    replay_kv_store,
+)
+from repro.broadcasts import (
+    CausalBroadcast,
+    SendToAllBroadcast,
+    TotalOrderBroadcast,
+    UniformReliableBroadcast,
+)
+from repro.runtime import CrashSchedule, Gated, Simulator, TargetedDelayPolicy
+
+
+def simulate(algorithm_class, scripts, *, n=3, seed=0, k=1, policy=None,
+             crash_schedule=None):
+    simulator = Simulator(
+        n,
+        lambda pid, size: algorithm_class(pid, size),
+        k=k,
+        seed=seed,
+        scheduling_policy=policy,
+    )
+    return simulator.run(scripts, crash_schedule=crash_schedule)
+
+
+KV_SCRIPTS = {
+    0: [("put", "x", 1), ("inc", "y", 2)],
+    1: [("put", "x", 7), ("del", "x")],
+    2: [("inc", "y", 5)],
+}
+
+
+class TestKvStoreReducer:
+    def test_put_inc_del(self):
+        state = frozenset()
+        state = apply_command(state, ("put", "x", 1))
+        state = apply_command(state, ("inc", "y", 2))
+        state = apply_command(state, ("inc", "y", 3))
+        state = apply_command(state, ("del", "x"))
+        assert dict(state) == {"y": 5}
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            apply_command(frozenset(), ("swap", "x"))
+
+
+class TestSmrOverTotalOrder:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_replicas_converge(self, seed):
+        result = simulate(TotalOrderBroadcast, KV_SCRIPTS, seed=seed)
+        states = replay_kv_store(result)
+        assert states.converged()
+        assert logs_prefix_related(states)
+        assert states.divergent_pairs() == []
+
+    def test_convergence_with_crash(self):
+        result = simulate(
+            TotalOrderBroadcast,
+            KV_SCRIPTS,
+            seed=1,
+            crash_schedule=CrashSchedule({2: 12}),
+        )
+        assert replay_kv_store(result).converged()
+
+
+class TestSmrOverWeakBroadcast:
+    def test_send_to_all_diverges_on_conflicts(self):
+        diverged = False
+        for seed in range(10):
+            result = simulate(SendToAllBroadcast, KV_SCRIPTS, seed=seed)
+            states = replay_kv_store(result)
+            if not states.converged():
+                diverged = True
+                assert states.divergent_pairs()
+                break
+        assert diverged, (
+            "conflicting puts should diverge under some schedule"
+        )
+
+
+class TestCounterCrdt:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_converges_over_send_to_all(self, seed):
+        scripts = {
+            p: [("inc", p, amount) for amount in (1, 2)]
+            for p in range(3)
+        }
+        result = simulate(SendToAllBroadcast, scripts, seed=seed)
+        states = replay_counter(result)
+        assert states.converged()
+        final = states.states[0]
+        assert counter_value(final) == 9  # 3 processes x (1 + 2)
+
+    def test_commutativity_is_the_reason(self):
+        state_a = apply_increment(
+            apply_increment(frozenset(), ("inc", 0, 1)), ("inc", 1, 5)
+        )
+        state_b = apply_increment(
+            apply_increment(frozenset(), ("inc", 1, 5)), ("inc", 0, 1)
+        )
+        assert state_a == state_b
+
+
+class TestChat:
+    CHAT = {
+        0: [("msg", 0, "anyone up?", None)],
+        1: [
+            Gated(
+                ("msg", 1, "yes — reading PODC papers", "anyone up?"),
+                after=("msg", 0, "anyone up?", None),
+            )
+        ],
+        2: [],
+    }
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_orphans_over_causal_broadcast(self, seed):
+        result = simulate(
+            CausalBroadcast,
+            self.CHAT,
+            seed=seed,
+            policy=TargetedDelayPolicy(victim=2, until_step=60),
+        )
+        assert orphaned_replies(result) == []
+
+    def test_send_to_all_shows_orphans_under_partition(self):
+        orphaned = False
+        for seed in range(10):
+            result = simulate(
+                SendToAllBroadcast,
+                self.CHAT,
+                seed=seed,
+                policy=TargetedDelayPolicy(victim=2, until_step=60),
+            )
+            if orphaned_replies(result):
+                orphaned = True
+                break
+        assert orphaned
+
+    def test_uniform_reliable_is_not_enough_either(self):
+        orphaned = False
+        for seed in range(10):
+            result = simulate(
+                UniformReliableBroadcast,
+                self.CHAT,
+                seed=seed,
+                policy=TargetedDelayPolicy(victim=2, until_step=80),
+            )
+            if orphaned_replies(result):
+                orphaned = True
+                break
+        assert orphaned

@@ -1,0 +1,159 @@
+"""Integration tests: every broadcast algorithm against its specification.
+
+Each algorithm is run on the free simulator across several seeds, with and
+without crashes, and its recorded trace is checked against its intended
+specification plus the channel axioms — the library's equivalent of a
+conformance suite.
+"""
+
+import pytest
+
+from repro.broadcasts import (
+    CausalBroadcast,
+    FifoBroadcast,
+    FirstKKsaBroadcast,
+    KboAttemptBroadcast,
+    SendToAllBroadcast,
+    TotalOrderBroadcast,
+    TrivialKsaBroadcast,
+    UniformReliableBroadcast,
+)
+from repro.core import check_channels
+from repro.runtime import CrashSchedule, Simulator
+from repro.specs import (
+    CausalBroadcastSpec,
+    FifoBroadcastSpec,
+    FirstKBroadcastSpec,
+    SendToAllSpec,
+    TotalOrderBroadcastSpec,
+    UniformReliableBroadcastSpec,
+)
+
+SEEDS = (0, 1, 2, 3)
+
+
+def run(algorithm_class, *, n=4, seed=0, k=1, per_process=2,
+        crash_schedule=None):
+    simulator = Simulator(
+        n, lambda pid, size: algorithm_class(pid, size), k=k, seed=seed
+    )
+    scripts = {
+        p: [f"m{p}.{i}" for i in range(per_process)] for p in range(n)
+    }
+    return simulator.run(scripts, crash_schedule=crash_schedule)
+
+
+CONFORMANCE = [
+    (SendToAllBroadcast, SendToAllSpec(), 1),
+    (UniformReliableBroadcast, UniformReliableBroadcastSpec(), 1),
+    (FifoBroadcast, FifoBroadcastSpec(), 1),
+    (CausalBroadcast, CausalBroadcastSpec(), 1),
+    (TotalOrderBroadcast, TotalOrderBroadcastSpec(), 1),
+    (TrivialKsaBroadcast, UniformReliableBroadcastSpec(), 2),
+    (FirstKKsaBroadcast, FirstKBroadcastSpec(2), 2),
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "algorithm_class,spec,k",
+    CONFORMANCE,
+    ids=[c[0].__name__ for c in CONFORMANCE],
+)
+def test_failure_free_conformance(algorithm_class, spec, k, seed):
+    result = run(algorithm_class, seed=seed, k=k)
+    assert result.quiescent, result.blocked
+    assert check_channels(result.execution).ok
+    verdict = spec.admits(result.execution.broadcast_projection())
+    assert verdict.admitted, verdict.all_violations()[:3]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize(
+    "algorithm_class,spec,k",
+    CONFORMANCE,
+    ids=[c[0].__name__ for c in CONFORMANCE],
+)
+def test_crash_prone_conformance(algorithm_class, spec, k, seed):
+    result = run(
+        algorithm_class,
+        seed=seed,
+        k=k,
+        crash_schedule=CrashSchedule({3: 15}),
+    )
+    assert check_channels(result.execution).ok
+    verdict = spec.admits(result.execution.broadcast_projection())
+    assert verdict.admitted, verdict.all_violations()[:3]
+
+
+class TestUniformReliableSpecifics:
+    def test_delivered_by_faulty_reaches_all_correct(self):
+        # crash p0 right after it has had time to deliver its own message
+        result = run(
+            UniformReliableBroadcast,
+            seed=7,
+            crash_schedule=CrashSchedule({0: 30}),
+        )
+        delivered_by_faulty = {
+            m.uid for m in result.deliveries(0)
+        }
+        for p in sorted(result.execution.correct):
+            delivered = {m.uid for m in result.deliveries(p)}
+            assert delivered_by_faulty <= delivered
+
+
+class TestTotalOrderSpecifics:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_logs_are_prefix_related(self, seed):
+        result = run(TotalOrderBroadcast, seed=seed)
+        logs = [
+            [m.uid for m in result.deliveries(p)] for p in range(4)
+        ]
+        reference = max(logs, key=len)
+        for log in logs:
+            assert log == reference[: len(log)]
+
+
+class TestSendToAllIsWeak:
+    def test_some_seed_violates_total_order(self):
+        violated = False
+        for seed in range(10):
+            result = run(SendToAllBroadcast, seed=seed, per_process=3)
+            verdict = TotalOrderBroadcastSpec().admits(
+                result.execution.broadcast_projection(),
+                assume_complete=False,
+            )
+            if not verdict.admitted:
+                violated = True
+                break
+        assert violated, "send-to-all should not provide total order"
+
+
+class TestFirstKSpecifics:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_first_deliveries_bounded_by_k(self, k):
+        result = run(FirstKKsaBroadcast, seed=5, k=k)
+        heads = {
+            result.execution.first_delivered(p).uid for p in range(4)
+        }
+        assert len(heads) <= k
+
+
+class TestKboAttemptSpecifics:
+    def test_violates_kbo_under_some_schedule(self):
+        from repro.specs import KboBroadcastSpec
+
+        violated = False
+        for seed in range(12):
+            result = run(KboAttemptBroadcast, seed=seed, k=2, per_process=3)
+            verdict = KboBroadcastSpec(2).admits(
+                result.execution.broadcast_projection(),
+                assume_complete=False,
+            )
+            if not verdict.admitted:
+                violated = True
+                break
+        assert violated, (
+            "the k-BO attempt should fail its ordering under some schedule "
+            "(the paper's corollary)"
+        )

@@ -1,0 +1,76 @@
+"""Conformance tests for the SCD Broadcast implementation."""
+
+import pytest
+
+from repro.broadcasts import ScdBroadcast
+from repro.core import check_channels
+from repro.runtime import CrashSchedule, Simulator
+from repro.specs import (
+    KScdBroadcastSpec,
+    ScdBroadcastSpec,
+    UniformReliableBroadcastSpec,
+)
+
+
+def run(*, n=4, seed=0, per_process=3, crash_schedule=None):
+    simulator = Simulator(
+        n, lambda pid, size: ScdBroadcast(pid, size), k=1, seed=seed
+    )
+    scripts = {
+        p: [f"m{p}.{i}" for i in range(per_process)] for p in range(n)
+    }
+    return simulator.run(scripts, crash_schedule=crash_schedule)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_satisfies_ms_ordering(seed):
+    result = run(seed=seed)
+    assert result.quiescent
+    beta = result.execution.broadcast_projection()
+    assert ScdBroadcastSpec().admits(beta).admitted
+    assert check_channels(result.execution).ok
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_satisfies_k_scd_for_all_k(seed):
+    beta = run(seed=seed).execution.broadcast_projection()
+    for k in (1, 2, 3):
+        assert KScdBroadcastSpec(k).admits(beta).admitted
+
+
+def test_also_uniform_reliable(seed=1):
+    beta = run(seed=seed).execution.broadcast_projection()
+    assert UniformReliableBroadcastSpec().admits(beta).admitted
+
+
+def test_multi_message_sets_occur():
+    sizes = set()
+    for seed in range(20):
+        beta = run(seed=seed).execution.broadcast_projection()
+        for sets in beta.set_delivery_sequences.values():
+            sizes.update(len(s) for s in sets)
+    assert max(sizes) > 1, "batching should produce non-singleton sets"
+
+
+def test_crash_prone_conformance():
+    result = run(seed=2, crash_schedule=CrashSchedule({3: 20}))
+    beta = result.execution.broadcast_projection()
+    assert ScdBroadcastSpec().admits(beta).admitted
+    assert check_channels(result.execution).ok
+
+
+def test_set_sequences_are_prefix_consistent():
+    """All processes deliver the same sequence of sets (round batches)."""
+    result = run(seed=4)
+    sequences = [
+        tuple(
+            tuple(m.uid for m in delivered_set)
+            for delivered_set in result.execution
+            .broadcast_projection()
+            .set_delivery_sequences[p]
+        )
+        for p in range(4)
+    ]
+    reference = max(sequences, key=len)
+    for sequence in sequences:
+        assert sequence == reference[: len(sequence)]

@@ -1,0 +1,78 @@
+"""Shared test helpers: compact builders for hand-made executions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+from repro.core import Execution, Message, MessageFactory, Step
+from repro.core.actions import (
+    BroadcastInvoke,
+    BroadcastReturn,
+    CrashAction,
+    DeliverAction,
+)
+
+
+class ExecutionBuilder:
+    """Fluent construction of broadcast-level executions for tests."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.factory = MessageFactory()
+        self.steps: list[Step] = []
+        self.messages: dict[str, Message] = {}
+
+    def broadcast(self, process: int, label: str, content=None) -> Message:
+        """Record an invoke+return pair and remember the message by label."""
+        message = self.factory.new(
+            process, content if content is not None else label
+        )
+        self.messages[label] = message
+        self.steps.append(Step(process, BroadcastInvoke(message)))
+        self.steps.append(Step(process, BroadcastReturn(message)))
+        return message
+
+    def invoke_only(self, process: int, label: str, content=None) -> Message:
+        """An invocation without its response (sender may crash)."""
+        message = self.factory.new(
+            process, content if content is not None else label
+        )
+        self.messages[label] = message
+        self.steps.append(Step(process, BroadcastInvoke(message)))
+        return message
+
+    def deliver(self, process: int, *labels: str) -> "ExecutionBuilder":
+        for label in labels:
+            self.steps.append(
+                Step(process, DeliverAction(self.messages[label]))
+            )
+        return self
+
+    def crash(self, process: int) -> "ExecutionBuilder":
+        self.steps.append(Step(process, CrashAction()))
+        return self
+
+    def build(self) -> Execution:
+        return Execution.of(self.steps, self.n)
+
+
+@pytest.fixture
+def builder():
+    """Factory fixture: ``builder(n)`` returns a fresh ExecutionBuilder."""
+    return ExecutionBuilder
+
+
+def complete_exchange(n: int, per_process: int = 1) -> Execution:
+    """Everyone broadcasts and everyone delivers everything, same order."""
+    b = ExecutionBuilder(n)
+    labels = []
+    for p in range(n):
+        for i in range(per_process):
+            label = f"m{p}.{i}"
+            b.broadcast(p, label)
+            labels.append(label)
+    for p in range(n):
+        b.deliver(p, *labels)
+    return b.build()

@@ -1,0 +1,102 @@
+"""Unit tests for the action vocabulary and step predicates."""
+
+import pytest
+
+from repro.core import Message, MessageFactory, MessageId, Step
+from repro.core.actions import (
+    BROADCAST_ACTIONS,
+    BroadcastInvoke,
+    BroadcastReturn,
+    CrashAction,
+    DecideAction,
+    DeliverAction,
+    DeliverSetAction,
+    LocalAction,
+    PointToPointId,
+    ProposeAction,
+    ReceiveAction,
+    SendAction,
+)
+
+
+@pytest.fixture
+def message():
+    return MessageFactory().new(1, "hello")
+
+
+class TestActionStr:
+    def test_point_to_point_id(self):
+        assert str(PointToPointId(0, 2, 5)) == "s[0->2.5]"
+
+    def test_send_and_receive(self, message):
+        p2p = PointToPointId(0, 1, 0)
+        assert "send" in str(SendAction(p2p, "x"))
+        assert "receive" in str(ReceiveAction(p2p, "x"))
+
+    def test_broadcast_events(self, message):
+        assert "B.broadcast" in str(BroadcastInvoke(message))
+        assert "return" in str(BroadcastReturn(message))
+        deliver = DeliverAction(message)
+        assert "B.deliver" in str(deliver)
+        assert "from p1" in str(deliver)
+
+    def test_deliver_set_sorts_members(self):
+        factory = MessageFactory()
+        second = factory.new(1, "b")
+        first = factory.new(0, "a")
+        action = DeliverSetAction((second, first))
+        assert action.messages == (first, second)
+        assert "deliver_set" in str(action)
+
+    def test_ksa_operations(self):
+        assert "propose" in str(ProposeAction("o", 1))
+        assert "decide" in str(DecideAction("o", 1))
+
+    def test_crash_and_local(self):
+        assert str(CrashAction()) == "crash"
+        assert "note" in str(LocalAction("note"))
+
+
+class TestDeliverActionOrigin:
+    def test_origin_is_the_message_sender(self, message):
+        assert DeliverAction(message).origin == 1
+
+
+class TestBroadcastActionsTuple:
+    def test_contains_all_broadcast_level_types(self):
+        assert set(BROADCAST_ACTIONS) == {
+            BroadcastInvoke,
+            BroadcastReturn,
+            DeliverAction,
+            DeliverSetAction,
+        }
+
+
+class TestStepPredicates:
+    def test_each_predicate(self, message):
+        p2p = PointToPointId(1, 0, 0)
+        cases = [
+            (BroadcastInvoke(message), "is_invoke"),
+            (BroadcastReturn(message), "is_return"),
+            (DeliverAction(message), "is_deliver"),
+            (DeliverSetAction((message,)), "is_deliver_set"),
+            (SendAction(PointToPointId(0, 1, 0), "x"), "is_send"),
+            (ReceiveAction(p2p, "x"), "is_receive"),
+            (ProposeAction("o", 1), "is_propose"),
+            (CrashAction(), "is_crash"),
+        ]
+        predicates = [name for _, name in cases]
+        for action, positive in cases:
+            step = Step(0, action)
+            for name in predicates:
+                assert getattr(step, name)() == (name == positive), (
+                    f"{action} vs {name}"
+                )
+
+    def test_broadcast_event_membership(self, message):
+        assert Step(0, BroadcastInvoke(message)).is_broadcast_event()
+        assert Step(0, DeliverSetAction((message,))).is_broadcast_event()
+        assert not Step(0, CrashAction()).is_broadcast_event()
+
+    def test_step_str(self, message):
+        assert str(Step(2, BroadcastInvoke(message))).startswith("<p2:")

@@ -1,0 +1,120 @@
+"""Unit tests for the four base BC properties and the verdict plumbing."""
+
+from repro.core import check_base_properties
+from repro.specs import SendToAllSpec
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+class TestBcValidity:
+    def test_delivery_without_broadcast(self, builder):
+        b = builder(2)
+        message = b.broadcast(0, "real")
+        b.deliver(1, "real")
+        # forge a delivery of a never-broadcast message
+        from repro.core import Message, MessageId, Step
+        from repro.core.actions import DeliverAction
+
+        forged = Message(MessageId(1, 9), "forged")
+        execution = b.build().append(Step(0, DeliverAction(forged)))
+        verdict = check_base_properties(execution, assume_complete=False)
+        assert any("never broadcast" in v for v in verdict.validity)
+
+    def test_broadcast_attributed_to_wrong_process(self, builder):
+        from repro.core import MessageFactory, Step
+        from repro.core.actions import BroadcastInvoke
+
+        factory = MessageFactory()
+        message = factory.new(1, "x")  # message claims sender 1
+        from repro.core import Execution
+
+        execution = Execution.of([Step(0, BroadcastInvoke(message))], 2)
+        verdict = check_base_properties(execution, assume_complete=False)
+        assert any("attributed" in v for v in verdict.validity)
+
+    def test_double_broadcast_of_same_message(self, builder):
+        from repro.core import Execution, MessageFactory, Step
+        from repro.core.actions import BroadcastInvoke, BroadcastReturn
+
+        factory = MessageFactory()
+        message = factory.new(0, "x")
+        steps = [
+            Step(0, BroadcastInvoke(message)),
+            Step(0, BroadcastReturn(message)),
+            Step(0, BroadcastInvoke(message)),
+            Step(0, BroadcastReturn(message)),
+        ]
+        verdict = check_base_properties(
+            Execution.of(steps, 1), assume_complete=False
+        )
+        assert any("twice" in v for v in verdict.validity)
+
+
+class TestBcNoDuplication:
+    def test_double_delivery_flagged(self, builder):
+        b = builder(2)
+        b.broadcast(0, "m")
+        b.deliver(1, "m")
+        b.deliver(1, "m")
+        verdict = check_base_properties(b.build(), assume_complete=False)
+        assert any("twice" in v for v in verdict.no_duplication)
+
+
+class TestBcLocalTermination:
+    def test_correct_sender_must_return(self, builder):
+        b = builder(2)
+        b.invoke_only(0, "m")
+        b.deliver(0, "m").deliver(1, "m")
+        verdict = check_base_properties(b.build())
+        assert any("never returns" in v for v in verdict.local_termination)
+
+    def test_crashed_sender_excused(self, builder):
+        b = builder(2)
+        b.invoke_only(0, "m")
+        b.deliver(0, "m").deliver(1, "m")
+        b.crash(0)
+        assert check_base_properties(b.build()).admitted
+
+
+class TestBcGlobalCsTermination:
+    def test_correct_sender_message_must_reach_all_correct(self, builder):
+        b = builder(2)
+        b.broadcast(0, "m")
+        b.deliver(0, "m")  # p1 never delivers
+        verdict = check_base_properties(b.build())
+        assert any(
+            "never delivers" in v for v in verdict.global_cs_termination
+        )
+
+    def test_faulty_sender_message_may_be_partial(self, builder):
+        b = builder(3)
+        b.broadcast(0, "m")
+        b.deliver(0, "m").deliver(1, "m")
+        b.crash(0)  # p2 misses m, but sender is faulty
+        assert check_base_properties(b.build()).admitted
+
+    def test_crashed_receiver_excused(self, builder):
+        b = builder(2)
+        b.broadcast(0, "m")
+        b.deliver(0, "m")
+        b.crash(1)
+        assert check_base_properties(b.build()).admitted
+
+
+class TestVerdict:
+    def test_complete_exchange_admitted(self):
+        assert check_base_properties(complete_exchange(3)).admitted
+
+    def test_safety_ok_ignores_liveness(self, builder):
+        b = builder(2)
+        b.broadcast(0, "m")  # nobody delivers: liveness broken, safety fine
+        verdict = check_base_properties(b.build())
+        assert not verdict.admitted
+        assert verdict.safety_ok
+
+    def test_str_formats(self):
+        verdict = SendToAllSpec().admits(complete_exchange(2))
+        assert "admitted" in str(verdict)
+
+    def test_spec_admits_wires_name(self):
+        verdict = SendToAllSpec().admits(complete_exchange(2))
+        assert verdict.spec_name == "Send-To-All Broadcast"

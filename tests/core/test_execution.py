@@ -1,0 +1,208 @@
+"""Unit tests for Execution: queries, transformations, well-formedness."""
+
+import pytest
+
+from repro.core import Execution, MessageFactory, Renaming, Step
+from repro.core.actions import (
+    BroadcastInvoke,
+    CrashAction,
+    DecideAction,
+    ProposeAction,
+)
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+class TestSequenceBehaviour:
+    def test_empty_execution(self):
+        execution = Execution.empty(3)
+        assert len(execution) == 0
+        assert execution.n == 3
+        assert execution.broadcast_messages == ()
+
+    def test_append_is_persistent(self):
+        base = Execution.empty(2)
+        step = Step(0, CrashAction())
+        extended = base.append(step)
+        assert len(base) == 0
+        assert len(extended) == 1
+        assert extended[0] is step
+
+    def test_prefix(self):
+        execution = complete_exchange(2)
+        assert len(execution.prefix(3)) == 3
+        assert execution.prefix(1000).steps == execution.steps
+
+    def test_iteration_matches_indexing(self):
+        execution = complete_exchange(2)
+        assert list(execution) == [execution[i] for i in range(len(execution))]
+
+
+class TestQueries:
+    def test_broadcasts_by_and_order(self):
+        b = ExecutionBuilder(2)
+        first = b.broadcast(0, "a")
+        second = b.broadcast(1, "b")
+        third = b.broadcast(0, "c")
+        execution = b.build()
+        assert execution.broadcasts_by(0) == (first, third)
+        assert execution.broadcasts_by(1) == (second,)
+        assert execution.broadcast_messages == (first, second, third)
+
+    def test_delivery_sequences_and_first_delivered(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "b", "a").deliver(1, "a")
+        execution = b.build()
+        assert [m.content for m in execution.deliveries_of(0)] == ["b", "a"]
+        assert execution.first_delivered(0).content == "b"
+        assert execution.first_delivered(1).content == "a"
+
+    def test_first_delivered_none_when_no_delivery(self):
+        assert Execution.empty(2).first_delivered(0) is None
+
+    def test_crashed_and_correct(self):
+        b = ExecutionBuilder(3)
+        b.broadcast(0, "a")
+        b.crash(2)
+        execution = b.build()
+        assert execution.crashed == {2}
+        assert execution.correct == {0, 1}
+
+    def test_processes_in_first_step_order(self):
+        b = ExecutionBuilder(3)
+        b.broadcast(2, "a")
+        b.broadcast(0, "b")
+        assert b.build().processes == (2, 0)
+
+    def test_decisions_and_proposals(self):
+        steps = [
+            Step(0, ProposeAction("ksa", "v0")),
+            Step(0, DecideAction("ksa", "v0")),
+            Step(1, ProposeAction("ksa", "v1")),
+            Step(1, DecideAction("ksa", "v0")),
+        ]
+        execution = Execution.of(steps, 2)
+        assert execution.proposals["ksa"] == {0: "v0", 1: "v1"}
+        assert execution.decisions["ksa"] == {0: "v0", 1: "v0"}
+
+
+class TestTransformations:
+    def test_broadcast_projection_keeps_only_b_events_and_crashes(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.deliver(0, "a").crash(1)
+        execution = b.build()
+        from repro.core.actions import PointToPointId, SendAction
+
+        execution = execution.append(
+            Step(0, SendAction(PointToPointId(0, 1, 0), "x"))
+        )
+        beta = execution.broadcast_projection()
+        assert all(
+            s.is_broadcast_event() or s.is_crash() for s in beta
+        )
+        assert beta.crashed == {1}
+        assert len(beta) == 4  # invoke, return, deliver, crash
+
+    def test_restrict_drops_only_unselected_broadcast_steps(self):
+        b = ExecutionBuilder(2)
+        kept = b.broadcast(0, "keep")
+        b.broadcast(1, "drop")
+        b.deliver(0, "keep", "drop").deliver(1, "drop", "keep")
+        execution = b.build()
+        restricted = execution.restrict([kept.uid])
+        assert [m.content for m in restricted.broadcast_messages] == ["keep"]
+        assert [m.content for m in restricted.deliveries_of(1)] == ["keep"]
+
+    def test_restrict_to_all_is_identity(self):
+        execution = complete_exchange(3)
+        uids = [m.uid for m in execution.broadcast_messages]
+        assert execution.restrict(uids).steps == execution.steps
+
+    def test_rename_substitutes_everywhere(self):
+        b = ExecutionBuilder(2)
+        message = b.broadcast(0, "old")
+        b.deliver(0, "old").deliver(1, "old")
+        execution = b.build()
+        renamed = execution.rename(Renaming({message.uid: "new"}))
+        assert renamed.broadcast_messages[0].content == "new"
+        assert renamed.deliveries_of(1)[0].content == "new"
+        # structure unchanged
+        assert len(renamed) == len(execution)
+        assert renamed.broadcast_messages[0].uid == message.uid
+
+    def test_rename_unknown_uid_rejected(self):
+        execution = complete_exchange(2)
+        from repro.core import MessageId
+
+        with pytest.raises(ValueError, match="unknown"):
+            execution.rename(Renaming({MessageId(9, 9): "x"}))
+
+    def test_map_processes(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        execution = b.build().map_processes({0: 5})
+        assert execution.steps[0].process == 5
+
+    def test_with_crashes_prepends(self):
+        execution = complete_exchange(2).with_crashes([1])
+        assert execution[0].is_crash()
+        assert execution.crashed == {1}
+
+
+class TestWellFormedness:
+    def test_complete_exchange_is_well_formed(self):
+        assert complete_exchange(3).check_well_formed() == []
+
+    def test_out_of_range_process(self):
+        execution = Execution.of([Step(7, CrashAction())], 2)
+        assert any("outside" in v for v in execution.check_well_formed())
+
+    def test_step_after_crash(self):
+        b = ExecutionBuilder(2)
+        b.crash(0)
+        b.broadcast(0, "late")
+        assert any(
+            "after crashing" in v for v in b.build().check_well_formed()
+        )
+
+    def test_nested_broadcast_invocations(self):
+        b = ExecutionBuilder(1)
+        b.invoke_only(0, "first")
+        b.invoke_only(0, "second")
+        assert any("pending" in v for v in b.build().check_well_formed())
+
+    def test_return_without_invoke(self):
+        factory = MessageFactory()
+        message = factory.new(0)
+        from repro.core.actions import BroadcastReturn
+
+        execution = Execution.of([Step(0, BroadcastReturn(message))], 1)
+        assert any(
+            "did not invoke" in v for v in execution.check_well_formed()
+        )
+
+    def test_decide_without_propose(self):
+        execution = Execution.of([Step(0, DecideAction("ksa", "v"))], 1)
+        assert any("without a pending" in v
+                   for v in execution.check_well_formed())
+
+    def test_double_propose_same_time(self):
+        steps = [
+            Step(0, ProposeAction("a", 1)),
+            Step(0, ProposeAction("b", 2)),
+        ]
+        execution = Execution.of(steps, 1)
+        assert any("pending" in v for v in execution.check_well_formed())
+
+    def test_require_well_formed_raises(self):
+        from repro.core import WellFormednessError
+
+        execution = Execution.of([Step(9, CrashAction())], 2)
+        with pytest.raises(WellFormednessError):
+            execution.require_well_formed()
+
+    def test_require_well_formed_returns_self(self):
+        execution = complete_exchange(2)
+        assert execution.require_well_formed() is execution

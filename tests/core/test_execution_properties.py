@@ -1,0 +1,131 @@
+"""Property-based tests for the execution algebra (Definitions 2-4).
+
+Random broadcast-level executions are generated, then the paper's two
+transformations are checked for their algebraic laws: restriction is
+idempotent and monotone, renaming composes and is invertible, and the two
+commute in the appropriate sense — the facts Lemma 9's construction uses
+implicitly when it builds δ from γ from β.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Execution, MessageFactory, Renaming, Step
+from repro.core.actions import BroadcastInvoke, BroadcastReturn, DeliverAction
+
+
+@st.composite
+def broadcast_executions(draw, max_processes=4, max_messages=6):
+    """A random well-formed broadcast-level execution."""
+    n = draw(st.integers(2, max_processes))
+    message_count = draw(st.integers(1, max_messages))
+    factory = MessageFactory()
+    messages = [
+        factory.new(draw(st.integers(0, n - 1)), f"c{i}")
+        for i in range(message_count)
+    ]
+    steps: list[Step] = []
+    for message in messages:
+        steps.append(Step(message.sender, BroadcastInvoke(message)))
+        steps.append(Step(message.sender, BroadcastReturn(message)))
+    for p in range(n):
+        subset = draw(st.permutations(messages))
+        count = draw(st.integers(0, len(messages)))
+        for message in subset[:count]:
+            steps.append(Step(p, DeliverAction(message)))
+    return Execution.of(steps, n)
+
+
+@st.composite
+def executions_with_subset(draw):
+    execution = draw(broadcast_executions())
+    uids = [m.uid for m in execution.broadcast_messages]
+    subset = draw(st.sets(st.sampled_from(uids)))
+    return execution, frozenset(subset)
+
+
+@given(executions_with_subset())
+@settings(max_examples=60)
+def test_restriction_is_idempotent(case):
+    execution, subset = case
+    once = execution.restrict(subset)
+    twice = once.restrict(subset)
+    assert once.steps == twice.steps
+
+
+@given(executions_with_subset())
+@settings(max_examples=60)
+def test_restriction_result_mentions_only_subset(case):
+    execution, subset = case
+    restricted = execution.restrict(subset)
+    for step in restricted:
+        if step.is_broadcast_event():
+            assert step.action.message.uid in subset
+
+
+@given(executions_with_subset())
+@settings(max_examples=60)
+def test_nested_restrictions_compose_by_intersection(case):
+    execution, subset = case
+    uids = [m.uid for m in execution.broadcast_messages]
+    other = frozenset(uids[::2])
+    nested = execution.restrict(other).restrict(subset)
+    direct = execution.restrict(other & subset)
+    assert nested.steps == direct.steps
+
+
+@given(broadcast_executions())
+@settings(max_examples=60)
+def test_renaming_is_invertible(execution):
+    originals = {
+        m.uid: m.content for m in execution.broadcast_messages
+    }
+    fresh = Renaming(
+        {uid: ("fresh", i) for i, uid in enumerate(originals)}
+    )
+    inverse = Renaming(originals)
+    roundtrip = execution.rename(fresh).rename(inverse)
+    assert roundtrip.steps == execution.steps
+
+
+@given(executions_with_subset())
+@settings(max_examples=60)
+def test_restriction_commutes_with_renaming(case):
+    execution, subset = case
+    renaming = Renaming(
+        {
+            m.uid: ("r", i)
+            for i, m in enumerate(execution.broadcast_messages)
+        }
+    )
+    restricted_subset_renaming = Renaming(
+        {uid: c for uid, c in renaming.mapping.items() if uid in subset}
+    )
+    first = execution.rename(renaming).restrict(subset)
+    second = execution.restrict(subset).rename(restricted_subset_renaming)
+    assert first.steps == second.steps
+
+
+@given(broadcast_executions())
+@settings(max_examples=60)
+def test_projection_is_idempotent(execution):
+    beta = execution.broadcast_projection()
+    assert beta.broadcast_projection().steps == beta.steps
+
+
+@given(broadcast_executions())
+@settings(max_examples=60)
+def test_generated_executions_are_well_formed(execution):
+    assert execution.check_well_formed() == []
+
+
+@given(broadcast_executions())
+@settings(max_examples=60)
+def test_delivery_sequences_partition_deliver_steps(execution):
+    total = sum(
+        len(seq) for seq in execution.delivery_sequences.values()
+    )
+    assert total == sum(1 for s in execution if s.is_deliver())

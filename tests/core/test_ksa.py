@@ -1,0 +1,101 @@
+"""Unit tests for the k-set-agreement object properties (Section 4.1)."""
+
+from repro.core import Execution, Step, check_ksa
+from repro.core.actions import CrashAction, DecideAction, ProposeAction
+
+
+def propose(process, ksa, value):
+    return Step(process, ProposeAction(ksa, value))
+
+
+def decide(process, ksa, value):
+    return Step(process, DecideAction(ksa, value))
+
+
+class TestValidity:
+    def test_decided_value_must_be_proposed(self):
+        execution = Execution.of(
+            [propose(0, "o", "a"), decide(0, "o", "ghost")], 1
+        )
+        report = check_ksa(execution, k=1)
+        assert any("never proposed" in v for v in report.validity)
+
+    def test_deciding_anothers_proposal_is_valid(self):
+        execution = Execution.of(
+            [
+                propose(0, "o", "a"),
+                decide(0, "o", "a"),
+                propose(1, "o", "b"),
+                decide(1, "o", "a"),
+            ],
+            2,
+        )
+        assert check_ksa(execution, k=1).ok
+
+
+class TestAgreement:
+    def test_too_many_distinct_values(self):
+        execution = Execution.of(
+            [
+                propose(0, "o", "a"),
+                decide(0, "o", "a"),
+                propose(1, "o", "b"),
+                decide(1, "o", "b"),
+            ],
+            2,
+        )
+        report = check_ksa(execution, k=1)
+        assert any("> k=1" in v for v in report.agreement)
+        assert check_ksa(execution, k=2).ok
+
+    def test_objects_are_independent(self):
+        execution = Execution.of(
+            [
+                propose(0, "o1", "a"),
+                decide(0, "o1", "a"),
+                propose(1, "o2", "b"),
+                decide(1, "o2", "b"),
+            ],
+            2,
+        )
+        assert check_ksa(execution, k=1).ok
+
+
+class TestTermination:
+    def test_correct_proposer_must_decide(self):
+        execution = Execution.of([propose(0, "o", "a")], 1)
+        report = check_ksa(execution, k=1)
+        assert any("never decided" in v for v in report.termination)
+
+    def test_crashed_proposer_may_not_decide(self):
+        execution = Execution.of(
+            [propose(0, "o", "a"), Step(0, CrashAction())], 1
+        )
+        assert check_ksa(execution, k=1).ok
+
+    def test_prefix_mode_skips_liveness(self):
+        execution = Execution.of([propose(0, "o", "a")], 1)
+        assert check_ksa(execution, k=1, assume_complete=False).ok
+
+
+class TestOneShot:
+    def test_double_propose_flagged(self):
+        execution = Execution.of(
+            [
+                propose(0, "o", "a"),
+                decide(0, "o", "a"),
+                propose(0, "o", "b"),
+                decide(0, "o", "a"),
+            ],
+            1,
+        )
+        report = check_ksa(execution, k=1)
+        assert any("twice" in v for v in report.one_shot)
+
+
+class TestReport:
+    def test_ok_str(self):
+        assert "✓" in str(check_ksa(Execution.empty(1), k=2))
+
+    def test_k_recorded(self):
+        assert check_ksa(Execution.empty(1), k=3).k == 3

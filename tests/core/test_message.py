@@ -1,0 +1,81 @@
+"""Unit tests for message identity, factories and renamings."""
+
+import pytest
+
+from repro.core import Message, MessageFactory, MessageId, fresh_renaming
+from repro.core.message import Renaming
+
+
+class TestMessageId:
+    def test_ordering_is_lexicographic(self):
+        assert MessageId(0, 1) < MessageId(0, 2) < MessageId(1, 0)
+
+    def test_str_uses_paper_like_notation(self):
+        assert str(MessageId(2, 5)) == "m[2.5]"
+
+    def test_hashable_and_equal_by_value(self):
+        assert MessageId(1, 2) == MessageId(1, 2)
+        assert len({MessageId(1, 2), MessageId(1, 2)}) == 1
+
+
+class TestMessage:
+    def test_sender_comes_from_identity(self):
+        message = Message(MessageId(3, 0), "x")
+        assert message.sender == 3
+
+    def test_with_content_preserves_identity(self):
+        message = Message(MessageId(1, 1), "a")
+        renamed = message.with_content("b")
+        assert renamed.uid == message.uid
+        assert renamed.content == "b"
+        assert message.content == "a"  # immutable original
+
+    def test_str_with_and_without_content(self):
+        assert str(Message(MessageId(0, 0))) == "m[0.0]"
+        assert "m[0.0]:'v'" == str(Message(MessageId(0, 0), "v"))
+
+
+class TestMessageFactory:
+    def test_sequences_are_per_sender(self):
+        factory = MessageFactory()
+        first = factory.new(0)
+        second = factory.new(1)
+        third = factory.new(0)
+        assert first.uid == MessageId(0, 0)
+        assert second.uid == MessageId(1, 0)
+        assert third.uid == MessageId(0, 1)
+
+    def test_all_identities_unique(self):
+        factory = MessageFactory()
+        uids = {factory.new(p % 3).uid for p in range(100)}
+        assert len(uids) == 100
+
+
+class TestRenaming:
+    def test_apply_substitutes_only_mapped_messages(self):
+        target = Message(MessageId(0, 0), "old")
+        other = Message(MessageId(0, 1), "keep")
+        renaming = Renaming({target.uid: "new"})
+        assert renaming.apply(target).content == "new"
+        assert renaming.apply(other) is other
+
+    def test_apply_preserves_identity(self):
+        message = Message(MessageId(2, 7), "x")
+        renamed = Renaming({message.uid: "y"}).apply(message)
+        assert renamed.uid == message.uid
+
+    def test_container_protocol(self):
+        renaming = Renaming({MessageId(0, 0): "a"})
+        assert MessageId(0, 0) in renaming
+        assert MessageId(1, 0) not in renaming
+        assert len(renaming) == 1
+
+    def test_fresh_renaming_pairs_in_order(self):
+        uids = [MessageId(0, 0), MessageId(1, 0)]
+        renaming = fresh_renaming(uids, ["a", "b", "c"])
+        assert renaming.mapping[uids[0]] == "a"
+        assert renaming.mapping[uids[1]] == "b"
+
+    def test_fresh_renaming_requires_enough_contents(self):
+        with pytest.raises(ValueError, match="contents"):
+            fresh_renaming([MessageId(0, 0), MessageId(1, 0)], ["only-one"])

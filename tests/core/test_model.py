@@ -1,0 +1,94 @@
+"""Unit tests for the send/receive channel axioms (Section 2)."""
+
+from repro.core import Execution, Step, check_channels
+from repro.core.actions import (
+    CrashAction,
+    PointToPointId,
+    ReceiveAction,
+    SendAction,
+)
+
+
+def send(process, p2p, payload="x"):
+    return Step(process, SendAction(p2p, payload))
+
+
+def receive(process, p2p, payload="x"):
+    return Step(process, ReceiveAction(p2p, payload))
+
+
+P01 = PointToPointId(0, 1, 0)
+P01B = PointToPointId(0, 1, 1)
+
+
+class TestSrValidity:
+    def test_matched_send_receive_ok(self):
+        execution = Execution.of([send(0, P01), receive(1, P01)], 2)
+        assert check_channels(execution).ok
+
+    def test_reception_without_emission(self):
+        execution = Execution.of([receive(1, P01)], 2)
+        report = check_channels(execution)
+        assert any("never sent" in v for v in report.validity)
+
+    def test_duplicate_emission_flagged(self):
+        execution = Execution.of(
+            [send(0, P01), send(0, P01), receive(1, P01)], 2
+        )
+        report = check_channels(execution)
+        assert any("duplicate emission" in v for v in report.validity)
+
+    def test_sender_identity_must_match(self):
+        execution = Execution.of([send(1, P01)], 2)
+        report = check_channels(execution)
+        assert any("declared sender" in v for v in report.validity)
+
+    def test_receiver_identity_must_match(self):
+        execution = Execution.of([send(0, P01), receive(0, P01)], 2)
+        report = check_channels(execution, assume_complete=False)
+        assert any("addressed to" in v for v in report.validity)
+
+
+class TestSrNoDuplication:
+    def test_double_reception_flagged(self):
+        execution = Execution.of(
+            [send(0, P01), receive(1, P01), receive(1, P01)], 2
+        )
+        report = check_channels(execution)
+        assert report.no_duplication
+
+
+class TestSrTermination:
+    def test_unreceived_message_to_correct_process(self):
+        execution = Execution.of([send(0, P01)], 2)
+        report = check_channels(execution)
+        assert any("never received" in v for v in report.termination)
+
+    def test_unreceived_message_to_crashed_process_allowed(self):
+        execution = Execution.of(
+            [send(0, P01), Step(1, CrashAction())], 2
+        )
+        assert check_channels(execution).ok
+
+    def test_liveness_skipped_on_prefixes(self):
+        execution = Execution.of([send(0, P01)], 2)
+        assert check_channels(execution, assume_complete=False).ok
+
+
+class TestReport:
+    def test_ok_report_str(self):
+        report = check_channels(Execution.empty(2))
+        assert report.ok
+        assert "✓" in str(report)
+
+    def test_violating_report_str_lists_problems(self):
+        report = check_channels(Execution.of([receive(1, P01)], 2))
+        assert not report.ok
+        assert "never sent" in str(report)
+
+    def test_independent_channels_do_not_interfere(self):
+        execution = Execution.of(
+            [send(0, P01), send(0, P01B), receive(1, P01B), receive(1, P01)],
+            2,
+        )
+        assert check_channels(execution).ok

@@ -1,0 +1,123 @@
+"""Unit tests for N-solo executions (Definition 5)."""
+
+from repro.core import NSoloWitness, find_witness, is_n_solo, verify_witness
+from repro.core.message import MessageId
+from repro.specs.witnesses import solo_first_execution
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+def solo_then_exchange(n: int, per_process: int) -> tuple:
+    """Each process delivers its own messages first, then all others'."""
+    b = ExecutionBuilder(n)
+    labels: dict[int, list[str]] = {p: [] for p in range(n)}
+    for p in range(n):
+        for i in range(per_process):
+            label = f"m{p}.{i}"
+            b.broadcast(p, label)
+            labels[p].append(label)
+    for p in range(n):
+        own = labels[p]
+        others = [
+            label for q in range(n) if q != p for label in labels[q]
+        ]
+        b.deliver(p, *own, *others)
+    return b.build(), labels
+
+
+class TestVerifyWitness:
+    def test_valid_witness(self):
+        execution, labels = solo_then_exchange(3, 2)
+        witness = NSoloWitness(
+            2,
+            {
+                p: tuple(
+                    m.uid for m in execution.broadcasts_by(p)
+                )
+                for p in range(3)
+            },
+        )
+        assert verify_witness(execution, witness) == []
+
+    def test_wrong_cardinality(self):
+        execution, _ = solo_then_exchange(2, 2)
+        witness = NSoloWitness(
+            2, {0: (execution.broadcasts_by(0)[0].uid,), 1: ()}
+        )
+        violations = verify_witness(execution, witness)
+        assert any("expected 2" in v for v in violations)
+
+    def test_unbroadcast_message_rejected(self):
+        execution, _ = solo_then_exchange(2, 1)
+        witness = NSoloWitness(
+            1, {0: (MessageId(0, 99),), 1: (MessageId(1, 99),)}
+        )
+        violations = verify_witness(execution, witness)
+        assert any("never broadcast" in v for v in violations)
+
+    def test_foreign_owned_message_rejected(self):
+        execution, _ = solo_then_exchange(2, 1)
+        other = execution.broadcasts_by(1)[0].uid
+        witness = NSoloWitness(
+            1, {0: (other,), 1: (other,)}
+        )
+        violations = verify_witness(execution, witness)
+        assert any("broadcast by" in v for v in violations)
+
+    def test_undelivered_own_message_rejected(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(1, "b")  # p0 delivers nothing
+        execution = b.build()
+        witness = NSoloWitness(
+            1,
+            {
+                0: (execution.broadcasts_by(0)[0].uid,),
+                1: (execution.broadcasts_by(1)[0].uid,),
+            },
+        )
+        violations = verify_witness(execution, witness)
+        assert any("never delivers" in v for v in violations)
+
+    def test_foreign_first_violation(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "b", "a")  # foreign witness before own
+        b.deliver(1, "b")
+        execution = b.build()
+        witness = NSoloWitness(
+            1,
+            {
+                0: (execution.broadcasts_by(0)[0].uid,),
+                1: (execution.broadcasts_by(1)[0].uid,),
+            },
+        )
+        violations = verify_witness(execution, witness)
+        assert any("before finishing" in v for v in violations)
+
+
+class TestFindWitness:
+    def test_finds_witness_on_solo_shape(self):
+        execution, _ = solo_then_exchange(3, 2)
+        witness = find_witness(execution, 2)
+        assert witness is not None
+        assert verify_witness(execution, witness) == []
+
+    def test_solo_first_execution_is_1_solo(self):
+        assert is_n_solo(solo_first_execution(4), 1)
+
+    def test_complete_exchange_is_not_n_solo(self):
+        # everyone delivers p0's message first: p1's own message cannot
+        # precede all foreign witness messages at p1
+        assert not is_n_solo(complete_exchange(3), 1)
+
+    def test_insufficient_messages(self):
+        execution, _ = solo_then_exchange(2, 1)
+        assert find_witness(execution, 5) is None
+
+    def test_restriction_of_witness_to_subset_of_processes(self):
+        execution, _ = solo_then_exchange(3, 1)
+        witness = find_witness(execution, 1, processes=[0, 1])
+        assert witness is not None
+        assert set(witness.chosen) == {0, 1}

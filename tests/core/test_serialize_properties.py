@@ -1,0 +1,57 @@
+"""Serialization round-trips for full CAMP executions from live runs."""
+
+import pytest
+
+from repro.broadcasts import (
+    CausalBroadcast,
+    ScdBroadcast,
+    TotalOrderBroadcast,
+    UniformReliableBroadcast,
+)
+from repro.core.serialize import dumps, loads
+from repro.runtime import CrashSchedule, Simulator
+
+ALGORITHMS = [
+    UniformReliableBroadcast,
+    CausalBroadcast,
+    TotalOrderBroadcast,
+    ScdBroadcast,
+]
+
+
+@pytest.mark.parametrize(
+    "algorithm_class", ALGORITHMS, ids=[a.__name__ for a in ALGORITHMS]
+)
+@pytest.mark.parametrize("seed", [0, 3])
+def test_simulator_traces_roundtrip(algorithm_class, seed):
+    simulator = Simulator(
+        3, lambda pid, n: algorithm_class(pid, n), k=1, seed=seed
+    )
+    result = simulator.run(
+        {p: [f"m{p}.{i}" for i in range(2)] for p in range(3)},
+        crash_schedule=CrashSchedule({2: 25}),
+    )
+    reloaded = loads(dumps(result.execution))
+    assert reloaded == result.execution
+    assert reloaded.crashed == result.execution.crashed
+    assert (
+        reloaded.delivery_sequences == result.execution.delivery_sequences
+    )
+
+
+def test_adversarial_full_pipeline_traces_roundtrip():
+    from repro.adversary import adversarial_scheduler
+    from repro.broadcasts import KboAttemptBroadcast
+
+    result = adversarial_scheduler(
+        3,
+        2,
+        lambda pid, n: KboAttemptBroadcast(pid, n),
+        continue_after_flush=True,
+    )
+    reloaded = loads(dumps(result.execution))
+    assert reloaded == result.execution
+    assert (
+        reloaded.broadcast_projection().delivery_sequences
+        == result.beta.delivery_sequences
+    )

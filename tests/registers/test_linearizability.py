@@ -1,0 +1,122 @@
+"""Unit tests for operation histories and the linearizability checker."""
+
+from repro.registers import History, check_linearizable
+
+
+def record(history, process, op, target, arg, invoked, responded, result=None):
+    entry = history.begin(process, op, target, arg, at=invoked)
+    entry.responded_at = responded
+    entry.result = result
+    return entry
+
+
+class TestHistory:
+    def test_precedence(self):
+        history = History()
+        first = record(history, 0, "write", "R", 1, 0, 5, "ok")
+        second = record(history, 1, "read", "R", None, 10, 15, 1)
+        overlapping = record(history, 2, "read", "R", None, 3, 20, 1)
+        assert first.precedes(second)
+        assert not first.precedes(overlapping)
+        assert not second.precedes(first)
+
+    def test_pending_operations(self):
+        history = History()
+        entry = history.begin(0, "write", "R", 1, at=0)
+        assert not entry.complete
+        assert history.pending() == [entry]
+        assert history.complete() == []
+
+    def test_targets_and_subhistories(self):
+        history = History()
+        record(history, 0, "write", "R0", 1, 0, 1, "ok")
+        record(history, 0, "write", "R1", 2, 2, 3, "ok")
+        assert history.targets() == ["R0", "R1"]
+        assert len(history.on_target("R0")) == 1
+
+    def test_str_rendering(self):
+        history = History()
+        record(history, 0, "read", "R", None, 0, 4, 7)
+        assert "p0.read" in str(history)
+        assert "-> 7" in str(history)
+
+
+class TestChecker:
+    def test_sequential_legal_history(self):
+        history = History()
+        record(history, 0, "write", "R", 5, 0, 1, "ok")
+        record(history, 1, "read", "R", None, 2, 3, 5)
+        assert check_linearizable(history).ok
+
+    def test_read_of_initial_value(self):
+        history = History()
+        record(history, 1, "read", "R", None, 0, 1, 0)
+        record(history, 0, "write", "R", 5, 2, 3, "ok")
+        assert check_linearizable(history, initial=0).ok
+
+    def test_stale_read_after_write_rejected(self):
+        history = History()
+        record(history, 0, "write", "R", 5, 0, 1, "ok")
+        record(history, 1, "read", "R", None, 2, 3, 0)  # missed the write
+        assert not check_linearizable(history).ok
+
+    def test_concurrent_write_may_or_may_not_be_seen(self):
+        history = History()
+        record(history, 0, "write", "R", 5, 0, 10, "ok")
+        record(history, 1, "read", "R", None, 2, 3, 0)  # overlaps: 0 is fine
+        assert check_linearizable(history).ok
+
+    def test_new_old_inversion_rejected(self):
+        history = History()
+        record(history, 0, "write", "R", 1, 0, 100, "ok")  # long write
+        record(history, 1, "read", "R", None, 10, 20, 1)   # sees it
+        record(history, 2, "read", "R", None, 30, 40, 0)   # later misses it
+        assert not check_linearizable(history).ok
+
+    def test_pending_write_may_take_effect(self):
+        history = History()
+        history.begin(0, "write", "R", 9, at=0)  # never responds
+        record(history, 1, "read", "R", None, 5, 6, 9)
+        assert check_linearizable(history).ok
+
+    def test_pending_write_may_be_dropped(self):
+        history = History()
+        history.begin(0, "write", "R", 9, at=0)
+        record(history, 1, "read", "R", None, 5, 6, 0)
+        assert check_linearizable(history).ok
+
+    def test_registers_checked_independently(self):
+        history = History()
+        record(history, 0, "write", "R0", 1, 0, 1, "ok")
+        record(history, 1, "read", "R0", None, 2, 3, 1)
+        record(history, 0, "write", "R1", 2, 4, 5, "ok")
+        record(history, 1, "read", "R1", None, 6, 7, 99)  # bad register
+        report = check_linearizable(history)
+        assert report.verdicts["R0"]
+        assert not report.verdicts["R1"]
+        assert not report.ok
+
+    def test_witness_extends_precedence(self):
+        history = History()
+        write = record(history, 0, "write", "R", 1, 0, 1, "ok")
+        read = record(history, 1, "read", "R", None, 2, 3, 1)
+        report = check_linearizable(history)
+        witness = report.witnesses["R"]
+        assert witness.index(write.op_id) < witness.index(read.op_id)
+
+    def test_multi_writer_interleaving(self):
+        history = History()
+        record(history, 0, "write", "R", "a", 0, 10, "ok")
+        record(history, 1, "write", "R", "b", 0, 10, "ok")
+        record(history, 2, "read", "R", None, 20, 21, "a")
+        record(history, 3, "read", "R", None, 22, 23, "a")
+        assert check_linearizable(history).ok
+
+    def test_conflicting_final_reads_rejected(self):
+        history = History()
+        record(history, 0, "write", "R", "a", 0, 10, "ok")
+        record(history, 1, "write", "R", "b", 0, 10, "ok")
+        record(history, 2, "read", "R", None, 20, 21, "a")
+        record(history, 3, "read", "R", None, 22, 23, "b")
+        record(history, 2, "read", "R", None, 24, 25, "a")
+        assert not check_linearizable(history).ok

@@ -1,0 +1,118 @@
+"""Unit tests for the network pool and the k-SA oracle objects."""
+
+import pytest
+
+from repro.core.actions import PointToPointId
+from repro.runtime import (
+    FirstProposalsPolicy,
+    KsaObject,
+    KsaRegistry,
+    Network,
+    OwnValuePolicy,
+    ScriptedPolicy,
+)
+
+
+class TestNetwork:
+    def test_send_then_receive(self):
+        network = Network()
+        p2p = PointToPointId(0, 1, 0)
+        network.send(p2p, "x")
+        assert len(network) == 1
+        item = network.receive(p2p)
+        assert item.payload == "x"
+        assert len(network) == 0
+
+    def test_duplicate_send_rejected(self):
+        network = Network()
+        p2p = PointToPointId(0, 1, 0)
+        network.send(p2p, "x")
+        with pytest.raises(ValueError, match="duplicate"):
+            network.send(p2p, "y")
+
+    def test_receive_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not in flight"):
+            Network().receive(PointToPointId(0, 1, 0))
+
+    def test_deliverable_filtering(self):
+        network = Network()
+        network.send(PointToPointId(0, 1, 0), "a")
+        network.send(PointToPointId(0, 2, 0), "b")
+        to_p1 = network.deliverable({1})
+        assert [i.payload for i in to_p1] == ["a"]
+        assert len(network.deliverable()) == 2
+
+    def test_pending_queries(self):
+        network = Network()
+        network.send(PointToPointId(0, 1, 0), "a")
+        network.send(PointToPointId(2, 1, 0), "b")
+        assert len(network.pending_to(1)) == 2
+        assert [i.payload for i in network.pending_between(2, 1)] == ["b"]
+
+
+class TestPolicies:
+    def test_first_proposals_win(self):
+        ksa = KsaObject("o", 2, FirstProposalsPolicy())
+        assert ksa.propose(0, "a") == "a"
+        assert ksa.propose(1, "b") == "b"
+        assert ksa.propose(2, "c") == "a"  # third distinct forced back
+
+    def test_own_value_policy_adopts_latest(self):
+        ksa = KsaObject("o", 2, OwnValuePolicy())
+        ksa.propose(0, "a")
+        ksa.propose(1, "b")
+        assert ksa.propose(2, "c") == "b"
+
+    def test_repeated_value_always_allowed(self):
+        ksa = KsaObject("o", 1, FirstProposalsPolicy())
+        assert ksa.propose(0, "a") == "a"
+        assert ksa.propose(1, "a") == "a"
+
+    def test_scripted_policy(self):
+        policy = ScriptedPolicy({("o", 1): "a"})
+        ksa = KsaObject("o", 2, policy)
+        ksa.propose(0, "a")
+        assert ksa.propose(1, "b") == "a"  # scripted override
+
+    def test_scripted_fallback(self):
+        ksa = KsaObject("o", 2, ScriptedPolicy({}))
+        assert ksa.propose(0, "x") == "x"
+
+
+class TestKsaObjectSafety:
+    def test_one_shot_enforced(self):
+        ksa = KsaObject("o", 2, OwnValuePolicy())
+        ksa.propose(0, "a")
+        with pytest.raises(ValueError, match="one-shot"):
+            ksa.propose(0, "b")
+
+    def test_validity_enforced_against_bad_policy(self):
+        class Liar(FirstProposalsPolicy):
+            def decide(self, *args):
+                return "never-proposed"
+
+        ksa = KsaObject("o", 2, Liar())
+        with pytest.raises(ValueError, match="never proposed"):
+            ksa.propose(0, "a")
+
+    def test_agreement_enforced_against_bad_policy(self):
+        class Chaotic(FirstProposalsPolicy):
+            def decide(self, ksa, proposer, value, decided, k):
+                return value  # always own, ignoring k
+
+        ksa = KsaObject("o", 1, Chaotic())
+        ksa.propose(0, "a")
+        with pytest.raises(ValueError, match="agreement"):
+            ksa.propose(1, "b")
+
+
+class TestRegistry:
+    def test_objects_created_on_demand(self):
+        registry = KsaRegistry(2)
+        assert registry.propose("obj", 0, "v") == "v"
+        assert "obj" in registry.objects
+        assert registry.get("obj") is registry.get("obj")
+
+    def test_registry_k_propagates(self):
+        registry = KsaRegistry(3)
+        assert registry.get("x").k == 3

@@ -1,0 +1,72 @@
+"""The oracle decision policy shapes agreement outcomes in the simulator.
+
+The k-SA objects are axiomatic: any decision pattern within their three
+properties is legal, and *which* legal pattern the environment picks is
+adversarial freedom (Algorithm 1's whole leverage).  These tests show
+the same freedom through the free simulator's pluggable policies: with
+consensus oracles (k = 1) the First-k broadcast has a single first
+delivery; with k-SA oracles the policies realize anywhere up to the k
+distinct first deliveries the specification permits.
+"""
+
+import pytest
+
+from repro.broadcasts import FirstKKsaBroadcast
+from repro.core.order import first_delivered_set
+from repro.runtime import (
+    FirstProposalsPolicy,
+    OwnValuePolicy,
+    ScriptedPolicy,
+    Simulator,
+)
+from repro.specs import FirstKBroadcastSpec
+
+
+def heads_of(policy, *, k=2, n=4, seed=0):
+    simulator = Simulator(
+        n,
+        lambda pid, size: FirstKKsaBroadcast(pid, size),
+        k=k,
+        ksa_policy=policy,
+        seed=seed,
+    )
+    result = simulator.run({p: [f"m{p}"] for p in range(n)})
+    return first_delivered_set(result.execution.broadcast_projection())
+
+
+class TestPolicyShapesOutcomes:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consensus_oracle_gives_single_head(self, seed):
+        assert len(heads_of(FirstProposalsPolicy(), k=1, seed=seed)) == 1
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_own_value_policy_realizes_k_heads(self, k):
+        assert len(heads_of(OwnValuePolicy(), k=k, seed=1)) == k
+
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heads_always_bounded_by_k(self, k, seed):
+        for policy in (FirstProposalsPolicy(), OwnValuePolicy(),
+                       ScriptedPolicy({})):
+            assert len(heads_of(policy, k=k, seed=seed)) <= k
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_spec_holds_under_every_policy(self, k):
+        for policy in (FirstProposalsPolicy(), OwnValuePolicy()):
+            simulator = Simulator(
+                4,
+                lambda pid, size: FirstKKsaBroadcast(pid, size),
+                k=k,
+                ksa_policy=policy,
+                seed=2,
+            )
+            result = simulator.run({p: [f"m{p}"] for p in range(4)})
+            verdict = FirstKBroadcastSpec(k).admits(
+                result.execution.broadcast_projection()
+            )
+            assert verdict.admitted
+
+    def test_empty_script_falls_back_to_own_value(self):
+        scripted = heads_of(ScriptedPolicy({}), k=2, seed=1)
+        own = heads_of(OwnValuePolicy(), k=2, seed=1)
+        assert scripted == own

@@ -1,0 +1,140 @@
+"""Tests for the scheduling policies shaping simulator asynchrony."""
+
+import pytest
+
+from repro.broadcasts import (
+    CausalBroadcast,
+    KboAttemptBroadcast,
+    ScdBroadcast,
+    SendToAllBroadcast,
+)
+from repro.core import check_channels
+from repro.runtime import (
+    ChannelFifoPolicy,
+    LockstepPolicy,
+    Simulator,
+    TargetedDelayPolicy,
+    UniformPolicy,
+)
+from repro.specs import (
+    CausalBroadcastSpec,
+    KboBroadcastSpec,
+    TotalOrderBroadcastSpec,
+)
+
+
+def run(algorithm_class, policy, *, n=4, seed=0, k=1, per_process=3):
+    simulator = Simulator(
+        n,
+        lambda pid, size: algorithm_class(pid, size),
+        k=k,
+        seed=seed,
+        scheduling_policy=policy,
+    )
+    scripts = {
+        p: [f"m{p}.{i}" for i in range(per_process)] for p in range(n)
+    }
+    return simulator.run(scripts)
+
+
+class TestLockstep:
+    def test_deterministic_across_seeds(self):
+        first = run(SendToAllBroadcast, LockstepPolicy(), seed=1)
+        second = run(SendToAllBroadcast, LockstepPolicy(), seed=99)
+        assert first.execution == second.execution
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_kbo_attempt_satisfies_kbo_under_lockstep(self, seed):
+        result = run(KboAttemptBroadcast, LockstepPolicy(), seed=seed, k=2)
+        assert result.quiescent
+        verdict = KboBroadcastSpec(2).admits(
+            result.execution.broadcast_projection(),
+            assume_complete=False,
+        )
+        assert verdict.admitted
+
+    def test_lockstep_send_to_all_is_totally_ordered(self):
+        result = run(SendToAllBroadcast, LockstepPolicy())
+        verdict = TotalOrderBroadcastSpec().admits(
+            result.execution.broadcast_projection(),
+            assume_complete=False,
+        )
+        assert verdict.admitted
+
+
+class TestTargetedDelay:
+    def test_starves_until_deadline_then_releases(self):
+        policy = TargetedDelayPolicy(victim=2, until_step=50)
+        result = run(SendToAllBroadcast, policy, n=3, seed=0)
+        assert result.quiescent  # embargo lifts, liveness preserved
+        assert check_channels(result.execution).ok
+        # the victim's first reception happens only after the deadline
+        first_recv = next(
+            index
+            for index, step in enumerate(result.execution)
+            if step.process == 2 and step.is_receive()
+        )
+        assert first_recv >= 40
+
+    def test_manufactures_causal_anomaly_for_send_to_all(self):
+        violated = False
+        for seed in range(10):
+            policy = TargetedDelayPolicy(victim=2, until_step=60)
+            simulator = Simulator(
+                3,
+                lambda pid, n: SendToAllBroadcast(pid, n),
+                seed=seed,
+                scheduling_policy=policy,
+            )
+            result = simulator.run({0: ["cause"], 1: ["effect"], 2: []})
+            verdict = CausalBroadcastSpec().admits(
+                result.execution.broadcast_projection(),
+                assume_complete=False,
+            )
+            if not verdict.admitted:
+                violated = True
+                break
+        assert violated
+
+    def test_causal_broadcast_immune_to_the_same_policy(self):
+        for seed in range(5):
+            policy = TargetedDelayPolicy(victim=2, until_step=60)
+            simulator = Simulator(
+                3,
+                lambda pid, n: CausalBroadcast(pid, n),
+                seed=seed,
+                scheduling_policy=policy,
+            )
+            result = simulator.run({0: ["cause"], 1: ["effect"], 2: []})
+            assert result.quiescent
+            verdict = CausalBroadcastSpec().admits(
+                result.execution.broadcast_projection()
+            )
+            assert verdict.admitted
+
+
+class TestChannelFifo:
+    def test_per_channel_receptions_are_fifo(self):
+        result = run(SendToAllBroadcast, ChannelFifoPolicy(), seed=3)
+        assert result.quiescent
+        seen: dict[tuple[int, int], int] = {}
+        for step in result.execution:
+            if step.is_receive():
+                p2p = step.action.p2p
+                channel = (p2p.sender, p2p.receiver)
+                assert seen.get(channel, -1) < p2p.seq
+                seen[channel] = p2p.seq
+
+    def test_quiescent_and_axioms_hold(self):
+        result = run(ScdBroadcast, ChannelFifoPolicy(), seed=5)
+        assert result.quiescent
+        assert check_channels(result.execution).ok
+
+
+class TestUniformDefault:
+    def test_explicit_uniform_equals_default(self):
+        explicit = run(SendToAllBroadcast, UniformPolicy(), seed=7)
+        default = Simulator(
+            4, lambda pid, n: SendToAllBroadcast(pid, n), seed=7
+        ).run({p: [f"m{p}.{i}" for i in range(3)] for p in range(4)})
+        assert explicit.execution == default.execution

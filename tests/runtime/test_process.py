@@ -1,0 +1,222 @@
+"""Unit tests for the per-process step machine (ProcessRuntime)."""
+
+import pytest
+
+from repro.core import Message, MessageFactory
+from repro.runtime import (
+    Blocked,
+    BroadcastProcess,
+    Deliver,
+    DeliverStep,
+    Idle,
+    LocalNote,
+    LocalStep,
+    ProcessRuntime,
+    Propose,
+    ProposeStep,
+    ProtocolError,
+    ReturnStep,
+    Send,
+    SendStep,
+    Wait,
+)
+
+
+class EchoAlgorithm(BroadcastProcess):
+    """Send to all, deliver upon receive; no waiting."""
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, payload, sender):
+        yield Deliver(payload)
+
+
+class ProposeThenDeliver(BroadcastProcess):
+    def on_broadcast(self, message):
+        decided = yield Propose("obj", message)
+        yield Deliver(decided)
+
+    def on_receive(self, payload, sender):
+        yield Deliver(payload)
+
+
+class WaitingAlgorithm(BroadcastProcess):
+    """Waits until its message has been delivered (by a receive handler)."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.seen = set()
+
+    def on_broadcast(self, message):
+        yield Send(self.pid, message)
+        yield Wait(lambda: message.uid in self.seen, "await self-delivery")
+        yield LocalNote("woke")
+
+    def on_receive(self, payload, sender):
+        self.seen.add(payload.uid)
+        yield Deliver(payload)
+
+
+class BadHandlerWaits(BroadcastProcess):
+    def on_broadcast(self, message):
+        yield Send(self.pid, message)
+
+    def on_receive(self, payload, sender):
+        yield Wait(lambda: True)
+
+
+def make_runtime(algorithm_class, pid=0, n=3):
+    return ProcessRuntime(algorithm_class(pid, n))
+
+
+class TestBroadcastLifecycle:
+    def test_idle_before_any_work(self):
+        runtime = make_runtime(EchoAlgorithm)
+        assert isinstance(runtime.next_step(), Idle)
+        assert not runtime.has_enabled_step()
+
+    def test_sends_then_returns(self):
+        runtime = make_runtime(EchoAlgorithm, n=2)
+        message = runtime.start_broadcast("hello")
+        assert runtime.busy
+        first = runtime.next_step()
+        second = runtime.next_step()
+        assert isinstance(first, SendStep) and isinstance(second, SendStep)
+        assert {first.p2p.receiver, second.p2p.receiver} == {0, 1}
+        final = runtime.next_step()
+        assert isinstance(final, ReturnStep)
+        assert final.message == message
+        assert not runtime.busy
+        assert message.uid in runtime.returned_uids
+
+    def test_nested_broadcast_rejected(self):
+        runtime = make_runtime(EchoAlgorithm)
+        runtime.start_broadcast("a")
+        with pytest.raises(ProtocolError, match="pending"):
+            runtime.start_broadcast("b")
+
+    def test_message_identities_are_sequential(self):
+        runtime = make_runtime(EchoAlgorithm, pid=2)
+        first = runtime.start_broadcast("a")
+        while not isinstance(runtime.next_step(), ReturnStep):
+            pass
+        second = runtime.start_broadcast("b")
+        assert (first.uid.sender, first.uid.seq) == (2, 0)
+        assert (second.uid.sender, second.uid.seq) == (2, 1)
+
+
+class TestReceiveHandlers:
+    def test_handler_produces_delivery(self):
+        from repro.core.actions import PointToPointId
+
+        runtime = make_runtime(EchoAlgorithm)
+        factory = MessageFactory()
+        payload = factory.new(1, "x")
+        runtime.inject_receive(PointToPointId(1, 0, 0), payload)
+        step = runtime.next_step()
+        assert isinstance(step, DeliverStep)
+        assert step.message == payload
+        assert runtime.has_delivered(payload.uid)
+
+    def test_wrongly_addressed_receive_rejected(self):
+        from repro.core.actions import PointToPointId
+
+        runtime = make_runtime(EchoAlgorithm, pid=0)
+        with pytest.raises(ProtocolError, match="addressed"):
+            runtime.inject_receive(PointToPointId(1, 2, 0), None)
+
+    def test_handlers_run_before_operation(self):
+        from repro.core.actions import PointToPointId
+
+        runtime = make_runtime(EchoAlgorithm, n=1)
+        runtime.start_broadcast("op")
+        factory = MessageFactory()
+        runtime.inject_receive(
+            PointToPointId(1, 0, 0), factory.new(1, "urgent")
+        )
+        step = runtime.next_step()
+        assert isinstance(step, DeliverStep)  # handler first
+
+    def test_wait_in_handler_rejected(self):
+        from repro.core.actions import PointToPointId
+
+        runtime = make_runtime(BadHandlerWaits)
+        factory = MessageFactory()
+        runtime.inject_receive(PointToPointId(1, 0, 0), factory.new(1))
+        with pytest.raises(ProtocolError, match="atomic"):
+            runtime.next_step()
+
+    def test_duplicate_delivery_rejected(self):
+        from repro.core.actions import PointToPointId
+
+        runtime = make_runtime(EchoAlgorithm)
+        factory = MessageFactory()
+        payload = factory.new(1, "x")
+        runtime.inject_receive(PointToPointId(1, 0, 0), payload)
+        runtime.next_step()
+        runtime.inject_receive(PointToPointId(1, 0, 1), payload)
+        with pytest.raises(ProtocolError, match="twice"):
+            runtime.next_step()
+
+
+class TestProposeFlow:
+    def test_propose_suspends_until_decide(self):
+        runtime = make_runtime(ProposeThenDeliver)
+        message = runtime.start_broadcast("v")
+        step = runtime.next_step()
+        assert isinstance(step, ProposeStep)
+        assert step.ksa == "obj"
+        with pytest.raises(ProtocolError, match="awaiting"):
+            runtime.next_step()
+        runtime.resume_decide(message)
+        delivered = runtime.next_step()
+        assert isinstance(delivered, DeliverStep)
+        assert delivered.message == message
+
+    def test_decide_without_propose_rejected(self):
+        runtime = make_runtime(ProposeThenDeliver)
+        with pytest.raises(ProtocolError, match="without a pending"):
+            runtime.resume_decide("x")
+
+
+class TestWaiting:
+    def test_blocked_until_guard_true(self):
+        from repro.core.actions import PointToPointId
+
+        runtime = make_runtime(WaitingAlgorithm, n=1)
+        message = runtime.start_broadcast("w")
+        send = runtime.next_step()
+        assert isinstance(send, SendStep)
+        blocked = runtime.next_step()
+        assert isinstance(blocked, Blocked)
+        assert "self-delivery" in blocked.reason
+        assert not runtime.has_enabled_step()
+        # the self-send arrives: the handler unblocks the operation
+        runtime.inject_receive(send.p2p, message)
+        assert isinstance(runtime.next_step(), DeliverStep)
+        assert isinstance(runtime.next_step(), LocalStep)
+        assert isinstance(runtime.next_step(), ReturnStep)
+
+    def test_guard_true_immediately_skips_wait(self):
+        class NoWait(BroadcastProcess):
+            def on_broadcast(self, message):
+                yield Wait(lambda: True)
+                yield LocalNote("through")
+
+            def on_receive(self, payload, sender):
+                return
+                yield
+
+        runtime = ProcessRuntime(NoWait(0, 1))
+        runtime.start_broadcast("x")
+        assert isinstance(runtime.next_step(), LocalStep)
+
+
+class TestP2PMinting:
+    def test_unique_per_destination(self):
+        runtime = make_runtime(EchoAlgorithm, pid=1)
+        ids = {runtime.mint_p2p(0) for _ in range(5)}
+        ids |= {runtime.mint_p2p(2) for _ in range(5)}
+        assert len(ids) == 10
+        assert all(p.sender == 1 for p in ids)

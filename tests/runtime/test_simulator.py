@@ -1,0 +1,177 @@
+"""Integration tests for the free simulator: determinism, axioms, crashes."""
+
+import pytest
+
+from repro.broadcasts import (
+    CausalBroadcast,
+    SendToAllBroadcast,
+    UniformReliableBroadcast,
+)
+from repro.core import check_channels
+from repro.runtime import (
+    BroadcastProcess,
+    CrashSchedule,
+    Send,
+    Simulator,
+    Wait,
+)
+
+
+def simulate(algorithm_class, n=3, seed=0, per_process=2, **kwargs):
+    simulator = Simulator(
+        n, lambda pid, size: algorithm_class(pid, size), seed=seed
+    )
+    scripts = {
+        p: [f"m{p}.{i}" for i in range(per_process)] for p in range(n)
+    }
+    return simulator.run(scripts, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        first = simulate(CausalBroadcast, seed=5)
+        second = simulate(CausalBroadcast, seed=5)
+        assert first.execution == second.execution
+
+    def test_different_seeds_usually_differ(self):
+        first = simulate(CausalBroadcast, seed=5)
+        second = simulate(CausalBroadcast, seed=6)
+        assert first.execution != second.execution
+
+
+class TestChannelAxioms:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_quiescent_runs_satisfy_sr_properties(self, seed):
+        result = simulate(UniformReliableBroadcast, seed=seed)
+        assert result.quiescent
+        assert check_channels(result.execution).ok
+
+    def test_all_scripted_messages_delivered_everywhere(self):
+        result = simulate(SendToAllBroadcast, n=4, seed=3)
+        for p in range(4):
+            assert len(result.deliveries(p)) == 8
+
+
+class TestCrashes:
+    def test_initially_crashed_process_takes_no_step(self):
+        simulator = Simulator(
+            3, lambda pid, n: SendToAllBroadcast(pid, n), seed=0
+        )
+        result = simulator.run(
+            {p: ["x"] for p in range(3)},
+            crash_schedule=CrashSchedule.initial([2]),
+        )
+        assert all(
+            s.is_crash() for s in result.execution.steps_of(2)
+        )
+        assert result.execution.crashed == {2}
+
+    def test_mid_run_crash_stops_the_process(self):
+        simulator = Simulator(
+            3, lambda pid, n: SendToAllBroadcast(pid, n), seed=1
+        )
+        result = simulator.run(
+            {p: ["a", "b"] for p in range(3)},
+            crash_schedule=CrashSchedule({1: 10}),
+        )
+        steps = result.execution.steps_of(1)
+        assert steps[-1].is_crash()
+        assert result.execution.crashed == {1}
+
+    def test_messages_to_crashed_process_may_be_dropped(self):
+        simulator = Simulator(
+            2, lambda pid, n: SendToAllBroadcast(pid, n), seed=2
+        )
+        result = simulator.run(
+            {0: ["x"], 1: []},
+            crash_schedule=CrashSchedule.initial([1]),
+        )
+        assert result.quiescent
+        # SR-Termination only constrains correct receivers
+        assert check_channels(result.execution).ok
+
+
+class TestBlockedDetection:
+    def test_forever_waiting_algorithm_reported(self):
+        class Stuck(BroadcastProcess):
+            def on_broadcast(self, message):
+                yield Wait(lambda: False, "never")
+
+            def on_receive(self, payload, sender):
+                return
+                yield
+
+        simulator = Simulator(2, lambda pid, n: Stuck(pid, n), seed=0)
+        result = simulator.run({0: ["x"]})
+        assert not result.quiescent or result.blocked
+        assert 0 in result.blocked
+        assert "never" in result.blocked[0]
+
+
+class TestSyncBroadcastMode:
+    def test_next_broadcast_waits_for_self_delivery(self):
+        simulator = Simulator(
+            2,
+            lambda pid, n: UniformReliableBroadcast(pid, n),
+            seed=4,
+            sync_broadcasts=True,
+        )
+        result = simulator.run({0: ["a", "b"], 1: []})
+        deliveries = [
+            m.content for m in result.deliveries(0) if m.sender == 0
+        ]
+        assert deliveries == ["a", "b"]
+
+    def test_step_budget_respected(self):
+        result = simulate(UniformReliableBroadcast, max_steps=10)
+        assert result.steps_taken <= 10
+        assert not result.quiescent
+
+
+class TestGatedScripts:
+    def test_gated_broadcast_waits_for_its_parent(self):
+        from repro.runtime import Gated
+
+        for seed in range(5):
+            simulator = Simulator(
+                2, lambda pid, n: UniformReliableBroadcast(pid, n),
+                seed=seed,
+            )
+            result = simulator.run(
+                {
+                    0: ["parent"],
+                    1: [Gated("child", after="parent")],
+                }
+            )
+            assert result.quiescent
+            # at the *broadcaster*, the parent delivery precedes the
+            # child's invocation — a genuine causal dependency
+            events = [
+                ("deliver", s.action.message.content)
+                if s.is_deliver()
+                else ("invoke", s.action.message.content)
+                for s in result.execution.steps_of(1)
+                if s.is_deliver() or s.is_invoke()
+            ]
+            assert events.index(("deliver", "parent")) < events.index(
+                ("invoke", "child")
+            )
+
+    def test_ungateable_entry_is_never_broadcast(self):
+        from repro.runtime import Gated
+
+        simulator = Simulator(
+            2, lambda pid, n: UniformReliableBroadcast(pid, n), seed=0
+        )
+        result = simulator.run(
+            {1: [Gated("orphan", after="never-sent")]}
+        )
+        assert result.quiescent
+        assert result.execution.broadcast_messages == ()
+
+
+class TestSimulationResultApi:
+    def test_delivered_contents(self):
+        result = simulate(SendToAllBroadcast, n=2, seed=0, per_process=1)
+        contents = result.delivered_contents(0)
+        assert set(contents) == {"m0.0", "m1.0"}

@@ -1,0 +1,72 @@
+"""Unit tests for the trace recorder and crash schedules."""
+
+from repro.core import MessageFactory
+from repro.core.actions import PointToPointId
+from repro.runtime import CrashSchedule, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_each_kind_recorded(self):
+        trace = TraceRecorder(2)
+        factory = MessageFactory()
+        message = factory.new(0, "c")
+        p2p = PointToPointId(0, 1, 0)
+        trace.broadcast_invoke(0, message)
+        trace.send(0, p2p, "payload")
+        trace.receive(1, p2p, "payload")
+        trace.deliver(1, message)
+        trace.propose(1, "obj", "v")
+        trace.decide(1, "obj", "v")
+        trace.broadcast_return(0, message)
+        trace.local(0, "note")
+        trace.crash(1)
+        execution = trace.execution()
+        assert len(execution) == 9
+        assert execution.check_well_formed() == []
+        assert execution.crashed == {1}
+
+    def test_mark_is_a_stable_position(self):
+        trace = TraceRecorder(1)
+        assert trace.mark() == 0
+        trace.local(0)
+        mark = trace.mark()
+        trace.local(0)
+        assert mark == 1
+        assert len(trace.execution().prefix(mark)) == 1
+
+    def test_execution_is_a_snapshot(self):
+        trace = TraceRecorder(1)
+        trace.local(0)
+        snapshot = trace.execution()
+        trace.local(0)
+        assert len(snapshot) == 1
+        assert len(trace.execution()) == 2
+
+    def test_last(self):
+        trace = TraceRecorder(1)
+        assert trace.last is None
+        step = trace.local(0, "x")
+        assert trace.last is step
+
+
+class TestCrashSchedule:
+    def test_none_schedule(self):
+        schedule = CrashSchedule.none()
+        assert schedule.faulty() == frozenset()
+        assert not schedule.due(0, 100)
+
+    def test_initial_crashes(self):
+        schedule = CrashSchedule.initial([1, 2])
+        assert schedule.initially == {1, 2}
+        assert schedule.faulty() == {1, 2}
+
+    def test_due_at_and_after_deadline(self):
+        schedule = CrashSchedule({0: 5})
+        assert not schedule.due(0, 4)
+        assert schedule.due(0, 5)
+        assert schedule.due(0, 6)
+        assert not schedule.due(1, 100)
+
+    def test_faulty_combines_both_forms(self):
+        schedule = CrashSchedule({0: 5}, initially=frozenset({3}))
+        assert schedule.faulty() == {0, 3}

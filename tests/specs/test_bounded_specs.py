@@ -1,0 +1,144 @@
+"""Unit tests for k-BO, k-Stepped, First-k and SA-tagged specifications."""
+
+import pytest
+
+from repro.specs import (
+    FirstKBroadcastSpec,
+    KboBroadcastSpec,
+    KSteppedBroadcastSpec,
+    SaTaggedBroadcastSpec,
+    sa_content,
+)
+from repro.specs.witnesses import (
+    first_k_agreed_execution,
+    kstepped_paper_example,
+    sa_typed_renaming,
+    solo_first_execution,
+)
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+def rotating_deliveries(n: int):
+    """n processes, n messages, delivery orders rotated per process."""
+    b = ExecutionBuilder(n)
+    labels = []
+    for p in range(n):
+        label = f"m{p}"
+        b.broadcast(p, label)
+        labels.append(label)
+    for p in range(n):
+        rotated = labels[p:] + labels[:p]
+        b.deliver(p, *rotated)
+    return b.build()
+
+
+class TestKbo:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_total_order_satisfies_all_k(self, k):
+        execution = complete_exchange(4)
+        assert KboBroadcastSpec(k).admits(execution).admitted
+
+    def test_rotating_violates_small_k(self):
+        execution = rotating_deliveries(4)
+        # four messages, every pair disagreeing → clique of 4
+        assert not KboBroadcastSpec(2).admits(execution).admitted
+        assert not KboBroadcastSpec(3).admits(execution).admitted
+        assert KboBroadcastSpec(4).admits(execution).admitted
+
+    def test_k1_equals_total_order(self):
+        from repro.specs import TotalOrderBroadcastSpec
+
+        for execution in (complete_exchange(3), rotating_deliveries(3)):
+            assert (
+                KboBroadcastSpec(1).admits(execution).admitted
+                == TotalOrderBroadcastSpec().admits(execution).admitted
+            )
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KboBroadcastSpec(0)
+
+
+class TestKStepped:
+    def test_paper_example_admitted(self):
+        execution, _ = kstepped_paper_example()
+        assert KSteppedBroadcastSpec(1).admits(execution).admitted
+
+    def test_paper_restriction_rejected(self):
+        execution, subset = kstepped_paper_example()
+        restricted = execution.restrict(subset)
+        verdict = KSteppedBroadcastSpec(1).admits(restricted)
+        assert not verdict.admitted
+        assert any("round 0" in v for v in verdict.ordering)
+
+    def test_per_round_bound(self):
+        execution = rotating_deliveries(3)
+        # round 0 = all three messages, three distinct firsts
+        assert not KSteppedBroadcastSpec(2).admits(execution).admitted
+        assert KSteppedBroadcastSpec(3).admits(execution).admitted
+
+    def test_rounds_are_independent(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a0")
+        b.broadcast(1, "b0")
+        b.broadcast(0, "a1")
+        b.broadcast(1, "b1")
+        # round 0 agrees on a0, round 1 agrees on a1
+        b.deliver(0, "a0", "a1", "b0", "b1")
+        b.deliver(1, "a0", "a1", "b0", "b1")
+        assert KSteppedBroadcastSpec(1).admits(b.build()).admitted
+
+
+class TestFirstK:
+    def test_agreed_head_admitted(self):
+        execution, _ = first_k_agreed_execution(4)
+        assert FirstKBroadcastSpec(1).admits(execution).admitted
+
+    def test_too_many_heads_rejected(self):
+        execution = solo_first_execution(4)  # four distinct heads
+        verdict = FirstKBroadcastSpec(3).admits(execution)
+        assert not verdict.admitted
+        assert any("delivered first" in v for v in verdict.ordering)
+
+    def test_restriction_counterexample(self):
+        execution, subset = first_k_agreed_execution(4)
+        restricted = execution.restrict(subset)
+        assert not FirstKBroadcastSpec(2).admits(restricted).admitted
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_large_k_admits_solo_heads(self, k):
+        assert FirstKBroadcastSpec(k).admits(
+            solo_first_execution(4)
+        ).admitted
+
+
+class TestSaTagged:
+    def test_plain_contents_vacuously_admitted(self):
+        execution = solo_first_execution(4)
+        assert SaTaggedBroadcastSpec(1).admits(execution).admitted
+
+    def test_sa_typed_heads_bounded(self):
+        b = ExecutionBuilder(3)
+        for p in range(3):
+            b.broadcast(p, f"m{p}", content=sa_content("obj", p))
+        for p in range(3):
+            rotated = [f"m{(p + i) % 3}" for i in range(3)]
+            b.deliver(p, *rotated)
+        verdict = SaTaggedBroadcastSpec(2).admits(b.build())
+        assert not verdict.admitted
+        assert any("obj" in v for v in verdict.ordering)
+
+    def test_types_are_independent(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "x", content=sa_content("o1", 0))
+        b.broadcast(1, "y", content=sa_content("o2", 1))
+        b.deliver(0, "x", "y").deliver(1, "y", "x")
+        assert SaTaggedBroadcastSpec(1).admits(b.build()).admitted
+
+    def test_renaming_into_sa_typed_breaks(self):
+        execution = solo_first_execution(4)
+        renamed = execution.rename(sa_typed_renaming(execution))
+        assert not SaTaggedBroadcastSpec(2).admits(renamed).admitted
+
+    def test_sa_content_shape(self):
+        assert sa_content("k", 3) == ("SA", "k", 3)

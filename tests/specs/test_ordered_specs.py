@@ -1,0 +1,110 @@
+"""Unit tests for FIFO, Causal and Total-Order specifications."""
+
+import pytest
+
+from repro.specs import (
+    CausalBroadcastSpec,
+    FifoBroadcastSpec,
+    TotalOrderBroadcastSpec,
+)
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+class TestFifo:
+    def test_in_order_admitted(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(0, "b")
+        b.deliver(0, "a", "b").deliver(1, "a", "b")
+        assert FifoBroadcastSpec().admits(b.build()).admitted
+
+    def test_inversion_rejected(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(0, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        verdict = FifoBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("earlier" in v for v in verdict.ordering)
+
+    def test_gap_is_a_safety_violation(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(0, "b")
+        b.deliver(0, "a", "b").deliver(1, "b")
+        verdict = FifoBroadcastSpec().admits(b.build(), assume_complete=False)
+        assert not verdict.safety_ok
+
+    def test_cross_sender_orders_unconstrained(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        assert FifoBroadcastSpec().admits(b.build()).admitted
+
+
+class TestCausal:
+    def test_reply_before_cause_rejected(self):
+        b = ExecutionBuilder(3)
+        b.broadcast(0, "ask")
+        b.deliver(0, "ask")
+        b.deliver(1, "ask")
+        b.broadcast(1, "reply")
+        b.deliver(1, "reply")
+        b.deliver(0, "reply")
+        b.deliver(2, "reply", "ask")  # sees the reply first: violation
+        verdict = CausalBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("causal predecessor" in v for v in verdict.ordering)
+
+    def test_causal_chain_respected_admitted(self):
+        b = ExecutionBuilder(3)
+        b.broadcast(0, "ask")
+        b.deliver(0, "ask")
+        b.deliver(1, "ask")
+        b.broadcast(1, "reply")
+        b.deliver(1, "reply")
+        b.deliver(0, "reply")
+        b.deliver(2, "ask", "reply")
+        assert CausalBroadcastSpec().admits(b.build()).admitted
+
+    def test_concurrent_messages_any_order(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        assert CausalBroadcastSpec().admits(b.build()).admitted
+
+    def test_causal_implies_fifo(self):
+        # same-sender inversion is also a causal violation
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(0, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        assert not CausalBroadcastSpec().admits(b.build()).admitted
+
+
+class TestTotalOrder:
+    def test_uniform_order_admitted(self):
+        assert TotalOrderBroadcastSpec().admits(
+            complete_exchange(3, per_process=2)
+        ).admitted
+
+    def test_any_disagreement_rejected(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        verdict = TotalOrderBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("different orders" in v for v in verdict.ordering)
+
+    def test_disjoint_deliverers_are_fine(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a").deliver(1, "b")
+        b.crash(0)
+        b.crash(1)
+        verdict = TotalOrderBroadcastSpec().admits(b.build())
+        assert verdict.admitted

@@ -1,0 +1,106 @@
+"""Unit tests for Mutual Broadcast and Pair Broadcast specifications."""
+
+from repro.adversary import adversarial_scheduler
+from repro.broadcasts import FirstKKsaBroadcast
+from repro.specs import MutualBroadcastSpec, PairBroadcastSpec
+from repro.specs.witnesses import solo_first_execution
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+class TestMutual:
+    def test_uniform_order_is_mutual(self):
+        assert MutualBroadcastSpec().admits(complete_exchange(3)).admitted
+
+    def test_own_first_on_both_sides_rejected(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        verdict = MutualBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("not mutual" in v for v in verdict.ordering)
+
+    def test_one_crossing_side_suffices(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "b", "a")  # p0 sees p1's message first
+        b.deliver(1, "b", "a")
+        assert MutualBroadcastSpec().admits(b.build()).admitted
+
+    def test_same_sender_pairs_unconstrained(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(0, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        assert MutualBroadcastSpec().admits(b.build()).admitted
+
+    def test_undelivered_own_message_not_yet_a_violation(self):
+        # safety reading: p0 has not delivered its own message yet, so
+        # its half of the mutuality is still open
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(1, "b")
+        verdict = MutualBroadcastSpec().admits(
+            b.build(), assume_complete=False
+        )
+        assert verdict.admitted
+
+    def test_solo_first_execution_rejected(self):
+        # the shape of the adversary's β: everyone sees its own first
+        verdict = MutualBroadcastSpec().admits(
+            solo_first_execution(3), assume_complete=False
+        )
+        assert not verdict.admitted
+
+    def test_adversarial_beta_rejected_even_as_prefix(self):
+        result = adversarial_scheduler(
+            2, 1, lambda pid, n: FirstKKsaBroadcast(pid, n)
+        )
+        verdict = MutualBroadcastSpec().admits(
+            result.beta, assume_complete=False
+        )
+        assert not verdict.admitted
+
+
+class TestPair:
+    def test_uniform_order_admitted(self):
+        assert PairBroadcastSpec().admits(complete_exchange(3)).admitted
+
+    def test_senders_disagreeing_on_their_pair_rejected(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        verdict = PairBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("opposite orders" in v for v in verdict.ordering)
+
+    def test_third_parties_may_disagree(self):
+        # only the two *senders* are constrained
+        b = ExecutionBuilder(3)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b")
+        b.deliver(1, "a", "b")  # senders agree
+        b.deliver(2, "b", "a")  # p2 sees the opposite order: fine
+        assert PairBroadcastSpec().admits(b.build()).admitted
+
+    def test_completed_solo_execution_rejected(self):
+        verdict = PairBroadcastSpec().admits(
+            solo_first_execution(3), assume_complete=False
+        )
+        assert not verdict.admitted
+
+    def test_completed_adversarial_run_rejected(self):
+        result = adversarial_scheduler(
+            2,
+            1,
+            lambda pid, n: FirstKKsaBroadcast(pid, n),
+            continue_after_flush=True,
+        )
+        verdict = PairBroadcastSpec().admits(
+            result.beta, assume_complete=False
+        )
+        assert not verdict.admitted

@@ -1,0 +1,81 @@
+"""Unit tests for Send-To-All, Reliable and Uniform Reliable specs."""
+
+from repro.specs import (
+    ReliableBroadcastSpec,
+    SendToAllSpec,
+    UniformReliableBroadcastSpec,
+)
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+class TestSendToAll:
+    def test_no_ordering_constraints(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.broadcast(1, "b")
+        b.deliver(0, "a", "b").deliver(1, "b", "a")
+        assert SendToAllSpec().admits(b.build()).admitted
+
+    def test_base_properties_still_enforced(self):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a")
+        b.deliver(0, "a")
+        b.deliver(0, "a")  # duplicate
+        b.deliver(1, "a")
+        assert not SendToAllSpec().admits(b.build()).admitted
+
+    def test_faulty_sender_partial_delivery_admitted(self):
+        b = ExecutionBuilder(3)
+        b.invoke_only(0, "m")
+        b.deliver(1, "m")
+        b.crash(0)
+        # p2 misses m: allowed by BC-Global-CS-Termination (faulty sender)
+        assert SendToAllSpec().admits(b.build()).admitted
+
+
+class TestReliable:
+    def test_correct_delivery_forces_everywhere(self):
+        b = ExecutionBuilder(3)
+        b.invoke_only(0, "m")
+        b.deliver(1, "m")  # correct p1 delivers; p2 misses
+        b.crash(0)
+        verdict = ReliableBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("misses" in v for v in verdict.liveness)
+
+    def test_faulty_only_delivery_is_allowed(self):
+        b = ExecutionBuilder(3)
+        b.invoke_only(0, "m")
+        b.deliver(0, "m")  # only the (faulty) sender delivered
+        b.crash(0)
+        assert ReliableBroadcastSpec().admits(b.build()).admitted
+
+    def test_complete_exchange_admitted(self):
+        assert ReliableBroadcastSpec().admits(complete_exchange(3)).admitted
+
+
+class TestUniformReliable:
+    def test_faulty_delivery_also_forces_everywhere(self):
+        b = ExecutionBuilder(3)
+        b.invoke_only(0, "m")
+        b.deliver(0, "m")  # faulty process delivered before crashing
+        b.crash(0)
+        verdict = UniformReliableBroadcastSpec().admits(b.build())
+        assert not verdict.admitted
+        assert any("misses" in v for v in verdict.liveness)
+
+    def test_undelivered_faulty_broadcast_allowed(self):
+        b = ExecutionBuilder(3)
+        b.invoke_only(0, "m")
+        b.crash(0)  # nobody delivered m at all
+        assert UniformReliableBroadcastSpec().admits(b.build()).admitted
+
+    def test_safety_mode_ignores_liveness(self):
+        b = ExecutionBuilder(3)
+        b.invoke_only(0, "m")
+        b.deliver(0, "m")
+        b.crash(0)
+        verdict = UniformReliableBroadcastSpec().admits(
+            b.build(), assume_complete=False
+        )
+        assert verdict.admitted

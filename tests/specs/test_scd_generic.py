@@ -1,0 +1,220 @@
+"""Unit tests for SCD / k-SCD and Generic Broadcast specifications."""
+
+import pytest
+
+from repro.core import Execution, MessageFactory, Step
+from repro.core.actions import DeliverSetAction
+from repro.specs import (
+    GenericBroadcastSpec,
+    KScdBroadcastSpec,
+    ScdBroadcastSpec,
+    command_content,
+    commands_conflict,
+    set_delivery_ranks,
+)
+from repro.specs.witnesses import (
+    broadcast_steps,
+    generic_conflict_renaming,
+    solo_first_execution,
+)
+from tests.conftest import ExecutionBuilder, complete_exchange
+
+
+def set_execution(n, orders):
+    """Build an execution where process p delivers ``orders[p]``, a list
+    of label-tuples (each tuple is one delivered set)."""
+    factory = MessageFactory()
+    messages = {}
+    steps = []
+    for p, sets in orders.items():
+        for group in sets:
+            for label in group:
+                if label not in messages:
+                    sender = int(label[1])
+                    messages[label] = factory.new(sender, label)
+    for label, message in messages.items():
+        steps.extend(broadcast_steps(message.sender, message))
+    for p, sets in orders.items():
+        for group in sets:
+            steps.append(
+                Step(p, DeliverSetAction(tuple(messages[g] for g in group)))
+            )
+    return Execution.of(steps, n)
+
+
+class TestSetDeliveryRanks:
+    def test_members_of_one_set_share_a_rank(self):
+        execution = set_execution(
+            2,
+            {0: [("m0", "m1")], 1: [("m0",), ("m1",)]},
+        )
+        ranks = set_delivery_ranks(execution)
+        p0 = ranks[0]
+        assert len(set(p0.values())) == 1
+        p1 = ranks[1]
+        assert len(set(p1.values())) == 2
+
+    def test_single_deliveries_count_as_singleton_sets(self):
+        execution = complete_exchange(2)
+        ranks = set_delivery_ranks(execution)
+        assert list(ranks[0].values()) == [0, 1]
+
+
+class TestScdSpec:
+    def test_identical_set_sequences_admitted(self):
+        execution = set_execution(
+            2,
+            {0: [("m0", "m1")], 1: [("m0", "m1")]},
+        )
+        assert ScdBroadcastSpec().admits(execution).admitted
+
+    def test_same_set_hides_the_order(self):
+        # p0 sees {m0,m1} as one set; p1 sees m1 then m0: no *strict*
+        # opposite orders, MS-Ordering holds
+        execution = set_execution(
+            2,
+            {0: [("m0", "m1")], 1: [("m1",), ("m0",)]},
+        )
+        assert ScdBroadcastSpec().admits(execution).admitted
+
+    def test_strictly_opposite_orders_rejected(self):
+        execution = set_execution(
+            2,
+            {0: [("m0",), ("m1",)], 1: [("m1",), ("m0",)]},
+        )
+        verdict = ScdBroadcastSpec().admits(execution)
+        assert not verdict.admitted
+        assert any("MS-Ordering" in v for v in verdict.ordering)
+
+    def test_name_is_scd_for_k1(self):
+        assert ScdBroadcastSpec().name == "SCD Broadcast"
+
+
+class TestKScdSpec:
+    def test_k2_tolerates_one_disordered_pair(self):
+        execution = set_execution(
+            2,
+            {0: [("m0",), ("m1",)], 1: [("m1",), ("m0",)]},
+        )
+        assert KScdBroadcastSpec(2).admits(execution).admitted
+
+    def test_k2_rejects_a_disordered_triangle(self):
+        execution = set_execution(
+            3,
+            {
+                0: [("m0",), ("m1",), ("m2",)],
+                1: [("m1",), ("m2",), ("m0",)],
+                2: [("m2",), ("m0",), ("m1",)],
+            },
+        )
+        verdict = KScdBroadcastSpec(2).admits(execution)
+        assert not verdict.admitted
+        assert any("pairwise" in v for v in verdict.ordering)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KScdBroadcastSpec(0)
+
+
+class TestGenericHelpers:
+    def test_conflict_rules(self):
+        read_x = command_content("x", "r")
+        write_x = command_content("x", "w")
+        write_y = command_content("y", "w")
+        assert not commands_conflict(read_x, read_x)
+        assert commands_conflict(read_x, write_x)
+        assert commands_conflict(write_x, write_x)
+        assert not commands_conflict(write_x, write_y)
+        assert not commands_conflict("plain", write_x)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            command_content("x", "rw")
+
+
+class TestGenericSpec:
+    def build(self, c0, c1, same_order):
+        b = ExecutionBuilder(2)
+        b.broadcast(0, "a", content=c0)
+        b.broadcast(1, "b", content=c1)
+        b.deliver(0, "a", "b")
+        if same_order:
+            b.deliver(1, "a", "b")
+        else:
+            b.deliver(1, "b", "a")
+        return b.build()
+
+    def test_conflicting_disagreement_rejected(self):
+        execution = self.build(
+            command_content("x", "w"), command_content("x", "r"),
+            same_order=False,
+        )
+        verdict = GenericBroadcastSpec().admits(execution)
+        assert not verdict.admitted
+
+    def test_commuting_disagreement_allowed(self):
+        execution = self.build(
+            command_content("x", "r"), command_content("x", "r"),
+            same_order=False,
+        )
+        assert GenericBroadcastSpec().admits(execution).admitted
+
+    def test_conflicting_agreement_admitted(self):
+        execution = self.build(
+            command_content("x", "w"), command_content("x", "w"),
+            same_order=True,
+        )
+        assert GenericBroadcastSpec().admits(execution).admitted
+
+    def test_non_command_messages_unconstrained(self):
+        execution = self.build("plain-a", "plain-b", same_order=False)
+        assert GenericBroadcastSpec().admits(execution).admitted
+
+    def test_conflict_renaming_breaks_admissibility(self):
+        execution = solo_first_execution(3)
+        assert GenericBroadcastSpec().admits(execution).admitted
+        renamed = execution.rename(generic_conflict_renaming(execution))
+        assert not GenericBroadcastSpec().admits(renamed).admitted
+
+
+class TestSetDeliveryCore:
+    def test_projection_keeps_set_deliveries(self):
+        execution = set_execution(2, {0: [("m0", "m1")]})
+        beta = execution.broadcast_projection()
+        assert any(s.is_deliver_set() for s in beta)
+
+    def test_restriction_shrinks_sets_and_drops_empties(self):
+        execution = set_execution(
+            2, {0: [("m0", "m1")], 1: [("m0",), ("m1",)]}
+        )
+        keep = [m.uid for m in execution.broadcast_messages
+                if m.content == "m0"]
+        restricted = execution.restrict(keep)
+        sets_p0 = restricted.set_delivery_sequences[0]
+        assert [len(s) for s in sets_p0] == [1]
+        assert len(restricted.deliveries_of(1)) == 1
+
+    def test_rename_reaches_set_members(self):
+        from repro.core import Renaming
+
+        execution = set_execution(2, {0: [("m0", "m1")]})
+        target = execution.broadcast_messages[0]
+        renamed = execution.rename(Renaming({target.uid: "fresh"}))
+        contents = {
+            m.content
+            for s in renamed.set_delivery_sequences[0]
+            for m in s
+        }
+        assert "fresh" in contents
+
+    def test_flat_sequences_flatten_sets_in_uid_order(self):
+        execution = set_execution(2, {0: [("m1", "m0")]})
+        flat = execution.deliveries_of(0)
+        assert [m.content for m in flat] == ["m0", "m1"]
+
+    def test_duplicate_inside_sets_flagged_by_base_checks(self):
+        from repro.core import check_base_properties
+
+        execution = set_execution(2, {0: [("m0",), ("m0",)]})
+        verdict = check_base_properties(execution, assume_complete=False)
+        assert any("twice" in v for v in verdict.no_duplication)

@@ -1,0 +1,79 @@
+"""Metamorphic property tests over the specification catalogue.
+
+For the abstractions the paper classifies as compositional and
+content-neutral, hypothesis generates random broadcast-level executions
+and verifies the defining closures directly:
+
+* *compositionality* — if the execution is admitted (safety), so is its
+  restriction to any random message subset;
+* *content-neutrality* — the verdict is invariant under injective content
+  renamings (in both directions: admitted stays admitted, rejected stays
+  rejected, since renamings are invertible).
+
+These complement the checker-based experiment S1 with closure evidence
+over a much wilder execution family (random deliveries, partial
+deliveries, duplicated contents).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Renaming
+from repro.specs import (
+    CausalBroadcastSpec,
+    FifoBroadcastSpec,
+    KboBroadcastSpec,
+    MutualBroadcastSpec,
+    PairBroadcastSpec,
+    ScdBroadcastSpec,
+    SendToAllSpec,
+    TotalOrderBroadcastSpec,
+)
+from tests.core.test_execution_properties import (
+    broadcast_executions,
+    executions_with_subset,
+)
+
+SYMMETRIC_SPECS = [
+    SendToAllSpec(),
+    FifoBroadcastSpec(),
+    CausalBroadcastSpec(),
+    TotalOrderBroadcastSpec(),
+    KboBroadcastSpec(2),
+    MutualBroadcastSpec(),
+    PairBroadcastSpec(),
+    ScdBroadcastSpec(),
+]
+
+SPEC_IDS = [spec.name for spec in SYMMETRIC_SPECS]
+
+
+@pytest.mark.parametrize("spec", SYMMETRIC_SPECS, ids=SPEC_IDS)
+@given(case=executions_with_subset())
+@settings(max_examples=40, deadline=None)
+def test_safety_closed_under_restriction(spec, case):
+    execution, subset = case
+    if spec.admits(execution, assume_complete=False).admitted:
+        restricted = execution.restrict(subset)
+        verdict = spec.admits(restricted, assume_complete=False)
+        assert verdict.admitted, (
+            f"{spec.name} rejected a restriction: "
+            f"{verdict.all_violations()[:2]}"
+        )
+
+
+@pytest.mark.parametrize("spec", SYMMETRIC_SPECS, ids=SPEC_IDS)
+@given(execution=broadcast_executions())
+@settings(max_examples=40, deadline=None)
+def test_verdict_invariant_under_renaming(spec, execution):
+    renaming = Renaming(
+        {
+            m.uid: ("fresh", index)
+            for index, m in enumerate(execution.broadcast_messages)
+        }
+    )
+    original = spec.admits(execution, assume_complete=False).admitted
+    renamed = spec.admits(
+        execution.rename(renaming), assume_complete=False
+    ).admitted
+    assert original == renamed

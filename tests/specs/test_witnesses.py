@@ -1,0 +1,60 @@
+"""The hand-built worked examples must have exactly their claimed shape."""
+
+from repro.core import check_base_properties
+from repro.specs import FirstKBroadcastSpec, KSteppedBroadcastSpec
+from repro.specs.witnesses import (
+    first_k_agreed_execution,
+    kstepped_paper_example,
+    solo_first_execution,
+)
+
+
+class TestKSteppedExample:
+    def test_delivery_orders_match_the_paper(self):
+        execution, _ = kstepped_paper_example()
+        p0 = [m.content for m in execution.deliveries_of(0)]
+        p1 = [m.content for m in execution.deliveries_of(1)]
+        assert p0 == ["m0", "m0'", "m1", "m1'"]
+        assert p1 == ["m0", "m1", "m0'", "m1'"]
+
+    def test_complete_and_well_formed(self):
+        execution, _ = kstepped_paper_example()
+        assert execution.check_well_formed() == []
+        assert check_base_properties(execution).admitted
+
+    def test_subset_is_the_papers(self):
+        execution, subset = kstepped_paper_example()
+        contents = {
+            execution.message_by_uid[uid].content for uid in subset
+        }
+        assert contents == {"m0'", "m1"}
+
+
+class TestFirstKExample:
+    def test_single_head_before_restriction(self):
+        execution, _ = first_k_agreed_execution(5)
+        heads = {
+            execution.first_delivered(p).uid for p in range(5)
+        }
+        assert len(heads) == 1
+
+    def test_restriction_breaks_exactly_when_promised(self):
+        n = 5  # use n = k + 2 with k = 3
+        execution, subset = first_k_agreed_execution(n)
+        restricted = execution.restrict(subset)
+        assert not FirstKBroadcastSpec(n - 2).admits(restricted).admitted
+        assert FirstKBroadcastSpec(n - 1).admits(restricted).admitted
+
+    def test_complete(self):
+        execution, _ = first_k_agreed_execution(4)
+        assert check_base_properties(execution).admitted
+
+
+class TestSoloFirst:
+    def test_every_head_is_own_message(self):
+        execution = solo_first_execution(4)
+        for p in range(4):
+            assert execution.first_delivered(p).sender == p
+
+    def test_complete(self):
+        assert check_base_properties(solo_first_execution(3)).admitted

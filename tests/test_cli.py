@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestCli:
+    def test_figure1_with_arguments(self, capsys):
+        assert main(["figure1", "2", "1", "trivial-ksa"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "k=2" in output and "N=1" in output
+
+    def test_costs_command(self, capsys):
+        assert main(["costs"]) == 0
+        assert "P4" in capsys.readouterr().out
+
+    def test_boundaries_command(self, capsys):
+        assert main(["boundaries"]) == 0
+        assert "k = n" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        output = capsys.readouterr().out
+        assert "python -m repro" in output
+
+    def test_unknown_command_fails(self, capsys):
+        assert main(["frobnicate"]) == 1
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "figure1",
+            "lemmas",
+            "theorem",
+            "symmetry",
+            "registers",
+            "boundaries",
+            "costs",
+        }
