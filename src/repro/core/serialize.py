@@ -22,6 +22,7 @@ import json
 from typing import Any
 
 from .actions import (
+    Action,
     BroadcastInvoke,
     BroadcastReturn,
     CrashAction,
@@ -104,7 +105,7 @@ _SIMPLE_MESSAGE_ACTIONS = {
 }
 
 
-def _encode_action(action) -> dict:
+def _encode_action(action: Action) -> dict:
     if isinstance(action, BroadcastInvoke):
         return {"t": "invoke", "m": _encode_content(action.message)}
     if isinstance(action, BroadcastReturn):
@@ -147,7 +148,7 @@ def _encode_action(action) -> dict:
     raise TypeError(f"unknown action {action!r}")
 
 
-def _decode_action(raw: dict):
+def _decode_action(raw: dict) -> Action:
     kind = raw["t"]
     if kind in _SIMPLE_MESSAGE_ACTIONS:
         return _SIMPLE_MESSAGE_ACTIONS[kind](_decode_content(raw["m"]))
@@ -197,7 +198,7 @@ def from_jsonable(data: dict) -> Execution:
     return Execution.of(steps, data["n"])
 
 
-def dumps(execution: Execution, **json_kwargs) -> str:
+def dumps(execution: Execution, **json_kwargs: Any) -> str:
     """Serialize an execution to a JSON string."""
     return json.dumps(to_jsonable(execution), **json_kwargs)
 

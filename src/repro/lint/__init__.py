@@ -1,0 +1,44 @@
+"""repro.lint — static enforcement of the repo's proof-critical hygiene.
+
+The paper's argument leans on three properties the code silently assumed
+until now: executions must *replay* (the adversarial schedule of
+Definition 4 and the guided explorer runs are only meaningful if
+re-running is deterministic), algorithms must act only through the
+*effect vocabulary* (so the trace records every step Algorithm 1
+accounts for), and delivery predicates must be *content-neutral*
+(Definition 3).  This package machine-checks static proxies for those
+properties, plus two general hygiene rules, across the source tree:
+
+=======  ==========================================================
+REP001   determinism in ``runtime/`` and ``adversary/`` scheduling
+REP002   effect discipline in ``broadcasts/`` and ``agreement/``
+REP003   content-neutrality of predicates in ``specs/``
+REP004   no mutable defaults / class-level mutable process state
+REP005   no swallowed failures in ``core/`` and ``adversary/``
+=======  ==========================================================
+
+Run it as ``python -m repro.lint [paths]``; see
+``docs/static_analysis.md`` for the rule catalog, the paper definition
+each rule protects, and the suppression syntax.  The repo lints itself
+clean as a test tier (``tests/lint/test_self_lint.py``).
+"""
+
+from __future__ import annotations
+
+from .engine import LintEngine, run_lint
+from .findings import PARSE_ERROR_ID, Finding
+from .reporters import render_json, render_text
+from .rules import ALL_RULES, Rule
+from .suppress import SuppressionIndex
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintEngine",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "SuppressionIndex",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

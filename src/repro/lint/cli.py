@@ -1,0 +1,148 @@
+"""The ``python -m repro.lint`` command line.
+
+Usage::
+
+    python -m repro.lint [paths...] [--format text|json]
+                         [--select REP001,REP003] [--ignore REP004]
+                         [--list-rules] [--no-config]
+
+Paths default to the ``paths`` key of ``[tool.repro-lint]`` in
+``pyproject.toml`` (found by walking up from the current directory),
+falling back to ``src``.  Exit status: 0 clean, 1 findings, 2 usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from .engine import LintEngine
+from .reporters import render_json, render_text
+from .rules import ALL_RULES
+
+__all__ = ["main", "load_config"]
+
+
+def load_config(start: Path | None = None) -> dict[str, Any]:
+    """The ``[tool.repro-lint]`` table of the nearest ``pyproject.toml``.
+
+    Returns an empty mapping when no file or table exists, or when the
+    interpreter lacks :mod:`tomllib` (Python 3.10) — configuration is a
+    convenience, never a hard dependency.
+    """
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10 fallback
+        return {}
+    directory = (start or Path.cwd()).resolve()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            with pyproject.open("rb") as handle:
+                data = tomllib.load(handle)
+            table = data.get("tool", {}).get("repro-lint", {})
+            return table if isinstance(table, dict) else {}
+    return {}
+
+
+def _split_ids(raw: Sequence[str]) -> list[str]:
+    ids: list[str] = []
+    for chunk in raw:
+        ids.extend(part.strip() for part in chunk.split(",") if part.strip())
+    return ids
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based static analysis enforcing the repo's "
+            "proof-critical hygiene: determinism, effect discipline, "
+            "content-neutrality (see docs/static_analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: config paths, then 'src')",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.repro-lint] in pyproject.toml",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = (
+                ", ".join(sorted(rule.scope)) if rule.scope else "everywhere"
+            )
+            print(f"{rule.id}  [{scope}]  {rule.summary}")
+        return 0
+
+    config = {} if args.no_config else load_config()
+    select = _split_ids(args.select) or list(config.get("select", []))
+    ignore = _split_ids(args.ignore) or list(config.get("ignore", []))
+    known = {rule.id for rule in ALL_RULES}
+    unknown = [i for i in (*select, *ignore) if i not in known]
+    if unknown:
+        # A typo'd --select in CI would otherwise silently disable
+        # every rule and report the tree clean.
+        print(
+            f"error: unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    paths = args.paths or list(config.get("paths", []))
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    engine = LintEngine(select=select or None, ignore=ignore or None)
+    findings = engine.lint_paths(paths)
+    renderer = render_json if args.format == "json" else render_text
+    try:
+        print(renderer(findings))
+    except BrokenPipeError:  # e.g. piped into head; exit code still counts
+        sys.stderr.close()
+    return 1 if findings else 0

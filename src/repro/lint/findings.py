@@ -1,0 +1,43 @@
+"""The finding data model: one rule violation at one source location.
+
+A :class:`Finding` is deliberately flat and JSON-friendly — the reporters
+(:mod:`repro.lint.reporters`) serialize it without translation, and tests
+assert on its fields directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding", "PARSE_ERROR_ID"]
+
+#: Pseudo-rule id attached to files that do not parse.  Always enabled:
+#: a file the analyzer cannot read is a file whose invariants nobody is
+#: checking.
+PARSE_ERROR_ID = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: ``path:line:col: rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The finding as plain JSON-compatible data."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,42 @@
+"""Reporters: findings to human text or machine JSON.
+
+Both forms are pure functions from a finding list to a string, so the
+CLI, tests and CI consume the same code path.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """``path:line:col: RULE message`` lines plus a per-rule summary."""
+    if not findings:
+        return "repro.lint: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    counts = Counter(finding.rule for finding in findings)
+    summary = ", ".join(
+        f"{rule} x{count}" for rule, count in sorted(counts.items())
+    )
+    lines.append(
+        f"repro.lint: {len(findings)} finding(s) ({summary})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document: version, counts, and finding records."""
+    counts = Counter(finding.rule for finding in findings)
+    document = {
+        "version": 1,
+        "count": len(findings),
+        "counts_by_rule": dict(sorted(counts.items())),
+        "findings": [finding.to_jsonable() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -1,0 +1,43 @@
+"""The rule registry.
+
+Each rule is a class in its own module; :data:`ALL_RULES` is the ordered
+catalog the engine and the CLI's ``--list-rules`` both consume.  Adding a
+rule means adding a module here and an entry to the docs rule catalog
+(``docs/static_analysis.md``) — the self-documentation test in
+``tests/lint`` cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from .base import ModuleContext, Rule
+from .determinism import DeterminismRule
+from .effects import EffectDisciplineRule
+from .hygiene import SwallowedFailureRule
+from .neutrality import ContentNeutralityRule
+from .state import MutableStateRule
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleContext",
+    "Rule",
+    "DeterminismRule",
+    "EffectDisciplineRule",
+    "ContentNeutralityRule",
+    "MutableStateRule",
+    "SwallowedFailureRule",
+    "default_rules",
+]
+
+#: Every shipped rule, in id order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    EffectDisciplineRule,
+    ContentNeutralityRule,
+    MutableStateRule,
+    SwallowedFailureRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule() for rule in ALL_RULES]

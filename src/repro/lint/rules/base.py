@@ -1,0 +1,110 @@
+"""Rule infrastructure: what a lint rule is and what it gets to see.
+
+A rule is a small AST visitor with an id, a one-line summary naming the
+paper property it protects, and a *scope* — the set of package directory
+names it applies to (``None`` means every file).  Scoping is by path
+part, so ``src/repro/runtime/simulator.py`` and a test fixture under
+``tests/lint/fixtures/runtime/`` are both in scope for a
+``{"runtime"}``-scoped rule: fixtures exercise rules by living in the
+directory shape the rule watches.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..findings import Finding
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "attribute_root",
+    "dotted_name",
+    "is_process_class",
+]
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module, as handed to every applicable rule."""
+
+    path: Path
+    tree: ast.Module
+    source: str
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.id,
+            message=message,
+        )
+
+
+class Rule(ABC):
+    """One statically checkable hygiene property."""
+
+    #: Stable identifier, e.g. ``"REP001"``.
+    id: str
+    #: One-line summary shown by ``--list-rules`` and the docs.
+    summary: str
+    #: Directory names this rule applies to; ``None`` applies everywhere.
+    scope: frozenset[str] | None = None
+
+    def applies_to(self, path: Path) -> bool:
+        """True when ``path`` is inside one of the rule's scope dirs.
+
+        Test code is exempt from scoped rules — ``tests/specs/`` asserts
+        *about* contents, it is not a delivery predicate — except for
+        lint fixtures (``fixtures/`` directories), which exist precisely
+        to exercise the scoped rules.
+        """
+        if self.scope is None:
+            return True
+        parts = path.parts
+        if "tests" in parts and "fixtures" not in parts:
+            return False
+        return bool(self.scope.intersection(parts))
+
+    @abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation in ``module``."""
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def attribute_root(node: ast.AST) -> ast.Name | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+#: Base-class name suffixes marking "per-process algorithm state" classes
+#: (``BroadcastProcess`` and its subclasses, ``ServiceProcess`` clients…).
+_PROCESS_BASE_SUFFIXES = ("Process", "Broadcast", "Client")
+
+
+def is_process_class(node: ast.ClassDef) -> bool:
+    """Heuristic: does this class hold per-process algorithm state?"""
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.endswith(_PROCESS_BASE_SUFFIXES):
+            return True
+    return False

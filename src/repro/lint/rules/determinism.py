@@ -1,0 +1,243 @@
+"""REP001 — scheduling code must be replayable (determinism).
+
+Execution replay is load-bearing for the whole reproduction: the guided
+runs of the explorer, the adversarial execution α of Definition 4 and the
+admissibility lemmas all assume that re-running a schedule from the same
+seed reproduces the same step sequence.  Four things silently break that
+inside ``runtime/`` and ``adversary/``:
+
+* module-level ``random.*`` calls (process-global, unseedable state);
+* ``random.Random()`` constructed without an explicit seed;
+* wall-clock reads (``time.time``, ``datetime.now``, …);
+* orderings derived from ``id()`` or from bare ``set`` iteration, both of
+  which vary across interpreter runs (hash randomization, allocation
+  order) and therefore across replays.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule, dotted_name
+
+__all__ = ["DeterminismRule"]
+
+#: ``random.<fn>`` calls that consume the shared module-level generator.
+_MODULE_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "getrandbits",
+        "betavariate",
+        "gauss",
+        "seed",
+    }
+)
+
+#: Dotted call targets that read the wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+#: Annotations marking a name as holding an unordered set.
+_SET_ANNOTATIONS = ("set", "Set", "frozenset", "FrozenSet")
+
+
+class DeterminismRule(Rule):
+    """Flag nondeterminism in scheduling code (breaks execution replay)."""
+
+    id = "REP001"
+    summary = (
+        "scheduling code must be deterministic: no unseeded randomness, "
+        "wall-clock reads, id()-based ordering, or bare set iteration"
+    )
+    scope = frozenset({"runtime", "adversary"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_iteration(
+                    module, node.iter, self._set_names_around(module, node)
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                names = self._set_names_around(module, node)
+                for generator in node.generators:
+                    yield from self._check_iteration(
+                        module, generator.iter, names
+                    )
+
+    # -- calls -----------------------------------------------------------
+
+    def _check_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        target = dotted_name(node.func)
+        if target is not None:
+            if target.startswith("random.") and target.split(".")[1] in _MODULE_RANDOM:
+                yield module.finding(
+                    self,
+                    node,
+                    f"call to module-level {target}() uses the process-global "
+                    f"generator; draw from an explicitly seeded "
+                    f"random.Random instead (replay, Def. 4)",
+                )
+            elif target == "random.Random" and not node.args and not node.keywords:
+                yield module.finding(
+                    self,
+                    node,
+                    "random.Random() without an explicit seed is "
+                    "nondeterministic across runs; thread the seed from "
+                    "configuration (replay, Def. 4)",
+                )
+            elif target in _WALL_CLOCK:
+                yield module.finding(
+                    self,
+                    node,
+                    f"{target}() reads the wall clock; scheduling decisions "
+                    f"must depend only on the execution state (replay, Def. 4)",
+                )
+        for keyword in node.keywords:
+            if keyword.arg == "key" and self._is_id_key(keyword.value):
+                yield module.finding(
+                    self,
+                    keyword.value,
+                    "ordering by id() depends on memory layout and varies "
+                    "across interpreter runs; order by a stable field "
+                    "(pid, uid, sequence number) instead",
+                )
+
+    @staticmethod
+    def _is_id_key(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name) and node.id == "id":
+            return True
+        if isinstance(node, ast.Lambda):
+            return any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id == "id"
+                for inner in ast.walk(node.body)
+            )
+        return False
+
+    # -- set iteration ---------------------------------------------------
+
+    def _check_iteration(
+        self,
+        module: ModuleContext,
+        iterable: ast.AST,
+        set_names: frozenset[str],
+    ) -> Iterator[Finding]:
+        if self._is_set_expression(iterable, set_names):
+            yield module.finding(
+                self,
+                iterable,
+                "iteration over a set has no stable order under hash "
+                "randomization; iterate sorted(...) so schedules replay "
+                "(Def. 4 / admissibility lemmas)",
+            )
+
+    @staticmethod
+    def _is_set_expression(node: ast.AST, set_names: frozenset[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name == "set":
+                return True
+            # set-producing methods: a.intersection(b), a.union(b), ...
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "intersection",
+                "union",
+                "difference",
+                "symmetric_difference",
+            ):
+                root = node.func.value
+                return DeterminismRule._is_set_expression(root, set_names)
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        return False
+
+    def _set_names_around(
+        self, module: ModuleContext, node: ast.AST
+    ) -> frozenset[str]:
+        """Names bound to set values in the function enclosing ``node``.
+
+        A deliberately local inference: a name counts as a set while its
+        *last* assignment in the enclosing function (or module) binds a
+        set display, ``set(...)`` call, set comprehension, or carries a
+        ``set[...]`` annotation; wrapping the iteration in ``sorted``/
+        ``tuple``/``list`` launders it back to ordered.
+        """
+        enclosing = self._enclosing_function(module.tree, node)
+        names: set[str] = set()
+        for stmt in ast.walk(enclosing):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._is_set_expression(stmt.value, frozenset()):
+                        names.add(target.id)
+                    else:
+                        names.discard(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if self._is_set_annotation(stmt.annotation):
+                    names.add(stmt.target.id)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in (
+                    stmt.args.posonlyargs + stmt.args.args + stmt.args.kwonlyargs
+                ):
+                    if arg.annotation is not None and self._is_set_annotation(
+                        arg.annotation
+                    ):
+                        names.add(arg.arg)
+        return frozenset(names)
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.AST) -> bool:
+        text = ast.unparse(annotation)
+        base = text.split("[", 1)[0].strip()
+        return base in _SET_ANNOTATIONS
+
+    @staticmethod
+    def _enclosing_function(tree: ast.Module, node: ast.AST) -> ast.AST:
+        """The innermost function containing ``node``, or the module."""
+        best: ast.AST = tree
+        target_line = getattr(node, "lineno", 0)
+        for candidate in ast.walk(tree):
+            if isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                end = getattr(candidate, "end_lineno", candidate.lineno)
+                if candidate.lineno <= target_line <= end:
+                    if (
+                        not isinstance(best, ast.Module)
+                        and candidate.lineno < best.lineno  # type: ignore[attr-defined]
+                    ):
+                        continue
+                    best = candidate
+        return best

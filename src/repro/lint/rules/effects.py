@@ -1,0 +1,191 @@
+"""REP002 — algorithms interact with the world only through effects.
+
+The step-machine contract (:mod:`repro.runtime.effects`) is what lets
+the same algorithm run unchanged under the free simulator and under
+Algorithm 1's adversarial scheduler: a :class:`BroadcastProcess` *yields*
+``Send``/``Propose``/``Deliver``/``Wait`` effects and the driver turns
+each into exactly one step of the execution.  An algorithm that reaches
+around that contract — driving a ``ProcessRuntime`` directly, building
+its own ``Network`` or ``KsaRegistry``, or mutating state it does not own
+— produces steps the trace never records, which invalidates both the
+compositionality argument (Def. 2) and the adversary's step accounting
+(Algorithm 1, line 8).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import (
+    ModuleContext,
+    Rule,
+    attribute_root,
+    dotted_name,
+    is_process_class,
+)
+
+__all__ = ["EffectDisciplineRule"]
+
+#: Driver-side methods of ProcessRuntime; calling them from algorithm
+#: code means the algorithm is scheduling itself.
+_DRIVER_ONLY_METHODS = frozenset(
+    {
+        "inject_receive",
+        "resume_decide",
+        "start_broadcast",
+        "next_step",
+        "mint_p2p",
+        "has_enabled_step",
+    }
+)
+
+#: Runtime machinery an algorithm must never construct for itself.
+_RUNTIME_MACHINERY = frozenset(
+    {"Network", "KsaRegistry", "TraceRecorder", "Simulator", "ProcessRuntime"}
+)
+
+#: Runtime-internal modules that broadcast algorithm modules must not
+#: import; the effect vocabulary and the process base class are the
+#: entire sanctioned surface.
+_FORBIDDEN_IMPORT_SUFFIXES = (
+    "runtime.network",
+    "runtime.simulator",
+    "runtime.trace",
+    "runtime.ksa_objects",
+)
+
+
+class EffectDisciplineRule(Rule):
+    """Flag algorithm code that bypasses the runtime.effects API."""
+
+    id = "REP002"
+    summary = (
+        "broadcast/agreement algorithms touch the network and k-SA "
+        "objects only by yielding runtime.effects; no driver calls, "
+        "runtime construction, or non-self mutation"
+    )
+    scope = frozenset({"broadcasts", "agreement"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if "broadcasts" in module.path.parts:
+            yield from self._check_imports(module)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and is_process_class(node):
+                yield from self._check_class(module, node)
+
+    # -- module level ----------------------------------------------------
+
+    def _check_imports(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module.endswith(_FORBIDDEN_IMPORT_SUFFIXES):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"broadcast modules must not import "
+                        f"{node.module.split('.')[-1]!r}; algorithms reach "
+                        f"the network only through runtime.effects",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.endswith(_FORBIDDEN_IMPORT_SUFFIXES):
+                        yield module.finding(
+                            self,
+                            node,
+                            f"broadcast modules must not import "
+                            f"{alias.name!r}; algorithms reach the network "
+                            f"only through runtime.effects",
+                        )
+
+    # -- class level -----------------------------------------------------
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_method_mutations(module, node)
+
+    def _check_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DRIVER_ONLY_METHODS
+        ):
+            yield module.finding(
+                self,
+                node,
+                f".{node.func.attr}() is a driver-side runtime call; "
+                f"algorithms describe steps by yielding effects "
+                f"(Algorithm 1, line 8)",
+            )
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] in _RUNTIME_MACHINERY:
+            yield module.finding(
+                self,
+                node,
+                f"algorithm code constructs runtime machinery "
+                f"({name.split('.')[-1]}); the driver owns the network, "
+                f"oracles and trace",
+            )
+
+    def _check_method_mutations(
+        self,
+        module: ModuleContext,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        """Flag attribute mutation of objects handed in from outside.
+
+        Writing ``self.x = ...`` — or mutating a local derived from
+        ``self`` (e.g. ``state = self._state(i); state.promised = b``) —
+        is the algorithm updating its own state: fine.  Writing
+        ``message.x = ...`` or ``runtime.x = ...`` where the name is a
+        *parameter* mutates an object the driver or another process
+        owns: cross-process shared memory CAMP_n does not have.
+        """
+        params = {
+            arg.arg
+            for arg in (
+                method.args.posonlyargs
+                + method.args.args
+                + method.args.kwonlyargs
+            )
+            if arg.arg != "self"
+        }
+        if method.args.vararg is not None:
+            params.add(method.args.vararg.arg)
+        if method.args.kwarg is not None:
+            params.add(method.args.kwarg.arg)
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = attribute_root(target)
+                if (
+                    root is not None
+                    and root.id in params
+                    and isinstance(target, ast.Attribute)
+                ):
+                    yield module.finding(
+                        self,
+                        target,
+                        f"mutation of {ast.unparse(target)!r}: "
+                        f"{root.id!r} is a parameter the process does "
+                        f"not own; algorithms mutate only their own "
+                        f"state (no shared memory in CAMP_n)",
+                    )

@@ -1,0 +1,97 @@
+"""REP005 — checkers must not swallow their own evidence.
+
+The modules under ``core/`` and ``adversary/`` are the proof-carrying
+part of the repo: spec checkers, lemma verifiers, the adversarial
+scheduler.  A violated invariant there is a *result* (it falsifies a
+lemma or certifies a broken candidate algorithm) and must propagate.
+Three patterns quietly destroy that evidence:
+
+* bare ``except:`` (catches everything including ``AssertionError``
+  and ``KeyboardInterrupt``);
+* ``except AssertionError`` without re-raising (a checker caught its
+  own verdict and discarded it);
+* broad ``except Exception``/``BaseException`` whose body is only
+  ``pass`` — failure silently becomes success.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule, dotted_name
+
+__all__ = ["SwallowedFailureRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> frozenset[str]:
+    """Leaf exception names a handler catches (empty for bare except)."""
+    node = handler.type
+    if node is None:
+        return frozenset()
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for item in nodes:
+        name = dotted_name(item)
+        if name is not None:
+            names.add(name.split(".")[-1])
+    return frozenset(names)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _body_is_noop(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+class SwallowedFailureRule(Rule):
+    """Flag exception handling that hides checker verdicts."""
+
+    id = "REP005"
+    summary = (
+        "no bare except and no swallowed AssertionError in core/ and "
+        "adversary/ checkers; a violated invariant is a result"
+    )
+    scope = frozenset({"core", "adversary"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_names(node)
+            if node.type is None:
+                yield module.finding(
+                    self,
+                    node,
+                    "bare except: catches AssertionError and "
+                    "KeyboardInterrupt alike; name the exceptions this "
+                    "checker actually expects",
+                )
+            elif "AssertionError" in names and not _reraises(node):
+                yield module.finding(
+                    self,
+                    node,
+                    "except AssertionError without re-raise: the checker "
+                    "caught its own verdict and discarded it; let the "
+                    "assertion propagate (it falsifies a lemma)",
+                )
+            elif names & _BROAD and _body_is_noop(node):
+                yield module.finding(
+                    self,
+                    node,
+                    f"except {'/'.join(sorted(names & _BROAD))} with an "
+                    f"empty body silently converts failure into success",
+                )

@@ -1,0 +1,55 @@
+"""REP003 — delivery predicates must be content-neutral (Def. 3).
+
+Definition 3 restricts a broadcast abstraction's ordering predicate to
+properties invariant under injective renaming of message contents: the
+predicate may look at *identities* (sender, uid, sequence numbers,
+delivery positions) but never at *what the message says*.  That is the
+hypothesis under which the paper's impossibility holds — Section 3.2's
+SA-tagged broadcast shows how inspecting contents smuggles k-SA power
+into a "broadcast" abstraction.
+
+The static proxy: code in ``specs/`` must not read ``.content`` or
+``.payload`` off messages.  Specs that are content-sensitive *by design*
+(the paper's own counterexamples) carry an explicit line suppression with
+a rationale, which is precisely the documentation burden they deserve.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["ContentNeutralityRule"]
+
+#: Message attributes that expose content to a predicate.
+_CONTENT_ATTRIBUTES = frozenset({"content", "payload"})
+
+
+class ContentNeutralityRule(Rule):
+    """Flag content inspection inside delivery predicates."""
+
+    id = "REP003"
+    summary = (
+        "delivery predicates in specs/ must not branch on message "
+        "contents (content-neutrality, Def. 3)"
+    )
+    scope = frozenset({"specs"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _CONTENT_ATTRIBUTES
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"reads .{node.attr}: ordering predicates must be "
+                    f"invariant under content renaming (Def. 3); key on "
+                    f"sender/uid/positions, or suppress with a rationale "
+                    f"if content-sensitivity is the point",
+                )

@@ -1,0 +1,102 @@
+"""REP004 — process state must be per-instance, never aliased.
+
+Every process in CAMP_n owns its local state outright; the only channels
+between processes are messages.  Two Python footguns silently violate
+that model by aliasing one object across calls or across *all* process
+instances:
+
+* mutable default arguments (one list/dict/set shared by every call);
+* mutable class-level attributes on process classes (one object shared
+  by every process in the system — shared memory by accident).
+
+Either turns independent runs into coupled ones, which breaks replay and
+the per-process step accounting the lemma verifiers rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule, dotted_name, is_process_class
+
+__all__ = ["MutableStateRule"]
+
+#: Constructors producing fresh mutable containers.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] in _MUTABLE_CALLS
+    return False
+
+
+class MutableStateRule(Rule):
+    """Flag mutable defaults and class-level mutable process state."""
+
+    id = "REP004"
+    summary = (
+        "no mutable default arguments; no mutable class-level "
+        "attributes on process classes (aliased cross-process state)"
+    )
+    scope = None  # everywhere: this is plain Python hygiene
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.ClassDef) and is_process_class(node):
+                yield from self._check_class_attributes(module, node)
+
+    def _check_defaults(
+        self,
+        module: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_value(default):
+                yield module.finding(
+                    self,
+                    default,
+                    f"mutable default argument in {node.name}(): one "
+                    f"object is shared across every call; default to None "
+                    f"and allocate inside the body",
+                )
+
+    def _check_class_attributes(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and _is_mutable_value(value):
+                yield module.finding(
+                    self,
+                    stmt,
+                    f"class-level mutable on process class {cls.name}: "
+                    f"every process instance aliases one object — shared "
+                    f"memory the message-passing model forbids; move it "
+                    f"into __init__",
+                )

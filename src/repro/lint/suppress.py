@@ -1,0 +1,83 @@
+"""Per-rule suppression comments.
+
+Three forms, all parsed from comment tokens (so string literals that
+merely *mention* the syntax do not suppress anything):
+
+* ``# repro-lint: disable=REP003`` — suppress on this line;
+* ``# repro-lint: disable-next-line=REP001,REP004`` — suppress on the
+  following line;
+* ``# repro-lint: disable-file=REP002`` — suppress everywhere in the file.
+
+Rule ids are comma-separated; the word ``all`` suppresses every rule.
+Anything after the id list (e.g. ``-- content-sensitive by design``) is a
+free-form rationale and is ignored by the parser — but do write one: a
+suppression without a reason is the convention the linter exists to
+replace.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*"
+    r"(?P<kind>disable-next-line|disable-file|disable)\s*=\s*"
+    r"(?P<ids>all|[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+#: Sentinel id meaning "every rule".
+_ALL = "all"
+
+
+class SuppressionIndex:
+    """Which rule ids are suppressed on which lines of one file."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Parse every suppression directive out of ``source``.
+
+        Tolerates files that do not tokenize (the engine reports those as
+        parse errors separately); directives seen before the failure still
+        apply.
+        """
+        index = cls()
+        reader = io.StringIO(source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _DIRECTIVE.search(token.string)
+                if match is None:
+                    continue
+                ids = {
+                    part.strip()
+                    for part in match.group("ids").split(",")
+                }
+                kind = match.group("kind")
+                if kind == "disable-file":
+                    index._file_wide |= ids
+                elif kind == "disable-next-line":
+                    index._add(token.start[0] + 1, ids)
+                else:
+                    index._add(token.start[0], ids)
+        except (tokenize.TokenError, IndentationError):
+            pass
+        return index
+
+    def _add(self, line: int, ids: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(ids)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled on ``line`` (or file-wide)."""
+        for ids in (self._file_wide, self._by_line.get(line, ())):
+            if _ALL in ids or rule in ids:
+                return True
+        return False

@@ -67,6 +67,10 @@ class GenericBroadcastSpec(BroadcastSpec):
         violations: list[str] = []
         positions = delivery_positions(execution)
         for first, second in combinations(execution.broadcast_messages, 2):
+            # Generic Broadcast is the literature's content-sensitive
+            # abstraction by design (Section 3.2): conflict detection
+            # must read the commands.
+            # repro-lint: disable-next-line=REP003
             if not commands_conflict(first.content, second.content):
                 continue
             if len(pair_orders(positions, first.uid, second.uid)) > 1:

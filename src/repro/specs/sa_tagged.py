@@ -58,6 +58,9 @@ class SaTaggedBroadcastSpec(BroadcastSpec):
         violations: list[str] = []
         sa_uids: dict[str, set[MessageId]] = {}
         for message in execution.broadcast_messages:
+            # Deliberately content-NON-neutral: this spec exists to
+            # violate Def. 3 (Section 3.2).
+            # repro-lint: disable-next-line=REP003
             ksa = _sa_key(message.content)
             if ksa is not None:
                 sa_uids.setdefault(ksa, set()).add(message.uid)

@@ -1,0 +1,17 @@
+"""Fixture: every REP002 effect-discipline breach (true positives)."""
+
+from repro.runtime.network import Network  # forbidden runtime import
+
+
+class LeakyBroadcast(BroadcastProcess):  # noqa: F821 - parse-only fixture
+    """An algorithm that reaches around the effect vocabulary."""
+
+    def on_broadcast(self, message):
+        network = Network()  # constructs runtime machinery
+        runtime = self.peer_runtime
+        runtime.inject_receive(None, message)  # driver-side call
+        yield None
+
+    def on_receive(self, payload, sender):
+        payload.content = "rewritten"  # mutates a non-owned object
+        yield None

@@ -1,0 +1,23 @@
+"""Fixture: a disciplined algorithm (REP002 true negatives)."""
+
+from repro.runtime.effects import Deliver, Send
+from repro.runtime.process import BroadcastProcess
+
+
+class DisciplinedBroadcast(BroadcastProcess):
+    """Interacts with the world only by yielding effects."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self._seen = set()
+
+    def on_broadcast(self, message):
+        for dest in self.everyone():
+            yield Send(dest, message)
+
+    def on_receive(self, payload, sender):
+        if payload.uid not in self._seen:
+            self._seen.add(payload.uid)
+            state = self._seen  # locals derived from self are fine
+            state.add(payload.uid)
+            yield Deliver(payload)

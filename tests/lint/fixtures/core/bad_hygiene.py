@@ -1,0 +1,24 @@
+"""Fixture: swallowed checker failures (REP005 true positives)."""
+
+
+def check_termination(execution):
+    try:
+        return execution.verify()
+    except:  # bare except
+        return True
+
+
+def check_agreement(execution):
+    try:
+        assert execution.decided_values() <= execution.proposals()
+    except AssertionError:  # verdict caught and discarded
+        return None
+    return True
+
+
+def check_validity(execution):
+    try:
+        execution.validate()
+    except Exception:  # silent swallow-all
+        pass
+    return True

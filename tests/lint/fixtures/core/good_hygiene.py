@@ -1,0 +1,22 @@
+"""Fixture: disciplined exception handling (REP005 true negatives)."""
+
+
+def check_termination(execution):
+    try:
+        return execution.verify()
+    except KeyError as error:  # specific, converted with context
+        raise ValueError(f"malformed execution: {error}") from error
+
+
+def check_agreement(execution):
+    try:
+        assert execution.decided_values() <= execution.proposals()
+    except AssertionError:
+        raise  # re-raised: the verdict propagates
+
+
+def check_validity(execution):
+    try:
+        execution.validate()
+    except Exception as error:  # broad but not silent
+        raise RuntimeError("validity check crashed") from error

@@ -1,0 +1,32 @@
+"""Fixture: every REP001 nondeterminism pattern (true positives)."""
+
+import random
+import time
+
+
+def pick_next_event(choices):
+    return choices[random.randrange(len(choices))]  # module-level RNG
+
+
+def make_generator():
+    return random.Random()  # unseeded
+
+
+def timestamp_step():
+    return time.time()  # wall clock
+
+
+def order_by_identity(runtimes):
+    return sorted(runtimes, key=id)  # memory-layout ordering
+
+
+def schedule(alive: set[int]):
+    order = []
+    for process in alive:  # bare set iteration
+        order.append(process)
+    return order
+
+
+def crashed_first():
+    crashed = {3, 1, 2}
+    return [p for p in crashed]  # set literal through a local name

@@ -1,0 +1,26 @@
+"""Fixture: deterministic scheduling idioms (REP001 true negatives)."""
+
+import random
+
+
+def pick_next_event(choices, rng: random.Random):
+    return choices[rng.randrange(len(choices))]
+
+
+def make_generator(seed: int):
+    return random.Random(seed)
+
+
+def schedule(alive: set[int]):
+    order = []
+    for process in sorted(alive):  # deterministic iteration
+        order.append(process)
+    return order
+
+
+def membership(alive: set[int], process: int) -> bool:
+    return process in alive  # membership tests are order-free
+
+
+def order_by_field(runtimes):
+    return sorted(runtimes, key=lambda r: r.pid)

@@ -1,0 +1,12 @@
+"""Fixture: a content-sensitive delivery predicate (REP003 positives)."""
+
+
+class PayloadPeekingSpec(BroadcastSpec):  # noqa: F821 - parse-only fixture
+    """Branches on what messages say, violating Def. 3."""
+
+    def ordering_violations(self, execution):
+        violations = []
+        for message in execution.broadcast_messages:
+            if message.content == "URGENT":  # inspects content
+                violations.append(str(message))
+        return violations

@@ -1,0 +1,14 @@
+"""Fixture: a content-neutral delivery predicate (REP003 negatives)."""
+
+
+class IdentityOnlySpec(BroadcastSpec):  # noqa: F821 - parse-only fixture
+    """Keys on identities and positions only — invariant under renaming."""
+
+    def ordering_violations(self, execution):
+        violations = []
+        seen = []
+        for message in execution.broadcast_messages:
+            if (message.sender, message.uid) in seen:
+                violations.append(f"duplicate {message.uid}")
+            seen.append((message.sender, message.uid))
+        return violations

@@ -1,0 +1,13 @@
+"""Fixture: content access under an explicit suppression (lints clean)."""
+
+
+class DocumentedContentSpec(BroadcastSpec):  # noqa: F821 - parse-only
+    """Content-sensitive on purpose, and says so."""
+
+    def ordering_violations(self, execution):
+        tags = []
+        for message in execution.broadcast_messages:
+            # repro-lint: disable-next-line=REP003
+            tags.append(message.content)
+        first = tags[0].content if tags else None  # repro-lint: disable=REP003
+        return [] if first is None else [str(first)]

@@ -1,0 +1,25 @@
+"""Fixture: aliased mutable state (REP004 true positives)."""
+
+
+def accumulate(value, bucket=[]):  # mutable default
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, counts={}):  # mutable default
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class SharedStateBroadcast(BroadcastProcess):  # noqa: F821 - parse-only
+    """All process instances alias one buffer: accidental shared memory."""
+
+    pending = []  # class-level mutable on a process class
+    delivered_by_uid = {}  # class-level mutable on a process class
+
+    def on_broadcast(self, message):
+        self.pending.append(message)
+        yield None
+
+    def on_receive(self, payload, sender):
+        yield None

@@ -1,0 +1,32 @@
+"""Fixture: per-instance state, immutable defaults (REP004 negatives)."""
+
+_PRIORITY = {"recv": 0, "local": 1}  # module constant: not process state
+
+
+def accumulate(value, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(value)
+    return bucket
+
+
+def label(message, prefix=""):  # immutable default
+    return prefix + str(message)
+
+
+class PerInstanceBroadcast(BroadcastProcess):  # noqa: F821 - parse-only
+    """Every process owns fresh containers."""
+
+    ROUNDS = 3  # immutable class constant is fine
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.pending = []
+        self.delivered_by_uid = {}
+
+    def on_broadcast(self, message):
+        self.pending.append(message)
+        yield None
+
+    def on_receive(self, payload, sender):
+        yield None

@@ -1,0 +1,114 @@
+"""CLI contract: exit codes, JSON output shape, select/ignore flags.
+
+The CLI is exercised in-process through :func:`repro.lint.cli.main`
+(same code path as ``python -m repro.lint``; the ``__main__`` module
+just forwards to it) and once via a real subprocess to pin the module
+entry point itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_HYGIENE = FIXTURES / "core" / "bad_hygiene.py"
+GOOD_HYGIENE = FIXTURES / "core" / "good_hygiene.py"
+
+
+def run_cli(args, capsys):
+    code = main([str(a) for a in args])
+    return code, capsys.readouterr().out
+
+
+def test_clean_file_exits_zero(capsys):
+    code, out = run_cli([GOOD_HYGIENE], capsys)
+    assert code == 0
+    assert "0 findings" in out
+
+
+def test_findings_exit_one_with_locations(capsys):
+    code, out = run_cli([BAD_HYGIENE], capsys)
+    assert code == 1
+    assert "REP005" in out
+    assert f"{BAD_HYGIENE}:" in out
+
+
+def test_json_format_is_structured(capsys):
+    code, out = run_cli([BAD_HYGIENE, "--format", "json"], capsys)
+    assert code == 1
+    document = json.loads(out)
+    assert document["version"] == 1
+    assert document["count"] == 3
+    assert document["counts_by_rule"] == {"REP005": 3}
+    for finding in document["findings"]:
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "REP005"
+
+
+def test_json_format_clean_run(capsys):
+    code, out = run_cli([GOOD_HYGIENE, "--format", "json"], capsys)
+    assert code == 0
+    document = json.loads(out)
+    assert document["count"] == 0
+    assert document["findings"] == []
+
+
+def test_select_flag(capsys):
+    code, _ = run_cli([BAD_HYGIENE, "--select", "REP001"], capsys)
+    assert code == 0  # REP005 findings filtered out
+
+
+def test_ignore_flag(capsys):
+    code, _ = run_cli([BAD_HYGIENE, "--ignore", "REP005"], capsys)
+    assert code == 0
+
+
+def test_comma_separated_ids(capsys):
+    code, _ = run_cli(
+        [BAD_HYGIENE, "--select", "REP004,REP005"], capsys
+    )
+    assert code == 1
+
+
+def test_missing_path_exits_two(capsys):
+    code = main(["no/such/path.py"])
+    assert code == 2
+
+
+def test_unknown_rule_id_exits_two(capsys):
+    # A typo'd --select must not silently disable the whole gate.
+    code = main([str(BAD_HYGIENE), "--select", "REP999"])
+    assert code == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    code, out = run_cli(["--list-rules"], capsys)
+    assert code == 0
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        assert rule_id in out
+
+
+def test_module_entry_point_subprocess():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(BAD_HYGIENE)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 1
+    assert "REP005" in result.stdout

@@ -1,0 +1,87 @@
+"""Engine behavior: discovery, filtering, parse errors, determinism."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import PARSE_ERROR_ID, Finding, LintEngine, run_lint
+from repro.lint.engine import iter_python_files
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_directory_walk_skips_fixtures(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "fixtures").mkdir()
+    (tmp_path / "pkg" / "fixtures" / "bad.py").write_text("x = 2\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 3\n")
+    found = [p.name for p in iter_python_files([tmp_path])]
+    assert found == ["ok.py"]
+
+
+def test_explicit_file_is_linted_even_inside_fixtures():
+    findings = LintEngine().lint_file(
+        FIXTURES / "core" / "bad_hygiene.py"
+    )
+    assert findings  # fixtures dir is excluded from walks, not from this
+
+
+def test_walk_over_fixture_parent_reports_nothing():
+    assert run_lint([Path(__file__).parent]) == []
+
+
+def test_select_restricts_to_listed_rules():
+    engine = LintEngine(select=["REP005"])
+    assert set(
+        f.rule for f in engine.lint_file(FIXTURES / "core" / "bad_hygiene.py")
+    ) == {"REP005"}
+    assert (
+        engine.lint_file(FIXTURES / "runtime" / "bad_determinism.py") == []
+    )
+
+
+def test_ignore_drops_listed_rules():
+    engine = LintEngine(ignore=["REP001"])
+    assert (
+        engine.lint_file(FIXTURES / "runtime" / "bad_determinism.py") == []
+    )
+
+
+def test_parse_error_is_reported_as_rep000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings = LintEngine().lint_file(bad)
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_ID
+    assert "does not parse" in findings[0].message
+
+
+def test_parse_error_survives_select_filter(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings = LintEngine(select=["REP003"]).lint_file(bad)
+    assert [f.rule for f in findings] == [PARSE_ERROR_ID]
+
+
+def test_findings_are_sorted_and_stable():
+    engine = LintEngine()
+    first = engine.lint_file(FIXTURES / "runtime" / "bad_determinism.py")
+    second = engine.lint_file(FIXTURES / "runtime" / "bad_determinism.py")
+    assert first == second
+    assert first == sorted(first)
+
+
+def test_finding_render_and_jsonable():
+    finding = Finding(
+        path="a.py", line=3, col=7, rule="REP001", message="boom"
+    )
+    assert finding.render() == "a.py:3:7: REP001 boom"
+    assert finding.to_jsonable() == {
+        "path": "a.py",
+        "line": 3,
+        "col": 7,
+        "rule": "REP001",
+        "message": "boom",
+    }

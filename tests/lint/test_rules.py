@@ -1,0 +1,169 @@
+"""Per-rule unit tests: each rule has true positives and true negatives.
+
+Every rule is exercised against a *bad* fixture (expected findings, with
+exact rule ids) and a *good* fixture (zero findings), both living under
+``tests/lint/fixtures/<scope>/`` so path-based scoping applies exactly
+as it does to the real tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rule_ids(path: Path) -> Counter:
+    """Rule-id counts the default engine reports for one fixture file."""
+    return Counter(f.rule for f in LintEngine().lint_file(path))
+
+
+# ---------------------------------------------------------------------------
+# REP001 — determinism
+# ---------------------------------------------------------------------------
+
+
+def test_rep001_true_positives():
+    counts = rule_ids(FIXTURES / "runtime" / "bad_determinism.py")
+    assert counts == {"REP001": 6}
+
+
+def test_rep001_true_negatives():
+    assert rule_ids(FIXTURES / "runtime" / "good_determinism.py") == {}
+
+
+def test_rep001_finds_each_pattern():
+    findings = LintEngine().lint_file(
+        FIXTURES / "runtime" / "bad_determinism.py"
+    )
+    messages = " ".join(f.message for f in findings)
+    assert "module-level random.randrange" in messages
+    assert "without an explicit seed" in messages
+    assert "wall clock" in messages
+    assert "id()" in messages
+    assert "iteration over a set" in messages
+
+
+# ---------------------------------------------------------------------------
+# REP002 — effect discipline
+# ---------------------------------------------------------------------------
+
+
+def test_rep002_true_positives():
+    counts = rule_ids(FIXTURES / "broadcasts" / "bad_effects.py")
+    assert counts == {"REP002": 4}
+
+
+def test_rep002_true_negatives():
+    assert rule_ids(FIXTURES / "broadcasts" / "good_effects.py") == {}
+
+
+def test_rep002_finds_each_pattern():
+    findings = LintEngine().lint_file(
+        FIXTURES / "broadcasts" / "bad_effects.py"
+    )
+    messages = " ".join(f.message for f in findings)
+    assert "must not import" in messages
+    assert "constructs runtime machinery" in messages
+    assert "driver-side runtime call" in messages
+    assert "parameter the process does not own" in messages
+
+
+# ---------------------------------------------------------------------------
+# REP003 — content neutrality
+# ---------------------------------------------------------------------------
+
+
+def test_rep003_true_positive():
+    counts = rule_ids(FIXTURES / "specs" / "bad_neutrality.py")
+    assert counts == {"REP003": 1}
+
+
+def test_rep003_true_negative():
+    assert rule_ids(FIXTURES / "specs" / "good_neutrality.py") == {}
+
+
+def test_rep003_suppression_comments_silence_it():
+    assert rule_ids(FIXTURES / "specs" / "suppressed_neutrality.py") == {}
+
+
+# ---------------------------------------------------------------------------
+# REP004 — mutable defaults / class-level process state
+# ---------------------------------------------------------------------------
+
+
+def test_rep004_true_positives():
+    counts = rule_ids(FIXTURES / "state" / "bad_state.py")
+    assert counts == {"REP004": 4}
+
+
+def test_rep004_true_negatives():
+    assert rule_ids(FIXTURES / "state" / "good_state.py") == {}
+
+
+def test_rep004_ignores_non_process_class_constants():
+    engine = LintEngine()
+    findings = engine.lint_source(
+        "class Policy:\n    _priority = {'recv': 0}\n",
+        "anywhere/policies.py",
+    )
+    assert findings == []
+
+
+def test_rep004_flags_process_class_even_outside_scoped_dirs():
+    engine = LintEngine()
+    findings = engine.lint_source(
+        "class P(BroadcastProcess):\n    shared = []\n",
+        "anywhere/algo.py",
+    )
+    assert [f.rule for f in findings] == ["REP004"]
+
+
+# ---------------------------------------------------------------------------
+# REP005 — swallowed failures
+# ---------------------------------------------------------------------------
+
+
+def test_rep005_true_positives():
+    counts = rule_ids(FIXTURES / "core" / "bad_hygiene.py")
+    assert counts == {"REP005": 3}
+
+
+def test_rep005_true_negatives():
+    assert rule_ids(FIXTURES / "core" / "good_hygiene.py") == {}
+
+
+def test_rep005_finds_each_pattern():
+    findings = LintEngine().lint_file(FIXTURES / "core" / "bad_hygiene.py")
+    messages = " ".join(f.message for f in findings)
+    assert "bare except" in messages
+    assert "without re-raise" in messages
+    assert "empty body" in messages
+
+
+# ---------------------------------------------------------------------------
+# Scoping
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "virtual_path, expected",
+    [
+        ("src/repro/runtime/x.py", True),
+        ("src/repro/adversary/x.py", True),
+        ("src/repro/specs/x.py", False),
+        ("tests/runtime/test_x.py", False),  # test code is exempt
+        ("tests/lint/fixtures/runtime/x.py", True),  # fixtures are not
+    ],
+)
+def test_rep001_path_scoping(virtual_path, expected):
+    engine = LintEngine(select=["REP001"])
+    findings = engine.lint_source(
+        "import random\nx = random.random()\n", virtual_path
+    )
+    assert bool(findings) is expected

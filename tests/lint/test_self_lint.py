@@ -1,0 +1,38 @@
+"""The repo lints itself clean — the tier that guards future PRs.
+
+If this test fails, a change introduced nondeterminism, an effect-API
+bypass, content inspection in a spec, aliased mutable state, or a
+swallowed checker failure.  Fix the code or add a line suppression with
+a written rationale; see docs/static_analysis.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import ALL_RULES, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_lints_clean():
+    findings = run_lint([REPO_ROOT / "src" / "repro"])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_tests_lint_clean():
+    findings = run_lint([REPO_ROOT / "tests"])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_every_rule_is_documented():
+    catalog = (REPO_ROOT / "docs" / "static_analysis.md").read_text()
+    for rule in ALL_RULES:
+        assert rule.id in catalog, f"{rule.id} missing from the rule catalog"
+
+
+def test_rule_ids_are_unique_and_well_formed():
+    ids = [rule.id for rule in ALL_RULES]
+    assert len(set(ids)) == len(ids)
+    for rule_id in ids:
+        assert rule_id.startswith("REP") and len(rule_id) == 6

@@ -1,0 +1,78 @@
+"""Suppression directive parsing and application."""
+
+from __future__ import annotations
+
+from repro.lint import LintEngine, SuppressionIndex
+
+
+def test_same_line_disable():
+    index = SuppressionIndex.from_source(
+        "x = 1  # repro-lint: disable=REP001\n"
+    )
+    assert index.is_suppressed("REP001", 1)
+    assert not index.is_suppressed("REP002", 1)
+    assert not index.is_suppressed("REP001", 2)
+
+
+def test_disable_next_line():
+    index = SuppressionIndex.from_source(
+        "# repro-lint: disable-next-line=REP003\nx = 1\n"
+    )
+    assert index.is_suppressed("REP003", 2)
+    assert not index.is_suppressed("REP003", 3)
+
+
+def test_disable_file():
+    index = SuppressionIndex.from_source(
+        "x = 1\n# repro-lint: disable-file=REP002\ny = 2\n"
+    )
+    assert index.is_suppressed("REP002", 1)
+    assert index.is_suppressed("REP002", 999)
+    assert not index.is_suppressed("REP001", 1)
+
+
+def test_multiple_ids_and_all():
+    index = SuppressionIndex.from_source(
+        "a = 1  # repro-lint: disable=REP001, REP004\n"
+        "b = 2  # repro-lint: disable=all\n"
+    )
+    assert index.is_suppressed("REP001", 1)
+    assert index.is_suppressed("REP004", 1)
+    assert not index.is_suppressed("REP003", 1)
+    assert index.is_suppressed("REP003", 2)
+
+
+def test_trailing_rationale_is_tolerated():
+    index = SuppressionIndex.from_source(
+        "x = 1  # repro-lint: disable=REP003 -- content-sensitive by design\n"
+    )
+    assert index.is_suppressed("REP003", 1)
+
+
+def test_directive_inside_string_literal_does_not_suppress():
+    index = SuppressionIndex.from_source(
+        'x = "# repro-lint: disable=REP001"\n'
+    )
+    assert not index.is_suppressed("REP001", 1)
+
+
+def test_suppression_applies_through_the_engine():
+    source = (
+        "import random\n"
+        "a = random.random()  # repro-lint: disable=REP001\n"
+        "b = random.random()\n"
+    )
+    engine = LintEngine()
+    findings = engine.lint_source(source, "runtime/sched.py")
+    assert [f.line for f in findings] == [3]
+
+
+def test_file_wide_suppression_through_the_engine():
+    source = (
+        "# repro-lint: disable-file=REP001\n"
+        "import random\n"
+        "a = random.random()\n"
+        "b = random.random()\n"
+    )
+    findings = LintEngine().lint_source(source, "runtime/sched.py")
+    assert findings == []
