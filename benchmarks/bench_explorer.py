@@ -67,3 +67,43 @@ def test_violation_search(benchmark):
         return result
 
     benchmark(search)
+
+
+@pytest.mark.parametrize("engine", ["incremental", "replay"])
+def test_engine_comparison_two_senders(benchmark, engine):
+    """Incremental (fork-at-branch) vs replay-from-scratch, same tree."""
+    simulator = Simulator(2, lambda pid, n: SendToAllBroadcast(pid, n))
+
+    def explore():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            channels_property(assume_complete=False),
+            engine=engine,
+        )
+        assert result.exhausted
+        return result
+
+    result = benchmark(explore)
+    assert result.terminal_schedules == 80
+
+
+def test_incremental_depth8_three_processes(benchmark):
+    """The depth-8 config of BENCH_explorer.json, incremental engine."""
+    simulator = Simulator(3, lambda pid, n: SendToAllBroadcast(pid, n))
+
+    def explore():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            channels_property(assume_complete=False),
+        )
+        assert result.exhausted
+        # the whole point of the incremental engine: no event is ever
+        # re-executed on this tree (fork snapshots cover every branch)
+        assert result.events_replayed == 0
+        return result
+
+    result = benchmark(explore)
+    assert result.terminal_schedules == 2520
+    assert result.max_depth_seen == 8

@@ -1,0 +1,168 @@
+"""Explorer benchmark runner — emits ``BENCH_explorer.json``.
+
+Measures the incremental exploration engine against the historical
+replay engine on fixed configurations, and single-worker against
+multi-worker exploration on the largest one.  Results (wall-clock plus
+the engines' own event counters) are written as JSON for CI artifact
+upload and cross-run comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_explorer_bench.py \
+        [--output BENCH_explorer.json] [--workers 4] [--quick]
+
+The schedule trees explored are deterministic; only the timings vary
+between machines.  The JSON includes per-config invariants (terminal
+count, tree depth) so a regression in *what* is explored fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.runtime import Simulator, channels_property, explore_schedules
+
+
+def _simulator(config: dict) -> Simulator:
+    algorithm = {
+        "send-to-all": SendToAllBroadcast,
+        "uniform-reliable": UniformReliableBroadcast,
+    }[config["algorithm"]]
+    return Simulator(
+        config["n"], lambda pid, n: algorithm(pid, n)
+    )
+
+
+CONFIGS = [
+    {
+        "name": "s2a-2senders-n2",
+        "algorithm": "send-to-all",
+        "n": 2,
+        "scripts": {0: ["a"], 1: ["b"]},
+        "engines": ["incremental", "replay"],
+        "workers": [],
+    },
+    {
+        "name": "s2a-2senders-n3-depth8",
+        "algorithm": "send-to-all",
+        "n": 3,
+        "scripts": {0: ["a"], 1: ["b"]},
+        "engines": ["incremental", "replay"],
+        "workers": [],
+    },
+    {
+        # largest tree: 16128 terminals, depth 10 — the parallel target
+        "name": "urb-2senders-n2",
+        "algorithm": "uniform-reliable",
+        "n": 2,
+        "scripts": {0: ["a"], 1: ["b"]},
+        "engines": [],
+        "workers": [1, "N"],
+    },
+]
+
+
+def run_one(
+    config: dict, *, engine: str = "incremental", workers: int = 1
+) -> dict:
+    simulator = _simulator(config)
+    prop = channels_property(assume_complete=False)
+    started = time.perf_counter()
+    result = explore_schedules(
+        simulator,
+        config["scripts"],
+        prop,
+        engine=engine,
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - started
+    assert result.exhausted, f"{config['name']}: exploration not exhaustive"
+    assert result.ok, f"{config['name']}: unexpected violations"
+    return {
+        "engine": engine,
+        "workers": workers,
+        "seconds": round(elapsed, 4),
+        "terminal_schedules": result.terminal_schedules,
+        "schedules_explored": result.schedules_explored,
+        "max_depth_seen": result.max_depth_seen,
+        "events_executed": result.events_executed,
+        "events_replayed": result.events_replayed,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_explorer.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for the parallel measurements",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the replay engine on the depth-8 config",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "benchmark": "explorer",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": [],
+    }
+    for config in CONFIGS:
+        entry = {"name": config["name"], "runs": []}
+        for engine in config["engines"]:
+            if (
+                args.quick
+                and engine == "replay"
+                and config["name"].endswith("depth8")
+            ):
+                continue
+            entry["runs"].append(run_one(config, engine=engine))
+        for workers in config["workers"]:
+            count = args.workers if workers == "N" else workers
+            entry["runs"].append(
+                run_one(config, engine="incremental", workers=count)
+            )
+        by_engine = {run["engine"]: run for run in entry["runs"]}
+        if "incremental" in by_engine and "replay" in by_engine:
+            incremental = by_engine["incremental"]
+            replay = by_engine["replay"]
+            entry["replayed_events_ratio"] = round(
+                replay["events_replayed"]
+                / max(1, incremental["events_replayed"]),
+                2,
+            )
+            entry["speedup"] = round(
+                replay["seconds"] / max(1e-9, incremental["seconds"]), 2
+            )
+        report["configs"].append(entry)
+        print(f"{entry['name']}:")
+        for run in entry["runs"]:
+            print(
+                f"  {run['engine']}(workers={run['workers']}): "
+                f"{run['seconds']}s, {run['terminal_schedules']} terminals, "
+                f"{run['events_executed']} events executed, "
+                f"{run['events_replayed']} replayed"
+            )
+        if "replayed_events_ratio" in entry:
+            print(
+                f"  replayed-events ratio (replay/incremental): "
+                f"{entry['replayed_events_ratio']}x, "
+                f"wall-clock speedup {entry['speedup']}x"
+            )
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,7 @@ from .message import (
     Renaming,
     fresh_renaming,
 )
-from .model import ChannelReport, check_channels
+from .model import ChannelReport, ChannelTracker, check_channels
 from .nsolo import NSoloWitness, find_witness, is_n_solo, verify_witness
 from .steps import Step
 from .symmetry import (
@@ -75,6 +75,7 @@ __all__ = [
     "SymmetryResult",
     "WellFormednessError",
     "check_base_properties",
+    "ChannelTracker",
     "check_channels",
     "check_compositional",
     "check_content_neutral",

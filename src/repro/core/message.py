@@ -42,6 +42,14 @@ class MessageId:
     def __str__(self) -> str:
         return f"m[{self.sender}.{self.seq}]"
 
+    def __copy__(self) -> "MessageId":
+        return self
+
+    def __deepcopy__(self, memo: dict[int, Any]) -> "MessageId":
+        # Identities are immutable value objects; snapshotting simulator
+        # state (SimulationRun.fork) must never duplicate them.
+        return self
+
 
 @dataclass(frozen=True)
 class Message:
@@ -64,17 +72,37 @@ class Message:
             return str(self.uid)
         return f"{self.uid}:{self.content!r}"
 
+    def __copy__(self) -> "Message":
+        return self
+
+    def __deepcopy__(self, memo: dict[int, Any]) -> "Message":
+        # Messages are immutable; sharing them across forked simulator
+        # snapshots is both safe and what identity-uniqueness requires.
+        return self
+
 
 class MessageFactory:
     """Mints unique :class:`Message` objects, one sequence per sender."""
 
     def __init__(self) -> None:
-        self._counters: dict[int, itertools.count] = {}
+        self._counters: dict[int, int] = {}
 
     def new(self, sender: int, content: Hashable = None) -> Message:
         """Create a fresh message broadcast by ``sender``."""
-        counter = self._counters.setdefault(sender, itertools.count())
-        return Message(MessageId(sender, next(counter)), content)
+        seq = self._counters.get(sender, 0)
+        self._counters[sender] = seq + 1
+        return Message(MessageId(sender, seq), content)
+
+    def fork(self) -> "MessageFactory":
+        """An independent factory that continues this one's sequences.
+
+        Used by :meth:`repro.runtime.simulator.SimulationRun.fork` so a
+        snapshot keeps minting identities unique within its own branch
+        while the original keeps minting within its branch.
+        """
+        clone = MessageFactory()
+        clone._counters = dict(self._counters)
+        return clone
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from .crash import CrashSchedule
 from .effects import Deliver, DeliverSet, Effect, LocalNote, Propose, Send, Wait
 from .explorer import (
     ExplorationResult,
+    PropertyTracker,
     Violation,
     channels_property,
     combine_properties,
@@ -52,7 +53,7 @@ from .process import (
     RuntimeOutcome,
     SendStep,
 )
-from .simulator import Gated, SimulationResult, Simulator
+from .simulator import Gated, SimulationResult, SimulationRun, Simulator
 from .trace import TraceRecorder
 
 __all__ = [
@@ -79,6 +80,7 @@ __all__ = [
     "Network",
     "OwnValuePolicy",
     "ProcessRuntime",
+    "PropertyTracker",
     "Propose",
     "ProposeStep",
     "ProtocolError",
@@ -89,6 +91,7 @@ __all__ = [
     "Send",
     "SendStep",
     "SimulationResult",
+    "SimulationRun",
     "Simulator",
     "TargetedDelayPolicy",
     "TraceRecorder",

@@ -8,29 +8,76 @@ a property at each terminal (quiescent) schedule, reporting every
 violating schedule together with the decision sequence that reproduces
 it (replayable via ``Simulator.run(..., guide=...)``).
 
-The search replays each prefix from scratch (runs are deterministic), so
-no state snapshotting is needed; the price is a depth factor on the node
-count, which is irrelevant at the system sizes where exhaustive
-exploration is feasible anyway (2–3 processes, 1–2 broadcasts each).
-``max_schedules`` bounds the search for larger configurations, turning
-the explorer into a systematic (breadth-biased-DFS) falsifier that finds
-*minimal-depth* counterexamples before random testing would.
+Engines
+-------
+
+Two engines explore the *same* tree in the same depth-first order and
+produce identical results:
+
+* ``engine="incremental"`` (default) — the search runs on resumable
+  :class:`~repro.runtime.simulator.SimulationRun` handles: extending a
+  prefix by one event costs one event, and branch points are covered by
+  forking the handle (a state snapshot) instead of re-running the
+  prefix.  Each edge of the schedule tree is executed exactly once,
+  turning the replay cost from O(nodes × depth) events into O(edges).
+* ``engine="replay"`` — the historical engine: every DFS prefix is
+  re-run from scratch through a guided :meth:`Simulator.run`.  Kept as
+  the differential-testing oracle and as the benchmark baseline; the
+  per-node depth factor it pays is reported in
+  :attr:`ExplorationResult.events_replayed`.
+
+``workers > 1`` shards the top of the schedule tree across a
+``multiprocessing`` pool (fork start method): the tree is expanded
+breadth-first until enough independent subtrees exist, each worker runs
+the incremental engine on its subtree, and the per-shard outcomes are
+merged back *in depth-first order*, so an exhaustive parallel run
+returns exactly the sequential result (same terminal count, same
+violations in the same order).  On budget-capped runs the merged
+``terminal_schedules`` and ``violations`` still match the sequential
+engine; ``schedules_explored``/event counters reflect the work actually
+performed, which can be larger because every worker receives the full
+budget.  Where the ``fork`` start method is unavailable the call falls
+back to a single worker.
+
+Properties
+----------
 
 Properties are callables receiving the terminal
 :class:`~repro.runtime.simulator.SimulationResult` and returning a list
 of violation strings; :func:`spec_property` and :func:`channels_property`
-adapt the library's checkers.
+adapt the library's checkers.  Property objects may additionally expose
+``tracker(n)`` returning a :class:`PropertyTracker`, in which case the
+incremental engine feeds them *step deltas* along each branch instead of
+whole executions per terminal: :func:`channels_property` checks the SR
+channel axioms this way (via :class:`repro.core.model.ChannelTracker`),
+scanning every step once per tree edge rather than once per
+terminal-times-depth.  Spec properties are whole-execution judgements
+and stay terminal-evaluated.
+
+Bounds
+------
+
+``max_schedules`` bounds the number of terminal schedules visited,
+turning the explorer into a systematic falsifier that finds
+minimal-depth counterexamples before random testing would;
+``max_depth`` bounds the decision depth.  A search cut short by either
+bound — or aborted by ``stop_at_first_violation`` — reports
+``exhausted=False`` (and ``aborted=True`` for the stop case); subtrees
+pruned at ``max_depth`` are *not* property-checked, since their runs are
+truncated mid-flight.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Sequence
 
 from ..core.broadcast_spec import BroadcastSpec
-from ..core.model import check_channels
+from ..core.model import ChannelTracker, check_channels
+from ..core.steps import Step
 from .crash import CrashSchedule
-from .simulator import SimulationResult, Simulator
+from .simulator import SimulationResult, SimulationRun, Simulator
 
 __all__ = [
     "Violation",
@@ -39,6 +86,7 @@ __all__ = [
     "spec_property",
     "channels_property",
     "combine_properties",
+    "PropertyTracker",
 ]
 
 Property = Callable[[SimulationResult], list[str]]
@@ -67,13 +115,33 @@ class ExplorationResult:
     violations: list[Violation] = field(default_factory=list)
     exhausted: bool = True
     max_depth_seen: int = 0
+    #: True when ``stop_at_first_violation`` cut the search short.  An
+    #: aborted search is never exhaustive: schedules after the first
+    #: violation were deliberately not visited.
+    aborted: bool = False
+    #: Scheduled events committed over the whole search, including any
+    #: re-execution (the replay engine re-runs each prefix; the parallel
+    #: engine re-runs shard prefixes once per worker).
+    events_executed: int = 0
+    #: The subset of ``events_executed`` that re-executed work already
+    #: performed earlier in the search — the quantity the incremental
+    #: engine exists to eliminate.  For the incremental engine this also
+    #: counts local steps re-executed by journal-replay forks.
+    events_replayed: int = 0
+    #: Worker processes that actually ran the search.
+    workers: int = 1
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def __str__(self) -> str:
-        coverage = "exhaustive" if self.exhausted else "budget-capped"
+        if self.aborted:
+            coverage = "aborted"
+        elif self.exhausted:
+            coverage = "exhaustive"
+        else:
+            coverage = "budget-capped"
         verdict = (
             "no violation"
             if self.ok
@@ -84,6 +152,136 @@ class ExplorationResult:
             f"schedules ({self.schedules_explored} prefixes, depth ≤ "
             f"{self.max_depth_seen}): {verdict}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Properties and their incremental trackers
+# ---------------------------------------------------------------------------
+
+
+class PropertyTracker:
+    """Terminal-state property evaluation fed step deltas along a branch.
+
+    The incremental engine holds one tracker per search-tree node:
+    :meth:`observe` receives the trace steps appended since the parent
+    node, :meth:`fork` snapshots the tracker at a branch point, and
+    :meth:`at_terminal` produces the violation list at a quiescent
+    schedule.  This base class is the *stateless* adapter: it ignores
+    deltas and evaluates a plain property callable on the terminal
+    result, so forks can share the one instance.
+    """
+
+    def __init__(self, check: Property) -> None:
+        self._check = check
+
+    def observe(self, steps: Sequence[Step]) -> None:
+        """Account trace steps appended since the previous call."""
+
+    def fork(self) -> "PropertyTracker":
+        """A tracker for a diverging branch (self when stateless)."""
+        return self
+
+    def at_terminal(self, result: SimulationResult) -> list[str]:
+        """Violations of the property at a terminal schedule."""
+        return self._check(result)
+
+
+class _ChannelsTracker(PropertyTracker):
+    """SR channel axioms maintained incrementally along a branch."""
+
+    def __init__(self, n: int, *, assume_complete: bool) -> None:
+        self._tracker = ChannelTracker(n)
+        self._assume_complete = assume_complete
+
+    def observe(self, steps: Sequence[Step]) -> None:
+        for step in steps:
+            self._tracker.observe(step)
+
+    def fork(self) -> "_ChannelsTracker":
+        clone = object.__new__(_ChannelsTracker)
+        clone._tracker = self._tracker.fork()
+        clone._assume_complete = self._assume_complete
+        return clone
+
+    def at_terminal(self, result: SimulationResult) -> list[str]:
+        return self._tracker.report(
+            assume_complete=self._assume_complete
+        ).all_violations()
+
+
+class _CombinedTracker(PropertyTracker):
+    """Conjunction of several trackers (problems concatenated in order)."""
+
+    def __init__(self, trackers: list[PropertyTracker]) -> None:
+        self._trackers = trackers
+
+    def observe(self, steps: Sequence[Step]) -> None:
+        for tracker in self._trackers:
+            tracker.observe(steps)
+
+    def fork(self) -> "_CombinedTracker":
+        return _CombinedTracker([t.fork() for t in self._trackers])
+
+    def at_terminal(self, result: SimulationResult) -> list[str]:
+        problems: list[str] = []
+        for tracker in self._trackers:
+            problems.extend(tracker.at_terminal(result))
+        return problems
+
+
+class _TerminalProperty:
+    """A property with no incremental structure: evaluated at terminals."""
+
+    def __init__(self, check: Property) -> None:
+        self._check = check
+
+    def __call__(self, result: SimulationResult) -> list[str]:
+        return self._check(result)
+
+    def tracker(self, n: int) -> PropertyTracker:
+        return PropertyTracker(self._check)
+
+
+class _ChannelsProperty:
+    """The SR channel axioms, incremental when used by the explorer."""
+
+    def __init__(self, *, assume_complete: bool) -> None:
+        self._assume_complete = assume_complete
+
+    def __call__(self, result: SimulationResult) -> list[str]:
+        return check_channels(
+            result.execution, assume_complete=self._assume_complete
+        ).all_violations()
+
+    def tracker(self, n: int) -> PropertyTracker:
+        return _ChannelsTracker(n, assume_complete=self._assume_complete)
+
+
+class _CombinedProperty:
+    """Conjunction of several properties."""
+
+    def __init__(self, properties: tuple[object, ...]) -> None:
+        self._properties = [_as_property(p) for p in properties]
+
+    def __call__(self, result: SimulationResult) -> list[str]:
+        problems: list[str] = []
+        for prop in self._properties:
+            problems.extend(prop(result))
+        return problems
+
+    def tracker(self, n: int) -> PropertyTracker:
+        return _CombinedTracker(
+            [p.tracker(n) for p in self._properties]
+        )
+
+
+def _as_property(prop: object):
+    """Normalize a plain callable into a tracker-capable property."""
+    if hasattr(prop, "tracker") and callable(getattr(prop, "tracker")):
+        return prop
+    if not callable(prop):
+        raise TypeError(f"property must be callable, got {prop!r}")
+    return _TerminalProperty(prop)
 
 
 def spec_property(
@@ -98,59 +296,155 @@ def spec_property(
         )
         return verdict.all_violations()
 
-    return check
+    return _TerminalProperty(check)
 
 
 def channels_property(*, assume_complete: bool = True) -> Property:
-    """The SR channel axioms as a terminal-state property."""
+    """The SR channel axioms as a terminal-state property.
 
-    def check(result: SimulationResult) -> list[str]:
-        return check_channels(
-            result.execution, assume_complete=assume_complete
-        ).all_violations()
-
-    return check
+    When passed to :func:`explore_schedules` this property is evaluated
+    *incrementally*: the explorer feeds it step deltas along each DFS
+    branch, so each trace step is scanned once per tree edge instead of
+    once per terminal-times-depth.
+    """
+    return _ChannelsProperty(assume_complete=assume_complete)
 
 
 def combine_properties(*properties: Property) -> Property:
-    """Conjunction of several properties."""
-
-    def check(result: SimulationResult) -> list[str]:
-        problems: list[str] = []
-        for prop in properties:
-            problems.extend(prop(result))
-        return problems
-
-    return check
+    """Conjunction of several properties (incremental where they are)."""
+    return _CombinedProperty(tuple(properties))
 
 
-def explore_schedules(
+# ---------------------------------------------------------------------------
+# The incremental engine
+# ---------------------------------------------------------------------------
+
+
+class _Cursor:
+    """One search-tree node: a run handle plus its property tracker."""
+
+    __slots__ = ("handle", "tracker", "mark")
+
+    def __init__(
+        self, handle: SimulationRun, tracker: PropertyTracker, mark: int
+    ) -> None:
+        self.handle = handle
+        self.tracker = tracker
+        self.mark = mark
+
+    def fork(self) -> "_Cursor":
+        return _Cursor(self.handle.fork(), self.tracker.fork(), self.mark)
+
+    def sync(self) -> None:
+        """Feed the tracker every trace step recorded since last sync."""
+        new_steps = self.handle.trace.since(self.mark)
+        if new_steps:
+            self.tracker.observe(new_steps)
+            self.mark += len(new_steps)
+
+
+@dataclass
+class _SubtreeOutcome:
+    """Result of exploring one subtree (picklable, for worker returns).
+
+    ``violations`` carries each violation together with the ordinal of
+    its terminal within the subtree's depth-first terminal sequence, so
+    the merge step can truncate precisely at a global budget.
+    """
+
+    schedules_explored: int = 0
+    terminal_schedules: int = 0
+    violations: list[tuple[int, Violation]] = field(default_factory=list)
+    exhausted: bool = True
+    aborted: bool = False
+    max_depth_seen: int = 0
+    events_executed: int = 0
+    events_replayed: int = 0
+
+
+def _explore_subtree(
     simulator: Simulator,
     scripts: Mapping[int, Sequence[Hashable]],
-    property_check: Property,
-    *,
-    crash_schedule: CrashSchedule | None = None,
-    max_schedules: int = 100_000,
-    max_depth: int = 400,
-    stop_at_first_violation: bool = False,
-) -> ExplorationResult:
-    """Enumerate every schedule of the configuration and check each.
+    property_check: object,
+    crash_schedule: CrashSchedule | None,
+    prefix: tuple[int, ...],
+    max_schedules: int,
+    max_depth: int,
+    stop_at_first_violation: bool,
+) -> _SubtreeOutcome:
+    """Incremental DFS below ``prefix`` (replayed once to materialize)."""
+    out = _SubtreeOutcome()
+    prop = _as_property(property_check)
+    handle = simulator.begin(scripts, crash_schedule=crash_schedule)
+    for branch in prefix:
+        handle.choices()
+        handle.advance(branch)
+    out.events_executed += len(prefix)
+    out.events_replayed += len(prefix)
+    cursor = _Cursor(handle, prop.tracker(simulator.n), 0)
+    path = list(prefix)
 
-    ``simulator`` provides the system (its seed/policy are ignored —
-    scheduling is exhaustive, and local computation is made atomic, the
-    sound reduction described on
-    :class:`~repro.runtime.simulator.Simulator`); ``max_schedules``
-    bounds the number of *terminal* schedules visited, ``max_depth`` the
-    decision depth.
-    """
-    simulator = Simulator(
-        simulator.n,
-        simulator.algorithm_factory,
-        k=simulator.k,
-        ksa_policy=simulator.ksa_policy,
-        sync_broadcasts=simulator.sync_broadcasts,
-        atomic_local=True,
-    )
+    def dfs(cursor: _Cursor, depth: int) -> bool:
+        """Returns False to abort the whole search."""
+        if out.terminal_schedules >= max_schedules:
+            out.exhausted = False
+            return False
+        out.schedules_explored += 1
+        out.max_depth_seen = max(out.max_depth_seen, depth)
+        choices = cursor.handle.choices()
+        cursor.sync()
+        if not choices:
+            ordinal = out.terminal_schedules
+            out.terminal_schedules += 1
+            problems = cursor.tracker.at_terminal(cursor.handle.result())
+            if problems:
+                out.violations.append(
+                    (ordinal, Violation(tuple(path), tuple(problems)))
+                )
+                if stop_at_first_violation:
+                    out.aborted = True
+                    out.exhausted = False
+                    return False
+            return True
+        if depth >= max_depth:
+            out.exhausted = False
+            return True
+        last = len(choices) - 1
+        for branch in range(len(choices)):
+            if branch < last:
+                child = cursor.fork()
+                out.events_replayed += child.handle.replayed_steps
+            else:
+                child = cursor  # the last branch extends this node in place
+            child.handle.advance(branch)
+            out.events_executed += 1
+            path.append(branch)
+            keep_going = dfs(child, depth + 1)
+            path.pop()
+            if not keep_going:
+                return False
+        return True
+
+    dfs(cursor, len(prefix))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The replay engine (differential oracle and benchmark baseline)
+# ---------------------------------------------------------------------------
+
+
+def _explore_replay(
+    simulator: Simulator,
+    scripts: Mapping[int, Sequence[Hashable]],
+    property_check: object,
+    crash_schedule: CrashSchedule | None,
+    max_schedules: int,
+    max_depth: int,
+    stop_at_first_violation: bool,
+) -> ExplorationResult:
+    """The from-scratch engine: each prefix re-run via a guided run."""
+    prop = _as_property(property_check)
     result = ExplorationResult(schedules_explored=0, terminal_schedules=0)
 
     def run_prefix(prefix: list[int]) -> SimulationResult:
@@ -158,7 +452,7 @@ def explore_schedules(
             scripts,
             crash_schedule=crash_schedule,
             guide=prefix,
-            max_steps=max_depth,
+            max_steps=max_depth + 1,
         )
 
     def dfs(prefix: list[int]) -> bool:
@@ -166,21 +460,25 @@ def explore_schedules(
         if result.terminal_schedules >= max_schedules:
             result.exhausted = False
             return False
-        if len(prefix) > max_depth:
-            result.exhausted = False
-            return True
         result.schedules_explored += 1
         result.max_depth_seen = max(result.max_depth_seen, len(prefix))
         outcome = run_prefix(prefix)
+        result.events_executed += len(prefix)
+        result.events_replayed += max(0, len(prefix) - 1)
         if outcome.pending_choices == 0:
             result.terminal_schedules += 1
-            problems = property_check(outcome)
+            problems = prop(outcome)
             if problems:
                 result.violations.append(
                     Violation(tuple(prefix), tuple(problems))
                 )
                 if stop_at_first_violation:
+                    result.aborted = True
+                    result.exhausted = False
                     return False
+            return True
+        if len(prefix) >= max_depth:
+            result.exhausted = False
             return True
         for branch in range(outcome.pending_choices):
             prefix.append(branch)
@@ -192,3 +490,279 @@ def explore_schedules(
 
     dfs([])
     return result
+
+
+# ---------------------------------------------------------------------------
+# Parallel sharding
+# ---------------------------------------------------------------------------
+
+#: Work description inherited by forked pool workers (never pickled).
+_SHARD_STATE: tuple | None = None
+
+
+def _explore_shard(index: int) -> _SubtreeOutcome:
+    """Pool worker entry point: explore the ``index``-th shard subtree."""
+    assert _SHARD_STATE is not None
+    (
+        simulator,
+        scripts,
+        property_check,
+        crash_schedule,
+        prefixes,
+        max_schedules,
+        max_depth,
+        stop_at_first_violation,
+    ) = _SHARD_STATE
+    return _explore_subtree(
+        simulator,
+        scripts,
+        property_check,
+        crash_schedule,
+        prefixes[index],
+        max_schedules,
+        max_depth,
+        stop_at_first_violation,
+    )
+
+
+def _expand_frontier(
+    simulator: Simulator,
+    scripts: Mapping[int, Sequence[Hashable]],
+    property_check: object,
+    crash_schedule: CrashSchedule | None,
+    max_depth: int,
+    target_shards: int,
+    result: ExplorationResult,
+) -> list[tuple]:
+    """Expand the tree breadth-first until enough subtrees exist.
+
+    Returns the frontier as an *ordered* work list whose order is the
+    depth-first visiting order of the remaining work: entries are either
+    ``("terminal", prefix, problems)`` — a shallow terminal already
+    evaluated here — or ``("shard", prefix, cursor)`` — a subtree for a
+    worker.  Interior nodes visited during expansion are accounted
+    directly into ``result``.
+    """
+    prop = _as_property(property_check)
+    root = _Cursor(
+        simulator.begin(scripts, crash_schedule=crash_schedule),
+        prop.tracker(simulator.n),
+        0,
+    )
+    entries: list[tuple] = [("shard", (), root)]
+    for _round in range(8):
+        shard_count = sum(1 for e in entries if e[0] == "shard")
+        if shard_count >= target_shards:
+            break
+        new_entries: list[tuple] = []
+        expanded = False
+        for entry in entries:
+            if entry[0] == "terminal":
+                new_entries.append(entry)
+                continue
+            _, prefix, cursor = entry
+            choices = cursor.handle.choices()
+            cursor.sync()
+            result.schedules_explored += 1
+            result.max_depth_seen = max(
+                result.max_depth_seen, len(prefix)
+            )
+            if not choices:
+                problems = cursor.tracker.at_terminal(
+                    cursor.handle.result()
+                )
+                new_entries.append(("terminal", prefix, tuple(problems)))
+                continue
+            if len(prefix) >= max_depth:
+                result.exhausted = False
+                continue
+            expanded = True
+            last = len(choices) - 1
+            for branch in range(len(choices)):
+                if branch < last:
+                    child = cursor.fork()
+                    result.events_replayed += child.handle.replayed_steps
+                else:
+                    child = cursor
+                child.handle.advance(branch)
+                result.events_executed += 1
+                new_entries.append(
+                    ("shard", prefix + (branch,), child)
+                )
+        entries = new_entries
+        if not expanded:
+            break
+    return entries
+
+
+def _explore_parallel(
+    simulator: Simulator,
+    scripts: Mapping[int, Sequence[Hashable]],
+    property_check: object,
+    crash_schedule: CrashSchedule | None,
+    max_schedules: int,
+    max_depth: int,
+    stop_at_first_violation: bool,
+    workers: int,
+) -> ExplorationResult:
+    """Shard the tree over a worker pool and merge in DFS order."""
+    global _SHARD_STATE
+    result = ExplorationResult(
+        schedules_explored=0, terminal_schedules=0, workers=workers
+    )
+    entries = _expand_frontier(
+        simulator,
+        scripts,
+        property_check,
+        crash_schedule,
+        max_depth,
+        target_shards=workers * 4,
+        result=result,
+    )
+    prefixes = [e[1] for e in entries if e[0] == "shard"]
+    ctx = multiprocessing.get_context("fork")
+    _SHARD_STATE = (
+        simulator,
+        scripts,
+        property_check,
+        crash_schedule,
+        prefixes,
+        max_schedules,
+        max_depth,
+        stop_at_first_violation,
+    )
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            shard_outcomes = pool.imap(_explore_shard, range(len(prefixes)))
+            for entry in entries:
+                if result.terminal_schedules >= max_schedules:
+                    result.exhausted = False
+                    break
+                if entry[0] == "terminal":
+                    _, prefix, problems = entry
+                    result.terminal_schedules += 1
+                    if problems:
+                        result.violations.append(
+                            Violation(tuple(prefix), tuple(problems))
+                        )
+                        if stop_at_first_violation:
+                            result.aborted = True
+                            result.exhausted = False
+                            break
+                    continue
+                sub = next(shard_outcomes)
+                result.schedules_explored += sub.schedules_explored
+                result.events_executed += sub.events_executed
+                result.events_replayed += sub.events_replayed
+                result.max_depth_seen = max(
+                    result.max_depth_seen, sub.max_depth_seen
+                )
+                budget_left = max_schedules - result.terminal_schedules
+                take = min(sub.terminal_schedules, budget_left)
+                for ordinal, violation in sub.violations:
+                    if ordinal < take:
+                        result.violations.append(violation)
+                result.terminal_schedules += take
+                if take < sub.terminal_schedules or not sub.exhausted:
+                    result.exhausted = False
+                if sub.aborted:
+                    result.aborted = True
+                    result.exhausted = False
+                    break
+    finally:
+        _SHARD_STATE = None
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def explore_schedules(
+    simulator: Simulator,
+    scripts: Mapping[int, Sequence[Hashable]],
+    property_check: Property,
+    *,
+    crash_schedule: CrashSchedule | None = None,
+    max_schedules: int = 100_000,
+    max_depth: int = 400,
+    stop_at_first_violation: bool = False,
+    engine: str = "incremental",
+    workers: int = 1,
+) -> ExplorationResult:
+    """Enumerate every schedule of the configuration and check each.
+
+    ``simulator`` provides the system (its seed/policy are ignored —
+    scheduling is exhaustive, and local computation is made atomic, the
+    sound reduction described on
+    :class:`~repro.runtime.simulator.Simulator`); ``max_schedules``
+    bounds the number of *terminal* schedules visited, ``max_depth`` the
+    decision depth.  ``engine`` selects the incremental engine (default)
+    or the historical from-scratch ``"replay"`` engine; ``workers > 1``
+    runs the incremental engine sharded over a process pool (see the
+    module docstring for the merge semantics).
+    """
+    if engine not in ("incremental", "replay"):
+        raise ValueError(
+            f"unknown engine {engine!r}: expected 'incremental' or 'replay'"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and engine != "incremental":
+        raise ValueError("parallel exploration requires the incremental engine")
+    simulator = Simulator(
+        simulator.n,
+        simulator.algorithm_factory,
+        k=simulator.k,
+        ksa_policy=simulator.ksa_policy,
+        sync_broadcasts=simulator.sync_broadcasts,
+        atomic_local=True,
+    )
+    if engine == "replay":
+        return _explore_replay(
+            simulator,
+            scripts,
+            property_check,
+            crash_schedule,
+            max_schedules,
+            max_depth,
+            stop_at_first_violation,
+        )
+    if workers > 1:
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:
+            workers = 1  # platform without fork: degrade gracefully
+    if workers > 1:
+        return _explore_parallel(
+            simulator,
+            scripts,
+            property_check,
+            crash_schedule,
+            max_schedules,
+            max_depth,
+            stop_at_first_violation,
+            workers,
+        )
+    sub = _explore_subtree(
+        simulator,
+        scripts,
+        property_check,
+        crash_schedule,
+        (),
+        max_schedules,
+        max_depth,
+        stop_at_first_violation,
+    )
+    return ExplorationResult(
+        schedules_explored=sub.schedules_explored,
+        terminal_schedules=sub.terminal_schedules,
+        violations=[v for _, v in sub.violations],
+        exhausted=sub.exhausted,
+        max_depth_seen=sub.max_depth_seen,
+        aborted=sub.aborted,
+        events_executed=sub.events_executed,
+        events_replayed=sub.events_replayed,
+        workers=1,
+    )

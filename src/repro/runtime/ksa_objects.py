@@ -142,6 +142,17 @@ class KsaObject:
         self.decisions[proposer] = decided
         return decided
 
+    def fork(self) -> "KsaObject":
+        """An independent object with the same proposals and decisions.
+
+        The decision policy is shared: policies are stateless by contract
+        (their decisions depend only on the arguments they are given).
+        """
+        clone = KsaObject(self.name, self.k, self.policy)
+        clone.proposals = dict(self.proposals)
+        clone.decisions = dict(self.decisions)
+        return clone
+
 
 class KsaRegistry:
     """Creates and retains k-SA oracle instances on demand, by name."""
@@ -160,3 +171,11 @@ class KsaRegistry:
     def propose(self, name: str, proposer: int, value: Hashable) -> Hashable:
         """Shorthand: propose on the named instance."""
         return self.get(name).propose(proposer, value)
+
+    def fork(self) -> "KsaRegistry":
+        """An independent registry with forked copies of every instance."""
+        clone = KsaRegistry(self.k, self.policy)
+        clone.objects = {
+            name: obj.fork() for name, obj in self.objects.items()
+        }
+        return clone

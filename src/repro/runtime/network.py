@@ -47,6 +47,18 @@ class Network:
     def __len__(self) -> int:
         return len(self._in_flight)
 
+    def fork(self) -> "Network":
+        """An independent network with the same in-flight pool.
+
+        The insertion order of the pool — which fixes the enumeration
+        order of :meth:`deliverable` and hence the meaning of schedule
+        guides — is preserved, so a forked branch and a from-scratch
+        replay of the same prefix enumerate choices identically.
+        """
+        clone = Network()
+        clone._in_flight = dict(self._in_flight)
+        return clone
+
     def send(self, p2p: PointToPointId, payload: Hashable) -> InFlight:
         """Put one message in flight; sends are unique by identity."""
         if p2p in self._in_flight:

@@ -25,10 +25,11 @@ no enabled local step and reports :class:`Blocked`.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterator
 
 from ..core.actions import PointToPointId
 from ..core.message import Message, MessageFactory, MessageId
@@ -199,17 +200,31 @@ class ProcessRuntime:
         self._delivered_uids: set[MessageId] = set()
         #: Messages whose broadcast invocation has returned.
         self.returned_uids: set[MessageId] = set()
+        #: Journal of driver calls, the process's *input log*.  The local
+        #: state of a deterministic algorithm is a function of this log,
+        #: which is what makes a runtime with a live (suspended) operation
+        #: generator forkable: generators cannot be copied, but the log
+        #: can be replayed into a fresh instance (see :meth:`fork`).
+        self._journal: list[tuple[Any, ...]] = []
+        self._recording = True
 
     # -- driver API ------------------------------------------------------
 
-    def start_broadcast(self, content: Hashable) -> Message:
+    def start_broadcast(
+        self, content: Hashable, *, _replay_message: Message | None = None
+    ) -> Message:
         """Begin a ``B.broadcast`` invocation; returns the minted message."""
         if self._operation is not None:
             raise ProtocolError(
                 f"p{self.pid}: broadcast invoked while a previous "
                 f"invocation is pending"
             )
-        message = self._factory.new(self.pid, content)
+        if _replay_message is not None:
+            message = _replay_message
+        else:
+            message = self._factory.new(self.pid, content)
+        if self._recording:
+            self._journal.append(("b", message))
         self._operation = self.algorithm.on_broadcast(message)
         self._operation_message = message
         self._waiting = None
@@ -222,6 +237,8 @@ class ProcessRuntime:
                 f"p{self.pid}: received a message addressed to "
                 f"p{p2p.receiver}"
             )
+        if self._recording:
+            self._journal.append(("r", p2p, payload))
         self._handlers.append(
             self.algorithm.on_receive(payload, p2p.sender)
         )
@@ -232,6 +249,8 @@ class ProcessRuntime:
             raise ProtocolError(
                 f"p{self.pid}: decide without a pending proposal"
             )
+        if self._recording:
+            self._journal.append(("d", value))
         self._resume_values[id(self._awaiting_decide)] = value
         self._awaiting_decide = None
 
@@ -261,6 +280,90 @@ class ProcessRuntime:
     def has_delivered(self, uid: MessageId) -> bool:
         return uid in self._delivered_uids
 
+    # -- snapshot / fork -------------------------------------------------
+
+    def fork(
+        self,
+        *,
+        message_factory: MessageFactory,
+        algorithm_factory: Callable[[int, int], BroadcastProcess]
+        | None = None,
+    ) -> tuple["ProcessRuntime", int]:
+        """An independent runtime in the same local state.
+
+        Returns ``(clone, replayed_steps)`` where ``replayed_steps`` is
+        the number of local steps the clone had to re-execute.
+
+        Two strategies, chosen automatically:
+
+        * **structural copy** — when no generator is live (no operation in
+          progress, no queued handlers), the runtime's state is plain
+          data; the algorithm instance is deep-copied (messages are
+          shared, they are immutable) and bookkeeping is copied.  Cost:
+          O(local state), zero re-executed steps.
+        * **journal replay** — a live generator (an operation suspended on
+          a ``Wait`` guard, or pending handlers) cannot be copied; the
+          clone is rebuilt by replaying the recorded driver-call journal
+          into a fresh algorithm instance (``algorithm_factory`` is
+          required in this case).  Determinism of the algorithm makes the
+          replayed state identical.
+
+        Forking while a ``propose`` awaits its decision is a protocol
+        error — drivers resolve decisions atomically with the propose
+        step, so no consistent snapshot exists at that point.
+        """
+        if self._awaiting_decide is not None:
+            raise ProtocolError(
+                f"p{self.pid}: fork while awaiting a k-SA decision"
+            )
+        if (
+            self._operation is None
+            and not self._handlers
+            and not self._resume_values
+        ):
+            try:
+                algorithm = copy.deepcopy(self.algorithm)
+            except TypeError:
+                algorithm = None  # instance holds a generator; replay below
+            if algorithm is not None:
+                clone = ProcessRuntime(
+                    algorithm, message_factory=message_factory
+                )
+                clone._p2p_seq = dict(self._p2p_seq)
+                clone.delivered = list(self.delivered)
+                clone._delivered_uids = set(self._delivered_uids)
+                clone.returned_uids = set(self.returned_uids)
+                clone._journal = list(self._journal)
+                return clone, 0
+        if algorithm_factory is None:
+            raise ProtocolError(
+                f"p{self.pid}: fork mid-operation requires an "
+                f"algorithm_factory to replay the driver journal"
+            )
+        clone = ProcessRuntime(
+            algorithm_factory(self.pid, self.n),
+            message_factory=message_factory,
+        )
+        clone._recording = False
+        replayed = 0
+        for entry in self._journal:
+            kind = entry[0]
+            if kind == "s":
+                clone.next_step()
+                replayed += 1
+            elif kind == "r":
+                clone.inject_receive(entry[1], entry[2])
+            elif kind == "b":
+                message = entry[1]
+                clone.start_broadcast(
+                    message.content, _replay_message=message
+                )
+            else:  # "d"
+                clone.resume_decide(entry[1])
+        clone._recording = True
+        clone._journal = list(self._journal)
+        return clone, replayed
+
     def has_enabled_step(self) -> bool:
         """True if ``next_step`` would produce an actual step."""
         outcome = self._peek()
@@ -289,6 +392,8 @@ class ProcessRuntime:
         transparently; an exhausted operation body produces
         :class:`ReturnStep`.
         """
+        if self._recording:
+            self._journal.append(("s",))
         while True:
             peeked = self._peek()
             if peeked is not None:

@@ -15,6 +15,20 @@ exhausted.  Every sent message addressed to a live process is eventually
 received because receptions stay enabled until taken — so finite quiescent
 runs satisfy SR-Termination by construction, and the checkers in
 :mod:`repro.core.model` re-verify it.
+
+Runs come in two shapes:
+
+* :meth:`Simulator.run` — the classic one-shot entry point: drive the
+  system to quiescence (or budget/guide exhaustion) and return a
+  :class:`SimulationResult`.
+* :meth:`Simulator.begin` — a *resumable run handle*
+  (:class:`SimulationRun`): the caller inspects the enabled events
+  (:meth:`SimulationRun.choices`), commits one (:meth:`SimulationRun.advance`)
+  and may snapshot the whole system state at any decision point
+  (:meth:`SimulationRun.fork`).  This is the primitive underneath the
+  incremental schedule explorer (:mod:`repro.runtime.explorer`), which
+  extends a DFS prefix by *one* event instead of re-running it from
+  scratch.
 """
 
 from __future__ import annotations
@@ -43,9 +57,13 @@ from .process import (
 )
 from .trace import TraceRecorder
 
-__all__ = ["Gated", "SimulationResult", "Simulator"]
+__all__ = ["Gated", "SimulationResult", "SimulationRun", "Simulator"]
 
 AlgorithmFactory = Callable[[int, int], BroadcastProcess]
+
+#: One enabled scheduling choice: ``("local", pid)``, ``("recv", InFlight)``
+#: or ``("bcast", pid)``.
+Choice = tuple[str, object]
 
 
 @dataclass(frozen=True)
@@ -82,6 +100,256 @@ class SimulationResult:
     def delivered_contents(self, process: int) -> list[Hashable]:
         """The contents ``process`` B-delivered, in order."""
         return [m.content for m in self.runtimes[process].delivered]
+
+
+class SimulationRun:
+    """A resumable, forkable handle on one in-progress simulation.
+
+    The handle owns the full mutable state of a run — process runtimes,
+    in-flight network, oracle registry, trace, script remainders, crash
+    bookkeeping — and exposes the scheduling loop one decision at a time:
+
+    >>> run = simulator.begin(scripts)           # doctest: +SKIP
+    ... while run.choices():
+    ...     run.advance(0)                       # take the first event
+    ... result = run.result()
+
+    :meth:`fork` produces an independent copy of the whole state in
+    O(state) time without re-executing any event, which turns depth-first
+    schedule exploration from O(nodes × depth) re-simulated events into
+    O(edges): each tree edge is executed exactly once, on exactly one
+    handle.
+
+    Handles are created by :meth:`Simulator.begin`; the parent
+    :class:`Simulator` object only carries immutable configuration and is
+    shared between forks.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        scripts: Mapping[int, Sequence[Hashable]],
+        *,
+        crash_schedule: CrashSchedule | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.crashes = crash_schedule or CrashSchedule.none()
+        self.factory = MessageFactory()
+        self.runtimes: dict[int, ProcessRuntime] = {
+            p: ProcessRuntime(
+                simulator.algorithm_factory(p, simulator.n),
+                message_factory=self.factory,
+            )
+            for p in range(simulator.n)
+        }
+        self.registry = KsaRegistry(simulator.k, simulator.ksa_policy)
+        self.network = Network()
+        self.trace = TraceRecorder(simulator.n)
+        self.remaining: dict[int, list[Hashable]] = {
+            p: list(scripts.get(p, ())) for p in range(simulator.n)
+        }
+        self.last_sync_message: dict[int, Message | None] = {
+            p: None for p in range(simulator.n)
+        }
+        self.alive: set[int] = set(range(simulator.n))
+        #: Scheduling decisions committed so far (the depth of this run).
+        self.steps = 0
+        #: Local steps re-executed to materialize this handle (0 unless
+        #: the handle was forked from a runtime with a live generator).
+        self.replayed_steps = 0
+        self._choices: list[Choice] | None = None
+        for p in sorted(self.crashes.initially):
+            self.trace.crash(p)
+            self.alive.discard(p)
+
+    # -- the scheduling interface ----------------------------------------
+
+    def choices(self) -> list[Choice]:
+        """The events enabled at this decision point, in canonical order.
+
+        Computing the choice set performs the per-decision prelude of the
+        scheduling loop: due crashes are injected and, under
+        ``atomic_local``, enabled local computation is drained.  The
+        result is cached until :meth:`advance` commits an event, so
+        repeated calls (and calls after :meth:`fork`) are idempotent.
+        """
+        if self._choices is None:
+            for p in sorted(self.alive):
+                if self.crashes.due(p, self.steps):
+                    self.trace.crash(p)
+                    self.alive.discard(p)
+            if self.simulator.atomic_local:
+                self._drain_local()
+            self._choices = self._enabled_choices()
+        return self._choices
+
+    def advance(self, index: int) -> None:
+        """Commit the ``index``-th enabled event and apply it."""
+        choices = self.choices()
+        if not 0 <= index < len(choices):
+            raise ValueError(
+                f"choice index {index} out of range: only "
+                f"{len(choices)} events are enabled"
+            )
+        kind, payload = choices[index]
+        self.steps += 1
+        self._choices = None
+        if kind == "local":
+            assert isinstance(payload, int)
+            self._take_local_step(payload, self.runtimes[payload])
+        elif kind == "recv":
+            item = payload
+            self.network.receive(item.p2p)  # type: ignore[attr-defined]
+            self.trace.receive(
+                item.receiver, item.p2p, item.payload  # type: ignore[attr-defined]
+            )
+            self.runtimes[item.receiver].inject_receive(  # type: ignore[attr-defined]
+                item.p2p, item.payload  # type: ignore[attr-defined]
+            )
+        else:  # "bcast"
+            assert isinstance(payload, int)
+            p = payload
+            entry = self.remaining[p].pop(0)
+            content = entry.content if isinstance(entry, Gated) else entry
+            message = self.runtimes[p].start_broadcast(content)
+            self.last_sync_message[p] = message
+            self.trace.broadcast_invoke(p, message)
+
+    def fork(self) -> "SimulationRun":
+        """An independent handle in the same state, ready to diverge.
+
+        No scheduled event is re-executed; per-process runtimes are
+        snapshotted structurally when possible and rebuilt by journal
+        replay otherwise (see :meth:`ProcessRuntime.fork`), with the
+        re-executed local steps accounted in
+        :attr:`SimulationRun.replayed_steps` of the clone.
+        """
+        clone = object.__new__(SimulationRun)
+        clone.simulator = self.simulator
+        clone.crashes = self.crashes
+        clone.factory = self.factory.fork()
+        clone.registry = self.registry.fork()
+        clone.network = self.network.fork()
+        clone.trace = self.trace.fork()
+        clone.remaining = {
+            p: list(entries) for p, entries in self.remaining.items()
+        }
+        clone.last_sync_message = dict(self.last_sync_message)
+        clone.alive = set(self.alive)
+        clone.steps = self.steps
+        clone.replayed_steps = 0
+        clone._choices = None
+        clone.runtimes = {}
+        for p, runtime in self.runtimes.items():
+            forked, replayed = runtime.fork(
+                message_factory=clone.factory,
+                algorithm_factory=self.simulator.algorithm_factory,
+            )
+            clone.runtimes[p] = forked
+            clone.replayed_steps += replayed
+        return clone
+
+    def result(self, *, pending_choices: int = 0) -> SimulationResult:
+        """A :class:`SimulationResult` snapshot of the current state."""
+        blocked = {
+            p: outcome.reason
+            for p, outcome in (
+                (p, _peek_outcome(self.runtimes[p]))
+                for p in sorted(self.alive)
+            )
+            if isinstance(outcome, Blocked)
+        }
+        enabled = (
+            self._choices
+            if self._choices is not None
+            else self._enabled_choices()
+        )
+        return SimulationResult(
+            execution=self.trace.execution(),
+            runtimes=self.runtimes,
+            quiescent=not enabled,
+            steps_taken=self.steps,
+            blocked=blocked,
+            pending_choices=pending_choices,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _drain_local(self) -> None:
+        """Run every enabled local step, in pid order, to quiescence."""
+        progress = True
+        while progress:
+            progress = False
+            for p in sorted(self.alive):
+                runtime = self.runtimes[p]
+                while runtime.has_enabled_step():
+                    self._take_local_step(p, runtime)
+                    progress = True
+
+    def _enabled_choices(self) -> list[Choice]:
+        choices: list[Choice] = []
+        for p in sorted(self.alive):
+            runtime = self.runtimes[p]
+            if self.simulator.atomic_local:
+                pass  # local work was drained eagerly
+            elif runtime.has_enabled_step():
+                choices.append(("local", p))
+            if self.remaining[p] and self._may_start_broadcast(
+                runtime, self.last_sync_message[p], self.remaining[p][0]
+            ):
+                choices.append(("bcast", p))
+        for item in self.network.deliverable(self.alive):
+            choices.append(("recv", item))
+        return choices
+
+    def _may_start_broadcast(
+        self,
+        runtime: ProcessRuntime,
+        last_message: Message | None,
+        next_entry: Hashable = None,
+    ) -> bool:
+        if runtime.busy:
+            return False
+        if self.simulator.sync_broadcasts and last_message is not None:
+            if not runtime.has_delivered(last_message.uid):
+                return False
+        if isinstance(next_entry, Gated):
+            return any(
+                m.content == next_entry.after for m in runtime.delivered
+            )
+        return True
+
+    def _take_local_step(self, p: int, runtime: ProcessRuntime) -> None:
+        outcome = runtime.next_step()
+        if isinstance(outcome, SendStep):
+            self.trace.send(p, outcome.p2p, outcome.payload)
+            self.network.send(outcome.p2p, outcome.payload)
+        elif isinstance(outcome, ProposeStep):
+            self.trace.propose(p, outcome.ksa, outcome.value)
+            decided = self.registry.propose(outcome.ksa, p, outcome.value)
+            self.trace.decide(p, outcome.ksa, decided)
+            runtime.resume_decide(decided)
+        elif isinstance(outcome, DeliverStep):
+            self.trace.deliver(p, outcome.message)
+        elif isinstance(outcome, DeliverSetStep):
+            self.trace.deliver_set(p, outcome.messages)
+        elif isinstance(outcome, ReturnStep):
+            self.trace.broadcast_return(p, outcome.message)
+        elif isinstance(outcome, LocalStep):
+            self.trace.local(p, outcome.label)
+        else:
+            # Blocked / Idle: the apparent work was an 'upon receive'
+            # handler that produced no step (e.g. a duplicate message).
+            # next_step() has drained it; nothing to record.
+            pass
+
+
+def _peek_outcome(runtime: ProcessRuntime) -> Blocked | Idle | None:
+    if runtime.has_enabled_step():
+        return None
+    if runtime.busy:
+        return Blocked(runtime.waiting_reason or "operation waiting")
+    return Idle()
 
 
 class Simulator:
@@ -137,6 +405,21 @@ class Simulator:
         self.scheduling_policy = scheduling_policy or UniformPolicy()
         self.atomic_local = atomic_local
 
+    def begin(
+        self,
+        scripts: Mapping[int, Sequence[Hashable]],
+        *,
+        crash_schedule: CrashSchedule | None = None,
+    ) -> SimulationRun:
+        """Open a resumable run handle on this system configuration.
+
+        ``scripts[p]`` lists the contents process ``p`` broadcasts, in
+        order.  The returned :class:`SimulationRun` has taken no
+        scheduling decision yet (initial crashes, if any, are already
+        injected).
+        """
+        return SimulationRun(self, scripts, crash_schedule=crash_schedule)
+
     def run(
         self,
         scripts: Mapping[int, Sequence[Hashable]],
@@ -156,178 +439,34 @@ class Simulator:
         exhausted, reporting how many events were enabled at that point
         in :attr:`SimulationResult.pending_choices`.  Guided runs are the
         replay primitive of the exhaustive schedule explorer
-        (:mod:`repro.runtime.explorer`).
+        (:mod:`repro.runtime.explorer`).  A guide entry outside the range
+        of enabled events raises :class:`ValueError`: a stale or corrupt
+        guide must fail loudly instead of silently aliasing to a
+        different schedule.
         """
         rng = random.Random(self.seed)
-        crashes = crash_schedule or CrashSchedule.none()
-        factory = MessageFactory()
-        runtimes = {
-            p: ProcessRuntime(
-                self.algorithm_factory(p, self.n), message_factory=factory
-            )
-            for p in range(self.n)
-        }
-        registry = KsaRegistry(self.k, self.ksa_policy)
-        network = Network()
-        trace = TraceRecorder(self.n)
-        remaining = {p: list(scripts.get(p, ())) for p in range(self.n)}
-        last_sync_message: dict[int, Message | None] = {
-            p: None for p in range(self.n)
-        }
-        alive = set(range(self.n))
-
-        for p in sorted(crashes.initially):
-            trace.crash(p)
-            alive.discard(p)
-
-        steps = 0
+        run = self.begin(scripts, crash_schedule=crash_schedule)
         pending_choices = 0
-        while steps < max_steps:
-            for p in sorted(alive):
-                if crashes.due(p, steps):
-                    trace.crash(p)
-                    alive.discard(p)
-
-            if self.atomic_local:
-                self._drain_local(alive, runtimes, trace, registry, network)
-
-            choices = self._enabled_choices(
-                alive, runtimes, network, remaining, last_sync_message
-            )
+        while run.steps < max_steps:
+            choices = run.choices()
             if not choices:
                 break
             if guide is not None:
-                if steps >= len(guide):
+                if run.steps >= len(guide):
                     pending_choices = len(choices)
                     break
-                kind, payload = choices[guide[steps] % len(choices)]
-            else:
-                kind, payload = self.scheduling_policy.select(
-                    choices, rng, steps
-                )
-            steps += 1
-            if kind == "local":
-                self._take_local_step(
-                    payload, runtimes[payload], trace, registry, network
-                )
-            elif kind == "recv":
-                item = payload
-                network.receive(item.p2p)
-                trace.receive(item.receiver, item.p2p, item.payload)
-                runtimes[item.receiver].inject_receive(
-                    item.p2p, item.payload
-                )
-            else:  # "bcast"
-                p = payload
-                entry = remaining[p].pop(0)
-                content = (
-                    entry.content if isinstance(entry, Gated) else entry
-                )
-                message = runtimes[p].start_broadcast(content)
-                last_sync_message[p] = message
-                trace.broadcast_invoke(p, message)
-
-        blocked = {
-            p: outcome.reason
-            for p, outcome in (
-                (p, self._peek_outcome(runtimes[p])) for p in sorted(alive)
-            )
-            if isinstance(outcome, Blocked)
-        }
-        quiescent = not self._enabled_choices(
-            alive, runtimes, network, remaining, last_sync_message
-        )
-        return SimulationResult(
-            execution=trace.execution(),
-            runtimes=runtimes,
-            quiescent=quiescent,
-            steps_taken=steps,
-            blocked=blocked,
-            pending_choices=pending_choices,
-        )
-
-    # ------------------------------------------------------------------
-
-    def _drain_local(
-        self, alive, runtimes, trace, registry, network
-    ) -> None:
-        """Run every enabled local step, in pid order, to quiescence."""
-        progress = True
-        while progress:
-            progress = False
-            for p in sorted(alive):
-                runtime = runtimes[p]
-                while runtime.has_enabled_step():
-                    self._take_local_step(
-                        p, runtime, trace, registry, network
+                index = guide[run.steps]
+                if not 0 <= index < len(choices):
+                    raise ValueError(
+                        f"guide entry at decision {run.steps} selects "
+                        f"event {index}, but only {len(choices)} events "
+                        f"are enabled; the guide does not belong to this "
+                        f"configuration"
                     )
-                    progress = True
-
-    def _enabled_choices(
-        self, alive, runtimes, network, remaining, last_sync_message
-    ) -> list[tuple[str, object]]:
-        choices: list[tuple[str, object]] = []
-        for p in sorted(alive):
-            runtime = runtimes[p]
-            if self.atomic_local:
-                pass  # local work was drained eagerly
-            elif runtime.has_enabled_step():
-                choices.append(("local", p))
-            if remaining[p] and self._may_start_broadcast(
-                runtime, last_sync_message[p], remaining[p][0]
-            ):
-                choices.append(("bcast", p))
-        for item in network.deliverable(alive):
-            choices.append(("recv", item))
-        return choices
-
-    def _may_start_broadcast(
-        self,
-        runtime: ProcessRuntime,
-        last_message: Message | None,
-        next_entry: Hashable = None,
-    ) -> bool:
-        if runtime.busy:
-            return False
-        if self.sync_broadcasts and last_message is not None:
-            if not runtime.has_delivered(last_message.uid):
-                return False
-        if isinstance(next_entry, Gated):
-            return any(
-                m.content == next_entry.after for m in runtime.delivered
-            )
-        return True
-
-    @staticmethod
-    def _peek_outcome(runtime: ProcessRuntime):
-        if runtime.has_enabled_step():
-            return None
-        if runtime.busy:
-            return Blocked(runtime.waiting_reason or "operation waiting")
-        return Idle()
-
-    def _take_local_step(
-        self, p: int, runtime: ProcessRuntime, trace, registry, network
-    ) -> None:
-        outcome = runtime.next_step()
-        if isinstance(outcome, SendStep):
-            trace.send(p, outcome.p2p, outcome.payload)
-            network.send(outcome.p2p, outcome.payload)
-        elif isinstance(outcome, ProposeStep):
-            trace.propose(p, outcome.ksa, outcome.value)
-            decided = registry.propose(outcome.ksa, p, outcome.value)
-            trace.decide(p, outcome.ksa, decided)
-            runtime.resume_decide(decided)
-        elif isinstance(outcome, DeliverStep):
-            trace.deliver(p, outcome.message)
-        elif isinstance(outcome, DeliverSetStep):
-            trace.deliver_set(p, outcome.messages)
-        elif isinstance(outcome, ReturnStep):
-            trace.broadcast_return(p, outcome.message)
-        elif isinstance(outcome, LocalStep):
-            trace.local(p, outcome.label)
-        else:
-            # Blocked / Idle: the apparent work was an 'upon receive'
-            # handler that produced no step (e.g. a duplicate message).
-            # next_step() has drained it; nothing to record.
-            pass
+            else:
+                choice = self.scheduling_policy.select(
+                    choices, rng, run.steps
+                )
+                index = choices.index(choice)
+            run.advance(index)
+        return run.result(pending_choices=pending_choices)

@@ -47,6 +47,20 @@ class TraceRecorder:
         """A position marker usable to slice the trace later."""
         return len(self.steps)
 
+    def since(self, mark: int) -> list[Step]:
+        """The steps recorded after ``mark`` (a :meth:`mark` return value)."""
+        return self.steps[mark:]
+
+    def fork(self) -> "TraceRecorder":
+        """An independent recorder continuing from the current trace.
+
+        Recorded :class:`~repro.core.steps.Step` objects are immutable and
+        shared between the two recorders.
+        """
+        clone = TraceRecorder(self.n)
+        clone.steps = list(self.steps)
+        return clone
+
     def execution(self) -> Execution:
         """The execution recorded so far (a snapshot)."""
         return Execution(tuple(self.steps), self.n)

@@ -1,6 +1,6 @@
 """Unit tests for the send/receive channel axioms (Section 2)."""
 
-from repro.core import Execution, Step, check_channels
+from repro.core import ChannelTracker, Execution, Step, check_channels
 from repro.core.actions import (
     CrashAction,
     PointToPointId,
@@ -37,6 +37,30 @@ class TestSrValidity:
         )
         report = check_channels(execution)
         assert any("duplicate emission" in v for v in report.validity)
+
+    def test_duplicate_emission_reported_against_first_index(self):
+        # the duplicate at step 2 must point back at the original
+        # emission (step 0), not at a later duplicate
+        execution = Execution.of(
+            [send(0, P01), send(1, P01B, "y"), send(0, P01),
+             send(0, P01), receive(1, P01)],
+            2,
+        )
+        report = check_channels(execution)
+        duplicates = [v for v in report.validity if "duplicate" in v]
+        assert len(duplicates) == 2
+        assert all("first emitted at step 0" in v for v in duplicates)
+        assert "step 2:" in duplicates[0]
+        assert "step 3:" in duplicates[1]
+
+    def test_duplicate_emission_does_not_mask_termination(self):
+        # the first emission stays the channel's record: a reception
+        # still satisfies SR-Termination despite later duplicates
+        execution = Execution.of(
+            [send(0, P01), receive(1, P01), send(0, P01)], 2
+        )
+        report = check_channels(execution)
+        assert not report.termination
 
     def test_sender_identity_must_match(self):
         execution = Execution.of([send(1, P01)], 2)
@@ -92,3 +116,43 @@ class TestReport:
             2,
         )
         assert check_channels(execution).ok
+
+
+class TestChannelTracker:
+    """Incremental evaluation matches whole-execution checking."""
+
+    STEPS = [
+        send(0, P01),
+        send(0, P01),  # duplicate emission
+        receive(1, P01),
+        receive(1, P01),  # duplicate reception
+        receive(1, P01B),  # never sent
+        send(1, PointToPointId(1, 0, 0), "y"),
+    ]
+
+    def test_step_by_step_matches_batch(self):
+        tracker = ChannelTracker(2)
+        for step in self.STEPS:
+            tracker.observe(step)
+        batch = check_channels(Execution.of(self.STEPS, 2))
+        report = tracker.report()
+        assert report.validity == batch.validity
+        assert report.no_duplication == batch.no_duplication
+        assert report.termination == batch.termination
+
+    def test_fork_isolates_branches(self):
+        tracker = ChannelTracker(2)
+        tracker.observe(send(0, P01))
+        branch = tracker.fork()
+        branch.observe(receive(1, P01))
+        # the fork received; the original did not
+        assert branch.report().ok
+        assert any(
+            "never received" in v for v in tracker.report().termination
+        )
+
+    def test_incomplete_report_skips_liveness(self):
+        tracker = ChannelTracker(2)
+        tracker.observe(send(0, P01))
+        assert tracker.report(assume_complete=False).ok
+        assert not tracker.report().ok

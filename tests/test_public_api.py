@@ -12,7 +12,8 @@ PUBLIC_API = {
     "repro.core": [
         "Execution", "Message", "MessageFactory", "MessageId", "Renaming",
         "Step", "BroadcastSpec", "SpecVerdict", "check_base_properties",
-        "check_channels", "check_ksa", "check_compositional",
+        "check_channels", "ChannelTracker", "check_ksa",
+        "check_compositional",
         "check_content_neutral", "NSoloWitness", "find_witness",
         "is_n_solo", "verify_witness", "fresh_renaming",
         "WellFormednessError",
@@ -38,7 +39,8 @@ PUBLIC_API = {
         "TargetedDelayPolicy", "Send", "Propose", "Deliver",
         "DeliverSet", "Wait", "LocalNote", "explore_schedules",
         "spec_property", "channels_property", "combine_properties",
-        "ExplorationResult", "Violation",
+        "ExplorationResult", "Violation", "SimulationRun",
+        "PropertyTracker",
     ],
     "repro.broadcasts": [
         "SendToAllBroadcast", "UniformReliableBroadcast", "FifoBroadcast",
