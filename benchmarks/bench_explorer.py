@@ -69,9 +69,9 @@ def test_violation_search(benchmark):
     benchmark(search)
 
 
-@pytest.mark.parametrize("engine", ["incremental", "replay"])
+@pytest.mark.parametrize("engine", ["incremental", "dedup", "replay"])
 def test_engine_comparison_two_senders(benchmark, engine):
-    """Incremental (fork-at-branch) vs replay-from-scratch, same tree."""
+    """Incremental (fork-at-branch) vs dedup vs replay, same tree."""
     simulator = Simulator(2, lambda pid, n: SendToAllBroadcast(pid, n))
 
     def explore():
@@ -107,3 +107,30 @@ def test_incremental_depth8_three_processes(benchmark):
     result = benchmark(explore)
     assert result.terminal_schedules == 2520
     assert result.max_depth_seen == 8
+
+
+def test_dedup_depth8_three_processes(benchmark):
+    """The same depth-8 tree through the fingerprint transposition cache.
+
+    The symmetric configuration collapses 2520 terminal schedules onto a
+    few hundred distinct states; the cache expands each once and replays
+    its recorded subtree summary everywhere else.
+    """
+    simulator = Simulator(3, lambda pid, n: SendToAllBroadcast(pid, n))
+
+    def explore():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            channels_property(assume_complete=False),
+            engine="dedup",
+        )
+        assert result.exhausted
+        return result
+
+    result = benchmark(explore)
+    assert result.terminal_schedules == 2520
+    assert result.max_depth_seen == 8
+    # the dedup acceptance metric: far fewer expansions than terminals
+    assert result.states_seen * 3 <= result.terminal_schedules
+    assert result.states_deduped > 0

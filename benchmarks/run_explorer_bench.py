@@ -1,10 +1,12 @@
 """Explorer benchmark runner — emits ``BENCH_explorer.json``.
 
 Measures the incremental exploration engine against the historical
-replay engine on fixed configurations, and single-worker against
-multi-worker exploration on the largest one.  Results (wall-clock plus
-the engines' own event counters) are written as JSON for CI artifact
-upload and cross-run comparison.
+replay engine and the state-deduplicating engine on fixed
+configurations, and single-worker against multi-worker exploration on
+the largest one.  Results (wall-clock plus the engines' own event and
+state counters) are written as JSON for CI artifact upload and
+cross-run comparison; ``benchmarks/check_explorer_bench.py`` diffs a
+fresh report against the committed ``BENCH_explorer.json`` baseline.
 
 Usage::
 
@@ -13,7 +15,8 @@ Usage::
 
 The schedule trees explored are deterministic; only the timings vary
 between machines.  The JSON includes per-config invariants (terminal
-count, tree depth) so a regression in *what* is explored fails loudly.
+count, tree depth, distinct-state counts) so a regression in *what* is
+explored fails loudly.
 """
 
 from __future__ import annotations
@@ -43,15 +46,17 @@ CONFIGS = [
         "algorithm": "send-to-all",
         "n": 2,
         "scripts": {0: ["a"], 1: ["b"]},
-        "engines": ["incremental", "replay"],
+        "engines": ["incremental", "dedup", "replay"],
         "workers": [],
     },
     {
+        # the symmetric depth-8 tree: 2520 terminals over few hundred
+        # distinct states — the dedup engine's showcase
         "name": "s2a-2senders-n3-depth8",
         "algorithm": "send-to-all",
         "n": 3,
         "scripts": {0: ["a"], 1: ["b"]},
-        "engines": ["incremental", "replay"],
+        "engines": ["incremental", "dedup", "replay"],
         "workers": [],
     },
     {
@@ -60,7 +65,7 @@ CONFIGS = [
         "algorithm": "uniform-reliable",
         "n": 2,
         "scripts": {0: ["a"], 1: ["b"]},
-        "engines": [],
+        "engines": ["dedup"],
         "workers": [1, "N"],
     },
 ]
@@ -91,6 +96,8 @@ def run_one(
         "max_depth_seen": result.max_depth_seen,
         "events_executed": result.events_executed,
         "events_replayed": result.events_replayed,
+        "states_seen": result.states_seen,
+        "states_deduped": result.states_deduped,
     }
 
 
@@ -112,6 +119,7 @@ def main() -> None:
 
     report = {
         "benchmark": "explorer",
+        "schema": 2,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "configs": [],
@@ -131,7 +139,10 @@ def main() -> None:
             entry["runs"].append(
                 run_one(config, engine="incremental", workers=count)
             )
-        by_engine = {run["engine"]: run for run in entry["runs"]}
+        by_engine: dict = {}
+        for run in entry["runs"]:
+            # pin the first (single-worker) row per engine for the ratios
+            by_engine.setdefault(run["engine"], run)
         if "incremental" in by_engine and "replay" in by_engine:
             incremental = by_engine["incremental"]
             replay = by_engine["replay"]
@@ -143,20 +154,57 @@ def main() -> None:
             entry["speedup"] = round(
                 replay["seconds"] / max(1e-9, incremental["seconds"]), 2
             )
+        if "incremental" in by_engine and "dedup" in by_engine:
+            incremental = by_engine["incremental"]
+            dedup = by_engine["dedup"]
+            # fraction of the incremental engine's expansions the
+            # transposition cache proved redundant
+            entry["state_revisit_reduction"] = round(
+                1
+                - dedup["states_seen"]
+                / max(1, incremental["schedules_explored"]),
+                4,
+            )
+            # distinct states vs terminal schedules: how symmetric the
+            # tree is (the dedup acceptance metric)
+            entry["expanded_vs_terminals_reduction"] = round(
+                1
+                - dedup["states_seen"]
+                / max(1, dedup["terminal_schedules"]),
+                4,
+            )
+            entry["dedup_speedup"] = round(
+                incremental["seconds"] / max(1e-9, dedup["seconds"]), 2
+            )
         report["configs"].append(entry)
         print(f"{entry['name']}:")
         for run in entry["runs"]:
+            states = (
+                f", {run['states_seen']} states seen / "
+                f"{run['states_deduped']} deduped"
+                if run["engine"] == "dedup"
+                else ""
+            )
             print(
                 f"  {run['engine']}(workers={run['workers']}): "
                 f"{run['seconds']}s, {run['terminal_schedules']} terminals, "
                 f"{run['events_executed']} events executed, "
-                f"{run['events_replayed']} replayed"
+                f"{run['events_replayed']} replayed{states}"
             )
         if "replayed_events_ratio" in entry:
             print(
                 f"  replayed-events ratio (replay/incremental): "
                 f"{entry['replayed_events_ratio']}x, "
                 f"wall-clock speedup {entry['speedup']}x"
+            )
+        if "state_revisit_reduction" in entry:
+            print(
+                f"  state-revisit reduction: "
+                f"{entry['state_revisit_reduction']:.1%} of incremental "
+                f"expansions pruned; distinct states are "
+                f"{entry['expanded_vs_terminals_reduction']:.1%} fewer "
+                f"than terminals; dedup speedup "
+                f"{entry['dedup_speedup']}x"
             )
 
     with open(args.output, "w") as handle:

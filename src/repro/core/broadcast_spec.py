@@ -118,7 +118,12 @@ def check_base_properties(
             for step in execution
             if step.is_return()
         }
-        for message in execution.broadcast_messages:
+        # Iterate in uid order, not invocation order: two executions that
+        # reach the same per-process observations along different global
+        # interleavings must render their liveness violations identically.
+        for message in sorted(
+            execution.broadcast_messages, key=lambda m: m.uid
+        ):
             sender_correct = message.sender in correct
             if sender_correct and message.uid not in returned:
                 verdict.local_termination.append(

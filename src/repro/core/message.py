@@ -104,6 +104,16 @@ class MessageFactory:
         clone._counters = dict(self._counters)
         return clone
 
+    def counters(self) -> Mapping[int, int]:
+        """The per-sender sequence counters (a read-only snapshot).
+
+        Exposed so state snapshots — the explorer's dedup fingerprints in
+        particular — can digest the minting state without reaching into
+        private attributes: two factories with equal counters mint
+        identical identity sequences forever after.
+        """
+        return dict(self._counters)
+
 
 @dataclass(frozen=True)
 class Renaming:

@@ -107,7 +107,7 @@ def check_compositional(
     assume_complete: bool = True,
     max_cases: int = 4096,
     rng: random.Random | None = None,
-    subsets: Iterable[frozenset[MessageId]] | None = None,
+    subsets: Iterable[Iterable[MessageId]] | None = None,
 ) -> SymmetryResult:
     """Search for a restriction of ``execution`` that ``spec`` rejects.
 
@@ -115,7 +115,11 @@ def check_compositional(
     if ``spec`` does not admit ``execution`` in the first place the check
     is vacuous and reported as skipped.  Pass explicit ``subsets`` to test
     targeted witnesses (e.g. the paper's ``{m'_0, m_1}``) instead of the
-    enumerated/sampled ones.
+    enumerated/sampled ones; any iterable of uids is accepted — each is
+    normalised to a frozenset *once*, and that same set is both restricted
+    on and reported, so a one-shot iterator cannot be consumed twice (the
+    old code restricted on the exhausted iterator, silently testing the
+    empty restriction while reporting the full subset).
     """
     if not spec.admits(execution, assume_complete=assume_complete).admitted:
         return SymmetryResult(
@@ -124,7 +128,10 @@ def check_compositional(
         )
     checked = 0
     cases = (
-        ((frozenset(s), execution.restrict(s)) for s in subsets)
+        (
+            (frozen, execution.restrict(frozen))
+            for frozen in (frozenset(s) for s in subsets)
+        )
         if subsets is not None
         else subset_restrictions(execution, max_cases=max_cases, rng=rng)
     )
@@ -140,16 +147,21 @@ def check_compositional(
     return SymmetryResult("compositionality", spec.name, True, checked)
 
 
+@dataclass(frozen=True)
 class _FreshToken:
-    """An opaque, unique, hashable content used by generated renamings."""
+    """An opaque, hashable content minted by generated renamings.
 
-    _counter = itertools.count()
+    Tokens are plain values: two tokens with the same index are equal.
+    Uniqueness *within one renaming* comes from the minting counter in
+    :func:`sample_renamings`, which is scoped to the call — a
+    process-global counter would make two identically-seeded calls
+    produce different (hence irreproducible) renamings.
+    """
 
-    def __init__(self) -> None:
-        self._index = next(_FreshToken._counter)
+    index: int
 
     def __repr__(self) -> str:
-        return f"fresh#{self._index}"
+        return f"fresh#{self.index}"
 
 
 def sample_renamings(
@@ -165,12 +177,21 @@ def sample_renamings(
     renamings touching a random subset of messages with fresh contents.
     Every renaming is injective on messages because identities are
     preserved.
+
+    The stream is a pure function of ``execution`` and the ``rng`` seed:
+    fresh tokens are numbered by a counter scoped to this call, so two
+    identically-seeded calls yield identical renamings.
     """
     rng = rng or random.Random(0)
+    fresh_indices = itertools.count()
+
+    def fresh() -> _FreshToken:
+        return _FreshToken(next(fresh_indices))
+
     uids = [m.uid for m in execution.broadcast_messages]
     if not uids:
         return
-    yield Renaming({uid: _FreshToken() for uid in uids})
+    yield Renaming({uid: fresh() for uid in uids})
     produced = 1
     while produced < max_cases:
         if produced % 2 == 1 and len(uids) > 1:
@@ -181,7 +202,7 @@ def sample_renamings(
         else:
             size = rng.randint(1, len(uids))
             subset = rng.sample(uids, size)
-            yield Renaming({uid: _FreshToken() for uid in subset})
+            yield Renaming({uid: fresh() for uid in subset})
         produced += 1
 
 

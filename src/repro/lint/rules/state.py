@@ -7,10 +7,17 @@ instances:
 
 * mutable default arguments (one list/dict/set shared by every call);
 * mutable class-level attributes on process classes (one object shared
-  by every process in the system — shared memory by accident).
+  by every process in the system — shared memory by accident);
+* stateful iterators (``itertools.count()``, ``itertools.cycle(...)``)
+  bound at class or module level: one shared cursor advances across
+  every call site, so two identically-seeded runs in the same process
+  observe different values — the irreproducibility that bit
+  ``sample_renamings`` before its fresh-token counter was scoped per
+  call.  Instance-level iterators (``self._ids = itertools.count()`` in
+  ``__init__``) are per-object state and are fine.
 
-Either turns independent runs into coupled ones, which breaks replay and
-the per-process step accounting the lemma verifiers rely on.
+Any of these turns independent runs into coupled ones, which breaks
+replay and the per-process step accounting the lemma verifiers rely on.
 """
 
 from __future__ import annotations
@@ -37,6 +44,17 @@ _MUTABLE_LITERALS = (
     ast.SetComp,
 )
 
+#: Constructors producing stateful iterators: a shared binding is a
+#: shared cursor, silently coupling every call site that draws from it.
+_STATEFUL_ITERATOR_CALLS = frozenset({"count", "cycle"})
+
+
+def _is_stateful_iterator(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] in _STATEFUL_ITERATOR_CALLS
+
 
 def _is_mutable_value(node: ast.AST) -> bool:
     if isinstance(node, _MUTABLE_LITERALS):
@@ -53,16 +71,20 @@ class MutableStateRule(Rule):
     id = "REP004"
     summary = (
         "no mutable default arguments; no mutable class-level "
-        "attributes on process classes (aliased cross-process state)"
+        "attributes on process classes (aliased cross-process state); "
+        "no class- or module-level stateful iterators (shared cursors)"
     )
     scope = None  # everywhere: this is plain Python hygiene
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_module_iterators(module)
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_defaults(module, node)
-            elif isinstance(node, ast.ClassDef) and is_process_class(node):
-                yield from self._check_class_attributes(module, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class_iterators(module, node)
+                if is_process_class(node):
+                    yield from self._check_class_attributes(module, node)
 
     def _check_defaults(
         self,
@@ -82,15 +104,49 @@ class MutableStateRule(Rule):
                     f"and allocate inside the body",
                 )
 
+    @staticmethod
+    def _assigned_value(stmt: ast.stmt) -> ast.AST | None:
+        if isinstance(stmt, ast.Assign):
+            return stmt.value
+        if isinstance(stmt, ast.AnnAssign):
+            return stmt.value
+        return None
+
+    def _check_module_iterators(
+        self, module: ModuleContext
+    ) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            value = self._assigned_value(stmt)
+            if value is not None and _is_stateful_iterator(value):
+                yield module.finding(
+                    self,
+                    stmt,
+                    "module-level stateful iterator: one shared cursor "
+                    "advances across every call site, so identically-"
+                    "seeded runs diverge; create the iterator inside the "
+                    "function or object that consumes it",
+                )
+
+    def _check_class_iterators(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            value = self._assigned_value(stmt)
+            if value is not None and _is_stateful_iterator(value):
+                yield module.finding(
+                    self,
+                    stmt,
+                    f"class-level stateful iterator on {cls.name}: one "
+                    f"shared cursor advances across every instance and "
+                    f"call, so identically-seeded runs diverge; mint it "
+                    f"per call or per instance (in __init__)",
+                )
+
     def _check_class_attributes(
         self, module: ModuleContext, cls: ast.ClassDef
     ) -> Iterator[Finding]:
         for stmt in cls.body:
-            value: ast.AST | None = None
-            if isinstance(stmt, ast.Assign):
-                value = stmt.value
-            elif isinstance(stmt, ast.AnnAssign):
-                value = stmt.value
+            value = self._assigned_value(stmt)
             if value is not None and _is_mutable_value(value):
                 yield module.finding(
                     self,

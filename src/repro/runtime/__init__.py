@@ -23,6 +23,7 @@ from .explorer import (
     explore_schedules,
     spec_property,
 )
+from .fingerprint import canonical_update, stable_digest
 from .ksa_objects import (
     DecisionPolicy,
     FirstProposalsPolicy,
@@ -98,8 +99,10 @@ __all__ = [
     "UniformPolicy",
     "Violation",
     "Wait",
+    "canonical_update",
     "channels_property",
     "combine_properties",
     "explore_schedules",
     "spec_property",
+    "stable_digest",
 ]

@@ -11,8 +11,8 @@ it (replayable via ``Simulator.run(..., guide=...)``).
 Engines
 -------
 
-Two engines explore the *same* tree in the same depth-first order and
-produce identical results:
+Three engines explore the *same* tree in the same depth-first order and
+produce identical violations and terminal verdicts:
 
 * ``engine="incremental"`` (default) — the search runs on resumable
   :class:`~repro.runtime.simulator.SimulationRun` handles: extending a
@@ -20,11 +20,47 @@ produce identical results:
   forking the handle (a state snapshot) instead of re-running the
   prefix.  Each edge of the schedule tree is executed exactly once,
   turning the replay cost from O(nodes × depth) events into O(edges).
+* ``engine="dedup"`` (equivalently ``dedup=True`` on the incremental
+  engine) — the incremental engine plus a transposition cache keyed by
+  canonical state fingerprints
+  (:meth:`~repro.runtime.simulator.SimulationRun.fingerprint`): when
+  distinct decision sequences converge on the same global state, the
+  subtree below it is explored once and every later arrival *replays*
+  the recorded subtree summary — terminal counts and violations, with
+  reproduction guides rebased onto the new prefix — instead of
+  re-expanding it.  The cost drops from O(tree edges) to O(unique-state
+  graph edges), the dominant saving on symmetric script configurations
+  where interchangeable broadcasts make most interleavings converge.
+  :attr:`ExplorationResult.states_seen` / ``states_deduped`` report the
+  cache's effect.  See *Soundness of deduplication* below.
 * ``engine="replay"`` — the historical engine: every DFS prefix is
   re-run from scratch through a guided :meth:`Simulator.run`.  Kept as
   the differential-testing oracle and as the benchmark baseline; the
   per-node depth factor it pays is reported in
   :attr:`ExplorationResult.events_replayed`.
+
+Soundness of deduplication
+--------------------------
+
+A state fingerprint pins each process's *input journal*, the ordered
+in-flight pool, the oracle registry, remaining scripts, the alive set
+and the decision count — everything the scheduling loop reads — so two
+converged nodes enable the same events in the same order forever after:
+the subtrees below them are isomorphic, decision for decision.  Their
+*traces* differ only in the prefix, and only up to commutation of
+independent events (the same per-process histories, interleaved
+differently).  Replaying a cached subtree summary is therefore exact
+for properties whose verdict is a function of per-process observations
+(every spec in :mod:`repro.specs`; delivery sequences, decided values
+and returns are all per-process state).  Step-tracked properties stay
+compatible too: :func:`channels_property`'s tracker state at a deduped
+node is determined by per-process send/receive projections, which the
+fingerprint pins — the deduped arrival's prefix was already checked
+step by step on its own branch, and the suffix verdicts recorded in the
+cache coincide with what re-expansion would have computed.  A custom
+property that inspects the *global interleaving* of the terminal trace
+(cross-process real-time order, say) is outside this envelope — use the
+plain incremental engine for those.
 
 ``workers > 1`` shards the top of the schedule tree across a
 ``multiprocessing`` pool (fork start method): the tree is expanded
@@ -37,7 +73,10 @@ violations in the same order).  On budget-capped runs the merged
 engine; ``schedules_explored``/event counters reflect the work actually
 performed, which can be larger because every worker receives the full
 budget.  Where the ``fork`` start method is unavailable the call falls
-back to a single worker.
+back to a single worker.  Under ``dedup=True`` the workers share
+nothing: each shard builds its own private cache, so merged results
+remain deterministic and identical to the sequential dedup engine
+(cross-shard convergences are simply not pruned).
 
 Properties
 ----------
@@ -130,6 +169,14 @@ class ExplorationResult:
     events_replayed: int = 0
     #: Worker processes that actually ran the search.
     workers: int = 1
+    #: Distinct states expanded by the dedup engine (cache insertions);
+    #: 0 for the non-dedup engines.  With dedup on,
+    #: ``schedules_explored`` counts the same expansions, while pruned
+    #: arrivals are counted in :attr:`states_deduped` instead.
+    states_seen: int = 0
+    #: Branches pruned because their post-event state was already
+    #: expanded — each one stood in for a whole re-explored subtree.
+    states_deduped: int = 0
 
     @property
     def ok(self) -> bool:
@@ -360,6 +407,50 @@ class _SubtreeOutcome:
     max_depth_seen: int = 0
     events_executed: int = 0
     events_replayed: int = 0
+    states_seen: int = 0
+    states_deduped: int = 0
+
+
+@dataclass
+class _Summary:
+    """One fully-explored subtree, relative to its root (the cache value).
+
+    ``violations`` holds ``(ordinal, suffix, problems)`` triples:
+    ``ordinal`` is the violating terminal's position in the subtree's
+    depth-first terminal sequence and ``suffix`` the decision path from
+    the subtree root, so a later arrival at the same state replays the
+    exact violations re-expansion would have produced, with guides
+    rebased onto its own prefix.  ``height`` is the relative depth of
+    the deepest descendant; ``truncated`` marks a subtree some branch of
+    which was cut at ``max_depth`` (its shape depends on the remaining
+    depth budget, so reuse is restricted — see :func:`_entry_reusable`).
+    """
+
+    terminals: int = 0
+    violations: list[tuple[int, tuple[int, ...], tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    height: int = 0
+    truncated: bool = False
+
+
+def _entry_reusable(
+    entry: _Summary, cached_depth: int, depth: int, max_depth: int
+) -> bool:
+    """May this cached summary stand in for expansion at ``depth``?
+
+    Fingerprints include the decision count, so a hit is necessarily at
+    the depth the entry was recorded (converged sequences consumed the
+    same number of decisions) and these guards are defensive: a
+    depth-truncated subtree is only reused at the exact recording depth
+    (elsewhere the ``max_depth`` cut would fall differently), and an
+    untruncated one only where its height still fits under the bound.
+    Together they enforce the same-or-shallower-depth discipline of
+    classic stateful search.
+    """
+    if entry.truncated:
+        return cached_depth == depth
+    return depth + entry.height <= max_depth
 
 
 def _explore_subtree(
@@ -371,8 +462,15 @@ def _explore_subtree(
     max_schedules: int,
     max_depth: int,
     stop_at_first_violation: bool,
+    dedup: bool = False,
 ) -> _SubtreeOutcome:
-    """Incremental DFS below ``prefix`` (replayed once to materialize)."""
+    """Incremental DFS below ``prefix`` (replayed once to materialize).
+
+    With ``dedup=True`` the DFS consults a per-call transposition cache:
+    a node whose state fingerprint was already fully expanded is pruned,
+    and the cached subtree summary is replayed in its place, reproducing
+    the exact terminal counts and violations of a re-expansion.
+    """
     out = _SubtreeOutcome()
     prop = _as_property(property_check)
     handle = simulator.begin(scripts, crash_schedule=crash_schedule)
@@ -384,6 +482,21 @@ def _explore_subtree(
     cursor = _Cursor(handle, prop.tracker(simulator.n), 0)
     path = list(prefix)
 
+    def visit_terminal(cursor: _Cursor) -> tuple[tuple[str, ...], bool]:
+        """Account one terminal; returns (problems, keep_going)."""
+        ordinal = out.terminal_schedules
+        out.terminal_schedules += 1
+        problems = tuple(
+            cursor.tracker.at_terminal(cursor.handle.result())
+        )
+        if problems:
+            out.violations.append((ordinal, Violation(tuple(path), problems)))
+            if stop_at_first_violation:
+                out.aborted = True
+                out.exhausted = False
+                return problems, False
+        return problems, True
+
     def dfs(cursor: _Cursor, depth: int) -> bool:
         """Returns False to abort the whole search."""
         if out.terminal_schedules >= max_schedules:
@@ -394,18 +507,8 @@ def _explore_subtree(
         choices = cursor.handle.choices()
         cursor.sync()
         if not choices:
-            ordinal = out.terminal_schedules
-            out.terminal_schedules += 1
-            problems = cursor.tracker.at_terminal(cursor.handle.result())
-            if problems:
-                out.violations.append(
-                    (ordinal, Violation(tuple(path), tuple(problems)))
-                )
-                if stop_at_first_violation:
-                    out.aborted = True
-                    out.exhausted = False
-                    return False
-            return True
+            _, keep_going = visit_terminal(cursor)
+            return keep_going
         if depth >= max_depth:
             out.exhausted = False
             return True
@@ -425,7 +528,108 @@ def _explore_subtree(
                 return False
         return True
 
-    dfs(cursor, len(prefix))
+    cache: dict[str, tuple[int, _Summary]] = {}
+
+    def replay(entry: _Summary) -> bool:
+        """Emit a cached subtree's terminals and violations under ``path``.
+
+        Mirrors what depth-first re-expansion would have reported: the
+        schedule budget can cut the virtual subtree mid-way, and
+        ``stop_at_first_violation`` aborts at its first violating
+        terminal.  Returns False to abort the whole search.
+        """
+        budget_left = max_schedules - out.terminal_schedules
+        take = min(entry.terminals, budget_left)
+        base = out.terminal_schedules
+        for ordinal, suffix, problems in entry.violations:
+            if ordinal >= take:
+                break
+            out.violations.append(
+                (base + ordinal, Violation(tuple(path) + suffix, problems))
+            )
+            if stop_at_first_violation:
+                out.terminal_schedules = base + ordinal + 1
+                out.aborted = True
+                out.exhausted = False
+                return False
+        out.terminal_schedules = base + take
+        if take < entry.terminals:
+            out.exhausted = False
+            return False
+        return True
+
+    def dedup_dfs(cursor: _Cursor, depth: int) -> _Summary | None:
+        """DFS with transposition pruning.
+
+        Returns the subtree's summary — cached for later arrivals at the
+        same state — or ``None`` when the search was cut (budget, abort):
+        partial summaries are never cached.
+        """
+        if out.terminal_schedules >= max_schedules:
+            out.exhausted = False
+            return None
+        choices = cursor.handle.choices()  # prelude before fingerprinting
+        cursor.sync()
+        fingerprint = cursor.handle.fingerprint()
+        cached = cache.get(fingerprint)
+        if cached is not None:
+            cached_depth, entry = cached
+            if _entry_reusable(entry, cached_depth, depth, max_depth):
+                out.states_deduped += 1
+                out.max_depth_seen = max(
+                    out.max_depth_seen, depth + entry.height
+                )
+                if entry.truncated:
+                    out.exhausted = False
+                if not replay(entry):
+                    return None
+                return entry
+        out.schedules_explored += 1
+        out.states_seen += 1
+        out.max_depth_seen = max(out.max_depth_seen, depth)
+        if not choices:
+            problems, keep_going = visit_terminal(cursor)
+            summary = _Summary(terminals=1)
+            if problems:
+                summary.violations.append((0, (), problems))
+            if not keep_going:
+                return None
+            cache[fingerprint] = (depth, summary)
+            return summary
+        if depth >= max_depth:
+            out.exhausted = False
+            summary = _Summary(truncated=True)
+            cache[fingerprint] = (depth, summary)
+            return summary
+        summary = _Summary()
+        last = len(choices) - 1
+        for branch in range(len(choices)):
+            if branch < last:
+                child = cursor.fork()
+                out.events_replayed += child.handle.replayed_steps
+            else:
+                child = cursor  # the last branch extends this node in place
+            child.handle.advance(branch)
+            out.events_executed += 1
+            path.append(branch)
+            child_summary = dedup_dfs(child, depth + 1)
+            path.pop()
+            if child_summary is None:
+                return None
+            for ordinal, suffix, problems in child_summary.violations:
+                summary.violations.append(
+                    (summary.terminals + ordinal, (branch,) + suffix, problems)
+                )
+            summary.terminals += child_summary.terminals
+            summary.height = max(summary.height, child_summary.height + 1)
+            summary.truncated = summary.truncated or child_summary.truncated
+        cache[fingerprint] = (depth, summary)
+        return summary
+
+    if dedup:
+        dedup_dfs(cursor, len(prefix))
+    else:
+        dfs(cursor, len(prefix))
     return out
 
 
@@ -512,6 +716,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         max_schedules,
         max_depth,
         stop_at_first_violation,
+        dedup,
     ) = _SHARD_STATE
     return _explore_subtree(
         simulator,
@@ -522,6 +727,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         max_schedules,
         max_depth,
         stop_at_first_violation,
+        dedup=dedup,
     )
 
 
@@ -604,8 +810,15 @@ def _explore_parallel(
     max_depth: int,
     stop_at_first_violation: bool,
     workers: int,
+    dedup: bool,
 ) -> ExplorationResult:
-    """Shard the tree over a worker pool and merge in DFS order."""
+    """Shard the tree over a worker pool and merge in DFS order.
+
+    Under ``dedup`` each shard worker keeps a private transposition
+    cache (shared-nothing): merged results stay deterministic and equal
+    to the sequential dedup engine, only cross-shard convergences go
+    unpruned.
+    """
     global _SHARD_STATE
     result = ExplorationResult(
         schedules_explored=0, terminal_schedules=0, workers=workers
@@ -619,6 +832,9 @@ def _explore_parallel(
         target_shards=workers * 4,
         result=result,
     )
+    if dedup:
+        # frontier nodes were expanded here, before any cache existed
+        result.states_seen = result.schedules_explored
     prefixes = [e[1] for e in entries if e[0] == "shard"]
     ctx = multiprocessing.get_context("fork")
     _SHARD_STATE = (
@@ -630,6 +846,7 @@ def _explore_parallel(
         max_schedules,
         max_depth,
         stop_at_first_violation,
+        dedup,
     )
     try:
         with ctx.Pool(processes=workers) as pool:
@@ -654,6 +871,8 @@ def _explore_parallel(
                 result.schedules_explored += sub.schedules_explored
                 result.events_executed += sub.events_executed
                 result.events_replayed += sub.events_replayed
+                result.states_seen += sub.states_seen
+                result.states_deduped += sub.states_deduped
                 result.max_depth_seen = max(
                     result.max_depth_seen, sub.max_depth_seen
                 )
@@ -689,6 +908,7 @@ def explore_schedules(
     max_depth: int = 400,
     stop_at_first_violation: bool = False,
     engine: str = "incremental",
+    dedup: bool = False,
     workers: int = 1,
 ) -> ExplorationResult:
     """Enumerate every schedule of the configuration and check each.
@@ -698,14 +918,24 @@ def explore_schedules(
     sound reduction described on
     :class:`~repro.runtime.simulator.Simulator`); ``max_schedules``
     bounds the number of *terminal* schedules visited, ``max_depth`` the
-    decision depth.  ``engine`` selects the incremental engine (default)
-    or the historical from-scratch ``"replay"`` engine; ``workers > 1``
-    runs the incremental engine sharded over a process pool (see the
-    module docstring for the merge semantics).
+    decision depth.  ``engine`` selects the incremental engine
+    (default), the state-deduplicating ``"dedup"`` engine (the
+    incremental engine with a fingerprint transposition cache —
+    equivalently pass ``dedup=True``), or the historical from-scratch
+    ``"replay"`` engine; ``workers > 1`` runs the incremental engine
+    sharded over a process pool (see the module docstring for the merge
+    semantics; with dedup, caches are per-shard).
     """
-    if engine not in ("incremental", "replay"):
+    if engine not in ("incremental", "dedup", "replay"):
         raise ValueError(
-            f"unknown engine {engine!r}: expected 'incremental' or 'replay'"
+            f"unknown engine {engine!r}: expected 'incremental', "
+            f"'dedup' or 'replay'"
+        )
+    if engine == "dedup":
+        engine, dedup = "incremental", True
+    if dedup and engine != "incremental":
+        raise ValueError(
+            "state deduplication requires the incremental engine"
         )
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -744,6 +974,7 @@ def explore_schedules(
             max_depth,
             stop_at_first_violation,
             workers,
+            dedup,
         )
     sub = _explore_subtree(
         simulator,
@@ -754,6 +985,7 @@ def explore_schedules(
         max_schedules,
         max_depth,
         stop_at_first_violation,
+        dedup=dedup,
     )
     return ExplorationResult(
         schedules_explored=sub.schedules_explored,
@@ -765,4 +997,6 @@ def explore_schedules(
         events_executed=sub.events_executed,
         events_replayed=sub.events_replayed,
         workers=1,
+        states_seen=sub.states_seen,
+        states_deduped=sub.states_deduped,
     )

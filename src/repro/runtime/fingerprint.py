@@ -1,0 +1,131 @@
+"""Canonical state fingerprints — the key of the explorer's dedup cache.
+
+Distinct decision sequences frequently converge on the *same* global
+state: receptions by different processes commute, and the symmetric
+script configurations the paper's constructions produce (every process
+broadcasting interchangeable SYNCH messages) multiply such convergences
+combinatorially.  The dedup engine of :mod:`repro.runtime.explorer`
+prunes a branch when the state it just reached was already expanded, so
+it needs a *canonical* digest of a :class:`~repro.runtime.simulator.SimulationRun`:
+equal digests must imply equal futures (same enabled-event lists, same
+subtree of schedules, same per-process observations at every descendant
+terminal).
+
+What is fingerprinted — and what deliberately is not
+----------------------------------------------------
+
+A run's future is a function of:
+
+* each process's *input journal* (the driver-call log of
+  :class:`~repro.runtime.process.ProcessRuntime`): algorithms are
+  deterministic step machines, so local state is a function of the log;
+* the in-flight message pool **in insertion order** — the order fixes
+  the enumeration order of :meth:`~repro.runtime.network.Network.deliverable`
+  and hence the meaning of schedule guides, so two states are only
+  interchangeable when their pools agree as *sequences*;
+* the k-SA registry (proposals/decisions so far), the message-factory
+  counters, the remaining scripts, the alive set, the sync-broadcast
+  gates, and the decision count (crash schedules are indexed by it).
+
+The recorded *trace* is exactly what is **not** fingerprinted: two
+converging decision sequences differ precisely in how they interleaved
+the same per-process histories, and collapsing them is the point.
+
+Digests are :func:`hashlib.blake2b` over a tagged, length-prefixed
+canonical encoding — stable across processes and interpreter runs
+(``hash()`` is randomized per run and is deliberately not used).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+__all__ = ["canonical_update", "stable_digest"]
+
+#: Hex-digest length: 16 bytes of blake2b — collision probability is
+#: negligible at exploration scale (billions of states would be needed).
+_DIGEST_SIZE = 16
+
+
+def _update(hasher: "hashlib._Hash", tag: bytes, payload: bytes) -> None:
+    hasher.update(tag)
+    hasher.update(len(payload).to_bytes(8, "big"))
+    hasher.update(payload)
+
+
+def _encoded(value: Any) -> bytes:
+    sub = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    canonical_update(sub, value)
+    return sub.digest()
+
+
+def canonical_update(hasher: "hashlib._Hash", value: Any) -> None:
+    """Feed ``value``'s canonical encoding into ``hasher``.
+
+    The encoding is tagged and length-prefixed, so structurally distinct
+    values never collide by concatenation (``("ab",)`` vs ``("a", "b")``),
+    and unordered containers (sets, dict items) are canonicalized by
+    sorting their *encodings*, which never compares unlike values.
+    Dataclasses (messages, identities, script entries) encode as their
+    class name plus field values; anything else falls back to ``repr``,
+    which the run state of this library never needs — the fallback exists
+    for exotic user script contents and is tagged separately so it cannot
+    alias a structural encoding.
+    """
+    if value is None:
+        _update(hasher, b"N", b"")
+    elif isinstance(value, bool):
+        _update(hasher, b"B", b"1" if value else b"0")
+    elif isinstance(value, int):
+        _update(hasher, b"i", str(value).encode())
+    elif isinstance(value, float):
+        _update(hasher, b"f", repr(value).encode())
+    elif isinstance(value, str):
+        _update(hasher, b"s", value.encode())
+    elif isinstance(value, bytes):
+        _update(hasher, b"y", value)
+    elif isinstance(value, (tuple, list)):
+        _update(hasher, b"(", str(len(value)).encode())
+        for item in value:
+            canonical_update(hasher, item)
+        _update(hasher, b")", b"")
+    elif isinstance(value, (set, frozenset)):
+        _update(hasher, b"{", b"".join(sorted(_encoded(v) for v in value)))
+    elif isinstance(value, dict):
+        _update(
+            hasher,
+            b"m",
+            b"".join(
+                sorted(
+                    _encoded(k) + _encoded(v) for k, v in value.items()
+                )
+            ),
+        )
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _update(hasher, b"D", type(value).__qualname__.encode())
+        for field in dataclasses.fields(value):
+            canonical_update(hasher, getattr(value, field.name))
+        _update(hasher, b"d", b"")
+    else:
+        _update(
+            hasher,
+            b"r",
+            type(value).__qualname__.encode() + b":" + repr(value).encode(),
+        )
+
+
+def stable_digest(*parts: Any) -> str:
+    """A stable hex digest of ``parts`` under the canonical encoding.
+
+    This is the primitive behind every ``fingerprint()`` method in the
+    runtime: components digest their own state and the
+    :meth:`~repro.runtime.simulator.SimulationRun.fingerprint` combines
+    the component digests, so a state digest costs one linear pass over
+    the live state and nothing over the trace.
+    """
+    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for part in parts:
+        canonical_update(hasher, part)
+    return hasher.hexdigest()

@@ -30,6 +30,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+from .fingerprint import stable_digest
+
 __all__ = [
     "DecisionPolicy",
     "FirstProposalsPolicy",
@@ -153,6 +155,16 @@ class KsaObject:
         clone.decisions = dict(self.decisions)
         return clone
 
+    def fingerprint(self) -> str:
+        """A stable structural digest of this instance's one-shot state.
+
+        Policies are stateless by contract and fixed per exploration, so
+        proposals and decisions fully determine future behaviour.
+        """
+        return stable_digest(
+            "ksa", self.name, self.k, self.proposals, self.decisions
+        )
+
 
 class KsaRegistry:
     """Creates and retains k-SA oracle instances on demand, by name."""
@@ -179,3 +191,14 @@ class KsaRegistry:
             name: obj.fork() for name, obj in self.objects.items()
         }
         return clone
+
+    def fingerprint(self) -> str:
+        """A stable structural digest over every instance, name-sorted."""
+        return stable_digest(
+            "registry",
+            self.k,
+            [
+                self.objects[name].fingerprint()
+                for name in sorted(self.objects)
+            ],
+        )

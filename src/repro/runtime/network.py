@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterator
 
 from ..core.actions import PointToPointId
+from .fingerprint import stable_digest
 
 __all__ = ["InFlight", "Network"]
 
@@ -58,6 +59,20 @@ class Network:
         clone = Network()
         clone._in_flight = dict(self._in_flight)
         return clone
+
+    def fingerprint(self) -> str:
+        """A stable structural digest of the in-flight pool *in order*.
+
+        Insertion order is part of the digest on purpose: it fixes the
+        enumeration order of :meth:`deliverable` and therefore the
+        meaning of schedule-guide indices, so only states whose pools
+        agree as sequences may be treated as interchangeable by the
+        explorer's dedup cache.
+        """
+        return stable_digest(
+            "network",
+            [(item.p2p, item.payload) for item in self._in_flight.values()],
+        )
 
     def send(self, p2p: PointToPointId, payload: Hashable) -> InFlight:
         """Put one message in flight; sends are unique by identity."""

@@ -33,6 +33,7 @@ from typing import Any, Callable, Hashable, Iterator
 
 from ..core.actions import PointToPointId
 from ..core.message import Message, MessageFactory, MessageId
+from .fingerprint import stable_digest
 from .effects import (
     Deliver,
     DeliverSet,
@@ -279,6 +280,20 @@ class ProcessRuntime:
 
     def has_delivered(self, uid: MessageId) -> bool:
         return uid in self._delivered_uids
+
+    def fingerprint(self) -> str:
+        """A stable structural digest of this runtime's local state.
+
+        The journal is the process's complete input log and the
+        algorithm is a deterministic step machine, so the local state —
+        generators, delivered/returned bookkeeping, sequence counters —
+        is a function of ``(pid, journal)``; digesting the journal
+        therefore identifies the state without touching live generators.
+        Equal fingerprints mean the two runtimes behave identically on
+        every future driver call (the same argument that makes
+        journal-replay :meth:`fork` sound).
+        """
+        return stable_digest("process", self.pid, self._journal)
 
     # -- snapshot / fork -------------------------------------------------
 

@@ -40,6 +40,7 @@ from typing import Callable, Hashable, Mapping, Sequence
 from ..core.execution import Execution
 from ..core.message import Message, MessageFactory
 from .crash import CrashSchedule
+from .fingerprint import stable_digest
 from .ksa_objects import DecisionPolicy, FirstProposalsPolicy, KsaRegistry
 from .network import Network
 from .policies import SchedulingPolicy, UniformPolicy
@@ -250,27 +251,79 @@ class SimulationRun:
         return clone
 
     def result(self, *, pending_choices: int = 0) -> SimulationResult:
-        """A :class:`SimulationResult` snapshot of the current state."""
+        """A :class:`SimulationResult` snapshot at the next decision point.
+
+        Reporting goes through the same per-decision prelude that
+        :meth:`choices` performs (due-crash injection and, under
+        ``atomic_local``, the local-computation drain): without it, a
+        result taken immediately after :meth:`advance` could claim
+        quiescence while drained local steps would enable further events,
+        misreport ``blocked``, and miss a crash due at the current step.
+        When the prelude has not run yet, it is applied to a *fork* of
+        the handle, so the committed state is never mutated — calling
+        ``result()`` leaves subsequent :meth:`choices`/:meth:`advance`
+        behaviour unchanged.
+        """
+        run = self
+        if run._choices is None:
+            run = self.fork()  # probe: prelude without committing it
+        enabled = run.choices()
         blocked = {
             p: outcome.reason
             for p, outcome in (
-                (p, _peek_outcome(self.runtimes[p]))
-                for p in sorted(self.alive)
+                (p, _peek_outcome(run.runtimes[p]))
+                for p in sorted(run.alive)
             )
             if isinstance(outcome, Blocked)
         }
-        enabled = (
-            self._choices
-            if self._choices is not None
-            else self._enabled_choices()
-        )
         return SimulationResult(
-            execution=self.trace.execution(),
-            runtimes=self.runtimes,
+            execution=run.trace.execution(),
+            runtimes=run.runtimes,
             quiescent=not enabled,
             steps_taken=self.steps,
             blocked=blocked,
             pending_choices=pending_choices,
+        )
+
+    def fingerprint(self) -> str:
+        """A canonical digest of the run's forward-relevant state.
+
+        Two runs with equal fingerprints enable the same events in the
+        same order at every future decision point and produce the same
+        per-process observations at every descendant terminal — the
+        invariant the schedule explorer's dedup cache relies on to prune
+        converged branches (see :mod:`repro.runtime.fingerprint`).
+
+        Everything the scheduling loop reads is covered: per-process
+        input journals (local state is a function of them), the ordered
+        in-flight pool, the oracle registry, identity-minting counters,
+        remaining scripts, the alive set, sync-broadcast gates, and the
+        decision count (crash schedules are indexed by it).  The recorded
+        *trace* is deliberately excluded: converging decision sequences
+        differ exactly in how they interleaved the same per-process
+        histories.
+
+        The digest is taken over the committed state, before the next
+        decision's prelude; callers comparing states at a decision point
+        should invoke :meth:`choices` first so due crashes and the
+        ``atomic_local`` drain are already applied.
+        """
+        return stable_digest(
+            "run",
+            self.steps,
+            sorted(self.alive),
+            [
+                self.runtimes[p].fingerprint()
+                for p in range(self.simulator.n)
+            ],
+            self.network.fingerprint(),
+            self.registry.fingerprint(),
+            self.factory.counters(),
+            {
+                p: None if m is None else m.uid
+                for p, m in self.last_sync_message.items()
+            },
+            self.remaining,
         )
 
     # -- internals --------------------------------------------------------

@@ -26,9 +26,15 @@ class TotalOrderBroadcastSpec(BroadcastSpec):
     name = "Total Order Broadcast"
 
     def ordering_violations(self, execution: Execution) -> list[str]:
+        # Edges are canonicalised (each pair uid-sorted, pairs listed in
+        # uid order) so the rendered violations depend only on per-process
+        # delivery observations, never on the global interleaving that
+        # happened to build the graph — executions reaching the same state
+        # along different prefixes must report identical violations.
         graph = disagreement_graph(execution)
+        edges = sorted(tuple(sorted(edge)) for edge in graph.edges)
         return [
             f"{first} and {second} are delivered in different orders by "
             f"different processes"
-            for first, second in graph.edges
+            for first, second in edges
         ]

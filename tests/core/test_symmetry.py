@@ -59,6 +59,31 @@ class TestRenamingSampler:
 
         assert list(sample_renamings(Execution.empty(2))) == []
 
+    def test_identically_seeded_calls_yield_identical_renamings(self):
+        # regression: fresh tokens used to be numbered by a process-global
+        # counter, so a second call minted fresh#N..., never fresh#0...,
+        # and seeded sampling was irreproducible within one process
+        execution = complete_exchange(3)
+        first = [
+            dict(r.items())
+            for r in sample_renamings(
+                execution, max_cases=9, rng=random.Random(7)
+            )
+        ]
+        second = [
+            dict(r.items())
+            for r in sample_renamings(
+                execution, max_cases=9, rng=random.Random(7)
+            )
+        ]
+        assert first == second
+
+    def test_fresh_tokens_are_distinct_within_a_renaming(self):
+        execution = complete_exchange(3)
+        all_fresh = next(iter(sample_renamings(execution)))
+        contents = list(dict(all_fresh.items()).values())
+        assert len(set(contents)) == len(contents)
+
 
 class TestCompositionalityChecker:
     def test_total_order_has_no_counterexample(self):
@@ -81,6 +106,26 @@ class TestCompositionalityChecker:
         )
         assert not result.holds
         assert frozenset(result.counterexample) == subset
+
+    def test_subsets_accept_one_shot_iterables(self):
+        # regression: the subset used to be consumed twice (once to
+        # report, once to restrict), so a generator restricted onto the
+        # empty set and the violation went unreported
+        execution, subset = kstepped_paper_example()
+        result = check_compositional(
+            KSteppedBroadcastSpec(1), execution, subsets=[iter(subset)]
+        )
+        assert not result.holds
+        assert frozenset(result.counterexample) == subset
+
+    def test_subsets_accept_any_uid_iterable(self):
+        execution, subset = kstepped_paper_example()
+        for shape in (list(subset), tuple(subset), sorted(subset)):
+            result = check_compositional(
+                KSteppedBroadcastSpec(1), execution, subsets=[shape]
+            )
+            assert not result.holds
+            assert frozenset(result.counterexample) == subset
 
     def test_first_k_violation_found(self):
         execution, subset = first_k_agreed_execution(4)

@@ -23,3 +23,17 @@ class SharedStateBroadcast(BroadcastProcess):  # noqa: F821 - parse-only
 
     def on_receive(self, payload, sender):
         yield None
+
+
+import itertools
+
+_GLOBAL_IDS = itertools.count()  # module-level stateful iterator
+
+
+class TokenMint:
+    """Not a process class, still wrong: one cursor for all callers."""
+
+    _counter = itertools.count()  # class-level stateful iterator
+
+    def fresh(self):
+        return next(self._counter)

@@ -30,3 +30,21 @@ class PerInstanceBroadcast(BroadcastProcess):  # noqa: F821 - parse-only
 
     def on_receive(self, payload, sender):
         yield None
+
+
+import itertools
+
+
+class RequestIds:
+    """Instance-level iterators are per-object state: fine."""
+
+    def __init__(self):
+        self._ids = itertools.count()
+
+    def fresh(self):
+        return next(self._ids)
+
+
+def numbered(items):
+    counter = itertools.count()  # function-local: scoped per call
+    return [(next(counter), item) for item in items]

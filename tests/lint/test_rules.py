@@ -99,7 +99,7 @@ def test_rep003_suppression_comments_silence_it():
 
 def test_rep004_true_positives():
     counts = rule_ids(FIXTURES / "state" / "bad_state.py")
-    assert counts == {"REP004": 4}
+    assert counts == {"REP004": 6}
 
 
 def test_rep004_true_negatives():
@@ -122,6 +122,26 @@ def test_rep004_flags_process_class_even_outside_scoped_dirs():
         "anywhere/algo.py",
     )
     assert [f.rule for f in findings] == ["REP004"]
+
+
+def test_rep004_names_each_stateful_iterator_pattern():
+    findings = LintEngine().lint_file(FIXTURES / "state" / "bad_state.py")
+    messages = " ".join(f.message for f in findings)
+    assert "module-level stateful iterator" in messages
+    assert "class-level stateful iterator on TokenMint" in messages
+
+
+def test_rep004_allows_instance_level_iterators():
+    # the registers' `self._ids = itertools.count()` idiom must stay legal
+    engine = LintEngine()
+    findings = engine.lint_source(
+        "import itertools\n"
+        "class R:\n"
+        "    def __init__(self):\n"
+        "        self._ids = itertools.count()\n",
+        "anywhere/registers.py",
+    )
+    assert findings == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,165 @@
+"""Unit tests of the canonical state-fingerprint layer.
+
+The dedup engine treats two runs as interchangeable exactly when their
+fingerprints agree, so the digest must be (a) stable across interpreter
+runs, (b) invariant under the orderings it canonicalizes away (set and
+dict iteration order), and (c) sensitive to everything it keeps (pool
+insertion order, journals, registry state, depth).
+"""
+
+import subprocess
+import sys
+
+from repro.broadcasts import SendToAllBroadcast
+from repro.core.message import Message, MessageId
+from repro.runtime import Simulator, stable_digest
+
+
+def s2a_simulator(n=2, **kwargs):
+    return Simulator(
+        n, lambda pid, n_: SendToAllBroadcast(pid, n_), **kwargs
+    )
+
+
+def started_run(n=2, scripts=None):
+    simulator = s2a_simulator(n, atomic_local=True)
+    return simulator.begin(scripts or {0: ["a"], 1: ["b"]})
+
+
+def settled_fingerprint(run):
+    """Fingerprint at a decision point, per the documented contract.
+
+    ``choices()`` applies the per-decision prelude (due crashes, the
+    ``atomic_local`` drain) so states are compared after it, exactly as
+    the dedup engine does.
+    """
+    run.choices()
+    return run.fingerprint()
+
+
+class TestStableDigest:
+    """The encoding primitive underneath every fingerprint() method."""
+
+    def test_deterministic_within_a_run(self):
+        value = ("x", 3, {2: "b", 1: "a"}, frozenset({5, 6}))
+        assert stable_digest(value) == stable_digest(value)
+
+    def test_stable_across_interpreter_runs(self):
+        # hash() randomization must not leak in: a fresh interpreter
+        # (fresh PYTHONHASHSEED) computes the identical digest.
+        code = (
+            "from repro.runtime import stable_digest;"
+            "print(stable_digest("
+            "('x', 3, {2: 'b', 1: 'a'}, frozenset({5, 6}))))"
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert fresh == stable_digest(
+            ("x", 3, {2: "b", 1: "a"}, frozenset({5, 6}))
+        )
+
+    def test_unordered_containers_are_canonicalized(self):
+        assert stable_digest({3, 1, 2}) == stable_digest({1, 2, 3})
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sequences_keep_their_order(self):
+        assert stable_digest([1, 2]) != stable_digest([2, 1])
+
+    def test_length_prefix_blocks_concatenation_aliasing(self):
+        assert stable_digest(("ab",)) != stable_digest(("a", "b"))
+        assert stable_digest("12") != stable_digest(12)
+
+    def test_dataclasses_encode_structurally(self):
+        first = Message(MessageId(0, 0), "a")
+        assert stable_digest(first) == stable_digest(
+            Message(MessageId(0, 0), "a")
+        )
+        assert stable_digest(first) != stable_digest(
+            Message(MessageId(0, 1), "a")
+        )
+        assert stable_digest(first) != stable_digest(
+            Message(MessageId(0, 0), "b")
+        )
+
+
+class TestRunFingerprint:
+    """SimulationRun.fingerprint pins exactly the forkable state."""
+
+    def test_identical_prefixes_agree(self):
+        first, second = started_run(), started_run()
+        for _ in range(3):
+            first.advance(0)
+            second.advance(0)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fork_preserves_the_fingerprint(self):
+        run = started_run()
+        run.advance(0)
+        assert run.fork().fingerprint() == run.fingerprint()
+
+    def test_diverging_choices_disagree(self):
+        first, second = started_run(), started_run()
+        assert len(first.choices()) >= 2
+        first.advance(0)
+        second.advance(1)
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_converging_interleavings_agree(self):
+        # Two independent receptions commute: taking them in either
+        # order reaches the same global state — the convergence the
+        # dedup engine exists to collapse.  Find a commuting pair by
+        # probing the actual choice tree rather than hardcoding indices.
+        base = started_run()
+        while True:
+            choices = base.choices()
+            assert choices, "no commuting pair found before quiescence"
+            found = None
+            for i in range(len(choices)):
+                for j in range(i + 1, len(choices)):
+                    one, other = base.fork(), base.fork()
+                    one.advance(i)
+                    one.advance(
+                        next(
+                            x
+                            for x, c in enumerate(one.choices())
+                            if c == choices[j]
+                        )
+                    )
+                    other.advance(j)
+                    other.advance(
+                        next(
+                            x
+                            for x, c in enumerate(other.choices())
+                            if c == choices[i]
+                        )
+                    )
+                    if settled_fingerprint(one) == settled_fingerprint(
+                        other
+                    ):
+                        found = (one, other)
+                        break
+                if found:
+                    break
+            if found:
+                one, other = found
+                # the traces differ even though the states agree
+                assert (
+                    one.trace.execution().steps
+                    != other.trace.execution().steps
+                )
+                return
+            base.advance(0)
+
+    def test_depth_is_part_of_the_fingerprint(self):
+        # Crash schedules are indexed by decision count, so a state is
+        # only interchangeable with another at the same depth.
+        run = started_run()
+        before = run.fingerprint()
+        run.advance(0)
+        assert run.fingerprint() != before

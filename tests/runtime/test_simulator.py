@@ -175,3 +175,105 @@ class TestSimulationResultApi:
         result = simulate(SendToAllBroadcast, n=2, seed=0, per_process=1)
         contents = result.delivered_contents(0)
         assert set(contents) == {"m0.0", "m1.0"}
+
+
+def atomic_s2a(n=2, **kwargs):
+    return Simulator(
+        n, lambda pid, n_: SendToAllBroadcast(pid, n_),
+        atomic_local=True, **kwargs
+    )
+
+
+class TestResultPrelude:
+    """Regression: result() must report through the scheduling prelude.
+
+    ``choices()`` performs a per-decision prelude — due-crash injection
+    and, under ``atomic_local``, the local-computation drain — before
+    enumerating events.  ``result()`` used to recompute the enabled set
+    *without* that prelude, so a snapshot taken right after ``advance()``
+    could claim quiescence while drained local steps would have put
+    messages in flight.
+    """
+
+    def test_result_right_after_advance_sees_through_the_drain(self):
+        run = atomic_s2a().begin({0: ["a"]})
+        run.advance(0)  # p0 broadcasts; its sends sit in undrained locals
+        result = run.result()
+        # the drain puts the sends in flight: receptions are enabled
+        assert not result.quiescent
+        assert result.steps_taken == 1
+
+    def test_result_reports_a_crash_due_at_this_step(self):
+        crashes = CrashSchedule(at_step={1: 1})
+        run = atomic_s2a().begin(
+            {0: ["a"], 1: ["b"]}, crash_schedule=crashes
+        )
+        run.advance(0)
+        result = run.result()
+        assert 1 in result.execution.crashed
+
+    def test_result_does_not_mutate_the_handle(self):
+        run = atomic_s2a().begin({0: ["a"]})
+        run.advance(0)
+        before = run.fingerprint()
+        run.result()
+        assert run.fingerprint() == before
+        assert 1 in run.alive  # prelude ran on a probe, not the handle
+        # the handle still schedules normally afterwards
+        assert run.choices()
+
+    def test_quiescent_result_right_after_the_final_advance(self):
+        run = atomic_s2a().begin({0: ["a"], 1: ["b"]})
+        while run.fork().choices():
+            run.advance(0)
+        # the prelude has not run on the handle since the last advance
+        result = run.result()
+        assert result.quiescent
+
+
+class TestRunBudgets:
+    """max_steps and guide exhaustion report accurate partial results."""
+
+    def test_max_steps_budget_reports_non_quiescent(self):
+        result = atomic_s2a().run({0: ["a"], 1: ["b"]}, max_steps=3)
+        assert result.steps_taken == 3
+        assert not result.quiescent
+
+    def test_max_steps_one_is_not_mistaken_for_quiescence(self):
+        # the budget cuts right after the broadcast decision, before the
+        # drain — exactly the state the result() regression misreported
+        result = atomic_s2a().run({0: ["a"]}, max_steps=1)
+        assert result.steps_taken == 1
+        assert not result.quiescent
+
+    def test_generous_budget_is_not_reported_as_a_cut(self):
+        result = atomic_s2a().run({0: ["a"], 1: ["b"]}, max_steps=10_000)
+        assert result.quiescent
+        assert result.steps_taken < 10_000
+
+    def test_guide_exhaustion_reports_accurate_pending_choices(self):
+        simulator = atomic_s2a()
+        probe = simulator.run({0: ["a"], 1: ["b"]}, guide=[0])
+        cross = atomic_s2a().begin({0: ["a"], 1: ["b"]})
+        cross.advance(0)
+        assert probe.steps_taken == 1
+        assert probe.pending_choices == len(cross.choices()) > 0
+
+    def test_empty_guide_reports_root_pending_choices(self):
+        simulator = atomic_s2a()
+        probe = simulator.run({0: ["a"], 1: ["b"]}, guide=[])
+        root = atomic_s2a().begin({0: ["a"], 1: ["b"]})
+        assert probe.steps_taken == 0
+        assert probe.pending_choices == len(root.choices()) > 0
+
+    def test_complete_guide_reports_zero_pending_choices(self):
+        explorer_guide = []
+        walker = atomic_s2a().begin({0: ["a"], 1: ["b"]})
+        while walker.choices():
+            explorer_guide.append(0)
+            walker.advance(0)
+        result = atomic_s2a().run(
+            {0: ["a"], 1: ["b"]}, guide=explorer_guide
+        )
+        assert result.quiescent
+        assert result.pending_choices == 0
