@@ -15,8 +15,15 @@ Usage::
     python benchmarks/check_explorer_bench.py \
         BENCH_explorer.json BENCH_explorer.fresh.json
 
+Beyond the baseline diff, the checker enforces one *internal* invariant
+of the fresh report: every engine variant of a configuration must agree
+on the violation-set digest — the reductions (sleep sets, renaming
+symmetry) are only admissible because they preserve violations, so a
+cross-engine mismatch is a reduction bug and always fails.
+
 Exit status: 0 when the reports agree on everything deterministic
-(timing warnings allowed), 1 on any schema or determinism mismatch.
+(timing warnings allowed), 1 on any schema, determinism, or
+cross-engine violation mismatch.
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ DETERMINISTIC_RUN_FIELDS = (
     "events_replayed",
     "states_seen",
     "states_deduped",
+    "states_pruned_sleep",
+    "states_merged_symmetry",
+    "violations_digest",
 )
 
 #: Per-config derived metrics that are pure functions of the counts.
@@ -41,11 +51,44 @@ DETERMINISTIC_CONFIG_FIELDS = (
     "replayed_events_ratio",
     "state_revisit_reduction",
     "expanded_vs_terminals_reduction",
+    "sleep_terminal_reduction",
+    "composed_state_reduction",
 )
 
 
 def _run_key(run: dict) -> tuple:
-    return (run["engine"], run["workers"])
+    return (run.get("label", run["engine"]), run["workers"])
+
+
+def _cross_engine_violations(report: dict) -> list[str]:
+    """Soundness errors: engine variants of one config must agree.
+
+    The reductions (sleep sets, renaming symmetry) are only admissible
+    because they preserve the violation set — so within a single
+    configuration, every engine variant's ``violations_digest`` must be
+    identical.  A mismatch is a reduction bug, not a baseline drift,
+    and is reported regardless of what the baseline says.
+    """
+    errors: list[str] = []
+    for config in report.get("configs", []):
+        digests: dict[str, list[str]] = {}
+        for run in config["runs"]:
+            digest = run.get("violations_digest")
+            if digest is not None:
+                digests.setdefault(digest, []).append(
+                    str(_run_key(run))
+                )
+        if len(digests) > 1:
+            groups = "; ".join(
+                f"{digest[:8]}… from {', '.join(runs)}"
+                for digest, runs in sorted(digests.items())
+            )
+            errors.append(
+                f"{config['name']}: engine variants disagree on the "
+                f"violation set ({groups}) — a reduction dropped or "
+                f"invented violations"
+            )
+    return errors
 
 
 def compare(
@@ -59,6 +102,7 @@ def compare(
     errors: list[str] = []
     warnings: list[str] = []
 
+    errors.extend(_cross_engine_violations(candidate))
     for field in ("benchmark", "schema"):
         if baseline.get(field) != candidate.get(field):
             errors.append(

@@ -1,12 +1,13 @@
 """Explorer benchmark runner — emits ``BENCH_explorer.json``.
 
 Measures the incremental exploration engine against the historical
-replay engine and the state-deduplicating engine on fixed
-configurations, and single-worker against multi-worker exploration on
-the largest one.  Results (wall-clock plus the engines' own event and
-state counters) are written as JSON for CI artifact upload and
-cross-run comparison; ``benchmarks/check_explorer_bench.py`` diffs a
-fresh report against the committed ``BENCH_explorer.json`` baseline.
+replay engine, the state-deduplicating engine, and the pre-step
+reductions (sleep sets, renaming symmetry) on fixed configurations, and
+single-worker against multi-worker exploration on the largest one.
+Results (wall-clock plus the engines' own event and state counters) are
+written as JSON for CI artifact upload and cross-run comparison;
+``benchmarks/check_explorer_bench.py`` diffs a fresh report against the
+committed ``BENCH_explorer.json`` baseline.
 
 Usage::
 
@@ -15,19 +16,28 @@ Usage::
 
 The schedule trees explored are deterministic; only the timings vary
 between machines.  The JSON includes per-config invariants (terminal
-count, tree depth, distinct-state counts) so a regression in *what* is
-explored fails loudly.
+count, tree depth, distinct-state counts, a digest of the violation
+set) so a regression in *what* is explored fails loudly — in
+particular, every engine variant of one configuration must report the
+same violation digest, the reduction-soundness check.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import platform
 import time
 
 from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
-from repro.runtime import Simulator, channels_property, explore_schedules
+from repro.runtime import (
+    Simulator,
+    channels_property,
+    explore_schedules,
+    spec_property,
+)
+from repro.specs import TotalOrderBroadcastSpec
 
 
 def _simulator(config: dict) -> Simulator:
@@ -40,6 +50,26 @@ def _simulator(config: dict) -> Simulator:
     )
 
 
+def _property(config: dict):
+    if config.get("property") == "total-order":
+        return spec_property(TotalOrderBroadcastSpec(), assume_complete=False)
+    return channels_property(assume_complete=False)
+
+
+#: Engine variants: label -> explore_schedules keyword arguments.
+ENGINE_KWARGS = {
+    "incremental": {"engine": "incremental"},
+    "replay": {"engine": "replay"},
+    "dedup": {"engine": "dedup"},
+    "incremental-sleep": {"engine": "incremental", "sleep_sets": True},
+    "dedup-sleep": {"engine": "dedup", "sleep_sets": True},
+    "dedup-sleep-rename": {
+        "engine": "dedup",
+        "sleep_sets": True,
+        "symmetry": "rename",
+    },
+}
+
 CONFIGS = [
     {
         "name": "s2a-2senders-n2",
@@ -51,12 +81,32 @@ CONFIGS = [
     },
     {
         # the symmetric depth-8 tree: 2520 terminals over few hundred
-        # distinct states — the dedup engine's showcase
+        # distinct states — the showcase for the dedup cache and both
+        # pre-step reductions
         "name": "s2a-2senders-n3-depth8",
         "algorithm": "send-to-all",
         "n": 3,
         "scripts": {0: ["a"], 1: ["b"]},
-        "engines": ["incremental", "dedup", "replay"],
+        "engines": [
+            "incremental",
+            "dedup",
+            "replay",
+            "incremental-sleep",
+            "dedup-sleep",
+            "dedup-sleep-rename",
+        ],
+        "workers": [],
+    },
+    {
+        # a violating configuration: the reduction-soundness rows —
+        # every engine variant must report the same violation digest
+        "name": "s2a-totalorder-n2",
+        "algorithm": "send-to-all",
+        "n": 2,
+        "scripts": {0: ["x"], 1: ["y"]},
+        "property": "total-order",
+        "expect_violations": True,
+        "engines": ["dedup", "dedup-sleep", "dedup-sleep-rename"],
         "workers": [],
     },
     {
@@ -71,24 +121,38 @@ CONFIGS = [
 ]
 
 
-def run_one(
-    config: dict, *, engine: str = "incremental", workers: int = 1
-) -> dict:
+def _violations_digest(result) -> str:
+    """Order- and permutation-independent digest of the violation set.
+
+    Hashes the *sorted multiset of problem tuples*: reductions may
+    collapse redundant violating interleavings (fewer Violation rows)
+    and rename pids (different guides), but the distinct problem sets
+    they report must survive — so the digest is over those alone.
+    """
+    problems = sorted({violation.problems for violation in result.violations})
+    return hashlib.md5(repr(problems).encode()).hexdigest()
+
+
+def run_one(config: dict, *, label: str, workers: int = 1) -> dict:
     simulator = _simulator(config)
-    prop = channels_property(assume_complete=False)
+    kwargs = ENGINE_KWARGS[label]
     started = time.perf_counter()
     result = explore_schedules(
         simulator,
         config["scripts"],
-        prop,
-        engine=engine,
+        _property(config),
         workers=workers,
+        **kwargs,
     )
     elapsed = time.perf_counter() - started
     assert result.exhausted, f"{config['name']}: exploration not exhaustive"
-    assert result.ok, f"{config['name']}: unexpected violations"
+    if config.get("expect_violations"):
+        assert result.violations, f"{config['name']}: expected violations"
+    else:
+        assert result.ok, f"{config['name']}: unexpected violations"
     return {
-        "engine": engine,
+        "engine": kwargs["engine"],
+        "label": label,
         "workers": workers,
         "seconds": round(elapsed, 4),
         "terminal_schedules": result.terminal_schedules,
@@ -98,6 +162,9 @@ def run_one(
         "events_replayed": result.events_replayed,
         "states_seen": result.states_seen,
         "states_deduped": result.states_deduped,
+        "states_pruned_sleep": result.states_pruned_sleep,
+        "states_merged_symmetry": result.states_merged_symmetry,
+        "violations_digest": _violations_digest(result),
     }
 
 
@@ -119,33 +186,33 @@ def main() -> None:
 
     report = {
         "benchmark": "explorer",
-        "schema": 2,
+        "schema": 3,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "configs": [],
     }
     for config in CONFIGS:
         entry = {"name": config["name"], "runs": []}
-        for engine in config["engines"]:
+        for label in config["engines"]:
             if (
                 args.quick
-                and engine == "replay"
+                and label == "replay"
                 and config["name"].endswith("depth8")
             ):
                 continue
-            entry["runs"].append(run_one(config, engine=engine))
+            entry["runs"].append(run_one(config, label=label))
         for workers in config["workers"]:
             count = args.workers if workers == "N" else workers
             entry["runs"].append(
-                run_one(config, engine="incremental", workers=count)
+                run_one(config, label="incremental", workers=count)
             )
-        by_engine: dict = {}
+        by_label: dict = {}
         for run in entry["runs"]:
-            # pin the first (single-worker) row per engine for the ratios
-            by_engine.setdefault(run["engine"], run)
-        if "incremental" in by_engine and "replay" in by_engine:
-            incremental = by_engine["incremental"]
-            replay = by_engine["replay"]
+            # pin the first (single-worker) row per variant for ratios
+            by_label.setdefault(run["label"], run)
+        if "incremental" in by_label and "replay" in by_label:
+            incremental = by_label["incremental"]
+            replay = by_label["replay"]
             entry["replayed_events_ratio"] = round(
                 replay["events_replayed"]
                 / max(1, incremental["events_replayed"]),
@@ -154,9 +221,9 @@ def main() -> None:
             entry["speedup"] = round(
                 replay["seconds"] / max(1e-9, incremental["seconds"]), 2
             )
-        if "incremental" in by_engine and "dedup" in by_engine:
-            incremental = by_engine["incremental"]
-            dedup = by_engine["dedup"]
+        if "incremental" in by_label and "dedup" in by_label:
+            incremental = by_label["incremental"]
+            dedup = by_label["dedup"]
             # fraction of the incremental engine's expansions the
             # transposition cache proved redundant
             entry["state_revisit_reduction"] = round(
@@ -176,20 +243,46 @@ def main() -> None:
             entry["dedup_speedup"] = round(
                 incremental["seconds"] / max(1e-9, dedup["seconds"]), 2
             )
+        if "dedup" in by_label and "dedup-sleep" in by_label:
+            dedup = by_label["dedup"]
+            slept = by_label["dedup-sleep"]
+            # sleep sets cannot reduce *distinct* states (a slept
+            # event's target is reachable via the commuted order by
+            # construction); what they cut is redundant interleavings —
+            # terminal property evaluations and executed events
+            entry["sleep_terminal_reduction"] = round(
+                1
+                - slept["terminal_schedules"]
+                / max(1, dedup["terminal_schedules"]),
+                4,
+            )
+        if "dedup" in by_label and "dedup-sleep-rename" in by_label:
+            dedup = by_label["dedup"]
+            composed = by_label["dedup-sleep-rename"]
+            entry["composed_state_reduction"] = round(
+                1 - composed["states_seen"] / max(1, dedup["states_seen"]),
+                4,
+            )
         report["configs"].append(entry)
         print(f"{entry['name']}:")
         for run in entry["runs"]:
-            states = (
-                f", {run['states_seen']} states seen / "
-                f"{run['states_deduped']} deduped"
-                if run["engine"] == "dedup"
-                else ""
-            )
+            extras = ""
+            if run["states_seen"]:
+                extras = (
+                    f", {run['states_seen']} states seen / "
+                    f"{run['states_deduped']} deduped"
+                )
+            if run["states_pruned_sleep"]:
+                extras += f", {run['states_pruned_sleep']} sleep-pruned"
+            if run["states_merged_symmetry"]:
+                extras += (
+                    f", {run['states_merged_symmetry']} symmetry-merged"
+                )
             print(
-                f"  {run['engine']}(workers={run['workers']}): "
+                f"  {run['label']}(workers={run['workers']}): "
                 f"{run['seconds']}s, {run['terminal_schedules']} terminals, "
                 f"{run['events_executed']} events executed, "
-                f"{run['events_replayed']} replayed{states}"
+                f"{run['events_replayed']} replayed{extras}"
             )
         if "replayed_events_ratio" in entry:
             print(
@@ -205,6 +298,16 @@ def main() -> None:
                 f"{entry['expanded_vs_terminals_reduction']:.1%} fewer "
                 f"than terminals; dedup speedup "
                 f"{entry['dedup_speedup']}x"
+            )
+        if "sleep_terminal_reduction" in entry:
+            print(
+                f"  sleep sets: {entry['sleep_terminal_reduction']:.1%} "
+                f"fewer terminal evaluations"
+            )
+        if "composed_state_reduction" in entry:
+            print(
+                f"  sleep+rename: {entry['composed_state_reduction']:.1%} "
+                f"fewer expanded states"
             )
 
     with open(args.output, "w") as handle:

@@ -9,7 +9,7 @@ senders and nothing more.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from ..core.message import Message
 from ..runtime.effects import Deliver, Effect
@@ -20,6 +20,11 @@ __all__ = ["SendToAllBroadcast"]
 
 class SendToAllBroadcast(BroadcastProcess):
     """``broadcast(m)`` = send ``m`` to all; ``deliver`` upon reception."""
+
+    def symmetric_processes(self) -> Sequence[Iterable[int]] | None:
+        # Fully pid-uniform and content-oblivious: instances differ only
+        # in self.pid, address everyone alike and never read contents.
+        return (range(self.n),)
 
     def on_broadcast(self, message: Message) -> Iterator[Effect]:
         yield from self.send_to_all(message)

@@ -15,7 +15,7 @@ channels are reliable.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from ..core.message import Message, MessageId
 from ..runtime.effects import Deliver, Effect
@@ -30,6 +30,11 @@ class UniformReliableBroadcast(BroadcastProcess):
     def __init__(self, pid: int, n: int) -> None:
         super().__init__(pid, n)
         self._known: set[MessageId] = set()
+
+    def symmetric_processes(self) -> Sequence[Iterable[int]] | None:
+        # Pid-uniform and content-oblivious: forwarding depends only on
+        # message *identity* membership in _known, never on contents.
+        return (range(self.n),)
 
     def _learn(self, message: Message) -> Iterator[Effect]:
         """Forward-then-deliver a message seen for the first time."""

@@ -33,6 +33,7 @@ __all__ = [
     "SymmetryResult",
     "check_compositional",
     "check_content_neutral",
+    "pid_permutations",
     "subset_restrictions",
     "sample_renamings",
 ]
@@ -204,6 +205,50 @@ def sample_renamings(
             subset = rng.sample(uids, size)
             yield Renaming({uid: fresh() for uid in subset})
         produced += 1
+
+
+def pid_permutations(
+    groups: Sequence[Iterable[int]],
+    n: int,
+    *,
+    limit: int = 5040,
+) -> list[tuple[int, ...]]:
+    """Every pid permutation acting within ``groups`` and fixing the rest.
+
+    ``groups`` are disjoint sets of interchangeable process ids out of
+    ``0..n-1`` (the renaming symmetries of a configuration — see
+    ``BroadcastProcess.symmetric_processes``); the result enumerates the
+    product group of within-group permutations, identity first, as full
+    ``perm[old_pid] = new_pid`` tuples.  The identity permutation is
+    always present (``groups`` may be empty).  ``limit`` guards against
+    accidentally exponential groups — symmetry reduction pays |perms|
+    encodings per state, so beyond a few hundred permutations a
+    different canonicalization strategy is needed anyway.
+    """
+    normalized = [sorted(set(group)) for group in groups]
+    seen: set[int] = set()
+    for group in normalized:
+        for pid in group:
+            if not 0 <= pid < n:
+                raise ValueError(f"pid {pid} out of range for n={n}")
+            if pid in seen:
+                raise ValueError(f"pid {pid} appears in two symmetry groups")
+            seen.add(pid)
+    perms: list[list[int]] = [list(range(n))]
+    for group in normalized:
+        extended: list[list[int]] = []
+        for base in perms:
+            for images in itertools.permutations(group):
+                perm = list(base)
+                for source, image in zip(group, images):
+                    perm[source] = image
+                extended.append(perm)
+            if len(extended) > limit:
+                raise ValueError(
+                    f"symmetry group product exceeds {limit} permutations"
+                )
+        perms = extended
+    return [tuple(perm) for perm in perms]
 
 
 def check_content_neutral(

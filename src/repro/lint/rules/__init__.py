@@ -14,6 +14,7 @@ from .determinism import DeterminismRule
 from .effects import EffectDisciplineRule
 from .hygiene import SwallowedFailureRule
 from .neutrality import ContentNeutralityRule
+from .ordering import UidOrderingRule
 from .state import MutableStateRule
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "ContentNeutralityRule",
     "MutableStateRule",
     "SwallowedFailureRule",
+    "UidOrderingRule",
     "default_rules",
 ]
 
@@ -35,6 +37,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ContentNeutralityRule,
     MutableStateRule,
     SwallowedFailureRule,
+    UidOrderingRule,
 )
 
 

@@ -1,0 +1,253 @@
+"""REP006 — spec verdicts must enumerate uids in sorted order.
+
+The delivery predicates in ``specs/`` report *why* an execution is
+rejected: verdict details name the offending message uids.  Those
+details are diffed byte-for-byte — by the content-neutrality fixtures,
+by the explorer's violation round-trip tests, and by anyone comparing
+two runs — so their order must be a function of the execution alone.
+Iterating a ``set`` (or a dict populated *from* a set) of uids walks it
+in hash order, which varies across interpreter runs once message
+contents (strings, tokens) enter the hash mix.  The fix is always the
+same and always cheap at spec scale: ``sorted(...)`` before iterating.
+
+The rule is an intra-function inference: a name counts as a *set of
+uids* while its last binding is a set expression mentioning uids, when
+uids are accumulated into it via ``.add(...)``, or when it is unpacked
+from the ``.items()`` / ``.values()`` of a dict whose values are such
+sets (the ``d.setdefault(key, set()).add(m.uid)`` accumulator idiom).
+Wrapping the iteration in ``sorted(...)`` launders it back to ordered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule, dotted_name
+
+__all__ = ["UidOrderingRule"]
+
+#: Substrings marking an expression or name as uid-bearing.
+_UID_MARKERS = ("uid", "UID", "MessageId")
+
+#: Annotation heads denoting an unordered set.
+_SET_HEADS = ("set", "Set", "frozenset", "FrozenSet")
+
+
+def _mentions_uid(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    text = ast.unparse(node)
+    return any(marker in text for marker in _UID_MARKERS)
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "intersection",
+            "union",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expression(node.func.value)
+    return False
+
+
+class UidOrderingRule(Rule):
+    """Flag hash-ordered iteration over uid sets in delivery predicates."""
+
+    id = "REP006"
+    summary = (
+        "spec predicates must iterate message-uid sets (and dicts of "
+        "them) sorted, so verdict details replay byte-for-byte"
+    )
+    scope = frozenset({"specs"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for scope_node in self._function_scopes(module.tree):
+            uid_sets, uid_set_dicts = self._infer_names(scope_node)
+            for node in self._walk_scope(scope_node):
+                if isinstance(node, ast.For):
+                    yield from self._check_iter(
+                        module, node.iter, uid_sets, uid_set_dicts
+                    )
+                elif isinstance(
+                    node,
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                ):
+                    for generator in node.generators:
+                        yield from self._check_iter(
+                            module, generator.iter, uid_sets, uid_set_dicts
+                        )
+        return
+
+    # -- scope handling --------------------------------------------------
+
+    @staticmethod
+    def _function_scopes(tree: ast.Module) -> list[ast.AST]:
+        """The module plus every function, each a separate inference scope."""
+        scopes: list[ast.AST] = [tree]
+        scopes.extend(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        return scopes
+
+    @staticmethod
+    def _walk_scope(scope_node: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope without descending into nested functions."""
+        for child in ast.iter_child_nodes(scope_node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # a nested scope: inferred and checked separately
+            yield child
+            yield from UidOrderingRule._walk_scope_children(child)
+
+    @staticmethod
+    def _walk_scope_children(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield child
+            yield from UidOrderingRule._walk_scope_children(child)
+
+    # -- name inference --------------------------------------------------
+
+    def _infer_names(
+        self, scope_node: ast.AST
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """(names holding uid sets, names holding dicts of uid sets)."""
+        uid_sets: set[str] = set()
+        uid_set_dicts: set[str] = set()
+        nodes = list(self._walk_scope(scope_node))
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if _is_set_expression(node.value) and (
+                        _mentions_uid(node.value) or _mentions_uid(target)
+                    ):
+                        uid_sets.add(target.id)
+                    elif not _is_set_expression(node.value):
+                        uid_sets.discard(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                text = ast.unparse(node.annotation)
+                head = text.split("[", 1)[0].strip()
+                if head in _SET_HEADS and _mentions_uid(node.annotation):
+                    uid_sets.add(node.target.id)
+                elif head in ("dict", "Dict") and _mentions_uid(
+                    node.annotation
+                ):
+                    uid_set_dicts.add(node.target.id)
+            elif isinstance(node, ast.Call):
+                self._infer_from_call(node, uid_sets, uid_set_dicts)
+        # loop-target propagation last: the dict accumulators the targets
+        # unpack may be populated later in source order than the loop
+        for node in nodes:
+            if isinstance(node, ast.For):
+                self._infer_from_loop_target(node, uid_sets, uid_set_dicts)
+        return frozenset(uid_sets), frozenset(uid_set_dicts)
+
+    @staticmethod
+    def _infer_from_call(
+        node: ast.Call, uid_sets: set[str], uid_set_dicts: set[str]
+    ) -> None:
+        """Track the two accumulator idioms: ``s.add`` and ``setdefault``."""
+        if not isinstance(node.func, ast.Attribute):
+            return
+        owner = node.func.value
+        if (
+            node.func.attr == "add"
+            and node.args
+            and _mentions_uid(node.args[0])
+        ):
+            # ``seen.add(m.uid)`` — a plain set accumulating uids
+            if isinstance(owner, ast.Name):
+                uid_sets.add(owner.id)
+            # ``per.setdefault(k, set()).add(m.uid)`` — a dict of them
+            if (
+                isinstance(owner, ast.Call)
+                and isinstance(owner.func, ast.Attribute)
+                and owner.func.attr == "setdefault"
+                and len(owner.args) == 2
+                and _is_set_expression(owner.args[1])
+                and isinstance(owner.func.value, ast.Name)
+            ):
+                uid_set_dicts.add(owner.func.value.id)
+
+    @staticmethod
+    def _infer_from_loop_target(
+        node: ast.For, uid_sets: set[str], uid_set_dicts: set[str]
+    ) -> None:
+        """Unpacking a uid-set dict rebinds its set half in the target."""
+        if not (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Attribute)
+            and isinstance(node.iter.func.value, ast.Name)
+            and node.iter.func.value.id in uid_set_dicts
+        ):
+            return
+        method = node.iter.func.attr
+        target = node.target
+        if (
+            method == "items"
+            and isinstance(target, ast.Tuple)
+            and len(target.elts) == 2
+            and isinstance(target.elts[1], ast.Name)
+        ):
+            uid_sets.add(target.elts[1].id)
+        elif method == "values" and isinstance(target, ast.Name):
+            uid_sets.add(target.id)
+
+    # -- the check -------------------------------------------------------
+
+    def _check_iter(
+        self,
+        module: ModuleContext,
+        iterable: ast.AST,
+        uid_sets: frozenset[str],
+        uid_set_dicts: frozenset[str],
+    ) -> Iterator[Finding]:
+        target = iterable
+        # enumerate(x) iterates x; unwrap one layer
+        if (
+            isinstance(target, ast.Call)
+            and dotted_name(target.func) == "enumerate"
+            and target.args
+        ):
+            target = target.args[0]
+        if self._is_uid_set(target, uid_sets, uid_set_dicts):
+            yield module.finding(
+                self,
+                iterable,
+                "iterating a set of message uids walks it in hash order, "
+                "so verdict details change across interpreter runs; "
+                "iterate sorted(...) (verdicts are diffed byte-for-byte)",
+            )
+
+    @staticmethod
+    def _is_uid_set(
+        node: ast.AST,
+        uid_sets: frozenset[str],
+        uid_set_dicts: frozenset[str],
+    ) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in uid_sets
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in uid_set_dicts
+        ):
+            # ``per_sender[k]`` — one of the dict's set values
+            return True
+        if _is_set_expression(node) and _mentions_uid(node):
+            return True
+        return False

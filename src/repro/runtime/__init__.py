@@ -16,6 +16,7 @@ from .crash import CrashSchedule
 from .effects import Deliver, DeliverSet, Effect, LocalNote, Propose, Send, Wait
 from .explorer import (
     ExplorationResult,
+    ProgressSnapshot,
     PropertyTracker,
     Violation,
     channels_property,
@@ -23,7 +24,13 @@ from .explorer import (
     explore_schedules,
     spec_property,
 )
-from .fingerprint import canonical_update, stable_digest
+from .fingerprint import PidCanonicalizer, canonical_update, stable_digest
+from .independence import (
+    Footprint,
+    choice_key,
+    independent,
+    observed_footprint,
+)
 from .ksa_objects import (
     DecisionPolicy,
     FirstProposalsPolicy,
@@ -70,6 +77,7 @@ __all__ = [
     "Effect",
     "ExplorationResult",
     "FirstProposalsPolicy",
+    "Footprint",
     "Gated",
     "Idle",
     "InFlight",
@@ -80,7 +88,9 @@ __all__ = [
     "LocalStep",
     "Network",
     "OwnValuePolicy",
+    "PidCanonicalizer",
     "ProcessRuntime",
+    "ProgressSnapshot",
     "PropertyTracker",
     "Propose",
     "ProposeStep",
@@ -101,8 +111,11 @@ __all__ = [
     "Wait",
     "canonical_update",
     "channels_property",
+    "choice_key",
     "combine_properties",
     "explore_schedules",
+    "independent",
+    "observed_footprint",
     "spec_property",
     "stable_digest",
 ]

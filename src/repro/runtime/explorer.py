@@ -39,6 +39,33 @@ produce identical violations and terminal verdicts:
   per-node depth factor it pays is reported in
   :attr:`ExplorationResult.events_replayed`.
 
+Pre-step reductions
+-------------------
+
+Two opt-in reductions prune branches *before* the run handle is forked,
+composing with (and multiplying) the dedup cache's savings:
+
+* ``sleep_sets=True`` — the sleep-set partial-order reduction: when two
+  enabled events are *independent* (recorded footprints touching
+  disjoint processes, no emissions, no oracle, no crash — see
+  :mod:`repro.runtime.independence`), exploring ``a`` then ``b``'s
+  subtree makes re-exploring ``b`` then ``a`` redundant, so ``a`` is
+  put to sleep below ``b`` and the slept branch is skipped outright
+  (:attr:`ExplorationResult.states_pruned_sleep`).  Terminal states and
+  therefore violations are preserved; slept interleavings are simply
+  not re-counted.
+* ``symmetry="rename"`` — renaming-symmetry reduction over the dedup
+  cache: states equal up to a permutation of interchangeable process
+  ids plus an injective renaming of message contents (Definition 3
+  lifted to states) share one cache slot, keyed by the minimum of
+  :meth:`~repro.runtime.simulator.SimulationRun.canonical_state_digest`
+  over the admissible permutations.  Gated on the algorithm's
+  ``symmetric_processes()`` declaration and a pid-uniform oracle
+  policy; merged arrivals are counted in
+  :attr:`ExplorationResult.states_merged_symmetry` and replay the
+  representative's violations with the witnessing permutation recorded
+  on :attr:`Violation.permutation`.
+
 Soundness of deduplication
 --------------------------
 
@@ -109,18 +136,23 @@ truncated mid-flight.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Sequence
 
 from ..core.broadcast_spec import BroadcastSpec
 from ..core.model import ChannelTracker, check_channels
 from ..core.steps import Step
+from ..core.symmetry import pid_permutations
 from .crash import CrashSchedule
-from .simulator import SimulationResult, SimulationRun, Simulator
+from .fingerprint import stable_digest
+from .independence import Footprint, choice_key, independent
+from .simulator import Gated, SimulationResult, SimulationRun, Simulator
 
 __all__ = [
     "Violation",
     "ExplorationResult",
+    "ProgressSnapshot",
     "explore_schedules",
     "spec_property",
     "channels_property",
@@ -131,16 +163,33 @@ __all__ = [
 Property = Callable[[SimulationResult], list[str]]
 
 
+def _now() -> float:
+    """Wall clock for progress telemetry; the search never reads it."""
+    return time.perf_counter()  # repro-lint: disable=REP001 -- telemetry only; exploration order and results never depend on it
+
+
 @dataclass(frozen=True)
 class Violation:
     """One violating schedule: the guide that reproduces it, and why."""
 
     guide: tuple[int, ...]
     problems: tuple[str, ...]
+    #: Set only on violations re-emitted through a symmetry merge
+    #: (``symmetry="rename"``): ``permutation[p]`` is the process id in
+    #: the run reproduced by ``guide`` that plays the role of process
+    #: ``p`` at the merged arrival where the violation was reported.
+    #: ``None`` everywhere else (the guide is in the violation's own
+    #: frame).
+    permutation: tuple[int, ...] | None = None
 
     def __str__(self) -> str:
+        renamed = (
+            ""
+            if self.permutation is None
+            else f" (via renaming {list(self.permutation)})"
+        )
         return (
-            f"schedule {list(self.guide)}: "
+            f"schedule {list(self.guide)}{renamed}: "
             + "; ".join(self.problems[:3])
         )
 
@@ -177,6 +226,21 @@ class ExplorationResult:
     #: Branches pruned because their post-event state was already
     #: expanded — each one stood in for a whole re-explored subtree.
     states_deduped: int = 0
+    #: Enabled branches skipped by the sleep-set reduction
+    #: (``sleep_sets=True``): each skipped branch starts an interleaving
+    #: of independent events that an already-explored sibling order
+    #: covers state-for-state.
+    states_pruned_sleep: int = 0
+    #: Dedup-cache hits where the arriving state matched the cached
+    #: representative only up to a pid permutation plus an injective
+    #: content renaming (``symmetry="rename"``), not verbatim; the
+    #: witnessing permutation is recorded on each replayed
+    #: :class:`Violation`.
+    states_merged_symmetry: int = 0
+    #: Node expansions per decision depth (incremental engines only).
+    expansions_by_depth: dict[int, int] = field(default_factory=dict)
+    #: Dedup-cache hits (identity or symmetry) per decision depth.
+    dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -199,6 +263,35 @@ class ExplorationResult:
             f"schedules ({self.schedules_explored} prefixes, depth ≤ "
             f"{self.max_depth_seen}): {verdict}"
         )
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One progress report from a running exploration.
+
+    Delivered to the ``progress`` callback of :func:`explore_schedules`
+    every ``progress_every`` node expansions.  ``elapsed`` and
+    ``states_per_second`` are wall-clock telemetry; they never feed back
+    into the search, which stays deterministic.
+    """
+
+    #: Nodes expanded so far (``schedules_explored``).
+    expansions: int
+    #: Terminal schedules visited so far.
+    terminals: int
+    #: Decision depth of the node whose expansion triggered this report.
+    depth: int
+    #: Wall-clock seconds since the exploration started.
+    elapsed: float
+    #: Expansions divided by ``elapsed`` (0.0 while the clock reads 0).
+    states_per_second: float
+    #: Snapshot of per-depth expansion counts (depth → count).
+    expansions_by_depth: Mapping[int, int]
+    #: Snapshot of per-depth dedup-cache hit counts (depth → count).
+    dedup_hits_by_depth: Mapping[int, int]
+
+
+ProgressCallback = Callable[[ProgressSnapshot], None]
 
 
 # ---------------------------------------------------------------------------
@@ -409,29 +502,208 @@ class _SubtreeOutcome:
     events_replayed: int = 0
     states_seen: int = 0
     states_deduped: int = 0
+    states_pruned_sleep: int = 0
+    states_merged_symmetry: int = 0
+    expansions_by_depth: dict[int, int] = field(default_factory=dict)
+    dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
 class _Summary:
     """One fully-explored subtree, relative to its root (the cache value).
 
-    ``violations`` holds ``(ordinal, suffix, problems)`` triples:
-    ``ordinal`` is the violating terminal's position in the subtree's
-    depth-first terminal sequence and ``suffix`` the decision path from
-    the subtree root, so a later arrival at the same state replays the
-    exact violations re-expansion would have produced, with guides
-    rebased onto its own prefix.  ``height`` is the relative depth of
-    the deepest descendant; ``truncated`` marks a subtree some branch of
-    which was cut at ``max_depth`` (its shape depends on the remaining
-    depth budget, so reuse is restricted — see :func:`_entry_reusable`).
+    ``violations`` holds ``(ordinal, guide, problems, permutation)``
+    tuples: ``ordinal`` is the violating terminal's position in the
+    subtree's depth-first terminal sequence.  Without symmetry,
+    ``guide`` is the decision *suffix* from the subtree root (rebased
+    onto each arrival's own prefix on replay) and ``permutation`` is
+    always ``None``.  Under ``symmetry="rename"``, guides are stored
+    *absolute* — the full decision path of the run that first discovered
+    the violation — because an arrival that matches only up to renaming
+    enumerates its choices in a different order, so suffix rebasing
+    would produce an inexecutable guide; ``permutation`` then maps the
+    subtree root's frame onto the guide run's frame.  ``height`` is the
+    relative depth of the deepest descendant; ``truncated`` marks a
+    subtree some branch of which was cut at ``max_depth`` (its shape
+    depends on the remaining depth budget, so reuse is restricted — see
+    :func:`_entry_reusable`).
     """
 
     terminals: int = 0
-    violations: list[tuple[int, tuple[int, ...], tuple[str, ...]]] = field(
-        default_factory=list
-    )
+    violations: list[
+        tuple[int, tuple[int, ...], tuple[str, ...], tuple[int, ...] | None]
+    ] = field(default_factory=list)
     height: int = 0
     truncated: bool = False
+
+
+@dataclass
+class _CacheEntry:
+    """One dedup-cache slot: a summary plus what identifies arrivals.
+
+    ``raw``/``raw_sleep`` are the representative's verbatim fingerprint
+    and sleep digest — an arrival matching both is an *identity* hit
+    (classic dedup, guides rebased); an arrival matching only the
+    canonical cache key is a *symmetry* merge, replayed through the
+    witnessing permutation against ``perm`` (the representative's
+    canonicalizing permutation).  ``base`` is the representative's
+    absolute decision path, the base of symmetry-mode guides.
+    """
+
+    depth: int
+    summary: _Summary
+    base: tuple[int, ...]
+    raw: str
+    raw_sleep: str
+    perm: tuple[int, ...] | None
+
+
+# -- sleep sets and symmetry: key and witness helpers -----------------------
+
+#: A sleep set: choice identity (see ``choice_key``) → the footprint the
+#: event had when it was explored and put to sleep.  Footprints persist
+#: while the event stays asleep: every event taken since was independent
+#: of it, so what it touches cannot have changed.
+_SleepSet = dict[tuple, Footprint]
+
+
+def _sleep_digest(sleep: Mapping[tuple, Footprint]) -> str:
+    """A stable digest of the sleep set's *identity* (its key set).
+
+    Footprints are omitted on purpose: at equal state fingerprints the
+    footprint of a choice is a function of the state, so the key set
+    determines the whole sleep set.
+    """
+    return stable_digest("sleep", sorted(sleep))
+
+
+def _map_sleep_key(key: tuple, permutation: Sequence[int]) -> tuple:
+    """The image of a sleep-set key under a pid permutation."""
+    if key[0] == "recv":
+        _, sender, receiver, seq = key
+        return ("recv", permutation[sender], permutation[receiver], seq)
+    kind, pid = key
+    return (kind, permutation[pid])
+
+
+def _canonical_sleep_digest(
+    sleep: Mapping[tuple, Footprint], permutation: Sequence[int]
+) -> str:
+    """The sleep digest after relabeling pids through ``permutation``."""
+    return stable_digest(
+        "sleep", sorted(_map_sleep_key(key, permutation) for key in sleep)
+    )
+
+
+def _canonical_key(
+    handle: SimulationRun,
+    permutations: Sequence[tuple[int, ...]],
+    sleep: Mapping[tuple, Footprint],
+    sleep_sets: bool,
+) -> tuple[str, tuple[int, ...]]:
+    """The symmetry-canonical cache key of a state, plus its argmin.
+
+    Minimizes the (state digest, sleep digest) pair over the allowed pid
+    permutations; the returned permutation witnesses how this state maps
+    onto the canonical representative's frame.
+    """
+    best: tuple[str, str] | None = None
+    best_perm: tuple[int, ...] | None = None
+    for perm in permutations:
+        pair = (
+            handle.canonical_state_digest(perm),
+            _canonical_sleep_digest(sleep, perm) if sleep_sets else "",
+        )
+        if best is None or pair < best:
+            best, best_perm = pair, perm
+    assert best is not None and best_perm is not None
+    return f"{best[0]}|{best[1]}", best_perm
+
+
+def _witness_permutation(
+    arrival: Sequence[int], representative: Sequence[int]
+) -> tuple[int, ...]:
+    """The pid map from an arriving state onto its cached representative.
+
+    The arrival canonicalizes under ``arrival`` and the representative
+    under ``representative`` onto the same encoding, so arrival pid
+    ``p`` plays the role of representative pid ``w[p]`` with
+    ``representative[w[p]] == arrival[p]``.
+    """
+    inverse = [0] * len(representative)
+    for source, image in enumerate(representative):
+        inverse[image] = source
+    return tuple(inverse[arrival[p]] for p in range(len(arrival)))
+
+
+def _transform_summary(summary: _Summary, witness: Sequence[int]) -> _Summary:
+    """Re-frame a cached summary for an arrival related by ``witness``.
+
+    Guides are absolute (symmetry mode) and stay unchanged; each
+    violation's permutation is composed so it maps the *arrival's* frame
+    onto the guide run's frame.
+    """
+    violations = [
+        (
+            ordinal,
+            guide,
+            problems,
+            tuple(witness)
+            if perm is None
+            else tuple(perm[witness[p]] for p in range(len(witness))),
+        )
+        for ordinal, guide, problems, perm in summary.violations
+    ]
+    return _Summary(
+        terminals=summary.terminals,
+        violations=violations,
+        height=summary.height,
+        truncated=summary.truncated,
+    )
+
+
+def _renaming_permutations(
+    simulator: Simulator,
+    scripts: Mapping[int, Sequence[Hashable]],
+    crash_schedule: CrashSchedule | None,
+) -> tuple[tuple[int, ...], ...]:
+    """The pid permutations ``symmetry="rename"`` may canonicalize over.
+
+    Gated on the algorithm's own declaration
+    (:meth:`~repro.runtime.process.BroadcastProcess.symmetric_processes`)
+    and on a pid-uniform oracle policy — without either, the reduction
+    is inert (no permutations, classic dedup).  Declared groups are then
+    refined by what the *configuration* distinguishes: crash-faulty pids
+    are pinned (crash schedules are pid-keyed and not relabeled), as are
+    pids with :class:`~repro.runtime.simulator.Gated` script entries
+    (gates couple pids through content), and pids only stay
+    interchangeable when their scripts have the same shape (contents are
+    handled by the injective renaming; arity is not).
+    """
+    declared = simulator.algorithm_factory(0, simulator.n).symmetric_processes()
+    if declared is None:
+        return ()
+    if not simulator.ksa_policy.pid_uniform:
+        return ()
+    faulty = (
+        crash_schedule.faulty() if crash_schedule is not None else frozenset()
+    )
+
+    def shape(p: int) -> tuple[str, ...]:
+        return tuple(
+            "gated" if isinstance(entry, Gated) else "plain"
+            for entry in scripts.get(p, ())
+        )
+
+    groups: list[list[int]] = []
+    for group in declared:
+        by_shape: dict[tuple[str, ...], list[int]] = {}
+        for p in group:
+            if p in faulty or "gated" in shape(p):
+                continue
+            by_shape.setdefault(shape(p), []).append(p)
+        groups.extend(g for g in by_shape.values() if len(g) > 1)
+    return tuple(pid_permutations(groups, simulator.n))
 
 
 def _entry_reusable(
@@ -463,6 +735,11 @@ def _explore_subtree(
     max_depth: int,
     stop_at_first_violation: bool,
     dedup: bool = False,
+    sleep_sets: bool = False,
+    permutations: Sequence[tuple[int, ...]] = (),
+    initial_sleep: _SleepSet | None = None,
+    progress: ProgressCallback | None = None,
+    progress_every: int = 1000,
 ) -> _SubtreeOutcome:
     """Incremental DFS below ``prefix`` (replayed once to materialize).
 
@@ -470,6 +747,14 @@ def _explore_subtree(
     a node whose state fingerprint was already fully expanded is pruned,
     and the cached subtree summary is replayed in its place, reproducing
     the exact terminal counts and violations of a re-expansion.
+
+    ``sleep_sets=True`` adds the sleep-set partial-order reduction: a
+    branch whose choice is asleep (its footprint independent of every
+    event taken since a sibling order explored it) is skipped before
+    forking; ``initial_sleep`` seeds the root's sleep set (parallel
+    shards inherit theirs from the frontier expansion).  A non-empty
+    ``permutations`` tuple switches the dedup cache to
+    symmetry-canonical keys (see :func:`_canonical_key`).
     """
     out = _SubtreeOutcome()
     prop = _as_property(property_check)
@@ -481,6 +766,33 @@ def _explore_subtree(
     out.events_replayed += len(prefix)
     cursor = _Cursor(handle, prop.tracker(simulator.n), 0)
     path = list(prefix)
+    started = _now() if progress is not None else 0.0
+
+    def note_expansion(depth: int) -> None:
+        """Per-depth accounting plus the periodic progress callback."""
+        out.expansions_by_depth[depth] = (
+            out.expansions_by_depth.get(depth, 0) + 1
+        )
+        if (
+            progress is not None
+            and out.schedules_explored % progress_every == 0
+        ):
+            elapsed = _now() - started
+            progress(
+                ProgressSnapshot(
+                    expansions=out.schedules_explored,
+                    terminals=out.terminal_schedules,
+                    depth=depth,
+                    elapsed=elapsed,
+                    states_per_second=(
+                        out.schedules_explored / elapsed
+                        if elapsed > 0
+                        else 0.0
+                    ),
+                    expansions_by_depth=dict(out.expansions_by_depth),
+                    dedup_hits_by_depth=dict(out.dedup_hits_by_depth),
+                )
+            )
 
     def visit_terminal(cursor: _Cursor) -> tuple[tuple[str, ...], bool]:
         """Account one terminal; returns (problems, keep_going)."""
@@ -497,12 +809,41 @@ def _explore_subtree(
                 return problems, False
         return problems, True
 
-    def dfs(cursor: _Cursor, depth: int) -> bool:
+    def active_branches(
+        choices: list, sleep: _SleepSet
+    ) -> tuple[list[int], list[tuple]]:
+        """The non-slept branch indices, and every branch's choice key."""
+        keys = [choice_key(choice) for choice in choices]
+        active = [b for b in range(len(choices)) if keys[b] not in sleep]
+        out.states_pruned_sleep += len(choices) - len(active)
+        return active, keys
+
+    def child_sleep_set(
+        child: _Cursor, sleep: _SleepSet, explored: _SleepSet
+    ) -> tuple[_SleepSet, Footprint | None]:
+        """The sleep set below ``child``, and the taken event's footprint.
+
+        The child keeps every slept or earlier-explored sibling event
+        that is independent of the event just taken (Godefroid's
+        sleep-set recurrence); a dependent event wakes up.
+        """
+        child.handle.choices()  # prelude: finalizes the footprint
+        taken = child.handle.last_footprint
+        kept = {
+            key: footprint
+            for candidates in (sleep, explored)
+            for key, footprint in candidates.items()
+            if independent(footprint, taken)
+        }
+        return kept, taken
+
+    def dfs(cursor: _Cursor, depth: int, sleep: _SleepSet) -> bool:
         """Returns False to abort the whole search."""
         if out.terminal_schedules >= max_schedules:
             out.exhausted = False
             return False
         out.schedules_explored += 1
+        note_expansion(depth)
         out.max_depth_seen = max(out.max_depth_seen, depth)
         choices = cursor.handle.choices()
         cursor.sync()
@@ -512,124 +853,188 @@ def _explore_subtree(
         if depth >= max_depth:
             out.exhausted = False
             return True
-        last = len(choices) - 1
-        for branch in range(len(choices)):
-            if branch < last:
+        if sleep_sets:
+            active, keys = active_branches(choices, sleep)
+        else:
+            active, keys = list(range(len(choices))), []
+        explored: _SleepSet = {}
+        last = active[-1] if active else None
+        for branch in active:
+            if branch != last:
                 child = cursor.fork()
                 out.events_replayed += child.handle.replayed_steps
             else:
                 child = cursor  # the last branch extends this node in place
             child.handle.advance(branch)
             out.events_executed += 1
+            if sleep_sets:
+                child_sleep, taken = child_sleep_set(child, sleep, explored)
+            else:
+                child_sleep, taken = sleep, None
             path.append(branch)
-            keep_going = dfs(child, depth + 1)
+            keep_going = dfs(child, depth + 1, child_sleep)
             path.pop()
             if not keep_going:
                 return False
+            if sleep_sets and taken is not None:
+                explored[keys[branch]] = taken
         return True
 
-    cache: dict[str, tuple[int, _Summary]] = {}
+    cache: dict[str, _CacheEntry] = {}
 
-    def replay(entry: _Summary) -> bool:
-        """Emit a cached subtree's terminals and violations under ``path``.
+    def replay(summary: _Summary, base: tuple[int, ...] | None) -> bool:
+        """Emit a cached subtree's terminals and violations.
 
+        ``base`` is the arrival's own path when the summary carries
+        relative suffixes (classic dedup: guides are rebased onto it),
+        or ``None`` when it carries absolute guides (symmetry mode).
         Mirrors what depth-first re-expansion would have reported: the
         schedule budget can cut the virtual subtree mid-way, and
         ``stop_at_first_violation`` aborts at its first violating
         terminal.  Returns False to abort the whole search.
         """
         budget_left = max_schedules - out.terminal_schedules
-        take = min(entry.terminals, budget_left)
-        base = out.terminal_schedules
-        for ordinal, suffix, problems in entry.violations:
+        take = min(summary.terminals, budget_left)
+        start = out.terminal_schedules
+        for ordinal, guide, problems, perm in summary.violations:
             if ordinal >= take:
                 break
+            full = guide if base is None else base + guide
             out.violations.append(
-                (base + ordinal, Violation(tuple(path) + suffix, problems))
+                (start + ordinal, Violation(full, problems, perm))
             )
             if stop_at_first_violation:
-                out.terminal_schedules = base + ordinal + 1
+                out.terminal_schedules = start + ordinal + 1
                 out.aborted = True
                 out.exhausted = False
                 return False
-        out.terminal_schedules = base + take
-        if take < entry.terminals:
+        out.terminal_schedules = start + take
+        if take < summary.terminals:
             out.exhausted = False
             return False
         return True
 
-    def dedup_dfs(cursor: _Cursor, depth: int) -> _Summary | None:
-        """DFS with transposition pruning.
+    def dedup_dfs(
+        cursor: _Cursor, depth: int, sleep: _SleepSet
+    ) -> _Summary | None:
+        """DFS with transposition pruning (plus sleep/symmetry, if on).
 
         Returns the subtree's summary — cached for later arrivals at the
-        same state — or ``None`` when the search was cut (budget, abort):
-        partial summaries are never cached.
+        same state, re-framed through the witnessing permutation on
+        symmetry merges — or ``None`` when the search was cut (budget,
+        abort): partial summaries are never cached.
         """
         if out.terminal_schedules >= max_schedules:
             out.exhausted = False
             return None
         choices = cursor.handle.choices()  # prelude before fingerprinting
         cursor.sync()
-        fingerprint = cursor.handle.fingerprint()
-        cached = cache.get(fingerprint)
-        if cached is not None:
-            cached_depth, entry = cached
-            if _entry_reusable(entry, cached_depth, depth, max_depth):
+        raw = cursor.handle.fingerprint()
+        raw_sleep = _sleep_digest(sleep) if sleep_sets else ""
+        if permutations:
+            key, perm = _canonical_key(
+                cursor.handle, permutations, sleep, sleep_sets
+            )
+        else:
+            key = f"{raw}|{raw_sleep}" if sleep_sets else raw
+            perm = None
+        entry = cache.get(key)
+        if entry is not None and _entry_reusable(
+            entry.summary, entry.depth, depth, max_depth
+        ):
+            identity = entry.raw == raw and entry.raw_sleep == raw_sleep
+            if identity:
                 out.states_deduped += 1
-                out.max_depth_seen = max(
-                    out.max_depth_seen, depth + entry.height
-                )
-                if entry.truncated:
-                    out.exhausted = False
-                if not replay(entry):
-                    return None
-                return entry
+                summary = entry.summary
+                base = None if permutations else tuple(path)
+            else:
+                out.states_merged_symmetry += 1
+                assert perm is not None and entry.perm is not None
+                witness = _witness_permutation(perm, entry.perm)
+                summary = _transform_summary(entry.summary, witness)
+                base = None
+            out.dedup_hits_by_depth[depth] = (
+                out.dedup_hits_by_depth.get(depth, 0) + 1
+            )
+            out.max_depth_seen = max(
+                out.max_depth_seen, depth + summary.height
+            )
+            if summary.truncated:
+                out.exhausted = False
+            if not replay(summary, base):
+                return None
+            return summary
         out.schedules_explored += 1
         out.states_seen += 1
+        note_expansion(depth)
         out.max_depth_seen = max(out.max_depth_seen, depth)
+
+        def remember(summary: _Summary) -> None:
+            cache[key] = _CacheEntry(
+                depth, summary, tuple(path), raw, raw_sleep, perm
+            )
+
         if not choices:
             problems, keep_going = visit_terminal(cursor)
             summary = _Summary(terminals=1)
             if problems:
-                summary.violations.append((0, (), problems))
+                own = tuple(path) if permutations else ()
+                summary.violations.append((0, own, problems, None))
             if not keep_going:
                 return None
-            cache[fingerprint] = (depth, summary)
+            remember(summary)
             return summary
         if depth >= max_depth:
             out.exhausted = False
             summary = _Summary(truncated=True)
-            cache[fingerprint] = (depth, summary)
+            remember(summary)
             return summary
         summary = _Summary()
-        last = len(choices) - 1
-        for branch in range(len(choices)):
-            if branch < last:
+        if sleep_sets:
+            active, keys = active_branches(choices, sleep)
+        else:
+            active, keys = list(range(len(choices))), []
+        explored: _SleepSet = {}
+        last = active[-1] if active else None
+        for branch in active:
+            if branch != last:
                 child = cursor.fork()
                 out.events_replayed += child.handle.replayed_steps
             else:
                 child = cursor  # the last branch extends this node in place
             child.handle.advance(branch)
             out.events_executed += 1
+            if sleep_sets:
+                child_sleep, taken = child_sleep_set(child, sleep, explored)
+            else:
+                child_sleep, taken = sleep, None
             path.append(branch)
-            child_summary = dedup_dfs(child, depth + 1)
+            child_summary = dedup_dfs(child, depth + 1, child_sleep)
             path.pop()
             if child_summary is None:
                 return None
-            for ordinal, suffix, problems in child_summary.violations:
+            for ordinal, guide, problems, vperm in child_summary.violations:
                 summary.violations.append(
-                    (summary.terminals + ordinal, (branch,) + suffix, problems)
+                    (
+                        summary.terminals + ordinal,
+                        guide if permutations else (branch,) + guide,
+                        problems,
+                        vperm,
+                    )
                 )
             summary.terminals += child_summary.terminals
             summary.height = max(summary.height, child_summary.height + 1)
             summary.truncated = summary.truncated or child_summary.truncated
-        cache[fingerprint] = (depth, summary)
+            if sleep_sets and taken is not None:
+                explored[keys[branch]] = taken
+        remember(summary)
         return summary
 
+    root_sleep: _SleepSet = dict(initial_sleep or {})
     if dedup:
-        dedup_dfs(cursor, len(prefix))
+        dedup_dfs(cursor, len(prefix), root_sleep)
     else:
-        dfs(cursor, len(prefix))
+        dfs(cursor, len(prefix), root_sleep)
     return out
 
 
@@ -712,22 +1117,28 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         scripts,
         property_check,
         crash_schedule,
-        prefixes,
+        shard_work,
         max_schedules,
         max_depth,
         stop_at_first_violation,
         dedup,
+        sleep_sets,
+        permutations,
     ) = _SHARD_STATE
+    prefix, initial_sleep = shard_work[index]
     return _explore_subtree(
         simulator,
         scripts,
         property_check,
         crash_schedule,
-        prefixes[index],
+        prefix,
         max_schedules,
         max_depth,
         stop_at_first_violation,
         dedup=dedup,
+        sleep_sets=sleep_sets,
+        permutations=permutations,
+        initial_sleep=initial_sleep,
     )
 
 
@@ -739,15 +1150,18 @@ def _expand_frontier(
     max_depth: int,
     target_shards: int,
     result: ExplorationResult,
+    sleep_sets: bool = False,
 ) -> list[tuple]:
     """Expand the tree breadth-first until enough subtrees exist.
 
     Returns the frontier as an *ordered* work list whose order is the
     depth-first visiting order of the remaining work: entries are either
     ``("terminal", prefix, problems)`` — a shallow terminal already
-    evaluated here — or ``("shard", prefix, cursor)`` — a subtree for a
-    worker.  Interior nodes visited during expansion are accounted
-    directly into ``result``.
+    evaluated here — or ``("shard", prefix, cursor, sleep)`` — a subtree
+    for a worker, with the sleep set its root inherits when the
+    sleep-set reduction is on.  Interior nodes visited during expansion
+    are accounted directly into ``result``; slept branches are pruned
+    here exactly as the sequential DFS would prune them.
     """
     prop = _as_property(property_check)
     root = _Cursor(
@@ -755,7 +1169,7 @@ def _expand_frontier(
         prop.tracker(simulator.n),
         0,
     )
-    entries: list[tuple] = [("shard", (), root)]
+    entries: list[tuple] = [("shard", (), root, {})]
     for _round in range(8):
         shard_count = sum(1 for e in entries if e[0] == "shard")
         if shard_count >= target_shards:
@@ -766,10 +1180,13 @@ def _expand_frontier(
             if entry[0] == "terminal":
                 new_entries.append(entry)
                 continue
-            _, prefix, cursor = entry
+            _, prefix, cursor, sleep = entry
             choices = cursor.handle.choices()
             cursor.sync()
             result.schedules_explored += 1
+            result.expansions_by_depth[len(prefix)] = (
+                result.expansions_by_depth.get(len(prefix), 0) + 1
+            )
             result.max_depth_seen = max(
                 result.max_depth_seen, len(prefix)
             )
@@ -783,17 +1200,40 @@ def _expand_frontier(
                 result.exhausted = False
                 continue
             expanded = True
-            last = len(choices) - 1
-            for branch in range(len(choices)):
-                if branch < last:
+            if sleep_sets:
+                keys = [choice_key(choice) for choice in choices]
+                active = [
+                    b for b in range(len(choices)) if keys[b] not in sleep
+                ]
+                result.states_pruned_sleep += len(choices) - len(active)
+            else:
+                keys = []
+                active = list(range(len(choices)))
+            explored: _SleepSet = {}
+            last = active[-1] if active else None
+            for branch in active:
+                if branch != last:
                     child = cursor.fork()
                     result.events_replayed += child.handle.replayed_steps
                 else:
                     child = cursor
                 child.handle.advance(branch)
                 result.events_executed += 1
+                if sleep_sets:
+                    child.handle.choices()  # finalize the footprint
+                    taken = child.handle.last_footprint
+                    child_sleep = {
+                        key: footprint
+                        for candidates in (sleep, explored)
+                        for key, footprint in candidates.items()
+                        if independent(footprint, taken)
+                    }
+                    if taken is not None:
+                        explored[keys[branch]] = taken
+                else:
+                    child_sleep = {}
                 new_entries.append(
-                    ("shard", prefix + (branch,), child)
+                    ("shard", prefix + (branch,), child, child_sleep)
                 )
         entries = new_entries
         if not expanded:
@@ -811,13 +1251,18 @@ def _explore_parallel(
     stop_at_first_violation: bool,
     workers: int,
     dedup: bool,
+    sleep_sets: bool = False,
+    permutations: Sequence[tuple[int, ...]] = (),
 ) -> ExplorationResult:
     """Shard the tree over a worker pool and merge in DFS order.
 
     Under ``dedup`` each shard worker keeps a private transposition
     cache (shared-nothing): merged results stay deterministic and equal
     to the sequential dedup engine, only cross-shard convergences go
-    unpruned.
+    unpruned.  Sleep sets shard cleanly too — each frontier subtree
+    carries the sleep set its root would have had sequentially — and
+    symmetry canonicalization is per-shard, so cross-shard orbits go
+    unmerged the same way cross-shard states go undeduplicated.
     """
     global _SHARD_STATE
     result = ExplorationResult(
@@ -831,26 +1276,29 @@ def _explore_parallel(
         max_depth,
         target_shards=workers * 4,
         result=result,
+        sleep_sets=sleep_sets,
     )
     if dedup:
         # frontier nodes were expanded here, before any cache existed
         result.states_seen = result.schedules_explored
-    prefixes = [e[1] for e in entries if e[0] == "shard"]
+    shard_work = [(e[1], e[3]) for e in entries if e[0] == "shard"]
     ctx = multiprocessing.get_context("fork")
     _SHARD_STATE = (
         simulator,
         scripts,
         property_check,
         crash_schedule,
-        prefixes,
+        shard_work,
         max_schedules,
         max_depth,
         stop_at_first_violation,
         dedup,
+        sleep_sets,
+        permutations,
     )
     try:
         with ctx.Pool(processes=workers) as pool:
-            shard_outcomes = pool.imap(_explore_shard, range(len(prefixes)))
+            shard_outcomes = pool.imap(_explore_shard, range(len(shard_work)))
             for entry in entries:
                 if result.terminal_schedules >= max_schedules:
                     result.exhausted = False
@@ -873,6 +1321,16 @@ def _explore_parallel(
                 result.events_replayed += sub.events_replayed
                 result.states_seen += sub.states_seen
                 result.states_deduped += sub.states_deduped
+                result.states_pruned_sleep += sub.states_pruned_sleep
+                result.states_merged_symmetry += sub.states_merged_symmetry
+                for depth, count in sub.expansions_by_depth.items():
+                    result.expansions_by_depth[depth] = (
+                        result.expansions_by_depth.get(depth, 0) + count
+                    )
+                for depth, count in sub.dedup_hits_by_depth.items():
+                    result.dedup_hits_by_depth[depth] = (
+                        result.dedup_hits_by_depth.get(depth, 0) + count
+                    )
                 result.max_depth_seen = max(
                     result.max_depth_seen, sub.max_depth_seen
                 )
@@ -910,6 +1368,10 @@ def explore_schedules(
     engine: str = "incremental",
     dedup: bool = False,
     workers: int = 1,
+    sleep_sets: bool = False,
+    symmetry: str = "none",
+    progress: ProgressCallback | None = None,
+    progress_every: int = 1000,
 ) -> ExplorationResult:
     """Enumerate every schedule of the configuration and check each.
 
@@ -925,6 +1387,27 @@ def explore_schedules(
     ``"replay"`` engine; ``workers > 1`` runs the incremental engine
     sharded over a process pool (see the module docstring for the merge
     semantics; with dedup, caches are per-shard).
+
+    Two pre-step reductions compose with the cache.  ``sleep_sets=True``
+    (incremental engines) prunes a branch before forking when the event
+    it takes is *asleep*: an already-explored sibling order covers every
+    interleaving it would start, by the recorded-footprint independence
+    relation of :mod:`repro.runtime.independence`.  Slept terminals are
+    not re-counted, so ``terminal_schedules`` reports covered-distinct
+    schedules, not raw interleavings.  ``symmetry="rename"`` (requires
+    dedup) additionally merges states equal up to a permutation of
+    interchangeable process ids plus an injective renaming of message
+    contents (the paper's Definition 3 applied to states); it is gated
+    on the algorithm declaring
+    :meth:`~repro.runtime.process.BroadcastProcess.symmetric_processes`
+    and is violation-complete — violations found through a merge carry
+    the witnessing pid permutation on
+    :attr:`Violation.permutation`, with guides in the cached
+    representative's frame.
+
+    ``progress`` (sequential engines only) is invoked every
+    ``progress_every`` node expansions with a :class:`ProgressSnapshot`
+    of counters and wall-clock telemetry.
     """
     if engine not in ("incremental", "dedup", "replay"):
         raise ValueError(
@@ -941,6 +1424,27 @@ def explore_schedules(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers > 1 and engine != "incremental":
         raise ValueError("parallel exploration requires the incremental engine")
+    if symmetry not in ("none", "rename"):
+        raise ValueError(
+            f"unknown symmetry {symmetry!r}: expected 'none' or 'rename'"
+        )
+    if symmetry == "rename" and not dedup:
+        raise ValueError(
+            "symmetry reduction requires the dedup engine (its merges "
+            "live in the transposition cache)"
+        )
+    if sleep_sets and engine != "incremental":
+        raise ValueError(
+            "sleep-set reduction requires the incremental engine"
+        )
+    if progress_every < 1:
+        raise ValueError(
+            f"progress_every must be >= 1, got {progress_every}"
+        )
+    if progress is not None and engine == "replay":
+        raise ValueError("progress reporting requires the incremental engine")
+    if progress is not None and workers > 1:
+        raise ValueError("progress reporting requires workers=1")
     simulator = Simulator(
         simulator.n,
         simulator.algorithm_factory,
@@ -959,6 +1463,11 @@ def explore_schedules(
             max_depth,
             stop_at_first_violation,
         )
+    permutations = (
+        _renaming_permutations(simulator, scripts, crash_schedule)
+        if symmetry == "rename"
+        else ()
+    )
     if workers > 1:
         try:
             multiprocessing.get_context("fork")
@@ -975,6 +1484,8 @@ def explore_schedules(
             stop_at_first_violation,
             workers,
             dedup,
+            sleep_sets=sleep_sets,
+            permutations=permutations,
         )
     sub = _explore_subtree(
         simulator,
@@ -986,6 +1497,10 @@ def explore_schedules(
         max_depth,
         stop_at_first_violation,
         dedup=dedup,
+        sleep_sets=sleep_sets,
+        permutations=permutations,
+        progress=progress,
+        progress_every=progress_every,
     )
     return ExplorationResult(
         schedules_explored=sub.schedules_explored,
@@ -999,4 +1514,8 @@ def explore_schedules(
         workers=1,
         states_seen=sub.states_seen,
         states_deduped=sub.states_deduped,
+        states_pruned_sleep=sub.states_pruned_sleep,
+        states_merged_symmetry=sub.states_merged_symmetry,
+        expansions_by_depth=dict(sub.expansions_by_depth),
+        dedup_hits_by_depth=dict(sub.dedup_hits_by_depth),
     )

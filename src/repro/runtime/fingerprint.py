@@ -40,9 +40,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Any
+from typing import Any, Hashable, Sequence
 
-__all__ = ["canonical_update", "stable_digest"]
+from ..core.actions import PointToPointId
+from ..core.message import Message, MessageId
+
+__all__ = ["PidCanonicalizer", "canonical_update", "stable_digest"]
 
 #: Hex-digest length: 16 bytes of blake2b — collision probability is
 #: negligible at exploration scale (billions of states would be needed).
@@ -129,3 +132,85 @@ def stable_digest(*parts: Any) -> str:
     for part in parts:
         canonical_update(hasher, part)
     return hasher.hexdigest()
+
+
+class PidCanonicalizer:
+    """Re-encodes run-state values under a pid permutation (symmetry).
+
+    The explorer's renaming-symmetry reduction
+    (``explore_schedules(..., symmetry="rename")``) treats two states as
+    interchangeable when one is the image of the other under a
+    permutation of declared-symmetric process ids *and* an injective
+    renaming of message contents (the paper's Definition 3 applied to
+    the state, not just the spec).  This helper produces the canonical
+    encoding of state components under one candidate permutation:
+
+    * process ids are mapped through the permutation wherever they occur
+      structurally — message identities (``MessageId.sender``),
+      point-to-point identities, oracle proposer keys;
+    * *contents* (and any other leaf value) are replaced by opaque
+      tokens numbered by first appearance in the traversal, which
+      realizes an injective content renaming: two states agree on the
+      canonical encoding iff they differ only by the permutation plus
+      some injective relabeling of contents;
+    * containers are encoded structurally (unordered ones by sorted
+      sub-encodings), so the encoding never aliases distinct structure.
+
+    One instance is single-use: the token table is part of the encoding
+    and must start empty for each state.
+    """
+
+    def __init__(self, permutation: Sequence[int]) -> None:
+        self._perm = tuple(permutation)
+        self._tokens: dict[Hashable, int] = {}
+
+    def pid(self, p: int) -> int:
+        """The image of process id ``p`` under the permutation."""
+        return self._perm[p]
+
+    def token(self, value: Hashable) -> tuple:
+        """The first-appearance content token standing in for ``value``."""
+        if value not in self._tokens:
+            self._tokens[value] = len(self._tokens)
+        return ("~", self._tokens[value])
+
+    def value(self, value: Any) -> Any:
+        """The canonical (permuted, tokenized) image of ``value``."""
+        if isinstance(value, Message):
+            return ("M", self.value(value.uid), self.value(value.content))
+        if isinstance(value, MessageId):
+            return ("U", self.pid(value.sender), value.seq)
+        if isinstance(value, PointToPointId):
+            return (
+                "P",
+                self.pid(value.sender),
+                self.pid(value.receiver),
+                value.seq,
+            )
+        if isinstance(value, (tuple, list)):
+            return tuple(self.value(item) for item in value)
+        if isinstance(value, (set, frozenset)):
+            return (
+                "S",
+                tuple(sorted(_encoded(self.value(item)) for item in value)),
+            )
+        if isinstance(value, dict):
+            return (
+                "D",
+                tuple(
+                    sorted(
+                        _encoded((self.value(k), self.value(v)))
+                        for k, v in value.items()
+                    )
+                ),
+            )
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return (
+                "C",
+                type(value).__qualname__,
+                tuple(
+                    self.value(getattr(value, field.name))
+                    for field in dataclasses.fields(value)
+                ),
+            )
+        return self.token(value)

@@ -1,0 +1,154 @@
+"""Dynamic independence of scheduling events — the POR foundation.
+
+Two scheduling choices *commute* when taking them in either order from
+the same state reaches the same state (equal
+:meth:`~repro.runtime.simulator.SimulationRun.fingerprint`) and leaves
+the same events enabled.  The schedule explorer's sleep-set reduction
+(:mod:`repro.runtime.explorer`) uses commutation to prune redundant
+interleavings *before* forking a run handle, so the relation here must
+be sound: claiming independence for a dependent pair would silently
+drop schedules.
+
+Rather than reasoning statically about what an event *might* touch, the
+simulator records what each committed event *actually* touched — its
+:class:`Footprint`: the processes whose runtimes stepped (including the
+``atomic_local`` drain the event triggered), the point-to-point
+messages it emitted, whether it consulted a k-SA oracle object, and
+whether a crash was injected alongside it.  Independence is then a pure
+check over two footprints:
+
+* disjoint process sets — neither event read or wrote the other's
+  runtime, journal, scripts or sync gates;
+* no emissions — the in-flight pool is fingerprinted *in insertion
+  order* (it fixes the meaning of schedule guides), so two events that
+  both append to the pool do not commute fingerprint-exactly even when
+  they touch different processes.  This is why a reception whose
+  handler forwards (Uniform Reliable Broadcast's first copy) is
+  conservatively dependent while Send-To-All receptions always commute;
+* no oracle touch — k-SA decision policies read the global
+  proposals-so-far order, so propose steps never commute;
+* no crash — crash schedules are indexed by the global decision count,
+  so reordering two events across an injection changes which state the
+  crash hits.
+
+The conservative direction is always safe: a dependent verdict merely
+keeps a branch.  The commutation differential tests
+(``tests/runtime/test_independence.py``) execute both orders of every
+claimed-independent pair from forked handles and compare fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.actions import PointToPointId
+
+__all__ = [
+    "Footprint",
+    "FootprintDraft",
+    "choice_key",
+    "independent",
+    "observed_footprint",
+]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """What one committed scheduling event actually touched.
+
+    Recorded by :meth:`~repro.runtime.simulator.SimulationRun.advance`
+    and finalized when the next decision point's prelude (crash
+    injection, ``atomic_local`` drain) has run, so the footprint covers
+    the *whole* state delta between two consecutive decision points.
+    """
+
+    #: The choice kind that was committed: ``"local"``/``"recv"``/``"bcast"``.
+    kind: str
+    #: Processes whose runtime stepped (receiver, broadcaster, plus every
+    #: process the post-event local drain advanced).
+    pids: frozenset[int]
+    #: Point-to-point messages emitted into the in-flight pool.
+    sent: tuple[PointToPointId, ...] = ()
+    #: True when the event (or its drain) proposed on a k-SA object.
+    oracle: bool = False
+    #: True when the next prelude injected a crash after this event.
+    crashed: bool = False
+
+
+class FootprintDraft:
+    """Mutable footprint being accumulated for the in-flight event."""
+
+    __slots__ = ("kind", "pids", "sent", "oracle", "crashed")
+
+    def __init__(self, kind: str, pid: int) -> None:
+        self.kind = kind
+        self.pids: set[int] = {pid}
+        self.sent: list[PointToPointId] = []
+        self.oracle = False
+        self.crashed = False
+
+    def copy(self) -> "FootprintDraft":
+        clone = FootprintDraft(self.kind, next(iter(self.pids)))
+        clone.pids = set(self.pids)
+        clone.sent = list(self.sent)
+        clone.oracle = self.oracle
+        clone.crashed = self.crashed
+        return clone
+
+    def freeze(self) -> Footprint:
+        return Footprint(
+            self.kind,
+            frozenset(self.pids),
+            tuple(self.sent),
+            self.oracle,
+            self.crashed,
+        )
+
+
+def independent(a: Footprint | None, b: Footprint | None) -> bool:
+    """May the two recorded events be taken in either order?
+
+    True only when commutation is *fingerprint-exact*: same reached
+    state, same enabled events, same schedule-guide meaning.  ``None``
+    (no footprint recorded) is conservatively dependent.
+    """
+    if a is None or b is None:
+        return False
+    if a.crashed or b.crashed:
+        return False
+    if a.oracle or b.oracle:
+        return False
+    if a.sent or b.sent:
+        return False
+    return not (a.pids & b.pids)
+
+
+def choice_key(choice: tuple[str, object]) -> tuple:
+    """A stable identity for an enabled choice, across sibling states.
+
+    Choice *indices* shift as the enabled list evolves; the key does
+    not: a reception is identified by its point-to-point identity, a
+    local step or broadcast start by its process.  Sleep sets are keyed
+    by this, so an event put to sleep at one node is recognized among
+    the (re-indexed) choices of a descendant node.
+    """
+    kind, payload = choice
+    if kind == "recv":
+        p2p = payload.p2p  # type: ignore[attr-defined]
+        return ("recv", p2p.sender, p2p.receiver, p2p.seq)
+    return (kind, payload)
+
+
+def observed_footprint(run, index: int) -> Footprint | None:
+    """The footprint of taking choice ``index`` from ``run``, on a fork.
+
+    Executes the event (and the following decision point's prelude) on
+    an independent fork, leaving ``run`` untouched — the probe the
+    commutation tests use; the explorer itself reads
+    ``SimulationRun.last_footprint`` from the handles it advances
+    anyway, at zero extra cost.
+    """
+    probe = run.fork()
+    probe.advance(index)
+    probe.choices()
+    return probe.last_footprint

@@ -45,6 +45,13 @@ __all__ = [
 class DecisionPolicy(ABC):
     """Chooses decided values within the k-SA object's legal envelope."""
 
+    #: True when decisions depend on the proposer only through the
+    #: *order* of proposals, never on the proposer's identity — the
+    #: equivariance the schedule explorer's ``symmetry="rename"``
+    #: reduction requires of the oracle environment.  Conservative
+    #: default: policies that do not declare it disable the reduction.
+    pid_uniform: bool = False
+
     @abstractmethod
     def decide(
         self,
@@ -67,6 +74,8 @@ class DecisionPolicy(ABC):
 class FirstProposalsPolicy(DecisionPolicy):
     """The first k distinct proposals win; later proposers adopt the first."""
 
+    pid_uniform = True  # decisions read proposal order, never proposer ids
+
     def decide(self, ksa, proposer, value, decided_so_far, k):
         distinct = list(dict.fromkeys(decided_so_far.values()))
         if value in distinct or len(distinct) < k:
@@ -81,6 +90,8 @@ class OwnValuePolicy(DecisionPolicy):
     proposers adopting the most recently decided value once k distinct
     values exist (the analogue of line 18).
     """
+
+    pid_uniform = True  # decisions read proposal order, never proposer ids
 
     def decide(self, ksa, proposer, value, decided_so_far, k):
         distinct = list(dict.fromkeys(decided_so_far.values()))

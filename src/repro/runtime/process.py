@@ -29,7 +29,7 @@ import copy
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
 
 from ..core.actions import PointToPointId
 from ..core.message import Message, MessageFactory, MessageId
@@ -87,6 +87,29 @@ class BroadcastProcess(ABC):
     @abstractmethod
     def on_receive(self, payload: Hashable, sender: int) -> Iterator[Effect]:
         """Steps taken upon receiving ``payload`` from ``sender``."""
+
+    def symmetric_processes(self) -> Sequence[Iterable[int]] | None:
+        """Groups of process ids this algorithm treats interchangeably.
+
+        Returning groups declares *renaming equivariance*: for any
+        permutation of pids within a group (identity elsewhere) and any
+        injective renaming of message contents, the permuted-and-renamed
+        image of a reachable system state behaves exactly like the
+        original (same schedule tree up to the relabeling).  That holds
+        when instances of the algorithm differ only in ``self.pid``,
+        address processes uniformly (``send_to_all``, ``others()``) and
+        never branch on a content's *value* — only on identity equality.
+        The schedule explorer's ``symmetry="rename"`` reduction prunes
+        states that are images of an already-expanded state under such a
+        relabeling, so a wrong declaration silently drops schedules.
+
+        The default ``None`` declares nothing and disables symmetry
+        reduction for the algorithm.  Declared groups are further
+        restricted by the explorer (crash-faulty pids are pinned, script
+        shapes must match, the k-SA decision policy must be
+        pid-uniform).
+        """
+        return None
 
     # -- convenience -----------------------------------------------------
 
@@ -280,6 +303,15 @@ class ProcessRuntime:
 
     def has_delivered(self, uid: MessageId) -> bool:
         return uid in self._delivered_uids
+
+    def journal_entries(self) -> tuple[tuple[Any, ...], ...]:
+        """The driver-call journal, the process's complete input log.
+
+        A read-only snapshot; the symmetry canonicalizer re-encodes it
+        under pid permutations, where :meth:`fingerprint` only needs the
+        digest of the raw entries.
+        """
+        return tuple(self._journal)
 
     def fingerprint(self) -> str:
         """A stable structural digest of this runtime's local state.

@@ -40,7 +40,8 @@ from typing import Callable, Hashable, Mapping, Sequence
 from ..core.execution import Execution
 from ..core.message import Message, MessageFactory
 from .crash import CrashSchedule
-from .fingerprint import stable_digest
+from .fingerprint import PidCanonicalizer, stable_digest
+from .independence import Footprint, FootprintDraft
 from .ksa_objects import DecisionPolicy, FirstProposalsPolicy, KsaRegistry
 from .network import Network
 from .policies import SchedulingPolicy, UniformPolicy
@@ -158,6 +159,12 @@ class SimulationRun:
         #: Local steps re-executed to materialize this handle (0 unless
         #: the handle was forked from a runtime with a live generator).
         self.replayed_steps = 0
+        #: Footprint of the last committed event (what it actually
+        #: touched), finalized by the next :meth:`choices` prelude; the
+        #: explorer's sleep-set reduction reads it.  ``None`` until the
+        #: first event's footprint is complete.
+        self.last_footprint: Footprint | None = None
+        self._pending_footprint: FootprintDraft | None = None
         self._choices: list[Choice] | None = None
         for p in sorted(self.crashes.initially):
             self.trace.crash(p)
@@ -179,9 +186,25 @@ class SimulationRun:
                 if self.crashes.due(p, self.steps):
                     self.trace.crash(p)
                     self.alive.discard(p)
+                    if self._pending_footprint is not None:
+                        # The crash lands between the last event and this
+                        # decision point; reordering that event would move
+                        # the injection, so mark it dependent-with-all.
+                        self._pending_footprint.crashed = True
             if self.simulator.atomic_local:
                 self._drain_local()
             self._choices = self._enabled_choices()
+            if self._pending_footprint is not None:
+                if any(p in self.alive for p in self.crashes.at_step):
+                    # A crash is still scheduled at a *global* step
+                    # count.  Reordering any two events moves the count
+                    # at which it fires — and with it the state the
+                    # injection lands on (e.g. how far the victim's
+                    # local drain got) — so every event is
+                    # crash-sensitive until the schedule has drained.
+                    self._pending_footprint.crashed = True
+                self.last_footprint = self._pending_footprint.freeze()
+                self._pending_footprint = None
         return self._choices
 
     def advance(self, index: int) -> None:
@@ -195,6 +218,13 @@ class SimulationRun:
         kind, payload = choices[index]
         self.steps += 1
         self._choices = None
+        touched = (
+            payload.receiver  # type: ignore[attr-defined]
+            if kind == "recv"
+            else payload
+        )
+        assert isinstance(touched, int)
+        self._pending_footprint = FootprintDraft(kind, touched)
         if kind == "local":
             assert isinstance(payload, int)
             self._take_local_step(payload, self.runtimes[payload])
@@ -239,6 +269,12 @@ class SimulationRun:
         clone.alive = set(self.alive)
         clone.steps = self.steps
         clone.replayed_steps = 0
+        clone.last_footprint = self.last_footprint
+        clone._pending_footprint = (
+            None
+            if self._pending_footprint is None
+            else self._pending_footprint.copy()
+        )
         clone._choices = None
         clone.runtimes = {}
         for p, runtime in self.runtimes.items():
@@ -326,6 +362,87 @@ class SimulationRun:
             self.remaining,
         )
 
+    def canonical_state_digest(self, permutation: Sequence[int]) -> str:
+        """The state digest after relabeling pids through ``permutation``.
+
+        Encodes the same forward-relevant components as
+        :meth:`fingerprint`, but with every structural process id mapped
+        through ``permutation``, every message content replaced by a
+        first-appearance token (an injective content renaming, Def. 3),
+        and the in-flight pool sorted by mapped point-to-point identity
+        instead of insertion order.  Minimizing this digest over a group
+        of permutations yields a canonical representative per symmetry
+        orbit — the cache key of ``symmetry="rename"`` exploration (see
+        :class:`~repro.runtime.fingerprint.PidCanonicalizer` for the
+        soundness conditions, which the explorer gates on the
+        algorithm's ``symmetric_processes()`` declaration).
+
+        Dropping the pool's insertion order is sound here — but not for
+        the plain fingerprint — because symmetry hits re-emit the cached
+        *representative's* guides (with the witnessing permutation
+        recorded on the violation) rather than rebasing suffixes onto
+        the arrival's own enumeration order.
+        """
+        canon = PidCanonicalizer(permutation)
+        n = self.simulator.n
+        # Old pids visited in mapped order, so token numbering (first
+        # appearance) is a function of the *relabeled* state alone.
+        order = sorted(range(n), key=lambda p: permutation[p])
+        journals = [
+            canon.value(self.runtimes[p].journal_entries()) for p in order
+        ]
+        pool = sorted(
+            (
+                (
+                    permutation[item.p2p.sender],
+                    permutation[item.p2p.receiver],
+                    item.p2p.seq,
+                ),
+                item,
+            )
+            for item in self.network.deliverable(None)
+        )
+        pool_encoding = [(key, canon.value(item.payload)) for key, item in pool]
+        registry_encoding = [
+            (
+                name,
+                {
+                    canon.pid(p): canon.value(obj.proposals[p])
+                    for p in sorted(
+                        obj.proposals, key=lambda p: permutation[p]
+                    )
+                },
+                {
+                    canon.pid(p): canon.value(obj.decisions[p])
+                    for p in sorted(
+                        obj.decisions, key=lambda p: permutation[p]
+                    )
+                },
+            )
+            for name, obj in sorted(self.registry.objects.items())
+        ]
+        counters = {
+            permutation[p]: c for p, c in self.factory.counters().items()
+        }
+        last_sync = [
+            None
+            if self.last_sync_message[p] is None
+            else canon.value(self.last_sync_message[p].uid)
+            for p in order
+        ]
+        remaining = [canon.value(tuple(self.remaining[p])) for p in order]
+        return stable_digest(
+            "canon-run",
+            self.steps,
+            sorted(permutation[p] for p in self.alive),
+            journals,
+            pool_encoding,
+            registry_encoding,
+            counters,
+            last_sync,
+            remaining,
+        )
+
     # -- internals --------------------------------------------------------
 
     def _drain_local(self) -> None:
@@ -374,10 +491,17 @@ class SimulationRun:
 
     def _take_local_step(self, p: int, runtime: ProcessRuntime) -> None:
         outcome = runtime.next_step()
+        draft = self._pending_footprint
+        if draft is not None:
+            draft.pids.add(p)
         if isinstance(outcome, SendStep):
+            if draft is not None:
+                draft.sent.append(outcome.p2p)
             self.trace.send(p, outcome.p2p, outcome.payload)
             self.network.send(outcome.p2p, outcome.payload)
         elif isinstance(outcome, ProposeStep):
+            if draft is not None:
+                draft.oracle = True
             self.trace.propose(p, outcome.ksa, outcome.value)
             decided = self.registry.propose(outcome.ksa, p, outcome.value)
             self.trace.decide(p, outcome.ksa, decided)

@@ -1,0 +1,49 @@
+"""REP006 true positives: hash-ordered iteration over uid collections."""
+
+
+def detail_from_set_comprehension(messages):
+    uids = {m.uid for m in messages}
+    details = []
+    for uid in uids:  # BAD: hash order
+        details.append(f"missing {uid}")
+    return details
+
+
+def detail_from_add_accumulator(messages):
+    seen = set()
+    for message in messages:
+        seen.add(message.uid)
+    return [str(uid) for uid in seen]  # BAD: hash order
+
+
+def detail_from_setdefault_dict(messages):
+    per_sender = {}
+    for message in messages:
+        per_sender.setdefault(message.uid.sender, set()).add(message.uid)
+    details = []
+    for sender, uids in per_sender.items():
+        for uid in uids:  # BAD: the dict's values are uid sets
+            details.append(f"{sender} -> {uid}")
+    return details
+
+
+def detail_from_dict_subscript(messages):
+    per_sender = {}
+    for message in messages:
+        per_sender.setdefault(message.uid.sender, set()).add(message.uid)
+    return [str(uid) for uid in per_sender[0]]  # BAD: set value
+
+
+def detail_from_inline_frozenset(messages):
+    return [
+        str(uid)
+        for uid in frozenset(m.uid for m in messages)  # BAD: hash order
+    ]
+
+
+def detail_with_enumerate(messages):
+    uids = {m.uid for m in messages}
+    details = []
+    for rank, uid in enumerate(uids):  # BAD: enumerate does not order
+        details.append(f"{rank}: {uid}")
+    return details

@@ -1,0 +1,39 @@
+"""REP006 true negatives: sorted or inherently ordered uid iteration."""
+
+
+def detail_sorted_set(messages):
+    uids = {m.uid for m in messages}
+    return [f"missing {uid}" for uid in sorted(uids)]
+
+
+def detail_sorted_accumulator(messages):
+    seen = set()
+    for message in messages:
+        seen.add(message.uid)
+    return [str(uid) for uid in sorted(seen)]
+
+
+def detail_sorted_dict_values(messages):
+    per_sender = {}
+    for message in messages:
+        per_sender.setdefault(message.uid.sender, set()).add(message.uid)
+    details = []
+    for sender, uids in sorted(per_sender.items()):
+        for uid in sorted(uids):
+            details.append(f"{sender} -> {uid}")
+    return details
+
+
+def detail_ordered_list(messages):
+    uids = [m.uid for m in messages]  # a list: execution order, stable
+    return [str(uid) for uid in uids]
+
+
+def membership_checks_are_fine(messages, suspects):
+    known = {m.uid for m in messages}
+    return [str(uid) for uid in suspects if uid in known]
+
+
+def non_uid_sets_are_out_of_scope(processes):
+    alive = set(processes)
+    return [p for p in alive]  # REP001's business, not REP006's

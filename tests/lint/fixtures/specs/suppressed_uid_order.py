@@ -1,0 +1,9 @@
+"""REP006 suppression: a documented, order-insensitive aggregation."""
+
+
+def count_distinct(messages):
+    uids = {m.uid for m in messages}
+    total = 0
+    for _uid in uids:  # repro-lint: disable=REP006 -- order-insensitive count
+        total += 1
+    return total

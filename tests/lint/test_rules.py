@@ -167,6 +167,45 @@ def test_rep005_finds_each_pattern():
 
 
 # ---------------------------------------------------------------------------
+# REP006 — uid iteration order in spec verdicts
+# ---------------------------------------------------------------------------
+
+
+def test_rep006_true_positives():
+    counts = rule_ids(FIXTURES / "specs" / "bad_uid_order.py")
+    assert counts == {"REP006": 6}
+
+
+def test_rep006_true_negatives():
+    assert rule_ids(FIXTURES / "specs" / "good_uid_order.py") == {}
+
+
+def test_rep006_suppression_comments_silence_it():
+    assert rule_ids(FIXTURES / "specs" / "suppressed_uid_order.py") == {}
+
+
+def test_rep006_finds_each_accumulator_idiom():
+    findings = LintEngine().lint_file(FIXTURES / "specs" / "bad_uid_order.py")
+    assert all(f.rule == "REP006" for f in findings)
+    lines = sorted(f.line for f in findings)
+    # set comprehension, .add accumulator, dict-of-sets unpack, dict
+    # subscript, inline frozenset, enumerate-wrapped
+    assert lines == [7, 16, 25, 34, 40, 47]
+
+
+def test_rep006_scoped_to_specs():
+    engine = LintEngine(select=["REP006"])
+    source = (
+        "def f(messages):\n"
+        "    uids = {m.uid for m in messages}\n"
+        "    return [u for u in uids]\n"
+    )
+    assert engine.lint_source(source, "src/repro/specs/x.py")
+    assert not engine.lint_source(source, "src/repro/runtime/x.py")
+    assert not engine.lint_source(source, "tests/specs/test_x.py")
+
+
+# ---------------------------------------------------------------------------
 # Scoping
 # ---------------------------------------------------------------------------
 

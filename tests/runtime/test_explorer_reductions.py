@@ -1,0 +1,347 @@
+"""Differential tests of the pre-step reductions (sleep sets, symmetry).
+
+Sleep sets prune redundant interleavings *before* forking; renaming
+symmetry merges states equal up to a pid permutation plus an injective
+content renaming.  Both must preserve exactly what the explorer is for:
+the set of distinct terminal observations and the set of violations
+(symmetry: modulo the recorded permutation).  These tests diff every
+reduction against the plain dedup engine over sync/async/crash
+configurations, through budget and depth cut points, across worker
+counts, and on double runs (determinism).
+"""
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.runtime import CrashSchedule, Simulator
+from repro.runtime.explorer import (
+    channels_property,
+    explore_schedules,
+    spec_property,
+)
+from repro.runtime.ksa_objects import ScriptedPolicy
+from repro.specs import TotalOrderBroadcastSpec
+
+
+def s2a(n=3, **kwargs):
+    return Simulator(n, lambda pid, n_: SendToAllBroadcast(pid, n_), **kwargs)
+
+
+def urb(n=2, **kwargs):
+    return Simulator(
+        n, lambda pid, n_: UniformReliableBroadcast(pid, n_), **kwargs
+    )
+
+
+def observing_property(observations):
+    """A property that records each terminal's per-process deliveries."""
+
+    def prop(result):
+        observations.add(
+            tuple(
+                tuple(m.uid for m in result.deliveries(p))
+                for p in sorted(result.runtimes)
+            )
+        )
+        return ()
+
+    return prop
+
+
+def observations_of(simulator, scripts, **kwargs):
+    seen = set()
+    result = explore_schedules(
+        simulator, scripts, observing_property(seen), **kwargs
+    )
+    return seen, result
+
+
+CONFIGS = [
+    pytest.param(s2a, {0: ["a"], 1: ["b"]}, None, {}, id="s2a-async"),
+    pytest.param(
+        s2a, {0: ["a"], 1: ["b"]}, None, {"sync_broadcasts": True},
+        id="s2a-sync",
+    ),
+    pytest.param(
+        s2a, {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={1: 3}), {},
+        id="s2a-crash",
+    ),
+    pytest.param(
+        s2a, {0: ["a"], 1: ["b"]},
+        CrashSchedule(initially=frozenset({2})), {},
+        id="s2a-initial-crash",
+    ),
+    pytest.param(urb, {0: ["a"]}, None, {}, id="urb-async"),
+    pytest.param(
+        urb, {0: ["a"]}, CrashSchedule(at_step={0: 4}), {}, id="urb-crash"
+    ),
+]
+
+
+class TestSleepSetsPreserveObservations:
+    """Sleep pruning keeps every distinct terminal observation."""
+
+    @pytest.mark.parametrize("factory, scripts, crashes, kwargs", CONFIGS)
+    @pytest.mark.parametrize("base_engine", ["incremental", "dedup"])
+    def test_observation_sets_equal(
+        self, factory, scripts, crashes, kwargs, base_engine
+    ):
+        plain, base = observations_of(
+            factory(**kwargs), scripts, crash_schedule=crashes,
+            engine=base_engine, max_depth=10,
+        )
+        slept, reduced = observations_of(
+            factory(**kwargs), scripts, crash_schedule=crashes,
+            engine=base_engine, max_depth=10, sleep_sets=True,
+        )
+        assert slept == plain
+        assert reduced.exhausted and base.exhausted
+        # the reduction must actually reduce work somewhere; crash
+        # configurations legitimately stay unpruned while a scheduled
+        # crash is pending (every event is crash-sensitive until then)
+        assert reduced.terminal_schedules <= base.terminal_schedules
+
+    @pytest.mark.parametrize("factory, scripts, crashes, kwargs", CONFIGS)
+    def test_depth_cuts_preserved(self, factory, scripts, crashes, kwargs):
+        for depth in (3, 5):
+            plain, _ = observations_of(
+                factory(**kwargs), scripts, crash_schedule=crashes,
+                engine="dedup", max_depth=depth,
+            )
+            slept, _ = observations_of(
+                factory(**kwargs), scripts, crash_schedule=crashes,
+                engine="dedup", max_depth=depth, sleep_sets=True,
+            )
+            assert slept == plain
+
+    def test_sleep_actually_prunes(self):
+        _, result = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]}, engine="dedup",
+            max_depth=8, sleep_sets=True,
+        )
+        assert result.states_pruned_sleep > 0
+        assert result.terminal_schedules < 2520  # the unreduced count
+
+    def test_budget_cut_points(self):
+        """Budgeted sleep runs stop cleanly and deterministically."""
+        for budget in (1, 7, 40):
+            first = explore_schedules(
+                s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+                engine="dedup", sleep_sets=True, max_schedules=budget,
+            )
+            again = explore_schedules(
+                s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+                engine="dedup", sleep_sets=True, max_schedules=budget,
+            )
+            assert first.terminal_schedules <= budget
+            assert not first.exhausted
+            assert first.terminal_schedules == again.terminal_schedules
+            assert first.states_seen == again.states_seen
+            assert first.states_pruned_sleep == again.states_pruned_sleep
+
+    def test_workers_match_sequential(self):
+        sequential = explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+            sleep_sets=True, max_depth=8,
+        )
+        parallel = explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+            sleep_sets=True, max_depth=8, workers=3,
+        )
+        assert parallel.terminal_schedules == sequential.terminal_schedules
+        assert parallel.schedules_explored == sequential.schedules_explored
+        assert parallel.states_pruned_sleep == sequential.states_pruned_sleep
+        assert parallel.violations == sequential.violations
+
+
+def pid_permuted(observation, perm):
+    """Apply a pid permutation to a terminal observation tuple."""
+    renamed = [None] * len(observation)
+    for pid, deliveries in enumerate(observation):
+        renamed[perm[pid]] = tuple(
+            type(uid)(perm[uid.sender], uid.seq) for uid in deliveries
+        )
+    return tuple(renamed)
+
+
+class TestRenamingSymmetry:
+    """Orbit merging is violation- and observation-complete."""
+
+    GROUP = [(0, 1, 2), (1, 0, 2)]  # senders 0/1 interchangeable, 2 pinned
+
+    def test_observations_complete_modulo_renaming(self):
+        plain, _ = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]}, engine="dedup", max_depth=8,
+        )
+        merged, result = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]}, engine="dedup", max_depth=8,
+            sleep_sets=True, symmetry="rename",
+        )
+        assert result.states_merged_symmetry > 0
+        # no invented observations...
+        assert merged <= plain
+        # ...and every unreduced observation is covered by a visited
+        # one under some permutation of the declared symmetry group
+        for observation in plain:
+            assert any(
+                pid_permuted(observation, perm) in merged
+                for perm in self.GROUP
+            )
+
+    def test_depth8_acceptance_bounds(self):
+        """The headline composition on the symmetric depth-8 config.
+
+        Plain dedup expands 321 distinct states over 2520 terminals.
+        Renaming merges 79 orbit pairs (242 canonical states — the
+        floor: the remaining states are fixed points of the 0<->1
+        swap, so no sound renaming can merge them).  Sleep sets cannot
+        reduce *distinct* states (a slept event's target is reachable
+        via the commuted, explored order by construction) but collapse
+        the 2520 terminals to 54 covered-distinct schedules; folding
+        the sleep set into the cache key costs a few re-expansions.
+        """
+        dedup = explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(), engine="dedup",
+            max_depth=8,
+        )
+        renamed = explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(), engine="dedup",
+            max_depth=8, symmetry="rename",
+        )
+        composed = explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(), engine="dedup",
+            max_depth=8, sleep_sets=True, symmetry="rename",
+        )
+        assert dedup.states_seen == 321
+        assert dedup.terminal_schedules == 2520
+        assert renamed.states_seen == 242
+        assert composed.states_seen <= 280
+        assert composed.terminal_schedules == 54
+        # the composition beats both the unreduced terminal count and
+        # the unreduced expansion count
+        assert composed.states_seen < dedup.states_seen
+        assert composed.events_executed < dedup.events_executed
+
+    def test_violations_complete_modulo_permutation(self):
+        scripts = {0: ["x"], 1: ["y"]}
+        prop = spec_property(TotalOrderBroadcastSpec(), assume_complete=False)
+        base = explore_schedules(
+            s2a(n=2), scripts, prop, engine="dedup"
+        )
+        reduced = explore_schedules(
+            s2a(n=2), scripts, prop, engine="dedup",
+            sleep_sets=True, symmetry="rename",
+        )
+        assert base.violations and reduced.violations
+        assert {v.problems for v in reduced.violations} == {
+            v.problems for v in base.violations
+        }
+        replayer = s2a(n=2)
+        replayer.atomic_local = True
+        for violation in reduced.violations:
+            if violation.permutation is not None:
+                assert sorted(violation.permutation) == [0, 1]
+            replay = replayer.run(scripts, guide=list(violation.guide))
+            assert replay.quiescent and replay.pending_choices == 0
+            assert tuple(prop(replay)) == violation.problems
+
+    def test_inert_without_symmetric_hook(self):
+        """A pid-dependent oracle policy disables the reduction."""
+        policy = ScriptedPolicy({})
+        plain = explore_schedules(
+            s2a(ksa_policy=policy), {0: ["a"], 1: ["b"]},
+            channels_property(), engine="dedup", max_depth=6,
+        )
+        renamed = explore_schedules(
+            s2a(ksa_policy=policy), {0: ["a"], 1: ["b"]},
+            channels_property(), engine="dedup", max_depth=6,
+            symmetry="rename",
+        )
+        assert renamed.states_seen == plain.states_seen
+        assert renamed.states_merged_symmetry == 0
+
+    def test_crashed_pids_pinned(self):
+        """Faulty processes never participate in the renaming group."""
+        crashes = CrashSchedule(at_step={1: 3})
+        plain, _ = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]}, engine="dedup",
+            crash_schedule=crashes, max_depth=8,
+        )
+        merged, _ = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]}, engine="dedup",
+            crash_schedule=crashes, max_depth=8, symmetry="rename",
+        )
+        # 0 and 1 are distinguishable (1 crashes): nothing may merge
+        # across them, but states may still merge via content renaming
+        assert merged <= plain
+
+    def test_determinism_double_run(self):
+        runs = [
+            explore_schedules(
+                s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+                engine="dedup", max_depth=8, sleep_sets=True,
+                symmetry="rename",
+            )
+            for _ in range(2)
+        ]
+        for field in (
+            "states_seen", "states_deduped", "states_pruned_sleep",
+            "states_merged_symmetry", "terminal_schedules",
+            "schedules_explored", "expansions_by_depth",
+            "dedup_hits_by_depth",
+        ):
+            assert getattr(runs[0], field) == getattr(runs[1], field)
+        assert runs[0].violations == runs[1].violations
+
+
+class TestProgressReporting:
+    """The progress callback sees consistent, monotone telemetry."""
+
+    def test_snapshots_consistent(self):
+        snapshots = []
+        result = explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+            engine="dedup", max_depth=8,
+            progress=snapshots.append, progress_every=50,
+        )
+        assert snapshots, "expected at least one snapshot"
+        previous = 0
+        for snap in snapshots:
+            assert snap.expansions % 50 == 0
+            assert snap.expansions > previous
+            previous = snap.expansions
+            assert sum(snap.expansions_by_depth.values()) == snap.expansions
+            assert snap.elapsed >= 0
+            assert snap.states_per_second >= 0
+        assert sum(result.expansions_by_depth.values()) == result.states_seen
+        assert (
+            sum(result.dedup_hits_by_depth.values()) == result.states_deduped
+        )
+
+    def test_progress_with_sleep_and_symmetry(self):
+        snapshots = []
+        explore_schedules(
+            s2a(), {0: ["a"], 1: ["b"]}, channels_property(),
+            engine="dedup", max_depth=8, sleep_sets=True,
+            symmetry="rename", progress=snapshots.append, progress_every=25,
+        )
+        assert snapshots
+
+    def test_validation_errors(self):
+        config = (s2a(), {0: ["a"]}, channels_property())
+        with pytest.raises(ValueError, match="symmetry"):
+            explore_schedules(*config, symmetry="mirror")
+        with pytest.raises(ValueError, match="dedup"):
+            explore_schedules(*config, symmetry="rename")
+        with pytest.raises(ValueError, match="incremental"):
+            explore_schedules(*config, engine="replay", sleep_sets=True)
+        with pytest.raises(ValueError, match="progress_every"):
+            explore_schedules(*config, progress_every=0)
+        with pytest.raises(ValueError, match="incremental"):
+            explore_schedules(
+                *config, engine="replay", progress=lambda s: None
+            )
+        with pytest.raises(ValueError, match="workers"):
+            explore_schedules(
+                *config, workers=2, progress=lambda s: None
+            )

@@ -1,0 +1,236 @@
+"""Commutation differential tests for the recorded-footprint relation.
+
+The sleep-set reduction prunes a branch whenever
+:func:`repro.runtime.independence.independent` claims the event it takes
+commutes with an already-explored sibling, so a wrong ``True`` silently
+drops schedules.  These tests hold the relation to its contract — that
+commutation is *fingerprint-exact* — by brute force: over every state of
+small configurations (and random walks through larger ones), every pair
+of enabled choices the relation claims independent is executed in both
+orders from forked handles, and the reached fingerprints and enabled
+choice-key sets must be identical.
+
+The other direction (dependent verdicts) is allowed to be conservative,
+but the relation must not be vacuous: the Send-To-All configurations
+must yield claimed-independent pairs, otherwise sleep sets prune
+nothing and the reduction is dead code.
+"""
+
+import random
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.runtime import CrashSchedule, Simulator
+from repro.runtime.independence import (
+    choice_key,
+    independent,
+    observed_footprint,
+)
+
+
+def s2a(n=3, **kwargs):
+    return Simulator(
+        n, lambda pid, n_: SendToAllBroadcast(pid, n_),
+        atomic_local=True, **kwargs,
+    )
+
+
+def urb(n=2, **kwargs):
+    return Simulator(
+        n, lambda pid, n_: UniformReliableBroadcast(pid, n_),
+        atomic_local=True, **kwargs,
+    )
+
+
+CONFIGS = [
+    pytest.param(s2a(), {0: ["a"], 1: ["b"]}, None, 6, id="s2a-async"),
+    pytest.param(
+        s2a(sync_broadcasts=True), {0: ["a"], 1: ["b"]}, None, 6,
+        id="s2a-sync",
+    ),
+    pytest.param(
+        s2a(), {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={1: 3}), 6,
+        id="s2a-crash",
+    ),
+    pytest.param(urb(), {0: ["a"], 1: ["b"]}, None, 5, id="urb-async"),
+]
+
+
+def reachable_states(simulator, scripts, crash_schedule, max_depth):
+    """Every distinct state up to ``max_depth`` decisions, as handles."""
+    root = simulator.begin(scripts, crash_schedule=crash_schedule)
+    root.choices()
+    frontier = [(root, 0)]
+    seen = {root.fingerprint()}
+    states = []
+    while frontier:
+        handle, depth = frontier.pop()
+        states.append(handle)
+        if depth >= max_depth:
+            continue
+        for index in range(len(handle.choices())):
+            child = handle.fork()
+            child.advance(index)
+            child.choices()
+            digest = child.fingerprint()
+            if digest not in seen:
+                seen.add(digest)
+                frontier.append((child, depth + 1))
+    return states
+
+
+def take_by_key(handle, key):
+    """Advance ``handle`` by the choice with identity ``key``."""
+    for index, choice in enumerate(handle.choices()):
+        if choice_key(choice) == key:
+            handle.advance(index)
+
+            handle.choices()  # run the prelude so footprints finalize
+            return
+    raise AssertionError(f"choice {key} not enabled — commutation broken")
+
+
+def assert_pair_commutes(handle, index_a, index_b):
+    """Execute both orders of (a, b) and compare the reached states."""
+    choices = handle.choices()
+    key_a = choice_key(choices[index_a])
+    key_b = choice_key(choices[index_b])
+
+    first = handle.fork()
+    first.advance(index_a)
+    first.choices()
+    take_by_key(first, key_b)
+
+    second = handle.fork()
+    second.advance(index_b)
+    second.choices()
+    take_by_key(second, key_a)
+
+    assert first.fingerprint() == second.fingerprint(), (
+        f"claimed-independent pair {key_a} / {key_b} does not commute"
+    )
+    keys_first = {choice_key(c) for c in first.choices()}
+    keys_second = {choice_key(c) for c in second.choices()}
+    assert keys_first == keys_second
+
+
+class TestExhaustiveCommutation:
+    """Every claimed-independent pair at every reachable state commutes."""
+
+    @pytest.mark.parametrize(
+        "simulator, scripts, crashes, depth", CONFIGS
+    )
+    def test_all_pairs(self, simulator, scripts, crashes, depth):
+        claimed = 0
+        for handle in reachable_states(simulator, scripts, crashes, depth):
+            choices = handle.choices()
+            footprints = [
+                observed_footprint(handle, index)
+                for index in range(len(choices))
+            ]
+            for i in range(len(choices)):
+                for j in range(i + 1, len(choices)):
+                    if independent(footprints[i], footprints[j]):
+                        claimed += 1
+                        assert_pair_commutes(handle, i, j)
+        # recorded for the non-vacuity checks below
+        self.__class__.last_claimed = claimed
+
+    def test_relation_not_vacuous_on_s2a(self):
+        """Send-To-All receptions to distinct receivers must commute."""
+        claimed = 0
+        for handle in reachable_states(s2a(), {0: ["a"], 1: ["b"]}, None, 6):
+            choices = handle.choices()
+            footprints = [
+                observed_footprint(handle, index)
+                for index in range(len(choices))
+            ]
+            claimed += sum(
+                independent(footprints[i], footprints[j])
+                for i in range(len(choices))
+                for j in range(i + 1, len(choices))
+            )
+        assert claimed > 0, "no independent pairs: sleep sets are dead code"
+
+    def test_urb_first_receptions_dependent(self):
+        """A URB reception that forwards emits sends: never independent."""
+        simulator = urb()
+        handle = simulator.begin({0: ["a"]})
+        handle.choices()
+        # take the broadcast, leaving one copy per receiver enabled
+        take_by_key(handle, ("bcast", 0))
+        choices = handle.choices()
+        by_receiver = {
+            choice_key(choice)[2]: index
+            for index, choice in enumerate(choices)
+            if choice[0] == "recv"
+        }
+        assert set(by_receiver) == {0, 1}
+        own = observed_footprint(handle, by_receiver[0])
+        first = observed_footprint(handle, by_receiver[1])
+        # p0 already knows its own message: the self-copy is a duplicate
+        assert own is not None and not own.sent
+        # p1 learns it here and forwards to all — recorded as emissions
+        assert first is not None and first.sent
+        assert not independent(own, first)
+
+
+class TestRandomizedCommutation:
+    """Random walks through a deeper tree, probing random enabled pairs."""
+
+    @pytest.mark.parametrize(
+        "simulator, scripts, crashes",
+        [
+            pytest.param(
+                s2a(), {0: ["a"], 1: ["b"], 2: ["c"]}, None, id="s2a-n3"
+            ),
+            pytest.param(
+                urb(), {0: ["a"], 1: ["b"]},
+                CrashSchedule(at_step={0: 4}), id="urb-crash",
+            ),
+        ],
+    )
+    def test_random_walks(self, simulator, scripts, crashes):
+        rng = random.Random(20240806)
+        for _ in range(40):
+            handle = simulator.begin(scripts, crash_schedule=crashes)
+            handle.choices()
+            for _ in range(rng.randint(0, 10)):
+                choices = handle.choices()
+                if not choices:
+                    break
+                if len(choices) >= 2:
+                    i, j = rng.sample(range(len(choices)), 2)
+                    a = observed_footprint(handle, i)
+                    b = observed_footprint(handle, j)
+                    if independent(a, b):
+                        assert_pair_commutes(handle, min(i, j), max(i, j))
+                handle.advance(rng.randrange(len(choices)))
+                handle.choices()
+
+
+class TestFootprintShape:
+    """The recorded footprints carry what the docstrings promise."""
+
+    def test_crash_marks_inflight_footprint(self):
+        simulator = s2a(n=2)
+        crashes = CrashSchedule(at_step={1: 1})
+        handle = simulator.begin({0: ["a"]}, crash_schedule=crashes)
+        handle.choices()
+        handle.advance(0)  # the decision whose successor prelude crashes p1
+        handle.choices()
+        footprint = handle.last_footprint
+        assert footprint is not None and footprint.crashed
+
+    def test_choice_keys_stable_across_siblings(self):
+        simulator = s2a(n=3)
+        handle = simulator.begin({0: ["a"], 1: ["b"]})
+        choices = handle.choices()
+        keys = {choice_key(c) for c in choices}
+        # taking one branch re-indexes the rest but keeps their keys
+        taken = choice_key(choices[0])
+        handle.advance(0)
+        handle.choices()
+        after = {choice_key(c) for c in handle.choices()}
+        assert (keys - {taken}) <= after
