@@ -53,6 +53,8 @@ DETERMINISTIC_CONFIG_FIELDS = (
     "expanded_vs_terminals_reduction",
     "sleep_terminal_reduction",
     "composed_state_reduction",
+    "static_sleep_event_reduction",
+    "static_sleep_terminal_reduction",
 )
 
 

@@ -2,14 +2,16 @@
 
 Usage::
 
-    python -m repro.lint [paths...] [--format text|json]
+    python -m repro.lint [paths...] [--format text|json|sarif]
                          [--select REP001,REP003] [--ignore REP004]
-                         [--list-rules] [--no-config]
+                         [--show-suppressed] [--list-rules] [--no-config]
 
 Paths default to the ``paths`` key of ``[tool.repro-lint]`` in
 ``pyproject.toml`` (found by walking up from the current directory),
 falling back to ``src``.  Exit status: 0 clean, 1 findings, 2 usage
-error.
+error.  Suppressed findings never fail the run: a tree whose only
+findings carry in-source suppressions exits 0 (``--show-suppressed``
+displays them flagged).
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from .engine import LintEngine
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import ALL_RULES
 
 __all__ = ["main", "load_config"]
@@ -71,9 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help=(
+            "report findings silenced by in-source suppression comments "
+            "(flagged; they never affect the exit status)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -138,11 +148,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
-    engine = LintEngine(select=select or None, ignore=ignore or None)
+    engine = LintEngine(
+        select=select or None,
+        ignore=ignore or None,
+        keep_suppressed=args.show_suppressed,
+    )
     findings = engine.lint_paths(paths)
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     try:
         print(renderer(findings))
     except BrokenPipeError:  # e.g. piped into head; exit code still counts
         sys.stderr.close()
-    return 1 if findings else 0
+    return 1 if any(not f.suppressed for f in findings) else 0

@@ -13,6 +13,7 @@ violations for the rule tests) and build artifacts; a file passed
 from __future__ import annotations
 
 import ast
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -82,11 +83,15 @@ class LintEngine:
         select: Iterable[str] | None = None,
         ignore: Iterable[str] | None = None,
         excluded_dirs: frozenset[str] = DEFAULT_EXCLUDED_DIRS,
+        keep_suppressed: bool = False,
     ) -> None:
         self.rules = list(rules) if rules is not None else default_rules()
         self.select = frozenset(select) if select is not None else None
         self.ignore = frozenset(ignore or ())
         self.excluded_dirs = excluded_dirs
+        #: Report suppressed findings flagged (``Finding.suppressed``)
+        #: instead of dropping them; they never affect exit status.
+        self.keep_suppressed = keep_suppressed
 
     def _enabled(self, rule_id: str) -> bool:
         if rule_id == PARSE_ERROR_ID:
@@ -131,13 +136,16 @@ class LintEngine:
             ]
         suppressions = SuppressionIndex.from_source(source)
         module = ModuleContext(path=path, tree=tree, source=source)
-        findings = [
-            finding
-            for rule in self.rules
-            if self._enabled(rule.id) and rule.applies_to(path)
-            for finding in rule.check(module)
-            if not suppressions.is_suppressed(finding.rule, finding.line)
-        ]
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if not (self._enabled(rule.id) and rule.applies_to(path)):
+                continue
+            for finding in rule.check(module):
+                if suppressions.is_suppressed(finding.rule, finding.line):
+                    if self.keep_suppressed:
+                        findings.append(replace(finding, suppressed=True))
+                else:
+                    findings.append(finding)
         findings.sort()
         return findings
 

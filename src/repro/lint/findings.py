@@ -27,17 +27,29 @@ class Finding:
     col: int
     rule: str
     message: str
+    #: True when an in-source suppression comment covers the finding.
+    #: Suppressed findings are dropped by default; an engine built with
+    #: ``keep_suppressed=True`` reports them flagged instead (the CLI's
+    #: ``--show-suppressed``), and they never affect the exit status.
+    suppressed: bool = False
 
     def render(self) -> str:
         """The conventional one-line ``path:line:col: RULE message`` form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        tail = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}{tail}"
+        )
 
     def to_jsonable(self) -> dict[str, Any]:
         """The finding as plain JSON-compatible data."""
-        return {
+        record = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.suppressed:
+            record["suppressed"] = True
+        return record

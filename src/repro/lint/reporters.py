@@ -1,7 +1,9 @@
-"""Reporters: findings to human text or machine JSON.
+"""Reporters: findings to human text, machine JSON, or SARIF.
 
-Both forms are pure functions from a finding list to a string, so the
-CLI, tests and CI consume the same code path.
+All forms are pure functions from a finding list to a string, so the
+CLI, tests and CI consume the same code path.  Suppressed findings
+(present only when the engine was built with ``keep_suppressed=True``)
+are rendered flagged but never counted as failures.
 """
 
 from __future__ import annotations
@@ -10,33 +12,106 @@ import json
 from collections import Counter
 from typing import Sequence
 
-from .findings import Finding
+from .findings import PARSE_ERROR_ID, Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+#: ``$schema`` for the SARIF output (GitHub code-scanning compatible).
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding]) -> str:
     """``path:line:col: RULE message`` lines plus a per-rule summary."""
     if not findings:
         return "repro.lint: clean (0 findings)"
+    active = [f for f in findings if not f.suppressed]
     lines = [finding.render() for finding in findings]
-    counts = Counter(finding.rule for finding in findings)
+    counts = Counter(finding.rule for finding in active)
     summary = ", ".join(
         f"{rule} x{count}" for rule, count in sorted(counts.items())
     )
-    lines.append(
-        f"repro.lint: {len(findings)} finding(s) ({summary})"
-    )
+    tail = f"repro.lint: {len(active)} finding(s)"
+    if summary:
+        tail += f" ({summary})"
+    if len(active) < len(findings):
+        tail += f", {len(findings) - len(active)} suppressed"
+    lines.append(tail)
     return "\n".join(lines)
 
 
 def render_json(findings: Sequence[Finding]) -> str:
-    """A stable JSON document: version, counts, and finding records."""
-    counts = Counter(finding.rule for finding in findings)
+    """A stable JSON document: version, counts, and finding records.
+
+    ``count`` and ``counts_by_rule`` cover *active* findings only — they
+    drive exit codes and CI gates; suppressed records (if the engine
+    kept them) appear in ``findings`` with ``"suppressed": true`` and
+    are tallied in ``suppressed_count``.
+    """
+    active = [f for f in findings if not f.suppressed]
+    counts = Counter(finding.rule for finding in active)
     document = {
         "version": 1,
-        "count": len(findings),
+        "count": len(active),
+        "suppressed_count": len(findings) - len(active),
         "counts_by_rule": dict(sorted(counts.items())),
         "findings": [finding.to_jsonable() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """A SARIF 2.1.0 log, one run, one result per finding.
+
+    The driver carries the full rule catalog (so viewers can show rule
+    summaries for clean runs too); suppressed findings become results
+    with an ``inSource`` suppression, which code-scanning UIs display
+    as dismissed rather than dropping silently.
+    """
+    from .rules import ALL_RULES  # local: reporters must stay rule-free
+
+    rules = [
+        {
+            "id": PARSE_ERROR_ID,
+            "shortDescription": {"text": "file does not parse"},
+        }
+    ]
+    rules.extend(
+        {"id": rule.id, "shortDescription": {"text": rule.summary}}
+        for rule in ALL_RULES
+    )
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {"name": "repro-lint", "rules": rules}
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=False)

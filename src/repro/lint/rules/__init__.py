@@ -12,6 +12,7 @@ from __future__ import annotations
 from .base import ModuleContext, Rule
 from .determinism import DeterminismRule
 from .effects import EffectDisciplineRule
+from .footprint import StaticRaceRule, SummaryClosureRule
 from .hygiene import SwallowedFailureRule
 from .neutrality import ContentNeutralityRule
 from .ordering import UidOrderingRule
@@ -25,6 +26,8 @@ __all__ = [
     "EffectDisciplineRule",
     "ContentNeutralityRule",
     "MutableStateRule",
+    "StaticRaceRule",
+    "SummaryClosureRule",
     "SwallowedFailureRule",
     "UidOrderingRule",
     "default_rules",
@@ -38,6 +41,8 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableStateRule,
     SwallowedFailureRule,
     UidOrderingRule,
+    StaticRaceRule,
+    SummaryClosureRule,
 )
 
 

@@ -15,7 +15,10 @@ uids* while its last binding is a set expression mentioning uids, when
 uids are accumulated into it via ``.add(...)``, or when it is unpacked
 from the ``.items()`` / ``.values()`` of a dict whose values are such
 sets (the ``d.setdefault(key, set()).add(m.uid)`` accumulator idiom).
-Wrapping the iteration in ``sorted(...)`` launders it back to ordered.
+Wrapping the iteration in ``sorted(...)`` launders it back to ordered —
+as does rebinding the name through ``sorted(...)`` itself or through a
+module-level *sorting helper*, a function whose every return statement
+provably wraps ``sorted(...)``.
 """
 
 from __future__ import annotations
@@ -70,8 +73,11 @@ class UidOrderingRule(Rule):
     scope = frozenset({"specs"})
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
+        launderers = self._sorting_helpers(module.tree) | {"sorted"}
         for scope_node in self._function_scopes(module.tree):
-            uid_sets, uid_set_dicts = self._infer_names(scope_node)
+            uid_sets, uid_set_dicts = self._infer_names(
+                scope_node, launderers
+            )
             for node in self._walk_scope(scope_node):
                 if isinstance(node, ast.For):
                     yield from self._check_iter(
@@ -119,12 +125,47 @@ class UidOrderingRule(Rule):
 
     # -- name inference --------------------------------------------------
 
+    @staticmethod
+    def _sorting_helpers(tree: ast.Module) -> frozenset[str]:
+        """Module-level functions whose every return wraps ``sorted(...)``.
+
+        A name rebound through such a helper is as laundered as one
+        rebound through ``sorted(...)`` inline — the loop-target pass
+        must not re-mark it as a uid set.
+        """
+        helpers: set[str] = set()
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            returns = [
+                r for r in ast.walk(node) if isinstance(r, ast.Return)
+            ]
+            if returns and all(
+                r.value is not None
+                and UidOrderingRule._wraps_sorted(r.value)
+                for r in returns
+            ):
+                helpers.add(node.name)
+        return frozenset(helpers)
+
+    @staticmethod
+    def _wraps_sorted(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = dotted_name(node.func)
+        if name == "sorted":
+            return True
+        if name in ("list", "tuple") and node.args:
+            return UidOrderingRule._wraps_sorted(node.args[0])
+        return False
+
     def _infer_names(
-        self, scope_node: ast.AST
+        self, scope_node: ast.AST, launderers: frozenset[str]
     ) -> tuple[frozenset[str], frozenset[str]]:
         """(names holding uid sets, names holding dicts of uid sets)."""
         uid_sets: set[str] = set()
         uid_set_dicts: set[str] = set()
+        laundered: set[str] = set()
         nodes = list(self._walk_scope(scope_node))
         for node in nodes:
             if isinstance(node, ast.Assign) and len(node.targets) == 1:
@@ -134,8 +175,14 @@ class UidOrderingRule(Rule):
                         _mentions_uid(node.value) or _mentions_uid(target)
                     ):
                         uid_sets.add(target.id)
+                        laundered.discard(target.id)
                     elif not _is_set_expression(node.value):
                         uid_sets.discard(target.id)
+                        if (
+                            isinstance(node.value, ast.Call)
+                            and dotted_name(node.value.func) in launderers
+                        ):
+                            laundered.add(target.id)
             elif isinstance(node, ast.AnnAssign) and isinstance(
                 node.target, ast.Name
             ):
@@ -153,7 +200,9 @@ class UidOrderingRule(Rule):
         # unpack may be populated later in source order than the loop
         for node in nodes:
             if isinstance(node, ast.For):
-                self._infer_from_loop_target(node, uid_sets, uid_set_dicts)
+                self._infer_from_loop_target(
+                    node, uid_sets, uid_set_dicts, laundered
+                )
         return frozenset(uid_sets), frozenset(uid_set_dicts)
 
     @staticmethod
@@ -185,9 +234,17 @@ class UidOrderingRule(Rule):
 
     @staticmethod
     def _infer_from_loop_target(
-        node: ast.For, uid_sets: set[str], uid_set_dicts: set[str]
+        node: ast.For,
+        uid_sets: set[str],
+        uid_set_dicts: set[str],
+        laundered: set[str],
     ) -> None:
-        """Unpacking a uid-set dict rebinds its set half in the target."""
+        """Unpacking a uid-set dict rebinds its set half in the target.
+
+        A target name the body rebinds through ``sorted(...)`` or a
+        sorting helper (``laundered``) stays out: its iterations read
+        the ordered rebinding, not the unpacked set.
+        """
         if not (
             isinstance(node.iter, ast.Call)
             and isinstance(node.iter.func, ast.Attribute)
@@ -202,9 +259,14 @@ class UidOrderingRule(Rule):
             and isinstance(target, ast.Tuple)
             and len(target.elts) == 2
             and isinstance(target.elts[1], ast.Name)
+            and target.elts[1].id not in laundered
         ):
             uid_sets.add(target.elts[1].id)
-        elif method == "values" and isinstance(target, ast.Name):
+        elif (
+            method == "values"
+            and isinstance(target, ast.Name)
+            and target.id not in laundered
+        ):
             uid_sets.add(target.id)
 
     # -- the check -------------------------------------------------------

@@ -149,6 +149,29 @@ from .fingerprint import stable_digest
 from .independence import Footprint, choice_key, independent
 from .simulator import Gated, SimulationResult, SimulationRun, Simulator
 
+#: The pairwise commutation relation the sleep-set recurrence consults.
+_IndepFn = Callable[["Footprint | None", "Footprint | None"], bool]
+
+
+def _independence_relation(static_independence) -> _IndepFn:
+    """The dynamic relation, optionally refined by a static table.
+
+    With a :class:`~repro.statics.independence.StaticIndependence`
+    table, a pair the dynamic relation declined *solely because a crash
+    is pending* may still commute when the table proves neither event
+    can reach the injection's state (see that module's soundness
+    argument).  ``None`` keeps the plain dynamic relation.
+    """
+    if static_independence is None:
+        return independent
+
+    def refined(
+        a: Footprint | None, b: Footprint | None
+    ) -> bool:
+        return independent(a, b) or static_independence.proves(a, b)
+
+    return refined
+
 __all__ = [
     "Violation",
     "ExplorationResult",
@@ -740,6 +763,7 @@ def _explore_subtree(
     initial_sleep: _SleepSet | None = None,
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
+    static_independence=None,
 ) -> _SubtreeOutcome:
     """Incremental DFS below ``prefix`` (replayed once to materialize).
 
@@ -752,11 +776,15 @@ def _explore_subtree(
     branch whose choice is asleep (its footprint independent of every
     event taken since a sibling order explored it) is skipped before
     forking; ``initial_sleep`` seeds the root's sleep set (parallel
-    shards inherit theirs from the frontier expansion).  A non-empty
-    ``permutations`` tuple switches the dedup cache to
-    symmetry-canonical keys (see :func:`_canonical_key`).
+    shards inherit theirs from the frontier expansion).
+    ``static_independence`` refines the independence relation with a
+    proven-commutation table (crash schedules — see
+    :func:`_independence_relation`).  A non-empty ``permutations`` tuple
+    switches the dedup cache to symmetry-canonical keys (see
+    :func:`_canonical_key`).
     """
     out = _SubtreeOutcome()
+    indep = _independence_relation(static_independence)
     prop = _as_property(property_check)
     handle = simulator.begin(scripts, crash_schedule=crash_schedule)
     for branch in prefix:
@@ -833,7 +861,7 @@ def _explore_subtree(
             key: footprint
             for candidates in (sleep, explored)
             for key, footprint in candidates.items()
-            if independent(footprint, taken)
+            if indep(footprint, taken)
         }
         return kept, taken
 
@@ -1124,6 +1152,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         dedup,
         sleep_sets,
         permutations,
+        static_independence,
     ) = _SHARD_STATE
     prefix, initial_sleep = shard_work[index]
     return _explore_subtree(
@@ -1139,6 +1168,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         sleep_sets=sleep_sets,
         permutations=permutations,
         initial_sleep=initial_sleep,
+        static_independence=static_independence,
     )
 
 
@@ -1151,6 +1181,7 @@ def _expand_frontier(
     target_shards: int,
     result: ExplorationResult,
     sleep_sets: bool = False,
+    static_independence=None,
 ) -> list[tuple]:
     """Expand the tree breadth-first until enough subtrees exist.
 
@@ -1164,6 +1195,7 @@ def _expand_frontier(
     here exactly as the sequential DFS would prune them.
     """
     prop = _as_property(property_check)
+    indep = _independence_relation(static_independence)
     root = _Cursor(
         simulator.begin(scripts, crash_schedule=crash_schedule),
         prop.tracker(simulator.n),
@@ -1226,7 +1258,7 @@ def _expand_frontier(
                         key: footprint
                         for candidates in (sleep, explored)
                         for key, footprint in candidates.items()
-                        if independent(footprint, taken)
+                        if indep(footprint, taken)
                     }
                     if taken is not None:
                         explored[keys[branch]] = taken
@@ -1253,6 +1285,7 @@ def _explore_parallel(
     dedup: bool,
     sleep_sets: bool = False,
     permutations: Sequence[tuple[int, ...]] = (),
+    static_independence=None,
 ) -> ExplorationResult:
     """Shard the tree over a worker pool and merge in DFS order.
 
@@ -1277,6 +1310,7 @@ def _explore_parallel(
         target_shards=workers * 4,
         result=result,
         sleep_sets=sleep_sets,
+        static_independence=static_independence,
     )
     if dedup:
         # frontier nodes were expanded here, before any cache existed
@@ -1295,6 +1329,7 @@ def _explore_parallel(
         dedup,
         sleep_sets,
         permutations,
+        static_independence,
     )
     try:
         with ctx.Pool(processes=workers) as pool:
@@ -1369,6 +1404,7 @@ def explore_schedules(
     dedup: bool = False,
     workers: int = 1,
     sleep_sets: bool = False,
+    static_independence=None,
     symmetry: str = "none",
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
@@ -1394,7 +1430,15 @@ def explore_schedules(
     interleaving it would start, by the recorded-footprint independence
     relation of :mod:`repro.runtime.independence`.  Slept terminals are
     not re-counted, so ``terminal_schedules`` reports covered-distinct
-    schedules, not raw interleavings.  ``symmetry="rename"`` (requires
+    schedules, not raw interleavings.  ``static_independence`` (requires
+    ``sleep_sets``) refines that relation with a proven-commutation
+    table from the algorithm's static effect summary
+    (:mod:`repro.statics.independence`), recovering pruning on crash
+    schedules where the recorded-footprint relation goes conservative;
+    pass ``True`` to infer the table from the algorithm (raises
+    :class:`ValueError` when no closed summary can be proven) or a
+    prebuilt :class:`~repro.statics.independence.StaticIndependence`
+    instance.  ``symmetry="rename"`` (requires
     dedup) additionally merges states equal up to a permutation of
     interchangeable process ids plus an injective renaming of message
     contents (the paper's Definition 3 applied to states); it is gated
@@ -1437,6 +1481,11 @@ def explore_schedules(
         raise ValueError(
             "sleep-set reduction requires the incremental engine"
         )
+    if static_independence and not sleep_sets:
+        raise ValueError(
+            "static_independence refines the sleep-set reduction; pass "
+            "sleep_sets=True as well"
+        )
     if progress_every < 1:
         raise ValueError(
             f"progress_every must be >= 1, got {progress_every}"
@@ -1452,7 +1501,23 @@ def explore_schedules(
         ksa_policy=simulator.ksa_policy,
         sync_broadcasts=simulator.sync_broadcasts,
         atomic_local=True,
+        validate_footprints=simulator.validate_footprints,
     )
+    if static_independence is True:
+        from ..statics.independence import StaticIndependence
+
+        static_independence = StaticIndependence.for_simulator(simulator)
+        if static_independence is None or not static_independence.usable:
+            raise ValueError(
+                "static_independence=True, but no closed effect summary "
+                "could be proven for this algorithm (run `python -m "
+                "repro.statics` on it to see the open reasons); pass a "
+                "prebuilt table or drop the option"
+            )
+    elif static_independence is not None and not static_independence.usable:
+        # A prebuilt but unusable table proves nothing; drop it so the
+        # engines skip the per-pair indirection entirely.
+        static_independence = None
     if engine == "replay":
         return _explore_replay(
             simulator,
@@ -1486,6 +1551,7 @@ def explore_schedules(
             dedup,
             sleep_sets=sleep_sets,
             permutations=permutations,
+            static_independence=static_independence,
         )
     sub = _explore_subtree(
         simulator,
@@ -1501,6 +1567,7 @@ def explore_schedules(
         permutations=permutations,
         progress=progress,
         progress_every=progress_every,
+        static_independence=static_independence,
     )
     return ExplorationResult(
         schedules_explored=sub.schedules_explored,

@@ -73,26 +73,39 @@ class Footprint:
     oracle: bool = False
     #: True when the next prelude injected a crash after this event.
     crashed: bool = False
+    #: Still-alive victims of the crash schedule at the time the
+    #: footprint was finalized.  Non-empty means a crash is *pending*:
+    #: the dynamic relation stays conservative, but a
+    #: :class:`~repro.statics.independence.StaticIndependence` table can
+    #: still prove commutation when neither event touches a victim.
+    pending: frozenset[int] = frozenset()
 
 
 class FootprintDraft:
     """Mutable footprint being accumulated for the in-flight event."""
 
-    __slots__ = ("kind", "pids", "sent", "oracle", "crashed")
+    __slots__ = ("kind", "origin", "pids", "sent", "oracle", "crashed",
+                 "pending")
 
     def __init__(self, kind: str, pid: int) -> None:
         self.kind = kind
+        #: The process the committed choice named (the receiver of a
+        #: reception, the broadcaster of a start) — the anchor the
+        #: footprint-validation mode checks ``pids`` against.
+        self.origin = pid
         self.pids: set[int] = {pid}
         self.sent: list[PointToPointId] = []
         self.oracle = False
         self.crashed = False
+        self.pending: frozenset[int] = frozenset()
 
     def copy(self) -> "FootprintDraft":
-        clone = FootprintDraft(self.kind, next(iter(self.pids)))
+        clone = FootprintDraft(self.kind, self.origin)
         clone.pids = set(self.pids)
         clone.sent = list(self.sent)
         clone.oracle = self.oracle
         clone.crashed = self.crashed
+        clone.pending = self.pending
         return clone
 
     def freeze(self) -> Footprint:
@@ -102,6 +115,7 @@ class FootprintDraft:
             tuple(self.sent),
             self.oracle,
             self.crashed,
+            self.pending,
         )
 
 
@@ -115,6 +129,13 @@ def independent(a: Footprint | None, b: Footprint | None) -> bool:
     if a is None or b is None:
         return False
     if a.crashed or b.crashed:
+        return False
+    if a.pending or b.pending:
+        # A crash is still scheduled at a *global* decision count; the
+        # recorded footprints alone cannot rule out that reordering
+        # changes what the injection lands on, so the dynamic relation
+        # stays conservative (a static commutation proof can refine it:
+        # :mod:`repro.statics.independence`).
         return False
     if a.oracle or b.oracle:
         return False

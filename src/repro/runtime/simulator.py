@@ -59,7 +59,25 @@ from .process import (
 )
 from .trace import TraceRecorder
 
-__all__ = ["Gated", "SimulationResult", "SimulationRun", "Simulator"]
+__all__ = [
+    "FootprintViolationError",
+    "Gated",
+    "SimulationResult",
+    "SimulationRun",
+    "Simulator",
+]
+
+
+class FootprintViolationError(AssertionError):
+    """A dynamic footprint escaped its static effect summary.
+
+    Raised only under ``validate_footprints=True``: the simulator
+    recorded an event touching state, emitting messages or consulting an
+    oracle that the closed summary inferred by
+    :mod:`repro.statics.analyzer` proves the handler cannot — meaning
+    either the analyzer is unsound or the recording is wrong.  Both are
+    bugs worth crashing a differential test over.
+    """
 
 AlgorithmFactory = Callable[[int, int], BroadcastProcess]
 
@@ -195,17 +213,57 @@ class SimulationRun:
                 self._drain_local()
             self._choices = self._enabled_choices()
             if self._pending_footprint is not None:
-                if any(p in self.alive for p in self.crashes.at_step):
-                    # A crash is still scheduled at a *global* step
-                    # count.  Reordering any two events moves the count
-                    # at which it fires — and with it the state the
-                    # injection lands on (e.g. how far the victim's
-                    # local drain got) — so every event is
-                    # crash-sensitive until the schedule has drained.
-                    self._pending_footprint.crashed = True
+                # A crash still scheduled at a *global* step count makes
+                # the recorded footprint insufficient on its own: the
+                # dynamic relation treats a non-empty ``pending`` set as
+                # dependent-with-all, and only a static commutation
+                # proof (:mod:`repro.statics.independence`) may refine
+                # it for events that touch no victim.
+                self._pending_footprint.pending = frozenset(
+                    p for p in self.crashes.at_step if p in self.alive
+                )
+                if self.simulator.validate_footprints:
+                    self._validate_footprint(self._pending_footprint)
                 self.last_footprint = self._pending_footprint.freeze()
                 self._pending_footprint = None
         return self._choices
+
+    def _validate_footprint(self, draft: FootprintDraft) -> None:
+        """Assert the recorded footprint is contained in the static one.
+
+        The containment direction matters: the static summary is an
+        *over*-approximation, so every dynamically observed effect must
+        appear in it.  Skipped silently when no closed summary exists
+        for the algorithm (open summaries prove nothing).
+        """
+        summary = self.simulator.footprint_summary()
+        if summary is None or not summary.closed:
+            return
+        from ..statics.independence import attributed_handlers
+
+        handlers = attributed_handlers(summary, draft.kind)
+        if not handlers:
+            return
+        stray = set(draft.pids) - {draft.origin}
+        if stray:
+            raise FootprintViolationError(
+                f"{summary.qualname}: {draft.kind} event at process "
+                f"{draft.origin} touched foreign processes "
+                f"{sorted(stray)}, but its closed effect summary proves "
+                f"per-process state isolation"
+            )
+        if draft.sent and not any(h.sends for h in handlers):
+            raise FootprintViolationError(
+                f"{summary.qualname}: {draft.kind} event at process "
+                f"{draft.origin} emitted {len(draft.sent)} message(s), "
+                f"but no attributed handler has a send effect"
+            )
+        if draft.oracle and not any(h.proposes for h in handlers):
+            raise FootprintViolationError(
+                f"{summary.qualname}: {draft.kind} event at process "
+                f"{draft.origin} consulted a k-SA oracle, but no "
+                f"attributed handler has a propose effect"
+            )
 
     def advance(self, index: int) -> None:
         """Commit the ``index``-th enabled event and apply it."""
@@ -559,6 +617,12 @@ class Simulator:
         sound partial-order reduction for terminal-state properties —
         it is what makes exhaustive exploration
         (:mod:`repro.runtime.explorer`) tractable.
+    validate_footprints:
+        When true, every finalized event footprint is checked for
+        containment in the algorithm's static effect summary
+        (:mod:`repro.statics`); escape raises
+        :class:`FootprintViolationError`.  A sanitizer for differential
+        tests — off by default because it adds a check per decision.
     """
 
     def __init__(
@@ -572,6 +636,7 @@ class Simulator:
         sync_broadcasts: bool = False,
         scheduling_policy: SchedulingPolicy | None = None,
         atomic_local: bool = False,
+        validate_footprints: bool = False,
     ) -> None:
         self.n = n
         self.algorithm_factory = algorithm_factory
@@ -581,6 +646,28 @@ class Simulator:
         self.sync_broadcasts = sync_broadcasts
         self.scheduling_policy = scheduling_policy or UniformPolicy()
         self.atomic_local = atomic_local
+        self.validate_footprints = validate_footprints
+        self._footprint_summary: object | None = None
+        self._footprint_summary_ready = False
+
+    def footprint_summary(self):
+        """The algorithm's static effect summary, inferred lazily.
+
+        ``None`` when the factory cannot be probed or its source cannot
+        be analyzed — the sanitizer then has nothing to check against
+        and stays silent.  Cached on the simulator, so forked run
+        handles (which share it) analyze the algorithm exactly once.
+        """
+        if not self._footprint_summary_ready:
+            self._footprint_summary_ready = True
+            from ..statics.analyzer import summarize_algorithm
+
+            try:
+                probe = self.algorithm_factory(0, self.n)
+                self._footprint_summary = summarize_algorithm(type(probe))
+            except (OSError, TypeError, SyntaxError):
+                self._footprint_summary = None
+        return self._footprint_summary
 
     def begin(
         self,

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.statics``."""
+
+from __future__ import annotations
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

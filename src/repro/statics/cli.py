@@ -1,0 +1,140 @@
+"""The ``python -m repro.statics`` command line.
+
+Usage::
+
+    python -m repro.statics [paths...] [--format text|json]
+                            [--check] [--golden DIR]
+
+Walks Python files, summarizes every process class found, and prints
+the inferred effect summaries.  ``--check`` exits 1 when any summary is
+*open* (inference could not prove closure) — the CI self-application
+step.  ``--golden DIR`` (re)writes one snapshot file per algorithm into
+``DIR``, the regeneration path the golden tests hint at.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from ..lint.engine import iter_python_files
+from .analyzer import summarize_module
+from .model import AlgorithmSummary
+from .snapshot import render_snapshot
+
+__all__ = ["main", "collect_summaries"]
+
+
+def collect_summaries(
+    paths: Sequence[Path | str],
+) -> list[tuple[Path, AlgorithmSummary]]:
+    """Every process-class summary under ``paths``, in stable order."""
+    collected: list[tuple[Path, AlgorithmSummary]] = []
+    for path in iter_python_files(paths):
+        try:
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+        except SyntaxError:
+            continue  # the linter reports unparseable files (REP000)
+        for summary in summarize_module(tree):
+            collected.append((path, summary))
+    collected.sort(key=lambda item: (str(item[0]), item[1].qualname))
+    return collected
+
+
+def _render_text(collected: list[tuple[Path, AlgorithmSummary]]) -> str:
+    lines: list[str] = []
+    for path, summary in collected:
+        state = "closed" if summary.closed else "OPEN"
+        lines.append(f"{path}: {summary.qualname} [{summary.kind}] {state}")
+        for name, handler in summary.handlers:
+            effects = []
+            if handler.sends:
+                effects.append(f"sends={{{', '.join(sorted(handler.sends))}}}")
+            if handler.proposes:
+                effects.append("proposes")
+            if handler.delivers:
+                effects.append("delivers")
+            if handler.waits:
+                effects.append("waits")
+            lines.append(
+                f"  {name}: reads={{{', '.join(sorted(handler.reads))}}} "
+                f"writes={{{', '.join(sorted(handler.writes))}}}"
+                + (" " + " ".join(effects) if effects else "")
+            )
+            for reason in handler.open_reasons:
+                lines.append(
+                    f"    open[{reason.category}] line {reason.line}: "
+                    f"{reason.message}"
+                )
+    open_count = sum(1 for _, s in collected if not s.closed)
+    lines.append(
+        f"repro.statics: {len(collected)} algorithm(s), "
+        f"{open_count} open"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statics",
+        description=(
+            "infer per-handler effect summaries for process classes "
+            "(see docs/static_analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any summary is open (unproven closure)",
+    )
+    parser.add_argument(
+        "--golden",
+        metavar="DIR",
+        help="write one snapshot per algorithm into DIR and exit",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+    collected = collect_summaries(paths)
+
+    if args.golden:
+        directory = Path(args.golden)
+        directory.mkdir(parents=True, exist_ok=True)
+        for _, summary in collected:
+            target = directory / f"{summary.qualname}.json"
+            target.write_text(render_snapshot(summary), encoding="utf-8")
+            print(f"wrote {target}")
+        return 0
+
+    if args.format == "json":
+        document = {
+            "version": 1,
+            "algorithms": [
+                {"path": str(path), **summary.to_jsonable()}
+                for path, summary in collected
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(_render_text(collected))
+    if args.check:
+        return 1 if any(not s.closed for _, s in collected) else 0
+    return 0

@@ -1,0 +1,136 @@
+"""Proven commutation from effect summaries — POR under pending crashes.
+
+The dynamic relation (:func:`repro.runtime.independence.independent`)
+goes conservative the moment a crash is *pending*: a crash schedule is
+indexed by the global decision count, so the recorded footprint of every
+event carries the set of still-alive victims and the relation refuses to
+commute anything until the schedule has drained.  That blanket is sound
+but needlessly strong.  Reordering two adjacent events does **not** move
+the decision count at which a pending crash fires; the injection lands
+on a different state only if one of the events (a) had the injection
+fire adjacent to it, (b) touched a victim's process, or (c) reached
+state outside its own processes.  (a) and (b) are visible on the
+recorded footprints (``crashed``, ``pids`` vs ``pending``); (c) is
+exactly what a **closed** effect summary disproves statically — every
+handler reads and writes its own instance fields only, emits through
+the effect vocabulary only, and hides nothing from the analyzer.
+
+:class:`StaticIndependence` packages that argument: built from a closed
+:class:`~repro.statics.model.AlgorithmSummary`, its :meth:`proves`
+decides commutation for footprint pairs the dynamic relation declined
+*solely because a crash was pending*.  The sleep-set engine consults it
+as a fallback (``independent(a, b) or table.proves(a, b)``), recovering
+partial-order pruning on crash schedules while staying
+construction-identical — the differential tests in
+``tests/runtime/test_explorer_static.py`` and
+``tests/statics/test_independence.py`` execute both orders of every
+statically-proven pair and compare fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..runtime.independence import Footprint
+from .analyzer import summarize_algorithm
+from .model import AlgorithmSummary, EffectSummary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.simulator import Simulator
+
+__all__ = ["StaticIndependence", "attributed_handlers"]
+
+
+def attributed_handlers(
+    summary: AlgorithmSummary, kind: str
+) -> tuple[EffectSummary, ...]:
+    """The handlers whose code a ``kind`` scheduling event may run.
+
+    A ``"bcast"`` event starts ``on_broadcast`` (and the drain runs its
+    body up to the first suspension).  A ``"recv"`` event runs
+    ``on_receive`` — and may *resume* a suspended ``on_broadcast`` /
+    ``on_invoke`` operation body whose ``Wait`` guard the reception
+    unblocked, so suspendable operation handlers are attributed too.  A
+    ``"local"`` event (non-atomic runs only) may advance any handler.
+    """
+    handlers = {name: s for name, s in summary.handlers}
+    if kind == "bcast":
+        picked = [handlers.get("on_broadcast")]
+    elif kind == "recv":
+        picked = [handlers.get("on_receive")]
+        for operation in ("on_broadcast", "on_invoke"):
+            body = handlers.get(operation)
+            if body is not None and body.waits:
+                picked.append(body)
+    else:
+        picked = [handlers.get(name) for name in handlers]
+    return tuple(s for s in picked if s is not None)
+
+
+class StaticIndependence:
+    """A proven-commutation table over recorded footprints.
+
+    ``proves(a, b)`` is consulted only where the dynamic relation said
+    *dependent*; it may return True exactly when the pair's only
+    obstruction was a pending crash and the static summary rules out
+    every hidden interaction.  The conservative direction is free: any
+    False merely keeps a branch.
+    """
+
+    def __init__(self, summary: AlgorithmSummary) -> None:
+        self.summary = summary
+        #: Commutation is only arguable when isolation is proven for
+        #: *every* handler: an open handler anywhere could reach shared
+        #: state that any other handler observes.
+        self.usable = summary.closed and bool(summary.handlers)
+
+    @classmethod
+    def from_algorithm(cls, algorithm: type) -> "StaticIndependence":
+        return cls(summarize_algorithm(algorithm))
+
+    @classmethod
+    def for_simulator(
+        cls, simulator: "Simulator"
+    ) -> "StaticIndependence | None":
+        """Build the table for a simulator's algorithm, best effort.
+
+        Returns ``None`` when the algorithm's source is unavailable
+        (dynamically synthesized classes) — callers treat that exactly
+        like an unusable table.
+        """
+        try:
+            probe = simulator.algorithm_factory(0, simulator.n)
+            return cls.from_algorithm(type(probe))
+        except (OSError, TypeError, SyntaxError):
+            return None
+
+    def proves(self, a: Footprint | None, b: Footprint | None) -> bool:
+        """May ``a`` and ``b`` be reordered, despite a pending crash?
+
+        Requires every dynamic commutation condition except the pending
+        blanket — no adjacent injection, no oracle touch, no emission,
+        disjoint pid sets — plus two crash-specific ones: neither event
+        touched a pending victim's process, and the (whole-algorithm)
+        summary is closed, so pid-disjointness really implies state
+        disjointness.
+        """
+        if not self.usable:
+            return False
+        if a is None or b is None:
+            return False
+        if a.crashed or b.crashed:
+            return False
+        if a.oracle or b.oracle:
+            return False
+        if a.sent or b.sent:
+            return False
+        if a.pids & b.pids:
+            return False
+        pending = a.pending | b.pending
+        if (a.pids | b.pids) & pending:
+            return False
+        # Both events' handler sets must be statically accounted (an
+        # event whose kind maps to no analyzed handler proves nothing).
+        return bool(attributed_handlers(self.summary, a.kind)) and bool(
+            attributed_handlers(self.summary, b.kind)
+        )

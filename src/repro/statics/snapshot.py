@@ -1,0 +1,35 @@
+"""Stable JSON snapshots of effect summaries — the golden-test format.
+
+A snapshot is a byte-stable rendering of one
+:class:`~repro.statics.model.AlgorithmSummary`: keys sorted, sets
+rendered as sorted lists, a schema version pinned at the top.  The
+golden tests (``tests/statics/test_golden.py``) commit one snapshot per
+shipped algorithm and fail on drift, printing a regeneration hint — so
+any change to either an algorithm's effects or the analyzer itself shows
+up in review as a readable diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .model import AlgorithmSummary
+
+__all__ = ["SNAPSHOT_SCHEMA", "load_snapshot", "render_snapshot"]
+
+#: Bump when the snapshot document shape changes (goldens regenerate).
+SNAPSHOT_SCHEMA = 1
+
+
+def render_snapshot(summary: AlgorithmSummary) -> str:
+    """The summary as a byte-stable JSON document (trailing newline)."""
+    document = {"schema": SNAPSHOT_SCHEMA, **summary.to_jsonable()}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def load_snapshot(path: Path | str) -> dict[str, Any]:
+    """A committed snapshot document, parsed."""
+    with Path(path).open(encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,4 +1,6 @@
 """Fixture: every REP002 effect-discipline breach (true positives)."""
+# repro-lint: disable-file=REP008 -- the unrecognizable yields below are
+# REP002 true positives; the closure rule has its own fixture
 
 from repro.runtime.network import Network  # forbidden runtime import
 

@@ -1,0 +1,55 @@
+"""REP007/REP008 true positives: handlers that defeat effect inference."""
+
+from repro.runtime.process import BroadcastProcess, Send
+
+DELIVERED_ANYWHERE = []
+
+
+class GlobalCountBroadcast(BroadcastProcess):
+    """REP007: a handler mutating module-global state."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.count = 0
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, p2p, message):
+        DELIVERED_ANYWHERE.append(message.uid)
+        self.count += 1
+
+
+class SharedLedgerBroadcast(BroadcastProcess):
+    """REP007: class-level mutable state shared across instances."""
+
+    # repro-lint: disable-next-line=REP004 -- REP007's shared-attr case
+    ledger = {}
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, p2p, message):
+        self.ledger[message.uid] = p2p.sender
+
+
+class DynamicFieldBroadcast(BroadcastProcess):
+    """REP008: dynamic attribute access hides the write set."""
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, p2p, message):
+        setattr(self, f"slot_{p2p.sender}", message)
+
+
+class OpaqueHelperBroadcast(BroadcastProcess):
+    """REP008: an unresolvable call could mutate anything it reaches."""
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, p2p, message):
+        from .elsewhere import register_delivery
+
+        register_delivery(self, message)

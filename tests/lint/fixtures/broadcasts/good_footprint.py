@@ -1,0 +1,39 @@
+"""REP007/REP008 true negatives: handlers with closed effect summaries."""
+
+from repro.runtime.process import BroadcastProcess, Deliver
+
+
+class InstanceStateBroadcast(BroadcastProcess):
+    """All state instance-level; helpers resolve; effects recognized."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.pending = {}
+        self.delivered_uids = set()
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, p2p, message):
+        if self._note(message):
+            yield Deliver(message)
+
+    def _note(self, message):
+        # a self-method helper: inlined by the analyzer, stays closed
+        if message.uid in self.delivered_uids:
+            return False
+        self.delivered_uids.add(message.uid)
+        self.pending[message.uid] = message
+        return True
+
+
+class DerivedBroadcast(InstanceStateBroadcast):
+    """``super()`` delegation resolves through the in-module base."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.echoes = 0
+
+    def on_receive(self, p2p, message):
+        self.echoes += 1
+        yield from super().on_receive(p2p, message)

@@ -37,3 +37,36 @@ def membership_checks_are_fine(messages, suspects):
 def non_uid_sets_are_out_of_scope(processes):
     alive = set(processes)
     return [p for p in alive]  # REP001's business, not REP006's
+
+
+def _ordered_uids(uids):
+    return sorted(uids)
+
+
+def _ordered_uid_list(uids):
+    return list(sorted(uids))
+
+
+def detail_helper_sorted(messages):
+    # rebinding the unpacked set through a sorted()-wrapping helper
+    # launders it back to ordered, exactly like inline sorted(...)
+    per_sender = {}
+    for message in messages:
+        per_sender.setdefault(message.uid.sender, set()).add(message.uid)
+    details = []
+    for sender, uids in per_sender.items():
+        uids = _ordered_uids(uids)
+        for uid in uids:
+            details.append(f"{sender} -> {uid}")
+    return details
+
+
+def detail_rebound_sorted(messages):
+    per_sender = {}
+    for message in messages:
+        per_sender.setdefault(message.uid.sender, set()).add(message.uid)
+    out = []
+    for sender, uids in per_sender.items():
+        uids = _ordered_uid_list(uids)
+        out.extend(str(uid) for uid in uids)
+    return out

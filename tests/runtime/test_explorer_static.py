@@ -1,0 +1,290 @@
+"""Static refinements under exploration: proven commutation + sanitizer.
+
+Two consumers of the effect-summary analyzer meet the explorer here.
+``static_independence`` refines the sleep-set relation with the
+proven-commutation table on crash schedules — the differential tests
+require the refinement to preserve every distinct terminal observation
+and every violation while executing *strictly fewer* events than the
+dynamic-only reduction.  ``validate_footprints`` turns each recorded
+footprint into a containment assertion against the static summary — the
+acceptance runs require zero violations across sync/async/crash
+configurations of every exercised algorithm.
+"""
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.runtime import CrashSchedule, Simulator
+from repro.runtime.explorer import explore_schedules
+from repro.statics.independence import StaticIndependence
+
+
+def s2a(n=3, **kwargs):
+    return Simulator(n, lambda pid, n_: SendToAllBroadcast(pid, n_), **kwargs)
+
+
+def urb(n=2, **kwargs):
+    return Simulator(
+        n, lambda pid, n_: UniformReliableBroadcast(pid, n_), **kwargs
+    )
+
+
+def observing_property(observations):
+    def prop(result):
+        observations.add(
+            tuple(
+                tuple(m.uid for m in result.deliveries(p))
+                for p in sorted(result.runtimes)
+            )
+        )
+        return ()
+
+    return prop
+
+
+def observations_of(simulator, scripts, **kwargs):
+    seen = set()
+    result = explore_schedules(
+        simulator, scripts, observing_property(seen), **kwargs
+    )
+    return seen, result
+
+
+CRASH_CONFIGS = [
+    pytest.param(
+        s2a, {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={2: 4}),
+        id="s2a-crash-late",
+    ),
+    pytest.param(
+        s2a, {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={1: 4}),
+        id="s2a-crash-mid",
+    ),
+    pytest.param(
+        urb, {0: ["a"]}, CrashSchedule(at_step={0: 4}), id="urb-crash"
+    ),
+]
+
+
+class TestStaticSleepPreservesSemantics:
+    """The refined reduction keeps observations and violations intact."""
+
+    @pytest.mark.parametrize("factory, scripts, crashes", CRASH_CONFIGS)
+    @pytest.mark.parametrize("engine", ["incremental", "dedup"])
+    def test_observation_sets_equal(self, factory, scripts, crashes, engine):
+        plain, _ = observations_of(
+            factory(), scripts, crash_schedule=crashes,
+            engine=engine, max_depth=8,
+        )
+        static, _ = observations_of(
+            factory(), scripts, crash_schedule=crashes,
+            engine=engine, max_depth=8,
+            sleep_sets=True, static_independence=True,
+        )
+        assert static == plain
+
+    @pytest.mark.parametrize("factory, scripts, crashes", CRASH_CONFIGS)
+    def test_depth_cuts_preserved(self, factory, scripts, crashes):
+        for depth in (4, 6):
+            plain, _ = observations_of(
+                factory(), scripts, crash_schedule=crashes,
+                engine="dedup", max_depth=depth,
+            )
+            static, _ = observations_of(
+                factory(), scripts, crash_schedule=crashes,
+                engine="dedup", max_depth=depth,
+                sleep_sets=True, static_independence=True,
+            )
+            assert static == plain
+
+    def test_violations_preserved_exactly(self):
+        """A violating crash configuration reports the same problems."""
+        from repro.runtime.explorer import spec_property
+        from repro.specs import TotalOrderBroadcastSpec
+
+        def digest(result):
+            return sorted({v.problems for v in result.violations})
+
+        prop = spec_property(TotalOrderBroadcastSpec(), assume_complete=False)
+        crashes = CrashSchedule(at_step={2: 4})
+        plain = explore_schedules(
+            s2a(), {0: ["x"], 1: ["y"]}, prop,
+            crash_schedule=crashes, engine="dedup", max_depth=8,
+        )
+        dynamic = explore_schedules(
+            s2a(), {0: ["x"], 1: ["y"]}, prop,
+            crash_schedule=crashes, engine="dedup", max_depth=8,
+            sleep_sets=True,
+        )
+        static = explore_schedules(
+            s2a(), {0: ["x"], 1: ["y"]}, prop,
+            crash_schedule=crashes, engine="dedup", max_depth=8,
+            sleep_sets=True, static_independence=True,
+        )
+        assert plain.violations, "configuration expected to violate"
+        assert digest(static) == digest(dynamic) == digest(plain)
+
+
+class TestStaticSleepStrictlyReduces:
+    """On crash schedules the table must out-prune the dynamic relation."""
+
+    def test_strictly_fewer_events_and_terminals(self):
+        scripts = {0: ["a"], 1: ["b"]}
+        crashes = CrashSchedule(at_step={2: 4})
+        dynamic_seen, dynamic = observations_of(
+            s2a(), scripts, crash_schedule=crashes,
+            engine="dedup", max_depth=8, sleep_sets=True,
+        )
+        static_seen, static = observations_of(
+            s2a(), scripts, crash_schedule=crashes,
+            engine="dedup", max_depth=8,
+            sleep_sets=True, static_independence=True,
+        )
+        assert static_seen == dynamic_seen
+        assert static.events_executed < dynamic.events_executed
+        assert static.terminal_schedules < dynamic.terminal_schedules
+
+    def test_parallel_engine_matches_single_worker(self):
+        # a closure-based observer cannot report back from worker
+        # processes, so the parallel differential compares the engines'
+        # own counters and the violations of a violating property
+        from repro.runtime.explorer import spec_property
+        from repro.specs import TotalOrderBroadcastSpec
+
+        prop = spec_property(TotalOrderBroadcastSpec(), assume_complete=False)
+        scripts = {0: ["x"], 1: ["y"]}
+        crashes = CrashSchedule(at_step={2: 4})
+        single = explore_schedules(
+            s2a(), scripts, prop, crash_schedule=crashes,
+            engine="incremental", max_depth=8,
+            sleep_sets=True, static_independence=True,
+        )
+        parallel = explore_schedules(
+            s2a(), scripts, prop, crash_schedule=crashes,
+            engine="incremental", max_depth=8, workers=2,
+            sleep_sets=True, static_independence=True,
+        )
+        assert parallel.exhausted and single.exhausted
+        assert parallel.terminal_schedules == single.terminal_schedules
+        assert {v.problems for v in parallel.violations} == {
+            v.problems for v in single.violations
+        }
+
+
+class TestStaticIndependenceArgument:
+    """How explore_schedules resolves the static_independence argument."""
+
+    def test_requires_sleep_sets(self):
+        with pytest.raises(ValueError, match="sleep_sets"):
+            explore_schedules(
+                s2a(), {0: ["a"]}, lambda result: (),
+                static_independence=True,
+            )
+
+    def test_true_fails_loudly_for_unanalyzable_algorithms(self):
+        # a dynamically synthesized class has no source to analyze;
+        # asking for the refinement explicitly must not silently
+        # degrade to the dynamic relation
+        synthesized = type(
+            "Synth", (SendToAllBroadcast,), {"__module__": "<dynamic>"}
+        )
+        simulator = Simulator(2, lambda pid, n: synthesized(pid, n))
+        with pytest.raises(ValueError, match="static"):
+            explore_schedules(
+                simulator, {0: ["a"]}, lambda result: (),
+                sleep_sets=True, static_independence=True,
+            )
+
+    def test_prebuilt_table_is_accepted(self):
+        table = StaticIndependence.from_algorithm(SendToAllBroadcast)
+        seen, result = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]},
+            crash_schedule=CrashSchedule(at_step={2: 4}),
+            engine="dedup", max_depth=8,
+            sleep_sets=True, static_independence=table,
+        )
+        assert result.exhausted
+        plain_seen, _ = observations_of(
+            s2a(), {0: ["a"], 1: ["b"]},
+            crash_schedule=CrashSchedule(at_step={2: 4}),
+            engine="dedup", max_depth=8,
+        )
+        assert seen == plain_seen
+
+
+class TestFootprintSanitizer:
+    """validate_footprints: dynamic footprints contained in static ones."""
+
+    @pytest.mark.parametrize(
+        "factory, scripts, crashes, kwargs",
+        [
+            pytest.param(
+                s2a, {0: ["a"], 1: ["b"]}, None, {}, id="s2a-async"
+            ),
+            pytest.param(
+                s2a, {0: ["a"], 1: ["b"]}, None,
+                {"sync_broadcasts": True}, id="s2a-sync",
+            ),
+            pytest.param(
+                s2a, {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={1: 3}),
+                {}, id="s2a-crash",
+            ),
+            pytest.param(urb, {0: ["a"]}, None, {}, id="urb-async"),
+            pytest.param(
+                urb, {0: ["a"]}, CrashSchedule(at_step={0: 4}), {},
+                id="urb-crash",
+            ),
+        ],
+    )
+    def test_exploration_clean_under_validation(
+        self, factory, scripts, crashes, kwargs
+    ):
+        # FootprintViolationError would propagate out of the explorer;
+        # a normal exhaustive result is the zero-violations assertion
+        seen, result = observations_of(
+            factory(validate_footprints=True, **kwargs), scripts,
+            crash_schedule=crashes, engine="dedup", max_depth=8,
+        )
+        assert result.exhausted
+        plain_seen, _ = observations_of(
+            factory(**kwargs), scripts,
+            crash_schedule=crashes, engine="dedup", max_depth=8,
+        )
+        assert seen == plain_seen
+
+    def test_validation_survives_explorer_rebuild(self):
+        # explore_schedules rebuilds the simulator (atomic_local etc.);
+        # the flag must survive the rebuild — checked by observing the
+        # sanitizer summary got attached to the rebuilt instance
+        simulator = s2a(validate_footprints=True)
+        _, result = observations_of(
+            simulator, {0: ["a"]}, engine="dedup", max_depth=6,
+        )
+        assert result.exhausted
+
+    def test_violation_raises(self):
+        """A handler whose dynamic effects escape its summary is caught."""
+        import dataclasses
+
+        from repro.runtime.simulator import FootprintViolationError
+        from repro.statics import summarize_algorithm
+
+        # forge a summary claiming on_broadcast never sends: the first
+        # broadcast's recorded emission must trip the containment check
+        forged = summarize_algorithm(SendToAllBroadcast)
+        handlers = dict(forged.handlers)
+        handlers["on_broadcast"] = dataclasses.replace(
+            handlers["on_broadcast"], sends=frozenset()
+        )
+        simulator = Simulator(
+            2, lambda pid, n: SendToAllBroadcast(pid, n),
+            atomic_local=True, validate_footprints=True,
+        )
+        simulator._footprint_summary = dataclasses.replace(
+            forged, handlers=tuple(handlers.items())
+        )
+        simulator._footprint_summary_ready = True
+        handle = simulator.begin({0: ["a"]})
+        handle.choices()
+        with pytest.raises(FootprintViolationError):
+            handle.advance(0)
+            handle.choices()

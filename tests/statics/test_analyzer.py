@@ -1,0 +1,408 @@
+"""Unit tests for the effect-summary analyzer.
+
+Each test feeds a small process class to :func:`summarize_module` (pure
+AST mode) or :func:`summarize_algorithm` (runtime/MRO mode) and asserts
+on the inferred :class:`EffectSummary` — the contract the sanitizer,
+the lint rules and the explorer's commutation table all consume.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.statics import (
+    OPAQUE,
+    RACE,
+    summarize_algorithm,
+    summarize_module,
+)
+
+
+def summarize_one(source: str):
+    """The single algorithm summary of ``source``."""
+    summaries = summarize_module(ast.parse(source))
+    assert len(summaries) == 1, [s.qualname for s in summaries]
+    return summaries[0]
+
+
+def handler(summary, name):
+    found = summary.handler(name)
+    assert found is not None, f"no handler {name} in {summary.qualname}"
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Reads, writes, aliasing
+# ---------------------------------------------------------------------------
+
+
+def test_direct_attribute_reads_and_writes():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.seen = set()
+        self.rounds = 0
+
+    def on_receive(self, payload, sender):
+        if payload.uid in self.seen:
+            return
+        self.seen.add(payload.uid)
+        self.rounds += 1
+        yield Deliver(payload)
+"""
+    )
+    assert summary.closed
+    recv = handler(summary, "on_receive")
+    assert recv.reads == frozenset({"seen", "rounds"})
+    assert recv.writes == frozenset({"seen", "rounds"})
+    assert recv.delivers
+
+
+def test_alias_through_local_binding_is_tracked():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.log = []
+
+    def on_receive(self, payload, sender):
+        buf = self.log
+        buf.append(payload)
+        yield Deliver(payload)
+"""
+    )
+    assert summary.closed
+    assert "log" in handler(summary, "on_receive").writes
+
+
+def test_parameter_values_do_not_pollute_the_write_set():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def on_receive(self, payload, sender):
+        local = list(payload)
+        local.append(sender)
+        yield Deliver(payload)
+"""
+    )
+    assert summary.closed
+    assert handler(summary, "on_receive").writes == frozenset()
+
+
+def test_constructor_calls_do_not_count_as_mutation():
+    # Capitalized-name calls build fresh values (the `Ballot(...)` idiom
+    # in paxos); they must not conservatively mark their args written.
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.round = 0
+
+    def on_broadcast(self, message):
+        ballot = Ballot(self.round, self.pid)
+        yield from self.send_to_all((ballot, message))
+"""
+    )
+    assert summary.closed
+    bcast = handler(summary, "on_broadcast")
+    assert bcast.writes == frozenset()
+    assert bcast.reads == frozenset({"round", "pid"})
+
+
+# ---------------------------------------------------------------------------
+# Helper inlining and super() resolution
+# ---------------------------------------------------------------------------
+
+
+def test_self_method_helpers_are_inlined():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.seen = set()
+
+    def on_receive(self, payload, sender):
+        if self._fresh(payload):
+            yield Deliver(payload)
+
+    def _fresh(self, payload):
+        if payload.uid in self.seen:
+            return False
+        self.seen.add(payload.uid)
+        return True
+"""
+    )
+    assert summary.closed
+    recv = handler(summary, "on_receive")
+    assert "seen" in recv.writes
+
+
+def test_recursive_helpers_terminate():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.depth = 0
+
+    def on_receive(self, payload, sender):
+        self._sink(payload)
+        yield Deliver(payload)
+
+    def _sink(self, payload):
+        self.depth += 1
+        self._sink(payload)
+"""
+    )
+    assert summary.closed
+    assert "depth" in handler(summary, "on_receive").writes
+
+
+def test_super_calls_resolve_through_in_module_base():
+    summaries = summarize_module(
+        ast.parse(
+            """
+class Base(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.inbox = []
+
+    def on_receive(self, payload, sender):
+        self.inbox.append(payload)
+        yield Deliver(payload)
+
+class Derived(Base):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.count = 0
+
+    def on_receive(self, payload, sender):
+        self.count += 1
+        yield from super().on_receive(payload, sender)
+"""
+        )
+    )
+    derived = {s.qualname: s for s in summaries}["Derived"]
+    assert derived.closed
+    recv = handler(derived, "on_receive")
+    assert recv.writes == frozenset({"inbox", "count"})
+
+
+def test_summarize_algorithm_resolves_cross_module_inheritance():
+    from repro.broadcasts.kbo_attempt import KboAttemptBroadcast
+
+    summary = summarize_algorithm(KboAttemptBroadcast)
+    assert summary.closed
+    assert summary.handler("on_receive") is not None
+
+
+# ---------------------------------------------------------------------------
+# Effects: destination shapes, oracle, deliveries, waits
+# ---------------------------------------------------------------------------
+
+
+def test_destination_shapes_are_classified():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def on_broadcast(self, message):
+        for peer in self.others():
+            yield Send(peer, message)
+        yield Send(self.pid, message)
+        yield Send(0, message)
+
+    def on_receive(self, payload, sender):
+        yield Send(sender, payload)
+"""
+    )
+    assert summary.closed
+    assert handler(summary, "on_broadcast").sends == frozenset(
+        {"others", "self", "constant"}
+    )
+    assert handler(summary, "on_receive").sends == frozenset({"sender"})
+
+
+def test_send_to_all_intrinsic_and_unknown_targets():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+
+    def on_receive(self, payload, sender):
+        target = payload[1]
+        yield Send(target, payload)
+"""
+    )
+    assert summary.closed
+    assert handler(summary, "on_broadcast").sends == frozenset({"all"})
+    assert handler(summary, "on_receive").sends == frozenset({"dynamic"})
+
+
+def test_propose_and_wait_are_recorded():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.decided = None
+
+    def on_broadcast(self, message):
+        decision = yield Propose("obj", message.uid)
+        self.decided = decision
+        yield Wait(lambda: self.decided is not None)
+        yield Deliver(message)
+
+    def on_receive(self, payload, sender):
+        yield Deliver(payload)
+"""
+    )
+    assert summary.closed
+    bcast = handler(summary, "on_broadcast")
+    assert bcast.proposes
+    assert bcast.waits
+    recv = handler(summary, "on_receive")
+    assert not recv.proposes and not recv.waits
+
+
+# ---------------------------------------------------------------------------
+# Per-message-type case refinement
+# ---------------------------------------------------------------------------
+
+
+def test_payload_tag_dispatch_yields_cases():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.acks = {}
+        self.echoed = set()
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(("echo", message))
+
+    def on_receive(self, payload, sender):
+        kind, message = payload
+        if kind == "echo":
+            self.echoed.add(message.uid)
+            yield Send(sender, ("ack", message))
+        elif kind == "ack":
+            self.acks[message.uid] = True
+            yield Deliver(message)
+"""
+    )
+    assert summary.closed
+    recv = handler(summary, "on_receive")
+    cases = dict(recv.cases)
+    assert set(cases) == {"echo", "ack"}
+    assert cases["echo"].sends == frozenset({"sender"})
+    assert not cases["echo"].delivers
+    assert cases["ack"].sends == frozenset()
+    assert cases["ack"].delivers
+    # each case's footprint is contained in the handler's
+    for case in cases.values():
+        assert case.writes <= recv.writes
+        assert case.sends <= recv.sends
+
+
+# ---------------------------------------------------------------------------
+# Open reasons: races and opacity
+# ---------------------------------------------------------------------------
+
+
+def test_global_mutation_is_a_race():
+    summary = summarize_one(
+        """
+SHARED = []
+
+class P(BroadcastProcess):
+    def on_receive(self, payload, sender):
+        SHARED.append(payload)
+        yield Deliver(payload)
+"""
+    )
+    assert not summary.closed
+    categories = [r.category for _, r in summary.open_reasons()]
+    assert categories == [RACE]
+
+
+def test_class_level_mutable_attribute_is_a_race():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    ledger = {}
+
+    def on_receive(self, payload, sender):
+        self.ledger[payload.uid] = sender
+        yield Deliver(payload)
+"""
+    )
+    assert not summary.closed
+    categories = [r.category for _, r in summary.open_reasons()]
+    assert categories == [RACE]
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "setattr(self, 'x', payload)",
+        "getattr(self, name)(payload)",
+        "mystery_helper(self, payload)",
+    ],
+)
+def test_dynamic_access_and_escapes_are_opaque(body):
+    summary = summarize_one(
+        f"""
+class P(BroadcastProcess):
+    def on_receive(self, payload, sender):
+        name = 'slot'
+        {body}
+        yield Deliver(payload)
+"""
+    )
+    assert not summary.closed
+    categories = {r.category for _, r in summary.open_reasons()}
+    assert categories == {OPAQUE}
+
+
+def test_unrecognized_yield_is_opaque():
+    summary = summarize_one(
+        """
+class P(BroadcastProcess):
+    def on_receive(self, payload, sender):
+        yield payload
+"""
+    )
+    assert not summary.closed
+    categories = {r.category for _, r in summary.open_reasons()}
+    assert categories == {OPAQUE}
+
+
+# ---------------------------------------------------------------------------
+# Whole-tree invariants
+# ---------------------------------------------------------------------------
+
+
+def test_every_shipped_algorithm_summarizes_closed():
+    from repro.statics.cli import collect_summaries
+
+    collected = collect_summaries(["src/repro"])
+    assert collected, "no algorithms found under src/repro"
+    open_names = [s.qualname for _, s in collected if not s.closed]
+    assert open_names == []
+
+
+def test_service_processes_are_classified_as_services():
+    from repro.registers.abd import AbdRegisterProcess
+
+    summary = summarize_algorithm(AbdRegisterProcess)
+    assert summary.kind == "service"
+    assert summary.handler("on_invoke") is not None

@@ -1,0 +1,65 @@
+"""Golden effect-summary snapshots for every shipped algorithm.
+
+The snapshots under ``tests/statics/golden/`` pin the analyzer's output
+per algorithm.  Any drift — a handler gaining a write, a send changing
+destination shape, a summary going open — fails here with a diff-style
+message and the one-line regeneration command, so reviewers see effect
+changes in the PR rather than discovering them in the explorer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.statics.cli import collect_summaries
+from repro.statics.snapshot import render_snapshot
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SOURCE_ROOT = Path(__file__).parents[2] / "src" / "repro"
+REGENERATE = (
+    "PYTHONPATH=src python -m repro.statics src/repro "
+    "--golden tests/statics/golden"
+)
+
+
+def current_summaries():
+    return {
+        summary.qualname: summary
+        for _, summary in collect_summaries([str(SOURCE_ROOT)])
+    }
+
+
+def test_golden_directory_is_populated():
+    assert sorted(GOLDEN_DIR.glob("*.json")), (
+        f"no golden snapshots in {GOLDEN_DIR}; run: {REGENERATE}"
+    )
+
+
+@pytest.mark.parametrize(
+    "golden_path",
+    sorted(GOLDEN_DIR.glob("*.json")),
+    ids=lambda path: path.stem,
+)
+def test_snapshot_matches_analyzer_output(golden_path):
+    summaries = current_summaries()
+    qualname = golden_path.stem
+    assert qualname in summaries, (
+        f"{golden_path.name} has no matching algorithm under src/repro — "
+        f"stale snapshot; run: {REGENERATE}"
+    )
+    expected = golden_path.read_text(encoding="utf-8")
+    actual = render_snapshot(summaries[qualname])
+    assert actual == expected, (
+        f"effect summary for {qualname} drifted from its golden "
+        f"snapshot; if the change is intentional, run: {REGENERATE}"
+    )
+
+
+def test_every_algorithm_has_a_snapshot():
+    snapshotted = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    missing = sorted(set(current_summaries()) - snapshotted)
+    assert not missing, (
+        f"algorithms without golden snapshots: {missing}; run: {REGENERATE}"
+    )

@@ -1,0 +1,276 @@
+"""The proven-commutation table: condition matrix and differentials.
+
+``StaticIndependence.proves`` may only return True where reordering is
+fingerprint-exact; a wrong True makes the explorer silently drop crash
+schedules.  The first half pins the decision matrix on hand-built
+footprints; the second half holds the table to the commutation contract
+the same way the dynamic relation is held to it — every statically
+proven pair at every reachable state of a crash configuration is
+executed in both orders and the reached fingerprints compared.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast
+from repro.runtime import CrashSchedule, Simulator
+from repro.runtime.independence import (
+    Footprint,
+    choice_key,
+    independent,
+    observed_footprint,
+)
+from repro.statics import summarize_module
+from repro.statics.independence import StaticIndependence, attributed_handlers
+
+
+def fp(kind="recv", pids=(0,), **kwargs):
+    return Footprint(kind, frozenset(pids), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def table():
+    built = StaticIndependence.from_algorithm(SendToAllBroadcast)
+    assert built.usable
+    return built
+
+
+# ---------------------------------------------------------------------------
+# The proves() decision matrix
+# ---------------------------------------------------------------------------
+
+
+class TestProvesMatrix:
+    def test_disjoint_receptions_under_pending_crash(self, table):
+        a = fp(pids={0}, pending=frozenset({2}))
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not independent(a, b)  # dynamic blanket: crash pending
+        assert table.proves(a, b)
+
+    def test_none_footprints_prove_nothing(self, table):
+        assert not table.proves(None, fp())
+        assert not table.proves(fp(), None)
+
+    def test_adjacent_injection_blocks(self, table):
+        a = fp(pids={0}, pending=frozenset({2}), crashed=True)
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+        assert not table.proves(b, a)
+
+    def test_oracle_touch_blocks(self, table):
+        a = fp(pids={0}, pending=frozenset({2}), oracle=True)
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+
+    def test_emission_blocks(self, table):
+        a = fp(pids={0}, pending=frozenset({2}), sent=(("p", 0, 1, 0),))
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+
+    def test_overlapping_pids_block(self, table):
+        a = fp(pids={0, 1}, pending=frozenset({2}))
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+
+    def test_touching_a_pending_victim_blocks(self, table):
+        a = fp(pids={2}, pending=frozenset({2}))
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+        assert not table.proves(b, a)
+
+    def test_victim_pending_on_either_side_counts(self, table):
+        # the victim set is unioned: a footprint finalized before the
+        # crash was scheduled must still not commute past a toucher
+        a = fp(pids={2}, pending=frozenset())
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+
+    def test_unusable_table_proves_nothing(self):
+        summaries = summarize_module(
+            ast.parse(
+                """
+SHARED = []
+
+class Racy(BroadcastProcess):
+    def on_receive(self, payload, sender):
+        SHARED.append(payload)
+        yield Deliver(payload)
+"""
+            )
+        )
+        table = StaticIndependence(summaries[0])
+        assert not table.usable
+        a = fp(pids={0}, pending=frozenset({2}))
+        b = fp(pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+
+    def test_kind_without_attributed_handler_blocks(self):
+        summaries = summarize_module(
+            ast.parse(
+                """
+class ReceiveOnly(BroadcastProcess):
+    def on_receive(self, payload, sender):
+        yield Deliver(payload)
+"""
+            )
+        )
+        table = StaticIndependence(summaries[0])
+        assert table.usable
+        a = fp(kind="bcast", pids={0}, pending=frozenset({2}))
+        b = fp(kind="recv", pids={1}, pending=frozenset({2}))
+        assert not table.proves(a, b)
+        assert table.proves(b, fp(kind="recv", pids={0},
+                                  pending=frozenset({2})))
+
+    def test_for_simulator_builds_a_usable_table(self):
+        simulator = Simulator(
+            3, lambda pid, n: SendToAllBroadcast(pid, n), atomic_local=True
+        )
+        table = StaticIndependence.for_simulator(simulator)
+        assert table is not None and table.usable
+
+
+class TestAttributedHandlers:
+    def test_bcast_maps_to_on_broadcast(self, table):
+        names = {
+            next(n for n, s in table.summary.handlers if s is h)
+            for h in attributed_handlers(table.summary, "bcast")
+        }
+        assert names == {"on_broadcast"}
+
+    def test_recv_includes_waiting_operation_bodies(self):
+        summaries = summarize_module(
+            ast.parse(
+                """
+class Waiter(BroadcastProcess):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.acks = 0
+
+    def on_broadcast(self, message):
+        yield from self.send_to_all(message)
+        yield Wait(lambda: self.acks >= self.n)
+        yield Deliver(message)
+
+    def on_receive(self, payload, sender):
+        self.acks += 1
+"""
+            )
+        )
+        picked = attributed_handlers(summaries[0], "recv")
+        names = {
+            next(n for n, s in summaries[0].handlers if s is h)
+            for h in picked
+        }
+        # the reception may resume the suspended on_broadcast body
+        assert names == {"on_receive", "on_broadcast"}
+
+    def test_local_maps_to_every_handler(self, table):
+        assert len(attributed_handlers(table.summary, "local")) == len(
+            table.summary.handlers
+        )
+
+
+# ---------------------------------------------------------------------------
+# Both-orders differential under pending crashes
+# ---------------------------------------------------------------------------
+
+
+def reachable_states(simulator, scripts, crash_schedule, max_depth):
+    root = simulator.begin(scripts, crash_schedule=crash_schedule)
+    root.choices()
+    frontier = [(root, 0)]
+    seen = {root.fingerprint()}
+    states = []
+    while frontier:
+        handle, depth = frontier.pop()
+        states.append(handle)
+        if depth >= max_depth:
+            continue
+        for index in range(len(handle.choices())):
+            child = handle.fork()
+            child.advance(index)
+            child.choices()
+            digest = child.fingerprint()
+            if digest not in seen:
+                seen.add(digest)
+                frontier.append((child, depth + 1))
+    return states
+
+
+def take_by_key(handle, key):
+    for index, choice in enumerate(handle.choices()):
+        if choice_key(choice) == key:
+            handle.advance(index)
+            handle.choices()
+            return
+    raise AssertionError(f"choice {key} not enabled — commutation broken")
+
+
+def assert_pair_commutes(handle, index_a, index_b):
+    choices = handle.choices()
+    key_a = choice_key(choices[index_a])
+    key_b = choice_key(choices[index_b])
+
+    first = handle.fork()
+    first.advance(index_a)
+    first.choices()
+    take_by_key(first, key_b)
+
+    second = handle.fork()
+    second.advance(index_b)
+    second.choices()
+    take_by_key(second, key_a)
+
+    assert first.fingerprint() == second.fingerprint(), (
+        f"statically proven pair {key_a} / {key_b} does not commute"
+    )
+    keys_first = {choice_key(c) for c in first.choices()}
+    keys_second = {choice_key(c) for c in second.choices()}
+    assert keys_first == keys_second
+
+
+class TestProvenCommutationDifferential:
+    """Every proven pair the dynamic relation declined must commute."""
+
+    @pytest.mark.parametrize(
+        "scripts, crashes, depth",
+        [
+            pytest.param(
+                {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={2: 4}), 6,
+                id="victim-2",
+            ),
+            pytest.param(
+                {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={1: 4}), 6,
+                id="victim-1",
+            ),
+        ],
+    )
+    def test_proven_pairs_commute(self, scripts, crashes, depth):
+        simulator = Simulator(
+            3, lambda pid, n: SendToAllBroadcast(pid, n), atomic_local=True
+        )
+        table = StaticIndependence.for_simulator(simulator)
+        assert table is not None and table.usable
+        proven_beyond_dynamic = 0
+        for handle in reachable_states(simulator, scripts, crashes, depth):
+            choices = handle.choices()
+            footprints = [
+                observed_footprint(handle, index)
+                for index in range(len(choices))
+            ]
+            for i in range(len(choices)):
+                for j in range(i + 1, len(choices)):
+                    a, b = footprints[i], footprints[j]
+                    if table.proves(a, b):
+                        if not independent(a, b):
+                            proven_beyond_dynamic += 1
+                        assert_pair_commutes(handle, i, j)
+        # the refinement must actually refine: pairs the dynamic blanket
+        # declined (crash pending) were proven and commuted
+        assert proven_beyond_dynamic > 0, (
+            "static table proved nothing beyond the dynamic relation"
+        )
