@@ -2,11 +2,15 @@
 
 The schedule trees the benchmark explores are deterministic, so every
 count the engines report (terminals, expansions, distinct states,
-replayed events) must match the committed ``BENCH_explorer.json``
-exactly — a difference means the explorer's behaviour changed and the
-baseline must be regenerated deliberately.  Wall-clock timings are the
-one machine-dependent quantity: regressions beyond the tolerance only
-*warn*, they never fail CI.
+replayed events, orbit encodings) must match the committed
+``BENCH_explorer.json`` exactly — a difference means the explorer's
+behaviour changed and the baseline must be regenerated deliberately.
+In particular a drift in ``states_seen`` under a symmetry variant means
+the canonical-labelling search stopped landing on the orbit floor, and
+a drift in ``orbit_encodings`` means the invariant profiles stopped
+separating pids.  Wall-clock timings (including the encoder
+microbench) are the one machine-dependent quantity: regressions beyond
+the tolerance only *warn*, they never fail CI.
 
 Usage::
 
@@ -43,6 +47,7 @@ DETERMINISTIC_RUN_FIELDS = (
     "states_deduped",
     "states_pruned_sleep",
     "states_merged_symmetry",
+    "orbit_encodings",
     "violations_digest",
 )
 
@@ -52,6 +57,8 @@ DETERMINISTIC_CONFIG_FIELDS = (
     "state_revisit_reduction",
     "expanded_vs_terminals_reduction",
     "sleep_terminal_reduction",
+    "rename_state_reduction",
+    "orbit_encodings_per_lookup",
     "composed_state_reduction",
     "static_sleep_event_reduction",
     "static_sleep_terminal_reduction",
@@ -113,6 +120,23 @@ def compare(
             )
     if errors:
         return errors, warnings  # different shape entirely: stop here
+
+    # the encoder microbench is pure timing: warn-only, like wall-clock
+    base_micro = baseline.get("encoder_microbench")
+    cand_micro = candidate.get("encoder_microbench")
+    if base_micro and cand_micro:
+        if cand_micro["speedup"] < 1.0:
+            warnings.append(
+                f"encoder microbench: fast path is slower than the "
+                f"reference ({cand_micro['speedup']}x) — the "
+                f"buffer-reusing encoder lost its edge on this machine"
+            )
+        elif cand_micro["speedup"] * tolerance < base_micro["speedup"]:
+            warnings.append(
+                f"encoder microbench: speedup {cand_micro['speedup']}x "
+                f"vs baseline {base_micro['speedup']}x "
+                f"(>{tolerance}x regression; machines differ — not fatal)"
+            )
 
     base_configs = {c["name"]: c for c in baseline["configs"]}
     cand_configs = {c["name"]: c for c in candidate["configs"]}

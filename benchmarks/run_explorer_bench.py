@@ -16,10 +16,21 @@ Usage::
 
 The schedule trees explored are deterministic; only the timings vary
 between machines.  The JSON includes per-config invariants (terminal
-count, tree depth, distinct-state counts, a digest of the violation
-set) so a regression in *what* is explored fails loudly — in
-particular, every engine variant of one configuration must report the
-same violation digest, the reduction-soundness check.
+count, tree depth, distinct-state counts, orbit-encoding counts, a
+digest of the violation set) so a regression in *what* is explored
+fails loudly — in particular, every engine variant of one configuration
+must report the same violation digest, the reduction-soundness check.
+
+Schema 5 additions: the ``orbit_encodings`` per-run counter (canonical
+encodings computed by the orbit-key search — ~1 per cache lookup under
+canonical labelling, versus ``|group|!`` per state under the old
+permutation enumeration), a ``dedup-rename`` variant isolating the
+symmetry reduction, and an ``encoder_microbench`` entry timing the
+buffer-reusing canonical encoder against the naive one-hasher-per-node
+reference implementation it replaced.  Schema 5 also changes the
+canonical encoding itself (distinct list tag, raw-encoding set
+ordering), so digests and state counts are not comparable to schema ≤ 4
+baselines.
 """
 
 from __future__ import annotations
@@ -31,12 +42,14 @@ import platform
 import time
 
 from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
+from repro.core.message import Message, MessageId
 from repro.runtime import (
     CrashSchedule,
     Simulator,
     channels_property,
     explore_schedules,
     spec_property,
+    stable_digest,
 )
 from repro.specs import TotalOrderBroadcastSpec
 
@@ -71,6 +84,7 @@ ENGINE_KWARGS = {
     "dedup": {"engine": "dedup"},
     "incremental-sleep": {"engine": "incremental", "sleep_sets": True},
     "dedup-sleep": {"engine": "dedup", "sleep_sets": True},
+    "dedup-rename": {"engine": "dedup", "symmetry": "rename"},
     "dedup-sleep-rename": {
         "engine": "dedup",
         "sleep_sets": True,
@@ -106,6 +120,7 @@ CONFIGS = [
             "replay",
             "incremental-sleep",
             "dedup-sleep",
+            "dedup-rename",
             "dedup-sleep-rename",
         ],
         "workers": [],
@@ -194,7 +209,124 @@ def run_one(config: dict, *, label: str, workers: int = 1) -> dict:
         "states_deduped": result.states_deduped,
         "states_pruned_sleep": result.states_pruned_sleep,
         "states_merged_symmetry": result.states_merged_symmetry,
+        "orbit_encodings": result.orbit_encodings,
         "violations_digest": _violations_digest(result),
+    }
+
+
+# --- encoder microbench -----------------------------------------------------
+#
+# The reference implementation below is the encoding scheme the
+# buffer-reusing encoder replaced: one blake2b hasher per *node*, with
+# containers hashing their children's finished digests (so every leaf
+# digest is finalized, copied, and re-fed).  It is kept here — not in
+# the library — purely as the microbench baseline.
+
+
+def _reference_update(hasher, value) -> None:
+    import dataclasses
+
+    if value is None:
+        hasher.update(b"N")
+    elif isinstance(value, bool):
+        hasher.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        hasher.update(b"i" + str(value).encode())
+    elif isinstance(value, float):
+        hasher.update(b"f" + value.hex().encode())
+    elif isinstance(value, str):
+        encoded = value.encode()
+        hasher.update(b"s" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(value, bytes):
+        hasher.update(b"y" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, (tuple, list)):
+        hasher.update(b"(" + str(len(value)).encode())
+        for item in value:
+            sub = hashlib.blake2b(digest_size=16)
+            _reference_update(sub, item)
+            hasher.update(sub.digest())
+        hasher.update(b")")
+    elif isinstance(value, (set, frozenset)):
+        digests = []
+        for item in value:
+            sub = hashlib.blake2b(digest_size=16)
+            _reference_update(sub, item)
+            digests.append(sub.digest())
+        hasher.update(b"{" + str(len(value)).encode())
+        for digest in sorted(digests):
+            hasher.update(digest)
+    elif isinstance(value, dict):
+        digests = []
+        for key, item in value.items():
+            sub = hashlib.blake2b(digest_size=16)
+            _reference_update(sub, (key, item))
+            digests.append(sub.digest())
+        hasher.update(b"m" + str(len(value)).encode())
+        for digest in sorted(digests):
+            hasher.update(digest)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        hasher.update(b"D" + type(value).__qualname__.encode())
+        for field in dataclasses.fields(value):
+            sub = hashlib.blake2b(digest_size=16)
+            _reference_update(sub, getattr(value, field.name))
+            hasher.update(sub.digest())
+    else:
+        hasher.update(b"r" + repr(value).encode())
+
+
+def _reference_digest(value) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    _reference_update(hasher, value)
+    return hasher.hexdigest()
+
+
+def _encoder_corpus() -> list:
+    """Values shaped like the simulator state the encoder actually sees:
+    journals (tuples of tagged tuples), in-flight pools (tuples of
+    Message dataclasses), registries (dicts), and gate sets."""
+    corpus = []
+    for seed in range(64):
+        messages = tuple(
+            Message(MessageId(seed % 3, seq), f"payload-{seed}-{seq}")
+            for seq in range(4)
+        )
+        corpus.append(
+            (
+                "state",
+                seed,
+                messages,
+                {pid: ("journal", ("bcast", pid), ("recv", pid, seed % 5))
+                 for pid in range(3)},
+                frozenset({(seed % 3, step) for step in range(3)}),
+                ["script", f"value-{seed}"],
+            )
+        )
+    return corpus
+
+
+def run_encoder_microbench(rounds: int = 40) -> dict:
+    corpus = _encoder_corpus()
+    # warm up caches (buffer pool, dataclass field memoization) and the
+    # reference path alike, outside the timed region
+    for value in corpus:
+        stable_digest(value)
+        _reference_digest(value)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for value in corpus:
+            _reference_digest(value)
+    reference = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for value in corpus:
+            stable_digest(value)
+    fast = time.perf_counter() - started
+    return {
+        "values": len(corpus),
+        "rounds": rounds,
+        "reference_seconds": round(reference, 4),
+        "fast_seconds": round(fast, 4),
+        "speedup": round(reference / max(1e-9, fast), 2),
     }
 
 
@@ -216,11 +348,25 @@ def main() -> None:
 
     report = {
         "benchmark": "explorer",
-        "schema": 4,
+        "schema": 5,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "notes": (
+            "canonical encoding v2 (schema 5): lists carry their own "
+            "tag and sets/dicts sort raw element encodings — digests "
+            "and state counts are not comparable to schema <= 4 "
+            "baselines"
+        ),
+        "encoder_microbench": run_encoder_microbench(),
         "configs": [],
     }
+    micro = report["encoder_microbench"]
+    print(
+        f"encoder microbench: reference {micro['reference_seconds']}s, "
+        f"fast {micro['fast_seconds']}s "
+        f"({micro['speedup']}x over {micro['values']} values x "
+        f"{micro['rounds']} rounds)"
+    )
     for config in CONFIGS:
         entry = {"name": config["name"], "runs": []}
         for label in config["engines"]:
@@ -306,6 +452,25 @@ def main() -> None:
                 / max(1, slept["terminal_schedules"]),
                 4,
             )
+        if "dedup" in by_label and "dedup-rename" in by_label:
+            dedup = by_label["dedup"]
+            renamed = by_label["dedup-rename"]
+            entry["rename_state_reduction"] = round(
+                1 - renamed["states_seen"] / max(1, dedup["states_seen"]),
+                4,
+            )
+            # canonical labelling's cost metric: encodings per cache
+            # lookup (expansions + hits); ~1 means the invariant
+            # profiles separate almost every orbit without search,
+            # versus |group|! encodings per lookup under enumeration
+            lookups = (
+                renamed["schedules_explored"]
+                + renamed["states_deduped"]
+                + renamed["states_merged_symmetry"]
+            )
+            entry["orbit_encodings_per_lookup"] = round(
+                renamed["orbit_encodings"] / max(1, lookups), 2
+            )
         if "dedup" in by_label and "dedup-sleep-rename" in by_label:
             dedup = by_label["dedup"]
             composed = by_label["dedup-sleep-rename"]
@@ -328,6 +493,8 @@ def main() -> None:
                 extras += (
                     f", {run['states_merged_symmetry']} symmetry-merged"
                 )
+            if run["orbit_encodings"]:
+                extras += f", {run['orbit_encodings']} orbit encodings"
             print(
                 f"  {run['label']}(workers={run['workers']}): "
                 f"{run['seconds']}s, {run['terminal_schedules']} terminals, "
@@ -361,6 +528,13 @@ def main() -> None:
                 f"executed events, "
                 f"{entry['static_sleep_terminal_reduction']:.1%} fewer "
                 f"terminal evaluations than dynamic-only sleep sets"
+            )
+        if "rename_state_reduction" in entry:
+            print(
+                f"  rename symmetry: {entry['rename_state_reduction']:.1%} "
+                f"fewer expanded states at "
+                f"{entry['orbit_encodings_per_lookup']} canonical "
+                f"encodings per cache lookup"
             )
         if "composed_state_reduction" in entry:
             print(

@@ -24,7 +24,12 @@ from .explorer import (
     explore_schedules,
     spec_property,
 )
-from .fingerprint import PidCanonicalizer, canonical_update, stable_digest
+from .fingerprint import (
+    PidCanonicalizer,
+    canonical_update,
+    orbit_digest,
+    stable_digest,
+)
 from .independence import (
     Footprint,
     choice_key,
@@ -110,6 +115,7 @@ __all__ = [
     "Violation",
     "Wait",
     "canonical_update",
+    "orbit_digest",
     "channels_property",
     "choice_key",
     "combine_properties",

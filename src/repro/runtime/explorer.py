@@ -53,15 +53,27 @@ composing with (and multiplying) the dedup cache's savings:
   put to sleep below ``b`` and the slept branch is skipped outright
   (:attr:`ExplorationResult.states_pruned_sleep`).  Terminal states and
   therefore violations are preserved; slept interleavings are simply
-  not re-counted.
+  not re-counted.  Under dedup the sleep set is *not* part of the cache
+  key: a cached subtree recorded under sleep set ``Z0`` stands in for
+  any later arrival at the same state whose sleep set is a superset of
+  ``Z0`` (the stored subtree explored everything the arrival may, plus
+  some commutation-redundant interleavings whose terminals repeat
+  observations the arrival would have produced anyway) — the
+  *subset-reuse* rule.  An arrival sleeping *less* than the stored
+  entry re-expands and, its subtree being the more reusable of the two,
+  takes over the cache slot.
 * ``symmetry="rename"`` — renaming-symmetry reduction over the dedup
   cache: states equal up to a permutation of interchangeable process
   ids plus an injective renaming of message contents (Definition 3
-  lifted to states) share one cache slot, keyed by the minimum of
-  :meth:`~repro.runtime.simulator.SimulationRun.canonical_state_digest`
-  over the admissible permutations.  Gated on the algorithm's
-  ``symmetric_processes()`` declaration and a pid-uniform oracle
-  policy; merged arrivals are counted in
+  lifted to states) share one cache slot, keyed by the orbit-canonical
+  digest of :meth:`~repro.runtime.simulator.SimulationRun.orbit_key` —
+  canonical labelling (refine the symmetric pids by equivariant per-pid
+  invariants, then search only the residual automorphism candidates)
+  rather than minimization over every admissible permutation, so a
+  state usually costs a single canonical encoding
+  (:attr:`ExplorationResult.orbit_encodings` counts them).  Gated on
+  the algorithm's ``symmetric_processes()`` declaration and a
+  pid-uniform oracle policy; merged arrivals are counted in
   :attr:`ExplorationResult.states_merged_symmetry` and replay the
   representative's violations with the witnessing permutation recorded
   on :attr:`Violation.permutation`.
@@ -103,7 +115,11 @@ budget.  Where the ``fork`` start method is unavailable the call falls
 back to a single worker.  Under ``dedup=True`` the workers share
 nothing: each shard builds its own private cache, so merged results
 remain deterministic and identical to the sequential dedup engine
-(cross-shard convergences are simply not pruned).
+(cross-shard convergences are simply not pruned).  With sleep sets on
+top, the *covered-terminal count* may differ from the sequential run —
+subset-reuse replays whatever summary the local cache recorded first,
+and per-shard caches record different representatives — but the set of
+distinct terminal observations and violations is the same.
 
 Properties
 ----------
@@ -143,9 +159,7 @@ from typing import Callable, Hashable, Mapping, Sequence
 from ..core.broadcast_spec import BroadcastSpec
 from ..core.model import ChannelTracker, check_channels
 from ..core.steps import Step
-from ..core.symmetry import pid_permutations
 from .crash import CrashSchedule
-from .fingerprint import stable_digest
 from .independence import Footprint, choice_key, independent
 from .simulator import Gated, SimulationResult, SimulationRun, Simulator
 
@@ -241,10 +255,13 @@ class ExplorationResult:
     events_replayed: int = 0
     #: Worker processes that actually ran the search.
     workers: int = 1
-    #: Distinct states expanded by the dedup engine (cache insertions);
-    #: 0 for the non-dedup engines.  With dedup on,
-    #: ``schedules_explored`` counts the same expansions, while pruned
-    #: arrivals are counted in :attr:`states_deduped` instead.
+    #: Distinct states (orbits, under symmetry) expanded by the dedup
+    #: engine; 0 for the non-dedup engines.  ``schedules_explored``
+    #: counts every expansion, which can exceed this when a sleep-set
+    #: arrival incompatible with the cached entry re-expands a state
+    #: (the subset-reuse rule; the re-expansion takes over the cache
+    #: slot); pruned arrivals are counted in :attr:`states_deduped` /
+    #: :attr:`states_merged_symmetry` instead.
     states_seen: int = 0
     #: Branches pruned because their post-event state was already
     #: expanded — each one stood in for a whole re-explored subtree.
@@ -260,6 +277,13 @@ class ExplorationResult:
     #: witnessing permutation is recorded on each replayed
     #: :class:`Violation`.
     states_merged_symmetry: int = 0
+    #: Canonical state encodings paid by ``symmetry="rename"``: one per
+    #: residual automorphism candidate per fingerprinted node (the
+    #: canonical-labelling pass of
+    #: :meth:`~repro.runtime.simulator.SimulationRun.orbit_key`; the
+    #: enumeration this replaced paid |perms| per node).  0 without
+    #: symmetry.
+    orbit_encodings: int = 0
     #: Node expansions per decision depth (incremental engines only).
     expansions_by_depth: dict[int, int] = field(default_factory=dict)
     #: Dedup-cache hits (identity or symmetry) per decision depth.
@@ -527,6 +551,7 @@ class _SubtreeOutcome:
     states_deduped: int = 0
     states_pruned_sleep: int = 0
     states_merged_symmetry: int = 0
+    orbit_encodings: int = 0
     expansions_by_depth: dict[int, int] = field(default_factory=dict)
     dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
 
@@ -564,20 +589,24 @@ class _Summary:
 class _CacheEntry:
     """One dedup-cache slot: a summary plus what identifies arrivals.
 
-    ``raw``/``raw_sleep`` are the representative's verbatim fingerprint
-    and sleep digest — an arrival matching both is an *identity* hit
-    (classic dedup, guides rebased); an arrival matching only the
-    canonical cache key is a *symmetry* merge, replayed through the
-    witnessing permutation against ``perm`` (the representative's
-    canonicalizing permutation).  ``base`` is the representative's
-    absolute decision path, the base of symmetry-mode guides.
+    ``raw`` is the representative's verbatim fingerprint — an arrival
+    matching it is an *identity* hit (classic dedup, guides rebased); an
+    arrival matching only the orbit-canonical cache key is a *symmetry*
+    merge, replayed through the witnessing permutation against ``perm``
+    (the representative's canonicalizing permutation).  ``base`` is the
+    representative's absolute decision path, the base of symmetry-mode
+    guides.  ``sleep_keys`` is the key set of the sleep set the summary
+    was recorded under, in the representative's own frame: the summary
+    stands in for an arrival iff the arrival's sleep set is a superset
+    (the subset-reuse rule — the recorded subtree explored at least
+    everything the arrival may explore).
     """
 
     depth: int
     summary: _Summary
     base: tuple[int, ...]
     raw: str
-    raw_sleep: str
+    sleep_keys: frozenset[tuple]
     perm: tuple[int, ...] | None
 
 
@@ -590,16 +619,6 @@ class _CacheEntry:
 _SleepSet = dict[tuple, Footprint]
 
 
-def _sleep_digest(sleep: Mapping[tuple, Footprint]) -> str:
-    """A stable digest of the sleep set's *identity* (its key set).
-
-    Footprints are omitted on purpose: at equal state fingerprints the
-    footprint of a choice is a function of the state, so the key set
-    determines the whole sleep set.
-    """
-    return stable_digest("sleep", sorted(sleep))
-
-
 def _map_sleep_key(key: tuple, permutation: Sequence[int]) -> tuple:
     """The image of a sleep-set key under a pid permutation."""
     if key[0] == "recv":
@@ -609,38 +628,21 @@ def _map_sleep_key(key: tuple, permutation: Sequence[int]) -> tuple:
     return (kind, permutation[pid])
 
 
-def _canonical_sleep_digest(
-    sleep: Mapping[tuple, Footprint], permutation: Sequence[int]
-) -> str:
-    """The sleep digest after relabeling pids through ``permutation``."""
-    return stable_digest(
-        "sleep", sorted(_map_sleep_key(key, permutation) for key in sleep)
-    )
+def _canonical_sleep_keys(
+    keys: "frozenset[tuple] | Mapping[tuple, Footprint]",
+    permutation: Sequence[int] | None,
+) -> frozenset[tuple]:
+    """The sleep-set key set, mapped into the canonical frame.
 
-
-def _canonical_key(
-    handle: SimulationRun,
-    permutations: Sequence[tuple[int, ...]],
-    sleep: Mapping[tuple, Footprint],
-    sleep_sets: bool,
-) -> tuple[str, tuple[int, ...]]:
-    """The symmetry-canonical cache key of a state, plus its argmin.
-
-    Minimizes the (state digest, sleep digest) pair over the allowed pid
-    permutations; the returned permutation witnesses how this state maps
-    onto the canonical representative's frame.
+    Sleep keys are pid-indexed, so comparing an arrival's sleep set
+    against a cached representative's (the subset-reuse test) is only
+    meaningful after both are pushed through their own canonicalizing
+    permutations — in the shared frame of the cache key.  Without
+    symmetry (``permutation is None``) keys compare verbatim.
     """
-    best: tuple[str, str] | None = None
-    best_perm: tuple[int, ...] | None = None
-    for perm in permutations:
-        pair = (
-            handle.canonical_state_digest(perm),
-            _canonical_sleep_digest(sleep, perm) if sleep_sets else "",
-        )
-        if best is None or pair < best:
-            best, best_perm = pair, perm
-    assert best is not None and best_perm is not None
-    return f"{best[0]}|{best[1]}", best_perm
+    if permutation is None:
+        return frozenset(keys)
+    return frozenset(_map_sleep_key(key, permutation) for key in keys)
 
 
 def _witness_permutation(
@@ -685,23 +687,27 @@ def _transform_summary(summary: _Summary, witness: Sequence[int]) -> _Summary:
     )
 
 
-def _renaming_permutations(
+def _renaming_groups(
     simulator: Simulator,
     scripts: Mapping[int, Sequence[Hashable]],
     crash_schedule: CrashSchedule | None,
 ) -> tuple[tuple[int, ...], ...]:
-    """The pid permutations ``symmetry="rename"`` may canonicalize over.
+    """The interchangeable-pid groups ``symmetry="rename"`` may act on.
 
     Gated on the algorithm's own declaration
     (:meth:`~repro.runtime.process.BroadcastProcess.symmetric_processes`)
     and on a pid-uniform oracle policy — without either, the reduction
-    is inert (no permutations, classic dedup).  Declared groups are then
+    is inert (no groups, classic dedup).  Declared groups are then
     refined by what the *configuration* distinguishes: crash-faulty pids
     are pinned (crash schedules are pid-keyed and not relabeled), as are
     pids with :class:`~repro.runtime.simulator.Gated` script entries
     (gates couple pids through content), and pids only stay
     interchangeable when their scripts have the same shape (contents are
-    handled by the injective renaming; arity is not).
+    handled by the injective renaming; arity is not).  The groups are
+    further refined *per state* by the canonical-labelling pass
+    (:meth:`~repro.runtime.simulator.SimulationRun.orbit_key`), which
+    splits them by per-pid invariants before encoding — the permutations
+    themselves are never enumerated here.
     """
     declared = simulator.algorithm_factory(0, simulator.n).symmetric_processes()
     if declared is None:
@@ -718,15 +724,17 @@ def _renaming_permutations(
             for entry in scripts.get(p, ())
         )
 
-    groups: list[list[int]] = []
+    groups: list[tuple[int, ...]] = []
     for group in declared:
         by_shape: dict[tuple[str, ...], list[int]] = {}
         for p in group:
             if p in faulty or "gated" in shape(p):
                 continue
             by_shape.setdefault(shape(p), []).append(p)
-        groups.extend(g for g in by_shape.values() if len(g) > 1)
-    return tuple(pid_permutations(groups, simulator.n))
+        groups.extend(
+            tuple(g) for g in by_shape.values() if len(g) > 1
+        )
+    return tuple(groups)
 
 
 def _entry_reusable(
@@ -759,7 +767,7 @@ def _explore_subtree(
     stop_at_first_violation: bool,
     dedup: bool = False,
     sleep_sets: bool = False,
-    permutations: Sequence[tuple[int, ...]] = (),
+    groups: Sequence[tuple[int, ...]] = (),
     initial_sleep: _SleepSet | None = None,
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
@@ -776,12 +784,15 @@ def _explore_subtree(
     branch whose choice is asleep (its footprint independent of every
     event taken since a sibling order explored it) is skipped before
     forking; ``initial_sleep`` seeds the root's sleep set (parallel
-    shards inherit theirs from the frontier expansion).
+    shards inherit theirs from the frontier expansion).  Cached
+    summaries are reused under the subset-reuse rule: the sleep set is
+    not part of the cache key, and an entry stands in for any arrival
+    sleeping at least what the entry slept.
     ``static_independence`` refines the independence relation with a
     proven-commutation table (crash schedules — see
-    :func:`_independence_relation`).  A non-empty ``permutations`` tuple
-    switches the dedup cache to symmetry-canonical keys (see
-    :func:`_canonical_key`).
+    :func:`_independence_relation`).  A non-empty ``groups`` tuple
+    switches the dedup cache to orbit-canonical keys (see
+    :meth:`~repro.runtime.simulator.SimulationRun.orbit_key`).
     """
     out = _SubtreeOutcome()
     indep = _independence_relation(static_independence)
@@ -958,55 +969,92 @@ def _explore_subtree(
         choices = cursor.handle.choices()  # prelude before fingerprinting
         cursor.sync()
         raw = cursor.handle.fingerprint()
-        raw_sleep = _sleep_digest(sleep) if sleep_sets else ""
-        if permutations:
-            key, perm = _canonical_key(
-                cursor.handle, permutations, sleep, sleep_sets
-            )
+        if groups:
+            key, perm, encodings = cursor.handle.orbit_key(groups)
+            out.orbit_encodings += encodings
         else:
-            key = f"{raw}|{raw_sleep}" if sleep_sets else raw
-            perm = None
+            key, perm = raw, None
         entry = cache.get(key)
         if entry is not None and _entry_reusable(
             entry.summary, entry.depth, depth, max_depth
         ):
-            identity = entry.raw == raw and entry.raw_sleep == raw_sleep
-            if identity:
-                out.states_deduped += 1
-                summary = entry.summary
-                base = None if permutations else tuple(path)
-            else:
-                out.states_merged_symmetry += 1
-                assert perm is not None and entry.perm is not None
-                witness = _witness_permutation(perm, entry.perm)
-                summary = _transform_summary(entry.summary, witness)
-                base = None
-            out.dedup_hits_by_depth[depth] = (
-                out.dedup_hits_by_depth.get(depth, 0) + 1
+            # Subset-reuse: the stored subtree covers this arrival iff
+            # the arrival sleeps at least what the representative slept
+            # (compared in the canonical frame under symmetry).  A less
+            # slept arrival needs subtrees the entry skipped, so it
+            # falls through and re-expands — under the *intersection*
+            # of the two sleep sets, so the replacing summary serves
+            # the stored entry's arrival pattern as well as this one
+            # and the slot stabilizes after at most one re-expansion.
+            stored_keys = _canonical_sleep_keys(entry.sleep_keys, entry.perm)
+            compatible = (
+                not sleep_sets
+                or stored_keys <= _canonical_sleep_keys(sleep, perm)
             )
-            out.max_depth_seen = max(
-                out.max_depth_seen, depth + summary.height
-            )
-            if summary.truncated:
-                out.exhausted = False
-            if not replay(summary, base):
-                return None
-            return summary
+            if not compatible:
+                sleep = {
+                    k: fp
+                    for k, fp in sleep.items()
+                    if (k if perm is None else _map_sleep_key(k, perm))
+                    in stored_keys
+                }
+            if compatible:
+                if entry.raw == raw:
+                    out.states_deduped += 1
+                    summary = entry.summary
+                    base = None if groups else tuple(path)
+                else:
+                    out.states_merged_symmetry += 1
+                    assert perm is not None and entry.perm is not None
+                    witness = _witness_permutation(perm, entry.perm)
+                    summary = _transform_summary(entry.summary, witness)
+                    base = None
+                out.dedup_hits_by_depth[depth] = (
+                    out.dedup_hits_by_depth.get(depth, 0) + 1
+                )
+                out.max_depth_seen = max(
+                    out.max_depth_seen, depth + summary.height
+                )
+                if summary.truncated:
+                    out.exhausted = False
+                if not replay(summary, base):
+                    return None
+                return summary
         out.schedules_explored += 1
-        out.states_seen += 1
+        if entry is None:
+            out.states_seen += 1  # first expansion of this state/orbit
         note_expansion(depth)
         out.max_depth_seen = max(out.max_depth_seen, depth)
 
         def remember(summary: _Summary) -> None:
+            """Store the summary — unless the cached one covers more.
+
+            A slot is taken over only when the new summary is at least
+            as reusable as the stored one: recorded under a subset of
+            its sleep keys (every arrival the stored entry served, plus
+            the less-slept ones that had to re-expand) and not newly
+            truncated.  Anything else would shrink the compatible class.
+            """
+            existing = cache.get(key)
+            if existing is not None:
+                if summary.truncated and not existing.summary.truncated:
+                    return
+                if sleep_sets and not (
+                    _canonical_sleep_keys(sleep, perm)
+                    <= _canonical_sleep_keys(
+                        existing.sleep_keys, existing.perm
+                    )
+                ):
+                    return
             cache[key] = _CacheEntry(
-                depth, summary, tuple(path), raw, raw_sleep, perm
+                depth, summary, tuple(path), raw, frozenset(sleep), perm
             )
 
         if not choices:
             problems, keep_going = visit_terminal(cursor)
             summary = _Summary(terminals=1)
             if problems:
-                own = tuple(path) if permutations else ()
+                own = tuple(path) if groups else ()
                 summary.violations.append((0, own, problems, None))
             if not keep_going:
                 return None
@@ -1045,7 +1093,7 @@ def _explore_subtree(
                 summary.violations.append(
                     (
                         summary.terminals + ordinal,
-                        guide if permutations else (branch,) + guide,
+                        guide if groups else (branch,) + guide,
                         problems,
                         vperm,
                     )
@@ -1151,7 +1199,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         stop_at_first_violation,
         dedup,
         sleep_sets,
-        permutations,
+        groups,
         static_independence,
     ) = _SHARD_STATE
     prefix, initial_sleep = shard_work[index]
@@ -1166,7 +1214,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         stop_at_first_violation,
         dedup=dedup,
         sleep_sets=sleep_sets,
-        permutations=permutations,
+        groups=groups,
         initial_sleep=initial_sleep,
         static_independence=static_independence,
     )
@@ -1284,7 +1332,7 @@ def _explore_parallel(
     workers: int,
     dedup: bool,
     sleep_sets: bool = False,
-    permutations: Sequence[tuple[int, ...]] = (),
+    groups: Sequence[tuple[int, ...]] = (),
     static_independence=None,
 ) -> ExplorationResult:
     """Shard the tree over a worker pool and merge in DFS order.
@@ -1328,7 +1376,7 @@ def _explore_parallel(
         stop_at_first_violation,
         dedup,
         sleep_sets,
-        permutations,
+        groups,
         static_independence,
     )
     try:
@@ -1358,6 +1406,7 @@ def _explore_parallel(
                 result.states_deduped += sub.states_deduped
                 result.states_pruned_sleep += sub.states_pruned_sleep
                 result.states_merged_symmetry += sub.states_merged_symmetry
+                result.orbit_encodings += sub.orbit_encodings
                 for depth, count in sub.expansions_by_depth.items():
                     result.expansions_by_depth[depth] = (
                         result.expansions_by_depth.get(depth, 0) + count
@@ -1430,7 +1479,12 @@ def explore_schedules(
     interleaving it would start, by the recorded-footprint independence
     relation of :mod:`repro.runtime.independence`.  Slept terminals are
     not re-counted, so ``terminal_schedules`` reports covered-distinct
-    schedules, not raw interleavings.  ``static_independence`` (requires
+    schedules, not raw interleavings — and under dedup a cached subtree
+    recorded with a smaller sleep set stands in for later, more-slept
+    arrivals (the subset-reuse rule), so the count may include
+    commutation-redundant terminals a from-scratch sleep-set search
+    would have skipped; the set of distinct terminal observations and
+    violations is unaffected.  ``static_independence`` (requires
     ``sleep_sets``) refines that relation with a proven-commutation
     table from the algorithm's static effect summary
     (:mod:`repro.statics.independence`), recovering pruning on crash
@@ -1441,7 +1495,11 @@ def explore_schedules(
     instance.  ``symmetry="rename"`` (requires
     dedup) additionally merges states equal up to a permutation of
     interchangeable process ids plus an injective renaming of message
-    contents (the paper's Definition 3 applied to states); it is gated
+    contents (the paper's Definition 3 applied to states); states are
+    keyed by the orbit-canonical digest of
+    :meth:`~repro.runtime.simulator.SimulationRun.orbit_key` (canonical
+    labelling, ~1 encoding per state —
+    :attr:`ExplorationResult.orbit_encodings`).  It is gated
     on the algorithm declaring
     :meth:`~repro.runtime.process.BroadcastProcess.symmetric_processes`
     and is violation-complete — violations found through a merge carry
@@ -1528,8 +1586,8 @@ def explore_schedules(
             max_depth,
             stop_at_first_violation,
         )
-    permutations = (
-        _renaming_permutations(simulator, scripts, crash_schedule)
+    groups = (
+        _renaming_groups(simulator, scripts, crash_schedule)
         if symmetry == "rename"
         else ()
     )
@@ -1550,7 +1608,7 @@ def explore_schedules(
             workers,
             dedup,
             sleep_sets=sleep_sets,
-            permutations=permutations,
+            groups=groups,
             static_independence=static_independence,
         )
     sub = _explore_subtree(
@@ -1564,7 +1622,7 @@ def explore_schedules(
         stop_at_first_violation,
         dedup=dedup,
         sleep_sets=sleep_sets,
-        permutations=permutations,
+        groups=groups,
         progress=progress,
         progress_every=progress_every,
         static_independence=static_independence,
@@ -1583,6 +1641,7 @@ def explore_schedules(
         states_deduped=sub.states_deduped,
         states_pruned_sleep=sub.states_pruned_sleep,
         states_merged_symmetry=sub.states_merged_symmetry,
+        orbit_encodings=sub.orbit_encodings,
         expansions_by_depth=dict(sub.expansions_by_depth),
         dedup_hits_by_depth=dict(sub.dedup_hits_by_depth),
     )

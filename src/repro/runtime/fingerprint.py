@@ -34,89 +34,170 @@ the same per-process histories, and collapsing them is the point.
 Digests are :func:`hashlib.blake2b` over a tagged, length-prefixed
 canonical encoding — stable across processes and interpreter runs
 (``hash()`` is randomized per run and is deliberately not used).
+
+The encoder is on the hot path of every dedup lookup, so it builds the
+canonical byte stream into a reusable ``bytearray`` (one hash
+finalization per digest, no per-value sub-hasher objects) and memoizes
+dataclass field lists per type.  Unordered containers are canonicalized
+by sorting the raw element *encodings* — self-delimiting byte strings,
+so concatenating them cannot alias.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Any, Hashable, Sequence
+import itertools
+from typing import Any, Callable, Hashable, Sequence
 
 from ..core.actions import PointToPointId
 from ..core.message import Message, MessageId
 
-__all__ = ["PidCanonicalizer", "canonical_update", "stable_digest"]
+__all__ = [
+    "PidCanonicalizer",
+    "canonical_update",
+    "orbit_digest",
+    "stable_digest",
+]
 
 #: Hex-digest length: 16 bytes of blake2b — collision probability is
 #: negligible at exploration scale (billions of states would be needed).
 _DIGEST_SIZE = 16
 
+#: Memoized ``dataclasses.fields`` name tuples — ``fields()`` rebuilds
+#: its result list per call, and every message/identity encode pays it.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
-def _update(hasher: "hashlib._Hash", tag: bytes, payload: bytes) -> None:
-    hasher.update(tag)
-    hasher.update(len(payload).to_bytes(8, "big"))
-    hasher.update(payload)
+#: Small pool of reusable encoding buffers.  Encoding is re-entrant in
+#: principle (a ``repr`` fallback could digest something itself), so
+#: buffers are acquired/released rather than held in one global.
+_BUFFERS: list[bytearray] = []
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+def _acquire_buffer() -> bytearray:
+    if _BUFFERS:
+        return _BUFFERS.pop()
+    return bytearray()
+
+
+def _release_buffer(buf: bytearray) -> None:
+    if len(_BUFFERS) < 8:
+        buf.clear()
+        _BUFFERS.append(buf)
+
+
+def _put(buf: bytearray, tag: bytes, payload: bytes) -> None:
+    buf += tag
+    buf += len(payload).to_bytes(8, "big")
+    buf += payload
+
+
+def _encode_into(buf: bytearray, value: Any) -> None:
+    """Append ``value``'s canonical encoding to ``buf``.
+
+    The encoding is tagged and length-prefixed (containers carry an
+    element count plus a terminator), so it is self-delimiting: no two
+    structurally distinct values share an encoding, and container
+    encodings can be concatenated and sorted without aliasing.
+    """
+    if value is None:
+        _put(buf, b"N", b"")
+    elif isinstance(value, bool):
+        _put(buf, b"B", b"1" if value else b"0")
+    elif isinstance(value, int):
+        _put(buf, b"i", str(value).encode())
+    elif isinstance(value, float):
+        _put(buf, b"f", repr(value).encode())
+    elif isinstance(value, str):
+        _put(buf, b"s", value.encode())
+    elif isinstance(value, bytes):
+        _put(buf, b"y", value)
+    elif isinstance(value, tuple):
+        _put(buf, b"(", str(len(value)).encode())
+        for item in value:
+            _encode_into(buf, item)
+        _put(buf, b")", b"")
+    elif isinstance(value, list):
+        # Lists carry their own tag: ``["a"]`` and ``("a",)`` are
+        # structurally distinct and must not collide (they used to share
+        # the tuple tag — see the regression tests).
+        _put(buf, b"l", str(len(value)).encode())
+        for item in value:
+            _encode_into(buf, item)
+        _put(buf, b")", b"")
+    elif isinstance(value, (set, frozenset)):
+        _put(buf, b"{", _sorted_encodings(buf, value))
+    elif isinstance(value, dict):
+        _put(buf, b"m", _sorted_encodings(buf, value.items()))
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _put(buf, b"D", type(value).__qualname__.encode())
+        for name in _field_names(type(value)):
+            _encode_into(buf, getattr(value, name))
+        _put(buf, b"d", b"")
+    else:
+        _put(
+            buf,
+            b"r",
+            type(value).__qualname__.encode() + b":" + repr(value).encode(),
+        )
+
+
+def _sorted_encodings(buf: bytearray, items: Any) -> bytes:
+    """The sorted, concatenated encodings of ``items`` (order-free).
+
+    Elements are encoded into the tail of ``buf`` (reusing its storage),
+    sliced back out, and the tail discarded — no per-element hasher.
+    Element encodings are self-delimiting, so sorting and joining the
+    raw byte strings never compares or aliases unlike values.
+    """
+    mark = len(buf)
+    parts: list[bytes] = []
+    for item in items:
+        start = len(buf)
+        _encode_into(buf, item)
+        parts.append(bytes(buf[start:]))
+    del buf[mark:]
+    parts.sort()
+    return b"".join(parts)
 
 
 def _encoded(value: Any) -> bytes:
-    sub = hashlib.blake2b(digest_size=_DIGEST_SIZE)
-    canonical_update(sub, value)
-    return sub.digest()
+    """The standalone canonical encoding of one value, as bytes."""
+    buf = _acquire_buffer()
+    try:
+        _encode_into(buf, value)
+        return bytes(buf)
+    finally:
+        _release_buffer(buf)
 
 
 def canonical_update(hasher: "hashlib._Hash", value: Any) -> None:
     """Feed ``value``'s canonical encoding into ``hasher``.
 
     The encoding is tagged and length-prefixed, so structurally distinct
-    values never collide by concatenation (``("ab",)`` vs ``("a", "b")``),
-    and unordered containers (sets, dict items) are canonicalized by
-    sorting their *encodings*, which never compares unlike values.
-    Dataclasses (messages, identities, script entries) encode as their
-    class name plus field values; anything else falls back to ``repr``,
-    which the run state of this library never needs — the fallback exists
-    for exotic user script contents and is tagged separately so it cannot
-    alias a structural encoding.
+    values never collide by concatenation (``("ab",)`` vs ``("a", "b")``,
+    ``["a"]`` vs ``("a",)``), and unordered containers (sets, dict
+    items) are canonicalized by sorting their *encodings*, which never
+    compares unlike values.  Dataclasses (messages, identities, script
+    entries) encode as their class name plus field values; anything else
+    falls back to ``repr``, which the run state of this library never
+    needs — the fallback exists for exotic user script contents and is
+    tagged separately so it cannot alias a structural encoding.
     """
-    if value is None:
-        _update(hasher, b"N", b"")
-    elif isinstance(value, bool):
-        _update(hasher, b"B", b"1" if value else b"0")
-    elif isinstance(value, int):
-        _update(hasher, b"i", str(value).encode())
-    elif isinstance(value, float):
-        _update(hasher, b"f", repr(value).encode())
-    elif isinstance(value, str):
-        _update(hasher, b"s", value.encode())
-    elif isinstance(value, bytes):
-        _update(hasher, b"y", value)
-    elif isinstance(value, (tuple, list)):
-        _update(hasher, b"(", str(len(value)).encode())
-        for item in value:
-            canonical_update(hasher, item)
-        _update(hasher, b")", b"")
-    elif isinstance(value, (set, frozenset)):
-        _update(hasher, b"{", b"".join(sorted(_encoded(v) for v in value)))
-    elif isinstance(value, dict):
-        _update(
-            hasher,
-            b"m",
-            b"".join(
-                sorted(
-                    _encoded(k) + _encoded(v) for k, v in value.items()
-                )
-            ),
-        )
-    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-        _update(hasher, b"D", type(value).__qualname__.encode())
-        for field in dataclasses.fields(value):
-            canonical_update(hasher, getattr(value, field.name))
-        _update(hasher, b"d", b"")
-    else:
-        _update(
-            hasher,
-            b"r",
-            type(value).__qualname__.encode() + b":" + repr(value).encode(),
-        )
+    buf = _acquire_buffer()
+    try:
+        _encode_into(buf, value)
+        hasher.update(buf)
+    finally:
+        _release_buffer(buf)
 
 
 def stable_digest(*parts: Any) -> str:
@@ -126,12 +207,16 @@ def stable_digest(*parts: Any) -> str:
     runtime: components digest their own state and the
     :meth:`~repro.runtime.simulator.SimulationRun.fingerprint` combines
     the component digests, so a state digest costs one linear pass over
-    the live state and nothing over the trace.
+    the live state and nothing over the trace.  The pass builds the
+    whole canonical byte stream in a reused buffer and hashes it once.
     """
-    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
-    for part in parts:
-        canonical_update(hasher, part)
-    return hasher.hexdigest()
+    buf = _acquire_buffer()
+    try:
+        for part in parts:
+            _encode_into(buf, part)
+        return hashlib.blake2b(buf, digest_size=_DIGEST_SIZE).hexdigest()
+    finally:
+        _release_buffer(buf)
 
 
 class PidCanonicalizer:
@@ -156,13 +241,42 @@ class PidCanonicalizer:
     * containers are encoded structurally (unordered ones by sorted
       sub-encodings), so the encoding never aliases distinct structure.
 
-    One instance is single-use: the token table is part of the encoding
-    and must start empty for each state.
+    One instance encodes exactly **one** state: the token table is part
+    of the encoding and must start empty, so that token numbers are a
+    pure function of the state (first appearance in *this* traversal).
+    A reused instance carries the previous state's token table across,
+    so values are numbered by ordinals of the combined history — states
+    that merely share content ordinals with what came before stop being
+    distinguishable from their fresh encodings, and the same state
+    encodes differently depending on what was encoded first.  Either
+    way the digest is no longer a function of the state and the dedup
+    cache mis-collapses or splits orbits.  Callers mark the end of a
+    state encoding with :meth:`seal`; any use after that raises
+    :class:`RuntimeError` (``canonical_state_digest`` and
+    :func:`orbit_digest` seal the instances they create).
     """
+
+    __slots__ = ("_perm", "_tokens", "_sealed")
 
     def __init__(self, permutation: Sequence[int]) -> None:
         self._perm = tuple(permutation)
         self._tokens: dict[Hashable, int] = {}
+        self._sealed = False
+
+    def seal(self) -> None:
+        """Mark the state encoding complete; further use raises."""
+        self._sealed = True
+
+    def _check_usable(self) -> None:
+        if self._sealed:
+            raise RuntimeError(
+                "PidCanonicalizer instances are single-use: this one "
+                "already encoded a state, and its token table would "
+                "carry that state's content ordinals into the next "
+                "encoding (making the digest history-dependent instead "
+                "of a function of the state).  Create a fresh instance "
+                "per state."
+            )
 
     def pid(self, p: int) -> int:
         """The image of process id ``p`` under the permutation."""
@@ -170,21 +284,23 @@ class PidCanonicalizer:
 
     def token(self, value: Hashable) -> tuple:
         """The first-appearance content token standing in for ``value``."""
+        self._check_usable()
         if value not in self._tokens:
             self._tokens[value] = len(self._tokens)
         return ("~", self._tokens[value])
 
     def value(self, value: Any) -> Any:
         """The canonical (permuted, tokenized) image of ``value``."""
+        self._check_usable()
         if isinstance(value, Message):
             return ("M", self.value(value.uid), self.value(value.content))
         if isinstance(value, MessageId):
-            return ("U", self.pid(value.sender), value.seq)
+            return ("U", self._perm[value.sender], value.seq)
         if isinstance(value, PointToPointId):
             return (
                 "P",
-                self.pid(value.sender),
-                self.pid(value.receiver),
+                self._perm[value.sender],
+                self._perm[value.receiver],
                 value.seq,
             )
         if isinstance(value, (tuple, list)):
@@ -209,8 +325,83 @@ class PidCanonicalizer:
                 "C",
                 type(value).__qualname__,
                 tuple(
-                    self.value(getattr(value, field.name))
-                    for field in dataclasses.fields(value)
+                    self.value(getattr(value, name))
+                    for name in _field_names(type(value))
                 ),
             )
         return self.token(value)
+
+
+# ---------------------------------------------------------------------------
+# Orbit-canonical digests: canonical labelling instead of enumeration
+# ---------------------------------------------------------------------------
+
+
+def orbit_digest(
+    groups: Sequence[Sequence[int]],
+    n: int,
+    profile: Callable[[int], Hashable],
+    encode: Callable[[Sequence[int]], str],
+) -> tuple[str, tuple[int, ...], int]:
+    """One representative digest per symmetry orbit, by canonical labelling.
+
+    Minimizing :func:`encode` (a permuted-state digest such as
+    :meth:`~repro.runtime.simulator.SimulationRun.canonical_state_digest`)
+    over *every* admissible pid permutation costs |perms| encodings per
+    state.  This pass instead refines each symmetric ``group`` into
+    cells of equal per-pid invariant (``profile``), assigns cells to the
+    group's sorted positions in sorted invariant order, and searches only
+    the *residual automorphism candidates* — the permutations of
+    equal-invariant pids over their cell's positions.  When invariants
+    separate every pid, exactly one candidate (hence ~1 encoding per
+    state) remains.
+
+    ``profile`` must be **equivariant**: computed from the state without
+    reading raw pid labels, so that pid ``σ(p)`` of the σ-relabeled
+    state carries the invariant of pid ``p`` (journal *tag shapes*,
+    alive flags, script-remainder shapes and pool degrees qualify;
+    anything mentioning a concrete peer pid or a raw content does not).
+    Under that contract the candidate sets of two orbit-related states
+    correspond, so the minimized digest is constant on the orbit — the
+    same canonical key full enumeration would compute, at a fraction of
+    the encodings.  A non-equivariant profile can only *split* orbits
+    (distinct keys for related states), never merge unrelated ones:
+    equal digests still certify an admissible permutation, because every
+    candidate acts within the declared groups.
+
+    Returns ``(digest, permutation, encodings)``: the orbit-canonical
+    digest, the witnessing permutation achieving it, and the number of
+    candidate encodings performed (the cost that was previously
+    |perms|).
+    """
+    candidates: list[list[int]] = [list(range(n))]
+    for group in groups:
+        positions = sorted(set(group))
+        by_invariant: dict[str, list[int]] = {}
+        for p in positions:
+            by_invariant.setdefault(stable_digest(profile(p)), []).append(p)
+        offset = 0
+        for invariant in sorted(by_invariant):
+            members = by_invariant[invariant]
+            targets = positions[offset : offset + len(members)]
+            offset += len(members)
+            if len(members) == 1:
+                for candidate in candidates:
+                    candidate[members[0]] = targets[0]
+                continue
+            extended: list[list[int]] = []
+            for candidate in candidates:
+                for images in itertools.permutations(targets):
+                    new = list(candidate)
+                    for source, image in zip(members, images):
+                        new[source] = image
+                    extended.append(new)
+            candidates = extended
+    best: str | None = None
+    best_perm: tuple[int, ...] | None = None
+    for candidate in candidates:
+        digest = encode(candidate)
+        if best is None or digest < best:
+            best, best_perm = digest, tuple(candidate)
+    assert best is not None and best_perm is not None
+    return best, best_perm, len(candidates)

@@ -170,6 +170,14 @@ def observed_footprint(run, index: int) -> Footprint | None:
     anyway, at zero extra cost.
     """
     probe = run.fork()
+    enabled = probe.choices()
+    if not enabled:
+        raise ValueError(
+            "observed_footprint probed a terminal run: no event is "
+            "enabled, so there is no footprint to observe (advance "
+            "would have rejected the index with an out-of-range error "
+            "that hides the real cause)"
+        )
     probe.advance(index)
     probe.choices()
     return probe.last_footprint

@@ -40,7 +40,7 @@ from typing import Callable, Hashable, Mapping, Sequence
 from ..core.execution import Execution
 from ..core.message import Message, MessageFactory
 from .crash import CrashSchedule
-from .fingerprint import PidCanonicalizer, stable_digest
+from .fingerprint import PidCanonicalizer, orbit_digest, stable_digest
 from .independence import Footprint, FootprintDraft
 from .ksa_objects import DecisionPolicy, FirstProposalsPolicy, KsaRegistry
 from .network import Network
@@ -489,6 +489,7 @@ class SimulationRun:
             for p in order
         ]
         remaining = [canon.value(tuple(self.remaining[p])) for p in order]
+        canon.seal()  # one state per canonicalizer: token table is spent
         return stable_digest(
             "canon-run",
             self.steps,
@@ -499,6 +500,59 @@ class SimulationRun:
             counters,
             last_sync,
             remaining,
+        )
+
+    def orbit_key(
+        self, groups: Sequence[Sequence[int]]
+    ) -> tuple[str, tuple[int, ...], int]:
+        """The orbit-canonical digest of this state, by canonical labelling.
+
+        Rather than minimizing :meth:`canonical_state_digest` over every
+        permutation admissible for ``groups`` (|perms| encodings per
+        state), this refines each group by an *equivariant* per-pid
+        invariant profile and only encodes the residual automorphism
+        candidates — usually exactly one (see
+        :func:`~repro.runtime.fingerprint.orbit_digest`).
+
+        The profile reads, per pid: liveness, the journal's entry-tag
+        sequence (the *shape* of the input history — broadcasts,
+        receptions, decisions, syncs — not the contents, which the
+        canonical encoding renames injectively), the shape of the
+        remaining script (gated/plain per entry), the sync-gate flag,
+        and the pid's in/out-degree in the in-flight pool.  None of
+        these mention a raw pid label or a raw content, so relabeling
+        the state permutes the profiles with it — the equivariance that
+        makes the refined key constant on each orbit.
+
+        Returns ``(digest, permutation, encodings)`` — the orbit key,
+        the witnessing permutation realizing it, and how many candidate
+        encodings were paid for it.
+        """
+        in_degree: dict[int, int] = {}
+        out_degree: dict[int, int] = {}
+        for item in self.network.deliverable(None):
+            out_degree[item.p2p.sender] = out_degree.get(item.p2p.sender, 0) + 1
+            in_degree[item.p2p.receiver] = (
+                in_degree.get(item.p2p.receiver, 0) + 1
+            )
+
+        def profile(p: int) -> tuple:
+            return (
+                p in self.alive,
+                tuple(
+                    entry[0] for entry in self.runtimes[p].journal_entries()
+                ),
+                tuple(
+                    "gated" if isinstance(entry, Gated) else "plain"
+                    for entry in self.remaining[p]
+                ),
+                self.last_sync_message[p] is not None,
+                in_degree.get(p, 0),
+                out_degree.get(p, 0),
+            )
+
+        return orbit_digest(
+            groups, self.simulator.n, profile, self.canonical_state_digest
         )
 
     # -- internals --------------------------------------------------------

@@ -10,9 +10,16 @@ insertion order, journals, registry state, depth).
 import subprocess
 import sys
 
+import pytest
+
 from repro.broadcasts import SendToAllBroadcast
 from repro.core.message import Message, MessageId
-from repro.runtime import Simulator, stable_digest
+from repro.runtime import (
+    PidCanonicalizer,
+    Simulator,
+    orbit_digest,
+    stable_digest,
+)
 
 
 def s2a_simulator(n=2, **kwargs):
@@ -163,3 +170,172 @@ class TestRunFingerprint:
         before = run.fingerprint()
         run.advance(0)
         assert run.fingerprint() != before
+
+
+class TestTagAliasing:
+    """Structurally distinct values must never share an encoding.
+
+    Regression tests for the tag-aliasing bug where tuples and lists
+    shared the ``b"("`` tag, so ``["a"]`` and ``("a",)`` collided by
+    construction — directly contradicting the docstring's "structurally
+    distinct values never collide" and silently merging dedup-cache
+    states that differ only in a list-vs-tuple script entry.
+    """
+
+    def test_list_and_tuple_do_not_collide(self):
+        assert stable_digest(["a"]) != stable_digest(("a",))
+        assert stable_digest([]) != stable_digest(())
+        assert stable_digest([1, 2]) != stable_digest((1, 2))
+
+    def test_nested_aliasing_blocked(self):
+        assert stable_digest({"k": ["a"]}) != stable_digest({"k": ("a",)})
+        assert stable_digest((["x"],)) != stable_digest((("x",),))
+        assert stable_digest([("a",)]) != stable_digest((["a"],))
+
+    def test_equal_structures_still_agree(self):
+        assert stable_digest(["a", 1]) == stable_digest(["a", 1])
+        assert stable_digest((["a"], ("b",))) == stable_digest(
+            (["a"], ("b",))
+        )
+
+    def test_set_elements_sort_by_encoding_not_value(self):
+        # mixed-type sets canonicalize by sorting element *encodings*
+        # (self-delimiting byte strings) — no cross-type comparisons
+        assert stable_digest({1, "a", (2,)}) == stable_digest(
+            {(2,), 1, "a"}
+        )
+        assert stable_digest({("a", 1), ("b", 2)}) == stable_digest(
+            {("b", 2), ("a", 1)}
+        )
+
+
+class TestPidCanonicalizerSingleUse:
+    """A canonicalizer encodes exactly one state; reuse must raise."""
+
+    def test_second_top_level_encode_raises(self):
+        canon = PidCanonicalizer((0, 1))
+        canon.value(("x", "y"))
+        canon.seal()
+        with pytest.raises(RuntimeError, match="single-use"):
+            canon.value(("x", "y"))
+        with pytest.raises(RuntimeError, match="single-use"):
+            canon.token("z")
+
+    def test_reuse_would_make_encodings_history_dependent(self):
+        """The miscollapse the seal prevents, demonstrated.
+
+        Token numbers are first-appearance ordinals, so on a fresh
+        instance they are a pure function of the encoded state.  A
+        reused instance carries the previous state's token table: the
+        same state then encodes differently depending on what was
+        encoded before it (and states that merely share content
+        ordinals with the instance's history become indistinguishable
+        from differently-valued ones) — the digest stops being a
+        function of the state, and the orbit cache splits or merges on
+        encoding history instead of state identity.
+        """
+        state = ("y", "z")
+        fresh = PidCanonicalizer((0, 1)).value(state)
+        # simulate the forbidden reuse: encode another state first on
+        # the same (unsealed) instance, then the state under test
+        reused = PidCanonicalizer((0, 1))
+        reused.value(("x",))  # history: "x" takes token 0
+        assert reused.value(state) != fresh
+        # with enforcement, the dedup layer can never observe this:
+        # canonical_state_digest seals its canonicalizer per call, so
+        # back-to-back digests of one run are reproducible
+        run = started_run()
+        run.choices()
+        assert run.canonical_state_digest((0, 1)) == (
+            run.canonical_state_digest((0, 1))
+        )
+
+    def test_pid_mapping_survives_sealing(self):
+        # pid() reads the permutation, not the token table: still legal
+        canon = PidCanonicalizer((1, 0))
+        canon.value("x")
+        canon.seal()
+        assert canon.pid(0) == 1
+
+
+class TestOrbitDigest:
+    """Canonical labelling: one digest per orbit, few encodings."""
+
+    @staticmethod
+    def _encode_for(states):
+        """An encode() over explicit per-pid leaf values."""
+
+        def encode(perm):
+            relabeled = [None] * len(states)
+            for pid, value in enumerate(states):
+                relabeled[perm[pid]] = value
+            # injective content renaming: first-appearance tokens over
+            # the relabeled order, like PidCanonicalizer
+            tokens: dict = {}
+            image = []
+            for value in relabeled:
+                tokens.setdefault(value, len(tokens))
+                image.append(tokens[value])
+            return stable_digest(tuple(image))
+
+        return encode
+
+    def test_separating_profiles_cost_one_encoding(self):
+        # distinct invariants per pid → a single residual candidate
+        digest, perm, encodings = orbit_digest(
+            [(0, 1, 2)], 3, lambda p: ("deg", p), self._encode_for("abc")
+        )
+        assert encodings == 1
+        assert sorted(perm) == [0, 1, 2]
+
+    def test_equal_profiles_search_the_residual_group(self):
+        digest, perm, encodings = orbit_digest(
+            [(0, 1)], 3, lambda p: "same", self._encode_for("ab")
+        )
+        assert encodings == 2  # 2! candidates within the cell
+
+    def test_orbit_related_states_share_the_digest(self):
+        # "ab" and "ba" are images of each other under the 0<->1 swap
+        # (plus the injective renaming); equal-profile pids force the
+        # residual search, which lands both on the same canonical key
+        profile = lambda p: "same"
+        one = orbit_digest([(0, 1)], 2, profile, self._encode_for("ab"))
+        other = orbit_digest([(0, 1)], 2, profile, self._encode_for("ba"))
+        assert one[0] == other[0]
+
+    def test_profiles_gate_candidates_equivariantly(self):
+        # give each pid its value as profile: the relabeled states
+        # carry the profiles with them, so the two states still meet
+        profile_ab = lambda p: "ab"[p]
+        profile_ba = lambda p: "ba"[p]
+        one = orbit_digest([(0, 1)], 2, profile_ab, self._encode_for("ab"))
+        other = orbit_digest([(0, 1)], 2, profile_ba, self._encode_for("ba"))
+        assert one[0] == other[0]
+        assert one[2] == other[2] == 1  # profiles separate: 1 encoding
+
+    def test_no_groups_is_the_identity_encoding(self):
+        encode = self._encode_for("ab")
+        digest, perm, encodings = orbit_digest([], 2, lambda p: p, encode)
+        assert digest == encode((0, 1))
+        assert perm == (0, 1)
+        assert encodings == 1
+
+    def test_run_orbit_key_merges_swapped_scripts(self):
+        # integration: two initial states related by the 0<->1 swap
+        # (scripts exchanged, contents renamed) share the orbit key
+        one = started_run(scripts={0: ["a"], 1: ["b"]})
+        other = started_run(scripts={0: ["b"], 1: ["a"]})
+        one.choices(), other.choices()
+        groups = ((0, 1),)
+        key_one = one.orbit_key(groups)
+        key_other = other.orbit_key(groups)
+        assert key_one[0] == key_other[0]
+        # the digest is the canonical encoding under the witness perm
+        assert key_one[0] == one.canonical_state_digest(key_one[1])
+
+    def test_run_orbit_key_distinguishes_genuinely_different_states(self):
+        one = started_run(scripts={0: ["a"], 1: ["b"]})
+        other = started_run(scripts={0: ["a", "b"], 1: ["c"]})
+        one.choices(), other.choices()
+        groups = ((0, 1),)
+        assert one.orbit_key(groups)[0] != other.orbit_key(groups)[0]

@@ -223,6 +223,18 @@ class TestFootprintShape:
         footprint = handle.last_footprint
         assert footprint is not None and footprint.crashed
 
+    def test_terminal_probe_raises_a_clear_error(self):
+        # Regression: probing a quiescent run used to fall through to
+        # advance(), whose out-of-range index error hid the real cause.
+        simulator = s2a(n=2)
+        handle = simulator.begin({0: ["a"]})
+        while handle.choices():
+            handle.advance(0)
+        with pytest.raises(ValueError, match="terminal run"):
+            observed_footprint(handle, 0)
+        # the probe runs on a fork: the original handle is untouched
+        assert handle.choices() == []
+
     def test_choice_keys_stable_across_siblings(self):
         simulator = s2a(n=3)
         handle = simulator.begin({0: ["a"], 1: ["b"]})
