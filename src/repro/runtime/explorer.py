@@ -160,6 +160,7 @@ from ..core.broadcast_spec import BroadcastSpec
 from ..core.model import ChannelTracker, check_channels
 from ..core.steps import Step
 from .crash import CrashSchedule
+from .fingerprint import stable_digest
 from .independence import Footprint, choice_key, independent
 from .simulator import Gated, SimulationResult, SimulationRun, Simulator
 
@@ -230,6 +231,30 @@ class Violation:
             + "; ".join(self.problems[:3])
         )
 
+    def to_json(self) -> dict:
+        """A lossless JSON-compatible dict; inverse of :meth:`from_json`."""
+        return {
+            "guide": list(self.guide),
+            "problems": list(self.problems),
+            "permutation": (
+                None if self.permutation is None else list(self.permutation)
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Violation":
+        """Rebuild a :class:`Violation` from its :meth:`to_json` dict."""
+        permutation = data.get("permutation")
+        return cls(
+            guide=tuple(int(entry) for entry in data["guide"]),
+            problems=tuple(str(problem) for problem in data["problems"]),
+            permutation=(
+                None
+                if permutation is None
+                else tuple(int(p) for p in permutation)
+            ),
+        )
+
 
 @dataclass
 class ExplorationResult:
@@ -288,6 +313,13 @@ class ExplorationResult:
     expansions_by_depth: dict[int, int] = field(default_factory=dict)
     #: Dedup-cache hits (identity or symmetry) per decision depth.
     dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
+    #: Errors raised by the ``progress`` callback, as
+    #: ``"ExceptionType: message"`` strings.  A raising callback is
+    #: disabled after its first error and the search continues
+    #: unperturbed — telemetry must never abort or reorder exploration,
+    #: so the result is identical to a run without the callback except
+    #: for this record.
+    progress_errors: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -309,6 +341,88 @@ class ExplorationResult:
             f"{coverage} exploration: {self.terminal_schedules} terminal "
             f"schedules ({self.schedules_explored} prefixes, depth ≤ "
             f"{self.max_depth_seen}): {verdict}"
+        )
+
+    def violations_digest(self) -> str:
+        """Order- and permutation-independent digest of the violation set.
+
+        Hashes the sorted *set* of problem tuples: reductions may
+        collapse redundant violating interleavings (fewer
+        :class:`Violation` rows) and rename pids (different guides), but
+        the distinct problem sets they report must survive — equal
+        digests across engine variants is the reduction-soundness check,
+        and the verification service's memo-equality check.
+        """
+        return stable_digest(
+            "violations", sorted({v.problems for v in self.violations})
+        )
+
+    def to_json(self) -> dict:
+        """A lossless JSON-compatible dict; inverse of :meth:`from_json`.
+
+        Every field survives the round trip — violation guides and
+        permutations, the per-depth counter maps (JSON object keys are
+        strings; :meth:`from_json` restores the ``int`` depths), state
+        and event counters, and recorded progress-callback errors — so a
+        deserialized result is construction-identical (``==``) to the
+        original.  This is the wire format of :mod:`repro.server` and
+        the at-rest format of its memo store.
+        """
+        return {
+            "schedules_explored": self.schedules_explored,
+            "terminal_schedules": self.terminal_schedules,
+            "violations": [v.to_json() for v in self.violations],
+            "exhausted": self.exhausted,
+            "max_depth_seen": self.max_depth_seen,
+            "aborted": self.aborted,
+            "events_executed": self.events_executed,
+            "events_replayed": self.events_replayed,
+            "workers": self.workers,
+            "states_seen": self.states_seen,
+            "states_deduped": self.states_deduped,
+            "states_pruned_sleep": self.states_pruned_sleep,
+            "states_merged_symmetry": self.states_merged_symmetry,
+            "orbit_encodings": self.orbit_encodings,
+            "expansions_by_depth": {
+                str(depth): count
+                for depth, count in sorted(self.expansions_by_depth.items())
+            },
+            "dedup_hits_by_depth": {
+                str(depth): count
+                for depth, count in sorted(self.dedup_hits_by_depth.items())
+            },
+            "progress_errors": list(self.progress_errors),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "ExplorationResult":
+        """Rebuild an :class:`ExplorationResult` from :meth:`to_json`."""
+        return cls(
+            schedules_explored=int(data["schedules_explored"]),
+            terminal_schedules=int(data["terminal_schedules"]),
+            violations=[
+                Violation.from_json(v) for v in data["violations"]
+            ],
+            exhausted=bool(data["exhausted"]),
+            max_depth_seen=int(data["max_depth_seen"]),
+            aborted=bool(data["aborted"]),
+            events_executed=int(data["events_executed"]),
+            events_replayed=int(data["events_replayed"]),
+            workers=int(data["workers"]),
+            states_seen=int(data["states_seen"]),
+            states_deduped=int(data["states_deduped"]),
+            states_pruned_sleep=int(data["states_pruned_sleep"]),
+            states_merged_symmetry=int(data["states_merged_symmetry"]),
+            orbit_encodings=int(data["orbit_encodings"]),
+            expansions_by_depth={
+                int(depth): int(count)
+                for depth, count in data["expansions_by_depth"].items()
+            },
+            dedup_hits_by_depth={
+                int(depth): int(count)
+                for depth, count in data["dedup_hits_by_depth"].items()
+            },
+            progress_errors=[str(e) for e in data.get("progress_errors", [])],
         )
 
 
@@ -336,6 +450,48 @@ class ProgressSnapshot:
     expansions_by_depth: Mapping[int, int]
     #: Snapshot of per-depth dedup-cache hit counts (depth → count).
     dedup_hits_by_depth: Mapping[int, int]
+
+    def to_json(self) -> dict:
+        """A lossless JSON-compatible dict; inverse of :meth:`from_json`.
+
+        The wire format of the verification service's progress streams
+        (:mod:`repro.server`): per-depth counter keys become strings in
+        JSON and are restored to ``int`` on the way back.
+        """
+        return {
+            "expansions": self.expansions,
+            "terminals": self.terminals,
+            "depth": self.depth,
+            "elapsed": self.elapsed,
+            "states_per_second": self.states_per_second,
+            "expansions_by_depth": {
+                str(depth): count
+                for depth, count in sorted(self.expansions_by_depth.items())
+            },
+            "dedup_hits_by_depth": {
+                str(depth): count
+                for depth, count in sorted(self.dedup_hits_by_depth.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "ProgressSnapshot":
+        """Rebuild a :class:`ProgressSnapshot` from :meth:`to_json`."""
+        return cls(
+            expansions=int(data["expansions"]),
+            terminals=int(data["terminals"]),
+            depth=int(data["depth"]),
+            elapsed=float(data["elapsed"]),
+            states_per_second=float(data["states_per_second"]),
+            expansions_by_depth={
+                int(depth): int(count)
+                for depth, count in data["expansions_by_depth"].items()
+            },
+            dedup_hits_by_depth={
+                int(depth): int(count)
+                for depth, count in data["dedup_hits_by_depth"].items()
+            },
+        )
 
 
 ProgressCallback = Callable[[ProgressSnapshot], None]
@@ -554,6 +710,7 @@ class _SubtreeOutcome:
     orbit_encodings: int = 0
     expansions_by_depth: dict[int, int] = field(default_factory=dict)
     dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
+    progress_errors: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -808,7 +965,14 @@ def _explore_subtree(
     started = _now() if progress is not None else 0.0
 
     def note_expansion(depth: int) -> None:
-        """Per-depth accounting plus the periodic progress callback."""
+        """Per-depth accounting plus the periodic progress callback.
+
+        A raising callback must not abort the search mid-subtree (it
+        used to, leaving engine-dependent partial state): the error is
+        caught, recorded on the outcome, and the callback is disabled —
+        exploration continues exactly as it would have without it.
+        """
+        nonlocal progress
         out.expansions_by_depth[depth] = (
             out.expansions_by_depth.get(depth, 0) + 1
         )
@@ -817,21 +981,24 @@ def _explore_subtree(
             and out.schedules_explored % progress_every == 0
         ):
             elapsed = _now() - started
-            progress(
-                ProgressSnapshot(
-                    expansions=out.schedules_explored,
-                    terminals=out.terminal_schedules,
-                    depth=depth,
-                    elapsed=elapsed,
-                    states_per_second=(
-                        out.schedules_explored / elapsed
-                        if elapsed > 0
-                        else 0.0
-                    ),
-                    expansions_by_depth=dict(out.expansions_by_depth),
-                    dedup_hits_by_depth=dict(out.dedup_hits_by_depth),
-                )
+            snapshot = ProgressSnapshot(
+                expansions=out.schedules_explored,
+                terminals=out.terminal_schedules,
+                depth=depth,
+                elapsed=elapsed,
+                states_per_second=(
+                    out.schedules_explored / elapsed
+                    if elapsed > 0
+                    else 0.0
+                ),
+                expansions_by_depth=dict(out.expansions_by_depth),
+                dedup_hits_by_depth=dict(out.dedup_hits_by_depth),
             )
+            try:
+                progress(snapshot)
+            except Exception as exc:
+                out.progress_errors.append(f"{type(exc).__name__}: {exc}")
+                progress = None
 
     def visit_terminal(cursor: _Cursor) -> tuple[tuple[str, ...], bool]:
         """Account one terminal; returns (problems, keep_going)."""
@@ -1402,6 +1569,7 @@ def _explore_parallel(
                 result.schedules_explored += sub.schedules_explored
                 result.events_executed += sub.events_executed
                 result.events_replayed += sub.events_replayed
+                result.progress_errors.extend(sub.progress_errors)
                 result.states_seen += sub.states_seen
                 result.states_deduped += sub.states_deduped
                 result.states_pruned_sleep += sub.states_pruned_sleep
@@ -1644,4 +1812,5 @@ def explore_schedules(
         orbit_encodings=sub.orbit_encodings,
         expansions_by_depth=dict(sub.expansions_by_depth),
         dedup_hits_by_depth=dict(sub.dedup_hits_by_depth),
+        progress_errors=list(sub.progress_errors),
     )

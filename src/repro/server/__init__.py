@@ -1,0 +1,44 @@
+"""Exploration-as-a-service: the repo's verification server.
+
+The package turns :func:`~repro.runtime.explorer.explore_schedules`
+from a blocking library call into a shared, long-running service:
+declarative :class:`JobDescriptor`\\ s arrive over an NDJSON protocol,
+a :class:`JobManager` runs them on a bounded worker pool with priority
+queueing and small-job batching, and a fingerprint-keyed
+:class:`MemoStore` answers equivalent submissions from memory — the
+explored state space outlives the call that produced it.
+
+See ``docs/service.md`` for the architecture and wire protocol.
+"""
+
+from .client import ServiceClient, ServiceError
+from .descriptor import (
+    ALGORITHMS,
+    ENGINE_SCHEMA,
+    SPECS,
+    DescriptorError,
+    JobDescriptor,
+    job_digest,
+)
+from .jobs import JobManager, JobRecord, JobState
+from .memo import MemoEntry, MemoStore
+from .protocol import ProtocolError
+from .service import VerificationService
+
+__all__ = [
+    "ALGORITHMS",
+    "ENGINE_SCHEMA",
+    "SPECS",
+    "DescriptorError",
+    "JobDescriptor",
+    "JobManager",
+    "JobRecord",
+    "JobState",
+    "MemoEntry",
+    "MemoStore",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "VerificationService",
+    "job_digest",
+]

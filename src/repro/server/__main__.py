@@ -1,0 +1,331 @@
+"""Command-line front end: ``python -m repro.server``.
+
+``serve`` runs the verification service (TCP by default, ``--stdio``
+for a single piped session); the remaining subcommands are thin client
+verbs against a running server.  ``selfcheck`` is the self-contained
+smoke used by CI: it boots an in-process server on an ephemeral port
+and walks the acceptance path — cold run with a live progress stream,
+memo-hit on an equivalent respelling, violation surfacing, graceful
+shutdown with memo persistence, warm restart, and eviction bounds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+import tempfile
+from typing import Any
+
+from .client import ServiceClient
+from .memo import MemoStore
+from .service import VerificationService
+
+#: The depth-8 showcase configuration (2520 terminals, 321 dedup
+#: states) — the canonical cold-run workload of the smoke.
+_SHOWCASE: dict[str, Any] = {
+    "algorithm": "send-to-all",
+    "n": 3,
+    "scripts": {"0": ["a"], "1": ["b"]},
+    "engine": "dedup",
+    "progress_every": 50,
+}
+
+#: The same request, spelled differently: reordered keys, defaults made
+#: explicit, a different telemetry cadence.  Must hit the memo.
+_SHOWCASE_RESPELLED: dict[str, Any] = {
+    "scripts": {"1": ["b"], "0": ["a"]},
+    "engine": "dedup",
+    "n": 3,
+    "k": 1,
+    "sleep_sets": False,
+    "symmetry": "none",
+    "algorithm": "send-to-all",
+    "progress_every": 200,
+}
+
+#: send-to-all checked against the total-order spec: violating.
+_VIOLATING: dict[str, Any] = {
+    "algorithm": "send-to-all",
+    "n": 2,
+    "scripts": {"0": ["x"], "1": ["y"]},
+    "spec": "total-order",
+    "engine": "dedup",
+}
+
+
+def _print(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+# -- serve -----------------------------------------------------------------
+
+
+async def _cmd_serve(args: argparse.Namespace) -> int:
+    service = VerificationService(
+        memo_path=args.memo,
+        max_workers=args.max_workers,
+        batch_max=args.batch_max,
+        small_cost=args.small_cost,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        backend=args.backend,
+    )
+    if args.stdio:
+        await service.serve_stdio()
+        await service.shutdown()
+        return 0
+    host, port = await service.serve_tcp(args.host, args.port)
+    print(f"repro.server listening on {host}:{port}", flush=True)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, service.request_shutdown)
+    await service.run_until_shutdown()
+    return 0
+
+
+# -- client verbs ----------------------------------------------------------
+
+
+async def _cmd_submit(args: argparse.Namespace) -> int:
+    if args.file is not None:
+        with open(args.file) as handle:
+            descriptor = json.load(handle)
+    else:
+        descriptor = json.loads(args.descriptor)
+    async with ServiceClient(args.host, args.port) as client:
+        reply = await client.submit(
+            descriptor, priority=args.priority, wait=args.wait
+        )
+        _print(reply)
+        if args.watch and not args.wait:
+            async for event in client.watch(reply["job"]):
+                print(json.dumps(event, sort_keys=True), flush=True)
+    return 0
+
+
+async def _cmd_watch(args: argparse.Namespace) -> int:
+    async with ServiceClient(args.host, args.port) as client:
+        async for event in client.watch(args.job):
+            print(json.dumps(event, sort_keys=True), flush=True)
+    return 0
+
+
+async def _cmd_simple(args: argparse.Namespace) -> int:
+    async with ServiceClient(args.host, args.port) as client:
+        verb = getattr(client, args.command)
+        if args.command in ("status", "result", "cancel"):
+            _print(await verb(args.job))
+        else:
+            _print(await verb())
+    return 0
+
+
+# -- selfcheck -------------------------------------------------------------
+
+
+class _SelfcheckFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, label: str) -> None:
+    if not condition:
+        raise _SelfcheckFailure(label)
+    print(f"ok - {label}", flush=True)
+
+
+async def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        memo_path = os.path.join(tmp, "memo.json")
+        service = VerificationService(
+            memo_path=memo_path, max_workers=args.max_workers
+        )
+        host, port = await service.serve_tcp("127.0.0.1", 0)
+        runner = asyncio.create_task(service.run_until_shutdown())
+        async with ServiceClient(host, port) as submitter, ServiceClient(
+            host, port
+        ) as watcher:
+            _check((await submitter.ping())["pong"], "service answers ping")
+            job = (await submitter.submit(_SHOWCASE))["job"]
+            progress = 0
+            terminal: dict | None = None
+            async for event in watcher.watch(job):
+                if event["event"] == "progress":
+                    progress += 1
+                elif event["event"] == "done":
+                    terminal = event
+            _check(
+                terminal is not None and bool(terminal["result"]),
+                "cold run completed",
+            )
+            _check(
+                progress >= 1,
+                f"live subscriber streamed progress snapshots ({progress})",
+            )
+            cold = await submitter.result(job)
+            _check(
+                not cold["memo_hit"], "first submission ran the explorer"
+            )
+            warm = await submitter.submit(_SHOWCASE_RESPELLED, wait=True)
+            _check(warm["memo_hit"], "respelled submission is a memo hit")
+            _check(
+                warm["violations_digest"] == cold["violations_digest"],
+                "memo hit preserves the violations digest",
+            )
+            _check(
+                warm["result"]["states_seen"]
+                == cold["result"]["states_seen"],
+                "memo hit preserves states_seen",
+            )
+            _check(
+                warm["result"] == cold["result"],
+                "memo hit is construction-identical",
+            )
+            violating = await submitter.submit(_VIOLATING, wait=True)
+            _check(
+                len(violating["result"]["violations"]) > 0,
+                "total-order violation surfaced",
+            )
+            stats = await submitter.stats()
+            _check(
+                stats["explorations_run"] == 2,
+                "two distinct configurations, exactly two explorations",
+            )
+            await submitter.shutdown()
+        await runner
+        _check(os.path.exists(memo_path), "shutdown persisted the memo")
+
+        restarted = VerificationService(memo_path=memo_path)
+        host, port = await restarted.serve_tcp("127.0.0.1", 0)
+        async with ServiceClient(host, port) as client:
+            rewarm = await client.submit(_SHOWCASE, wait=True)
+            _check(
+                rewarm["memo_hit"],
+                "warm restart answers from the persisted memo",
+            )
+            _check(
+                rewarm["violations_digest"] == cold["violations_digest"],
+                "restart preserves digests across interpreter state",
+            )
+        await restarted.shutdown()
+
+    store = MemoStore(max_entries=8, max_bytes=4096)
+    for index in range(50):
+        store.put(
+            f"synthetic-{index}",
+            {"payload": "x" * 64, "index": index},
+            cost=float(index % 7),
+        )
+    _check(
+        len(store) <= 8 and store.total_bytes() <= 4096,
+        "eviction keeps the store within bounds under 50-entry load",
+    )
+    print("selfcheck: PASS", flush=True)
+    return 0
+
+
+# -- argument parsing ------------------------------------------------------
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7339)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Exploration-as-a-service for the broadcast explorer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the verification service")
+    _add_endpoint(serve)
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one NDJSON session over stdin/stdout instead of TCP",
+    )
+    serve.add_argument(
+        "--memo", default=None, help="memo persistence path (warm restarts)"
+    )
+    serve.add_argument("--max-workers", type=int, default=2)
+    serve.add_argument("--batch-max", type=int, default=4)
+    serve.add_argument("--small-cost", type=int, default=32)
+    serve.add_argument("--max-entries", type=int, default=256)
+    serve.add_argument("--max-bytes", type=int, default=16 << 20)
+    serve.add_argument("--backend", choices=["process", "thread"])
+
+    submit = sub.add_parser("submit", help="submit a job descriptor")
+    _add_endpoint(submit)
+    submit.add_argument(
+        "descriptor", nargs="?", help="descriptor as inline JSON"
+    )
+    submit.add_argument("--file", help="descriptor as a JSON file")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--wait", action="store_true", help="block until terminal"
+    )
+    submit.add_argument(
+        "--watch", action="store_true", help="stream events after submit"
+    )
+
+    watch = sub.add_parser("watch", help="stream a job's events")
+    _add_endpoint(watch)
+    watch.add_argument("job")
+
+    for name, needs_job in (
+        ("status", True),
+        ("result", True),
+        ("cancel", True),
+        ("jobs", False),
+        ("stats", False),
+        ("ping", False),
+        ("shutdown", False),
+    ):
+        verb = sub.add_parser(name)
+        _add_endpoint(verb)
+        if needs_job:
+            verb.add_argument("job")
+
+    selfcheck = sub.add_parser(
+        "selfcheck", help="in-process acceptance smoke (used by CI)"
+    )
+    selfcheck.add_argument("--max-workers", type=int, default=2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        runner = _cmd_serve(args)
+    elif args.command == "submit":
+        if (args.descriptor is None) == (args.file is None):
+            print(
+                "submit needs exactly one of: inline JSON or --file",
+                file=sys.stderr,
+            )
+            return 2
+        runner = _cmd_submit(args)
+    elif args.command == "watch":
+        runner = _cmd_watch(args)
+    elif args.command == "selfcheck":
+        runner = _cmd_selfcheck(args)
+    else:
+        runner = _cmd_simple(args)
+    try:
+        return asyncio.run(runner)
+    except _SelfcheckFailure as exc:
+        print(f"FAIL - {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Thin asyncio client for the verification service.
+
+:class:`ServiceClient` speaks the NDJSON protocol over one TCP
+connection.  Replies that carry ``ok: false`` raise
+:class:`ServiceError`; everything else is returned as plain dicts, so
+callers stay decoupled from server internals::
+
+    async with ServiceClient("127.0.0.1", 7339) as client:
+        reply = await client.submit(descriptor)
+        async for event in client.watch(reply["job"]):
+            ...
+
+The client is deliberately not concurrency-safe: one connection, one
+in-flight request (``watch`` occupies the connection until the job's
+terminal event).  Open several clients for parallel conversations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator
+
+from .descriptor import JobDescriptor
+from .protocol import MAX_LINE, read_message, write_message
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+#: Event names that end a watch stream.
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``ok: false`` (or closed mid-request)."""
+
+
+class ServiceClient:
+    """One NDJSON conversation with a :class:`VerificationService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7339) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # -- plumbing ---------------------------------------------------------
+
+    async def _send(self, message: dict) -> None:
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        await write_message(self._writer, message)
+
+    async def _recv(self) -> dict:
+        if self._reader is None:
+            raise ServiceError("client is not connected")
+        message = await read_message(self._reader)
+        if message is None:
+            raise ServiceError("connection closed by the service")
+        return message
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        """One round-trip; raises :class:`ServiceError` on ``ok: false``."""
+        await self._send({"op": op, **fields})
+        reply = await self._recv()
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "request failed"))
+        return reply
+
+    # -- verbs ------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def submit(
+        self,
+        descriptor: JobDescriptor | dict,
+        *,
+        priority: int = 0,
+        wait: bool = False,
+    ) -> dict:
+        """Submit a job; with ``wait`` the reply includes the result."""
+        payload = (
+            descriptor.to_json()
+            if isinstance(descriptor, JobDescriptor)
+            else descriptor
+        )
+        return await self.request(
+            "submit", descriptor=payload, priority=priority, wait=wait
+        )
+
+    async def status(self, job: str) -> dict:
+        return await self.request("status", job=job)
+
+    async def result(self, job: str) -> dict:
+        """The job's terminal summary + result (waits until terminal)."""
+        return await self.request("result", job=job)
+
+    async def cancel(self, job: str) -> dict:
+        return await self.request("cancel", job=job)
+
+    async def jobs(self) -> list[dict]:
+        return list((await self.request("jobs"))["jobs"])
+
+    async def stats(self) -> dict:
+        return dict((await self.request("stats"))["stats"])
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+    async def watch(self, job: str) -> AsyncIterator[dict]:
+        """Yield the job's events through its terminal one.
+
+        The stream includes ``running``, each ``progress`` snapshot,
+        and finally ``done``/``failed``/``cancelled``; a finished job
+        yields just its terminal event.
+        """
+        await self.request("watch", job=job)
+        while True:
+            event = await self._recv()
+            yield event
+            if event.get("event") in _TERMINAL_EVENTS:
+                return

@@ -1,0 +1,640 @@
+"""Job lifecycle: queueing, batching, execution, progress fan-out.
+
+The :class:`JobManager` owns every submission end to end:
+
+* **states** — ``queued → running → done | failed | cancelled``, with
+  memo hits materializing directly as ``done`` records;
+* **priority queueing** — a heap ordered by ``(priority, submission
+  sequence)``: lower priority numbers run first, FIFO within a class;
+* **batching** — consecutive same-priority jobs whose
+  :meth:`~repro.server.descriptor.JobDescriptor.estimated_cost` falls
+  under the small-job threshold are dispatched as *one* worker unit,
+  amortizing process start-up over configurations too small to deserve
+  their own fork;
+* **coalescing** — a submission whose digest matches a queued/running
+  job attaches to that job instead of enqueueing a duplicate: the two
+  submissions share one exploration, exactly like a memo hit shares a
+  past one;
+* **progress fan-out** — the engine's
+  :class:`~repro.runtime.explorer.ProgressSnapshot` callback is bridged
+  from the worker into per-job asyncio subscription queues, so any
+  number of watchers stream a live exploration.
+
+Two execution backends share the same message protocol
+(``start`` / ``progress`` / ``done`` / ``failed`` / ``skipped`` tuples):
+
+* ``"process"`` (default where ``fork`` exists) — each batch runs in a
+  forked worker process, streaming messages over a pipe; a bounded
+  number of such workers (``max_workers``) run concurrently, and
+  cancellation of a running job terminates its worker (unfinished
+  batch-mates are requeued, not lost);
+* ``"thread"`` — the degraded mode for fork-less platforms: batches run
+  on executor threads.  Running jobs cannot be terminated mid-run
+  (cancellation of a started job is refused; not-yet-started batch
+  members are skipped best-effort).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from ..runtime.explorer import explore_schedules
+from .descriptor import JobDescriptor, job_digest
+from .memo import MemoStore
+
+__all__ = ["JobState", "JobRecord", "JobManager"]
+
+
+class JobState(Enum):
+    """Lifecycle of one submission."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """One tracked job: descriptor, state, result, and its subscribers."""
+
+    job_id: str
+    descriptor: JobDescriptor
+    digest: str
+    priority: int
+    state: JobState = JobState.QUEUED
+    #: True when the result came from the memo store, not a fresh run.
+    memo_hit: bool = False
+    #: Submissions answered by this record (coalesced equivalents).
+    submissions: int = 1
+    #: ``ExplorationResult.to_json()`` payload once done.
+    result: dict | None = None
+    violations_digest: str | None = None
+    error: str | None = None
+    #: Seconds the exploration took (memo hits report the original's).
+    cost_seconds: float = 0.0
+    _subscribers: list[asyncio.Queue] = field(
+        default_factory=list, repr=False
+    )
+    _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def summary(self) -> dict:
+        """The status dict served for this job."""
+        return {
+            "job": self.job_id,
+            "digest": self.digest,
+            "state": self.state.value,
+            "priority": self.priority,
+            "memo_hit": self.memo_hit,
+            "submissions": self.submissions,
+            "violations_digest": self.violations_digest,
+            "error": self.error,
+            "cost_seconds": round(self.cost_seconds, 6),
+        }
+
+    async def wait(self) -> None:
+        """Block until the job reaches a terminal state."""
+        await self._done.wait()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (runs in a forked process or an executor thread)
+# ---------------------------------------------------------------------------
+
+
+def _run_descriptor(
+    descriptor: JobDescriptor,
+    emit: Callable[[dict], None] | None,
+) -> tuple[dict, str, float]:
+    """Execute one descriptor; returns ``(result_json, vdigest, seconds)``.
+
+    ``emit`` receives each :class:`ProgressSnapshot` as its ``to_json``
+    dict.  Progress is only wired where the engine supports it (the
+    sequential incremental engines); the replay oracle and sharded runs
+    execute without it.
+    """
+    simulator, scripts, prop, crash, kwargs = descriptor.build()
+    progress: Callable[[Any], None] | None = None
+    if (
+        emit is not None
+        and kwargs.get("workers", 1) == 1
+        and kwargs.get("engine") != "replay"
+    ):
+        callback = emit
+
+        def stream(snapshot: Any) -> None:
+            callback(snapshot.to_json())
+
+        progress = stream
+
+    started = time.perf_counter()
+    result = explore_schedules(
+        simulator,
+        scripts,
+        prop,
+        crash_schedule=crash,
+        progress=progress,
+        progress_every=descriptor.progress_every,
+        **kwargs,
+    )
+    elapsed = time.perf_counter() - started
+    return result.to_json(), result.violations_digest(), elapsed
+
+
+def _batch_worker(
+    conn: Any, batch: list[tuple[str, JobDescriptor]]
+) -> None:
+    """Forked-process entry point: run a batch, stream messages back."""
+    try:
+        for job_id, descriptor in batch:
+            conn.send(("start", job_id))
+
+            def emit(snapshot: dict, job_id: str = job_id) -> None:
+                conn.send(("progress", job_id, snapshot))
+
+            try:
+                payload, vdigest, cost = _run_descriptor(descriptor, emit)
+                conn.send(("done", job_id, payload, vdigest, cost))
+            except Exception as exc:
+                conn.send(
+                    ("failed", job_id, f"{type(exc).__name__}: {exc}")
+                )
+    finally:
+        conn.close()
+
+
+@dataclass
+class _BatchHandle:
+    """Parent-side bookkeeping for one dispatched batch."""
+
+    jobs: list[JobRecord]
+    process: Any | None = None
+    cancel_requested: set[str] = field(default_factory=set)
+    started: set[str] = field(default_factory=set)
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+
+class JobManager:
+    """Bounded asynchronous execution of verification jobs over a memo.
+
+    ``max_workers`` bounds concurrent batches (the process-pool width),
+    ``batch_max`` the number of small jobs grouped per dispatch, and
+    ``small_cost`` the :meth:`~JobDescriptor.estimated_cost` threshold
+    under which jobs are batchable.  ``backend`` is ``"process"``,
+    ``"thread"``, or ``None`` to pick ``"process"`` where the ``fork``
+    start method exists.
+    """
+
+    def __init__(
+        self,
+        memo: MemoStore,
+        *,
+        max_workers: int = 2,
+        batch_max: int = 4,
+        small_cost: int = 32,
+        backend: str | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if backend is None:
+            try:
+                multiprocessing.get_context("fork")
+                backend = "process"
+            except ValueError:
+                backend = "thread"
+        if backend not in ("process", "thread"):
+            raise ValueError(
+                f"unknown backend {backend!r}: expected 'process' or 'thread'"
+            )
+        self.memo = memo
+        self.max_workers = max_workers
+        self.batch_max = batch_max
+        self.small_cost = small_cost
+        self.backend = backend
+        self._jobs: dict[str, JobRecord] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        #: digest → job_id of the queued/running job answering it.
+        self._active_by_digest: dict[str, str] = {}
+        self._batches: dict[str, _BatchHandle] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._busy = 0
+        self._seq = 0
+        self._draining = False
+        self._submitted = 0
+        self._memo_hits = 0
+        self._coalesced = 0
+        self._explorations_run = 0
+        self._batches_dispatched = 0
+        self._batched_jobs = 0
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self, descriptor: JobDescriptor, *, priority: int = 0
+    ) -> JobRecord:
+        """Queue a job (or answer it from the memo / an in-flight twin).
+
+        Returns the :class:`JobRecord` serving this submission: a fresh
+        queued record, an instantly-``done`` memo-hit record, or the
+        existing record of an equivalent queued/running job (coalesced —
+        one exploration, many submitters).
+        """
+        if self._draining:
+            raise RuntimeError("manager is draining; submissions refused")
+        digest = job_digest(descriptor)
+        self._submitted += 1
+        active_id = self._active_by_digest.get(digest)
+        if active_id is not None:
+            record = self._jobs[active_id]
+            record.submissions += 1
+            self._coalesced += 1
+            return record
+        self._seq += 1
+        job_id = f"job-{self._seq}"
+        memoized = self.memo.get(digest)
+        if memoized is not None:
+            record = JobRecord(
+                job_id,
+                descriptor,
+                digest,
+                priority,
+                state=JobState.DONE,
+                memo_hit=True,
+                result=memoized["result"],
+                violations_digest=memoized["violations_digest"],
+                cost_seconds=float(memoized.get("cost_seconds", 0.0)),
+            )
+            record._done.set()
+            self._jobs[job_id] = record
+            self._memo_hits += 1
+            return record
+        record = JobRecord(job_id, descriptor, digest, priority)
+        self._jobs[job_id] = record
+        self._active_by_digest[digest] = job_id
+        heapq.heappush(self._heap, (priority, self._seq, job_id))
+        self._maybe_dispatch()
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        """The record for ``job_id`` (:class:`KeyError` when unknown)."""
+        return self._jobs[job_id]
+
+    # -- subscriptions ----------------------------------------------------
+
+    def subscribe(self, job_id: str) -> asyncio.Queue:
+        """An event queue for ``job_id`` (progress + terminal events).
+
+        Subscribing to an already-finished job immediately delivers its
+        terminal event, so late watchers never hang.
+        """
+        record = self._jobs[job_id]
+        queue: asyncio.Queue = asyncio.Queue()
+        record._subscribers.append(queue)
+        if record.state.terminal:
+            queue.put_nowait(self._terminal_event(record))
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        record = self._jobs.get(job_id)
+        if record is not None and queue in record._subscribers:
+            record._subscribers.remove(queue)
+
+    def _publish(self, record: JobRecord, event: dict) -> None:
+        for queue in list(record._subscribers):
+            queue.put_nowait(event)
+
+    def _terminal_event(self, record: JobRecord) -> dict:
+        if record.state is JobState.DONE:
+            return {
+                "event": "done",
+                "job": record.job_id,
+                "memo_hit": record.memo_hit,
+                "violations_digest": record.violations_digest,
+                "cost_seconds": round(record.cost_seconds, 6),
+                "result": record.result,
+            }
+        if record.state is JobState.FAILED:
+            return {
+                "event": "failed",
+                "job": record.job_id,
+                "error": record.error,
+            }
+        return {"event": "cancelled", "job": record.job_id}
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _maybe_dispatch(self) -> None:
+        while (
+            self._busy < self.max_workers
+            and self._heap
+            and not self._draining
+        ):
+            batch = self._pop_batch()
+            if not batch:
+                return
+            self._busy += 1
+            self._batches_dispatched += 1
+            if len(batch) > 1:
+                self._batched_jobs += len(batch)
+            task = asyncio.create_task(self._run_batch(batch))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    def _pop_batch(self) -> list[JobRecord]:
+        """The next batch: one job, or several *small* same-priority jobs."""
+        batch: list[JobRecord] = []
+        while self._heap and not batch:
+            _, _, job_id = heapq.heappop(self._heap)
+            record = self._jobs[job_id]
+            if record.state is JobState.QUEUED:
+                batch.append(record)  # else: lazily-deleted (cancelled)
+        if not batch:
+            return batch
+        lead = batch[0]
+        if lead.descriptor.estimated_cost() > self.small_cost:
+            return batch
+        while len(batch) < self.batch_max and self._heap:
+            priority, _, job_id = self._heap[0]
+            record = self._jobs.get(job_id)
+            if record is None or record.state is not JobState.QUEUED:
+                heapq.heappop(self._heap)
+                continue
+            if (
+                priority != lead.priority
+                or record.descriptor.estimated_cost() > self.small_cost
+            ):
+                break
+            heapq.heappop(self._heap)
+            batch.append(record)
+        return batch
+
+    async def _run_batch(self, batch: list[JobRecord]) -> None:
+        handle = _BatchHandle(jobs=batch)
+        for record in batch:
+            record.state = JobState.RUNNING
+            self._batches[record.job_id] = handle
+            self._publish(
+                record, {"event": "running", "job": record.job_id}
+            )
+        try:
+            if self.backend == "process":
+                await self._run_batch_process(handle)
+            else:
+                await self._run_batch_thread(handle)
+        finally:
+            for record in handle.jobs:
+                self._batches.pop(record.job_id, None)
+            self._busy -= 1
+            self._maybe_dispatch()
+
+    async def _run_batch_process(self, handle: _BatchHandle) -> None:
+        loop = asyncio.get_running_loop()
+        ctx = multiprocessing.get_context("fork")
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        payload = [(r.job_id, r.descriptor) for r in handle.jobs]
+        # not a daemon: descriptors with workers > 1 fork their own
+        # shard pool inside the worker, which daemons are denied
+        process = ctx.Process(
+            target=_batch_worker, args=(send_conn, payload)
+        )
+        process.start()
+        handle.process = process
+        send_conn.close()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def pump() -> None:
+            """Drain the pipe on a thread; messages hop onto the loop."""
+            while True:
+                try:
+                    message = recv_conn.recv()
+                except (EOFError, OSError):
+                    break
+                loop.call_soon_threadsafe(queue.put_nowait, message)
+            loop.call_soon_threadsafe(queue.put_nowait, None)
+
+        pump_done = loop.run_in_executor(None, pump)
+        while True:
+            message = await queue.get()
+            if message is None:
+                break
+            self._handle_message(handle, message)
+        await pump_done
+        await loop.run_in_executor(None, process.join)
+        recv_conn.close()
+        self._finalize_batch(handle, exitcode=process.exitcode)
+
+    async def _run_batch_thread(self, handle: _BatchHandle) -> None:
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def emit(message: tuple | None) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, message)
+
+        def run() -> None:
+            for record in handle.jobs:
+                if record.job_id in handle.cancel_requested:
+                    emit(("skipped", record.job_id))
+                    continue
+                emit(("start", record.job_id))
+                try:
+                    payload, vdigest, cost = _run_descriptor(
+                        record.descriptor,
+                        lambda s, job_id=record.job_id: emit(
+                            ("progress", job_id, s)
+                        ),
+                    )
+                    emit(("done", record.job_id, payload, vdigest, cost))
+                except Exception as exc:
+                    emit(
+                        (
+                            "failed",
+                            record.job_id,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+            emit(None)
+
+        run_done = loop.run_in_executor(None, run)
+        while True:
+            message = await queue.get()
+            if message is None:
+                break
+            self._handle_message(handle, message)
+        await run_done
+        self._finalize_batch(handle, exitcode=0)
+
+    def _handle_message(self, handle: _BatchHandle, message: tuple) -> None:
+        kind = message[0]
+        record = self._jobs[message[1]]
+        if kind == "start":
+            handle.started.add(record.job_id)
+        elif kind == "progress":
+            self._publish(
+                record,
+                {
+                    "event": "progress",
+                    "job": record.job_id,
+                    "snapshot": message[2],
+                },
+            )
+        elif kind == "done":
+            _, _, payload, vdigest, cost = message
+            self._complete(record, payload, vdigest, cost)
+        elif kind == "failed":
+            self._fail(record, message[2])
+        elif kind == "skipped":
+            self._cancelled(record)
+
+    def _complete(
+        self, record: JobRecord, payload: dict, vdigest: str, cost: float
+    ) -> None:
+        record.state = JobState.DONE
+        record.result = payload
+        record.violations_digest = vdigest
+        record.cost_seconds = cost
+        self._explorations_run += 1
+        self.memo.put(
+            record.digest,
+            {
+                "result": payload,
+                "violations_digest": vdigest,
+                "cost_seconds": cost,
+                "descriptor": record.descriptor.to_json(),
+            },
+            cost=cost,
+        )
+        self._active_by_digest.pop(record.digest, None)
+        self._publish(record, self._terminal_event(record))
+        record._done.set()
+
+    def _fail(self, record: JobRecord, error: str) -> None:
+        record.state = JobState.FAILED
+        record.error = error
+        self._active_by_digest.pop(record.digest, None)
+        self._publish(record, self._terminal_event(record))
+        record._done.set()
+
+    def _cancelled(self, record: JobRecord) -> None:
+        record.state = JobState.CANCELLED
+        self._active_by_digest.pop(record.digest, None)
+        self._publish(record, self._terminal_event(record))
+        record._done.set()
+
+    def _finalize_batch(
+        self, handle: _BatchHandle, exitcode: int | None
+    ) -> None:
+        """Settle batch members the worker never reported a verdict for.
+
+        After a clean batch every job is terminal.  After a terminated
+        or crashed worker: the cancel target becomes ``cancelled``, a
+        job that had *started* (and wasn't the target) died with the
+        worker and fails loudly, and jobs the worker never reached are
+        requeued — cancellation of a batch-mate must not lose them.
+        """
+        for record in handle.jobs:
+            if record.state is not JobState.RUNNING:
+                continue
+            if record.job_id in handle.cancel_requested:
+                self._cancelled(record)
+            elif record.job_id in handle.started:
+                self._fail(
+                    record,
+                    f"worker process died (exitcode {exitcode})",
+                )
+            else:
+                record.state = JobState.QUEUED
+                self._seq += 1
+                heapq.heappush(
+                    self._heap,
+                    (record.priority, self._seq, record.job_id),
+                )
+
+    # -- cancellation and shutdown ---------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True when it is assured.
+
+        Queued jobs cancel immediately.  A running job on the process
+        backend has its worker terminated (batch-mates are requeued by
+        :meth:`_finalize_batch`).  On the thread backend a started job
+        cannot be interrupted — the request is recorded (not-yet-started
+        batch members will be skipped) and ``False`` is returned.
+        """
+        record = self._jobs[job_id]
+        if record.state.terminal:
+            return record.state is JobState.CANCELLED
+        handle = self._batches.get(job_id)
+        if record.state is JobState.QUEUED and handle is None:
+            self._cancelled(record)  # heap entry is lazily skipped
+            return True
+        if handle is None:
+            return False
+        handle.cancel_requested.add(job_id)
+        if handle.process is not None:
+            handle.process.terminate()
+            return True
+        return False
+
+    async def drain(self) -> None:
+        """Refuse new work, cancel the queue, await running batches."""
+        self._draining = True
+        for record in list(self._jobs.values()):
+            if (
+                record.state is JobState.QUEUED
+                and record.job_id not in self._batches
+            ):
+                self._cancelled(record)
+        while self._tasks:
+            await asyncio.gather(
+                *list(self._tasks), return_exceptions=True
+            )
+
+    async def wait_idle(self) -> None:
+        """Await every in-flight batch (testing/shutdown helper)."""
+        while self._tasks:
+            await asyncio.gather(
+                *list(self._tasks), return_exceptions=True
+            )
+
+    # -- introspection ----------------------------------------------------
+
+    def jobs(self) -> list[dict]:
+        """Summaries of every tracked job, in submission order."""
+        return [record.summary() for record in self._jobs.values()]
+
+    def stats(self) -> dict:
+        """Manager + memo counters for the ``stats`` verb."""
+        by_state: dict[str, int] = {state.value: 0 for state in JobState}
+        for record in self._jobs.values():
+            by_state[record.state.value] += 1
+        return {
+            "backend": self.backend,
+            "max_workers": self.max_workers,
+            "batch_max": self.batch_max,
+            "small_cost": self.small_cost,
+            "submitted": self._submitted,
+            "memo_hits": self._memo_hits,
+            "coalesced": self._coalesced,
+            "explorations_run": self._explorations_run,
+            "batches_dispatched": self._batches_dispatched,
+            "batched_jobs": self._batched_jobs,
+            "jobs_by_state": by_state,
+            "memo": self.memo.stats(),
+        }

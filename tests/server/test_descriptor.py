@@ -1,0 +1,197 @@
+"""Descriptor canonicalization: equivalent requests, identical keys.
+
+The memo store only works if every spelling of the same job lands on
+the same :func:`job_digest` — and if digests from different engine
+schema versions can never collide.
+"""
+
+import pytest
+
+from repro.server.descriptor import (
+    ALGORITHMS,
+    ENGINE_SCHEMA,
+    SPECS,
+    DescriptorError,
+    JobDescriptor,
+    job_digest,
+)
+
+BASE = {
+    "algorithm": "send-to-all",
+    "n": 3,
+    "scripts": {"0": ["a"], "1": ["b"]},
+}
+
+
+def digest_of(data):
+    return job_digest(JobDescriptor.from_json(data))
+
+
+class TestEquivalentSpellings:
+    def test_reordered_keys(self):
+        reordered = {
+            "scripts": {"0": ["a"], "1": ["b"]},
+            "n": 3,
+            "algorithm": "send-to-all",
+        }
+        assert digest_of(BASE) == digest_of(reordered)
+
+    def test_defaults_explicit_vs_omitted(self):
+        explicit = dict(
+            BASE,
+            spec="channels",
+            k=1,
+            engine="dedup",
+            sleep_sets=False,
+            static_independence=False,
+            symmetry="none",
+            workers=1,
+            max_schedules=100_000,
+            max_depth=400,
+            stop_at_first_violation=False,
+            assume_complete=False,
+            sync_broadcasts=False,
+            crash_at_step={},
+            crash_initially=[],
+        )
+        assert digest_of(BASE) == digest_of(explicit)
+
+    def test_list_vs_tuple_script_values(self):
+        as_tuples = dict(BASE, scripts={"0": ("a",), "1": ("b",)})
+        assert digest_of(BASE) == digest_of(as_tuples)
+
+    def test_int_vs_str_script_pids(self):
+        int_pids = dict(BASE, scripts={0: ["a"], 1: ["b"]})
+        assert digest_of(BASE) == digest_of(int_pids)
+
+    def test_script_pid_order_irrelevant(self):
+        swapped = dict(BASE, scripts={"1": ["b"], "0": ["a"]})
+        assert digest_of(BASE) == digest_of(swapped)
+
+    def test_empty_scripts_dropped(self):
+        padded = dict(BASE, scripts={"0": ["a"], "1": ["b"], "2": []})
+        assert digest_of(BASE) == digest_of(padded)
+
+    def test_progress_every_is_telemetry_only(self):
+        assert digest_of(BASE) == digest_of(dict(BASE, progress_every=7))
+
+    def test_crash_mapping_vs_pairs(self):
+        as_mapping = dict(BASE, crash_at_step={"1": 2, "0": 3})
+        as_pairs = dict(BASE, crash_at_step=[[0, 3], [1, 2]])
+        assert digest_of(as_mapping) == digest_of(as_pairs)
+
+    def test_crash_initially_order_and_dups(self):
+        assert digest_of(dict(BASE, crash_initially=[2, 0])) == digest_of(
+            dict(BASE, crash_initially=[0, 2, 0])
+        )
+
+    def test_json_round_trip_preserves_digest(self):
+        descriptor = JobDescriptor.from_json(
+            dict(BASE, sleep_sets=True, symmetry="rename", k=2, spec="kbo")
+        )
+        rebuilt = JobDescriptor.from_json(descriptor.to_json())
+        assert rebuilt == descriptor
+        assert job_digest(rebuilt) == job_digest(descriptor)
+
+
+class TestDistinctRequestsDistinctKeys:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"n": 4},
+            {"scripts": {"0": ["a"], "1": ["c"]}},
+            {"spec": "total-order"},
+            {"engine": "incremental"},
+            {"sleep_sets": True},
+            {"static_independence": True},
+            {"symmetry": "rename"},
+            {"workers": 2},
+            {"max_schedules": 50_000},
+            {"max_depth": 100},
+            {"stop_at_first_violation": True},
+            {"assume_complete": True},
+            {"sync_broadcasts": True},
+            {"crash_initially": [0]},
+            {"crash_at_step": {"0": 1}},
+        ],
+    )
+    def test_engine_relevant_field_changes_digest(self, change):
+        assert digest_of(BASE) != digest_of(dict(BASE, **change))
+
+    def test_schema_versions_never_collide(self):
+        descriptor = JobDescriptor.from_json(BASE)
+        digests = {
+            job_digest(descriptor, schema=schema)
+            for schema in range(ENGINE_SCHEMA + 4)
+        }
+        assert len(digests) == ENGINE_SCHEMA + 4
+        assert job_digest(descriptor) == job_digest(
+            descriptor, schema=ENGINE_SCHEMA
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"algorithm": "nope"},
+            {"spec": "nope"},
+            {"engine": "nope"},
+            {"symmetry": "nope"},
+            {"n": 0},
+            {"k": 0},
+            {"workers": 0},
+            {"max_schedules": 0},
+            {"max_depth": 0},
+            {"progress_every": 0},
+            {"scripts": {"7": ["a"]}},  # pid outside 0..n-1
+            {"crash_at_step": {"7": 1}},
+            {"crash_at_step": {"0": -1}},
+            {"crash_initially": [7]},
+        ],
+    )
+    def test_invalid_fields_rejected(self, bad):
+        with pytest.raises(DescriptorError):
+            JobDescriptor.from_json(dict(BASE, **bad))
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(DescriptorError, match="unknown descriptor"):
+            JobDescriptor.from_json(dict(BASE, sleeep_sets=True))
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(DescriptorError, match="missing required"):
+            JobDescriptor.from_json({"algorithm": "send-to-all"})
+
+    def test_duplicate_script_pids_rejected(self):
+        with pytest.raises(DescriptorError, match="duplicate"):
+            JobDescriptor.from_json(
+                dict(BASE, scripts=[[0, ["a"]], ["0", ["b"]]])
+            )
+
+    def test_registries_resolve(self):
+        for name in ALGORITHMS:
+            assert ALGORITHMS[name](0, 2) is not None
+        for name in SPECS:
+            assert SPECS[name](1) is not None
+
+
+class TestBuildAndCost:
+    def test_build_resolves_runnable_arguments(self):
+        descriptor = JobDescriptor.from_json(
+            dict(BASE, sleep_sets=True, crash_at_step={"0": 2})
+        )
+        simulator, scripts, prop, crash, kwargs = descriptor.build()
+        assert simulator.n == 3
+        assert scripts == {0: ("a",), 1: ("b",)}
+        assert prop is not None
+        assert crash is not None and crash.at_step == {0: 2}
+        assert kwargs["engine"] == "dedup"
+        assert kwargs["sleep_sets"] is True
+        assert "static_independence" not in kwargs
+
+    def test_estimated_cost_orders_small_before_large(self):
+        tiny = JobDescriptor.from_json(
+            {"algorithm": "send-to-all", "n": 2, "scripts": {"0": ["x"]}}
+        )
+        showcase = JobDescriptor.from_json(BASE)
+        assert tiny.estimated_cost() < showcase.estimated_cost()

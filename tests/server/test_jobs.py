@@ -1,0 +1,309 @@
+"""JobManager: lifecycle, memoization, coalescing, batching, cancel.
+
+All tests drive the manager through ``asyncio.run`` (no pytest-asyncio
+in the toolchain).  Jobs use deliberately tiny configurations; the one
+long-running configuration exists only to be cancelled.
+"""
+
+import asyncio
+
+import pytest
+
+import repro.server.jobs as jobs_module
+from repro.server.descriptor import JobDescriptor
+from repro.server.jobs import JobManager, JobState
+from repro.server.memo import MemoStore
+
+
+def tiny(letter="x"):
+    """A near-instant job (single broadcaster, n=2)."""
+    return JobDescriptor.from_json(
+        {
+            "algorithm": "send-to-all",
+            "n": 2,
+            "scripts": {"0": [letter]},
+            "progress_every": 2,
+        }
+    )
+
+
+def showcase():
+    """The depth-8 config: big enough to occupy a worker for a while."""
+    return JobDescriptor.from_json(
+        {
+            "algorithm": "send-to-all",
+            "n": 3,
+            "scripts": {"0": ["a"], "1": ["b"]},
+            "progress_every": 50,
+        }
+    )
+
+
+def long_running():
+    """URB with two senders: thousands of terminals, cancellable."""
+    return JobDescriptor.from_json(
+        {
+            "algorithm": "uniform-reliable",
+            "n": 2,
+            "scripts": {"0": ["a"], "1": ["b"]},
+            "engine": "incremental",
+        }
+    )
+
+
+def manager(**kwargs):
+    kwargs.setdefault("max_workers", 1)
+    return JobManager(MemoStore(), **kwargs)
+
+
+class TestLifecycleAndMemo:
+    def test_submit_runs_to_done(self):
+        async def main():
+            mgr = manager()
+            record = mgr.submit(tiny())
+            await record.wait()
+            assert record.state is JobState.DONE
+            assert record.result["exhausted"] is True
+            assert record.violations_digest
+            assert not record.memo_hit
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_second_submission_is_memo_hit(self):
+        async def main():
+            mgr = manager()
+            first = mgr.submit(tiny())
+            await first.wait()
+            second = mgr.submit(tiny())
+            assert second.state is JobState.DONE
+            assert second.memo_hit
+            assert second.job_id != first.job_id
+            assert second.result == first.result
+            assert second.violations_digest == first.violations_digest
+            stats = mgr.stats()
+            assert stats["explorations_run"] == 1
+            assert stats["memo_hits"] == 1
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_in_flight_equivalents_coalesce(self):
+        async def main():
+            mgr = manager()  # one worker
+            blocker = mgr.submit(showcase())  # occupies it
+            first = mgr.submit(tiny())
+            twin = mgr.submit(tiny())
+            assert twin is first
+            assert first.submissions == 2
+            await asyncio.gather(blocker.wait(), first.wait())
+            stats = mgr.stats()
+            assert stats["coalesced"] == 1
+            assert stats["explorations_run"] == 2
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_failed_job_records_error(self, monkeypatch):
+        # patch before fork: the worker inherits the raising stub
+        def explode(descriptor, emit):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(jobs_module, "_run_descriptor", explode)
+
+        async def main():
+            mgr = manager()
+            record = mgr.submit(tiny())
+            await record.wait()
+            assert record.state is JobState.FAILED
+            assert "engine exploded" in record.error
+            assert mgr.stats()["explorations_run"] == 0
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_progress_events_reach_subscribers(self):
+        async def main():
+            mgr = manager()
+            record = mgr.submit(tiny())
+            queue = mgr.subscribe(record.job_id)
+            events = []
+            while True:
+                event = await queue.get()
+                events.append(event)
+                if event["event"] in ("done", "failed", "cancelled"):
+                    break
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "running"
+            assert kinds[-1] == "done"
+            assert "progress" in kinds
+            snapshot = next(
+                e["snapshot"] for e in events if e["event"] == "progress"
+            )
+            assert snapshot["expansions"] >= 1
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_late_subscriber_gets_terminal_event(self):
+        async def main():
+            mgr = manager()
+            record = mgr.submit(tiny())
+            await record.wait()
+            queue = mgr.subscribe(record.job_id)
+            event = queue.get_nowait()
+            assert event["event"] == "done"
+            assert event["result"] == record.result
+            await mgr.drain()
+
+        asyncio.run(main())
+
+
+class TestQueueingAndBatching:
+    def test_priority_order(self):
+        async def main():
+            mgr = manager()
+            mgr.submit(showcase())  # occupy the single worker
+            low = mgr.submit(tiny("l"), priority=5)
+            high = mgr.submit(tiny("h"), priority=0)
+            batch = mgr._pop_batch()
+            assert batch[0] is high
+            assert low.state is JobState.QUEUED
+            # restore and settle
+            import heapq
+
+            mgr._seq += 1
+            heapq.heappush(
+                mgr._heap, (high.priority, mgr._seq, high.job_id)
+            )
+            await asyncio.gather(low.wait(), high.wait())
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_small_jobs_batch_into_one_dispatch(self):
+        async def main():
+            mgr = manager(batch_max=4)
+            blocker = mgr.submit(showcase())  # cost 36 > small_cost 32
+            small = [mgr.submit(tiny(letter)) for letter in "pqr"]
+            await asyncio.gather(*(r.wait() for r in [blocker, *small]))
+            stats = mgr.stats()
+            assert all(r.state is JobState.DONE for r in small)
+            # blocker alone + the three small jobs as one batch
+            assert stats["batches_dispatched"] == 2
+            assert stats["batched_jobs"] == 3
+            assert stats["explorations_run"] == 4
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_batch_max_respected(self):
+        async def main():
+            mgr = manager(batch_max=2)
+            blocker = mgr.submit(showcase())
+            small = [mgr.submit(tiny(letter)) for letter in "pqrs"]
+            await asyncio.gather(*(r.wait() for r in [blocker, *small]))
+            assert mgr.stats()["batches_dispatched"] == 3  # 1 + 2 + 2
+            await mgr.drain()
+
+        asyncio.run(main())
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        async def main():
+            mgr = manager()
+            blocker = mgr.submit(showcase())
+            victim = mgr.submit(tiny())
+            queue = mgr.subscribe(victim.job_id)
+            assert mgr.cancel(victim.job_id) is True
+            assert victim.state is JobState.CANCELLED
+            assert queue.get_nowait()["event"] == "cancelled"
+            await blocker.wait()
+            assert mgr.stats()["explorations_run"] == 1
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_cancel_running_job_terminates_worker(self):
+        async def main():
+            mgr = manager(backend="process")
+            record = mgr.submit(long_running())
+            queue = mgr.subscribe(record.job_id)
+            event = await queue.get()
+            assert event["event"] == "running"
+            assert mgr.cancel(record.job_id) is True
+            await record.wait()
+            assert record.state is JobState.CANCELLED
+            # a fresh equivalent submission is not poisoned by the cancel
+            again = mgr.submit(long_running())
+            assert again.state in (JobState.QUEUED, JobState.RUNNING)
+            assert mgr.cancel(again.job_id) is True
+            await again.wait()
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_cancel_terminal_job_is_stable(self):
+        async def main():
+            mgr = manager()
+            record = mgr.submit(tiny())
+            await record.wait()
+            assert mgr.cancel(record.job_id) is False
+            assert record.state is JobState.DONE
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_cancel_unknown_job_raises(self):
+        async def main():
+            mgr = manager()
+            with pytest.raises(KeyError):
+                mgr.cancel("job-999")
+            await mgr.drain()
+
+        asyncio.run(main())
+
+
+class TestDrainAndBackends:
+    def test_drain_cancels_queue_and_finishes_running(self):
+        async def main():
+            mgr = manager()
+            running = mgr.submit(showcase())
+            queued = mgr.submit(tiny())
+            await mgr.drain()
+            assert running.state is JobState.DONE
+            assert queued.state is JobState.CANCELLED
+            with pytest.raises(RuntimeError):
+                mgr.submit(tiny("z"))
+
+        asyncio.run(main())
+
+    def test_thread_backend_runs_and_memoizes(self):
+        async def main():
+            mgr = manager(backend="thread")
+            first = mgr.submit(tiny())
+            await first.wait()
+            assert first.state is JobState.DONE
+            second = mgr.submit(tiny())
+            assert second.memo_hit
+            assert second.result == first.result
+            await mgr.drain()
+
+        asyncio.run(main())
+
+    def test_backends_agree_on_results(self):
+        async def run_with(backend):
+            mgr = manager(backend=backend)
+            record = mgr.submit(tiny())
+            await record.wait()
+            await mgr.drain()
+            return record.result
+
+        process_result = asyncio.run(run_with("process"))
+        thread_result = asyncio.run(run_with("thread"))
+        assert process_result == thread_result
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            JobManager(MemoStore(), backend="carrier-pigeon")
