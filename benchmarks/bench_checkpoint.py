@@ -1,0 +1,150 @@
+"""Performance P6 addendum — resume overhead vs cold restart.
+
+The checkpoint contract trades a small, bounded overhead for never
+losing work.  Three numbers quantify the trade on the depth-8 showcase
+(n=3 send-to-all, 6875 expansions):
+
+* *cold* — the uninterrupted exploration, no checkpointing: the
+  baseline a crash used to force you to re-pay in full;
+* *checkpointed* — the same run writing a periodic checkpoint every
+  100 expansions: the steady-state cost of being interruptible;
+* *resume-from-midpoint* — an exploration interrupted halfway, then
+  resumed to completion.  The measured time covers only the second
+  (resumed) run: roughly half the tree plus the frontier's prefix
+  replay, which is why resuming beats restarting cold.
+
+A fourth benchmark times resuming a *complete* checkpoint — the pure
+decode path a memoized re-run pays.
+"""
+
+import os
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast
+from repro.runtime import Simulator
+from repro.runtime.explorer import (
+    channels_property,
+    combine_properties,
+    explore_schedules,
+    spec_property,
+)
+from repro.specs import SendToAllSpec
+
+
+def showcase_config():
+    simulator = Simulator(
+        3, lambda pid, n: SendToAllBroadcast(pid, n)
+    )
+    prop = combine_properties(
+        spec_property(SendToAllSpec()), channels_property()
+    )
+    return simulator, {0: ["a"], 1: ["b"]}, prop
+
+
+class _HalfwayCancel:
+    """Fires once roughly half the node entries have been polled."""
+
+    def __init__(self, total_polls: int) -> None:
+        self.remaining = total_polls // 2
+
+    def is_set(self) -> bool:
+        self.remaining -= 1
+        return self.remaining < 0
+
+
+class _PollCounter:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def is_set(self) -> bool:
+        self.count += 1
+        return False
+
+
+def _poll_count() -> int:
+    simulator, scripts, prop = showcase_config()
+    polls = _PollCounter()
+    explore_schedules(simulator, scripts, prop, cancel=polls)
+    return polls.count
+
+
+def test_cold_full_run(benchmark):
+    def run():
+        simulator, scripts, prop = showcase_config()
+        result = explore_schedules(simulator, scripts, prop)
+        assert result.exhausted
+        return result
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_full_run_with_periodic_checkpoints(benchmark, tmp_path):
+    path = os.path.join(tmp_path, "steady.ckpt")
+
+    def run():
+        simulator, scripts, prop = showcase_config()
+        result = explore_schedules(
+            simulator,
+            scripts,
+            prop,
+            checkpoint_to=path,
+            checkpoint_every=100,
+        )
+        assert result.exhausted
+        return result
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_resume_from_midpoint(benchmark, tmp_path):
+    polls = _poll_count()
+    path = os.path.join(tmp_path, "midpoint.ckpt")
+
+    def interrupt_halfway():
+        simulator, scripts, prop = showcase_config()
+        interrupted = explore_schedules(
+            simulator,
+            scripts,
+            prop,
+            cancel=_HalfwayCancel(polls),
+            checkpoint_to=path,
+            checkpoint_every=100,
+        )
+        assert interrupted.interrupted
+
+    def resume():
+        simulator, scripts, prop = showcase_config()
+        result = explore_schedules(
+            simulator, scripts, prop, resume_from=path
+        )
+        assert result.exhausted
+        return result
+
+    benchmark.pedantic(
+        resume,
+        setup=interrupt_halfway,
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_resume_complete_checkpoint(benchmark, tmp_path):
+    path = os.path.join(tmp_path, "complete.ckpt")
+    simulator, scripts, prop = showcase_config()
+    reference = explore_schedules(
+        simulator, scripts, prop, checkpoint_to=path
+    )
+    assert reference.exhausted
+
+    def resume():
+        simulator, scripts, prop = showcase_config()
+        result = explore_schedules(
+            simulator, scripts, prop, resume_from=path
+        )
+        assert result.exhausted
+        assert result.states_seen == reference.states_seen
+        return result
+
+    benchmark.pedantic(resume, rounds=5, iterations=1, warmup_rounds=1)

@@ -12,6 +12,12 @@ This subpackage is the "machine" underneath both execution drivers:
 * :mod:`repro.runtime.simulator` — the seeded free scheduler.
 """
 
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .crash import CrashSchedule
 from .effects import Deliver, DeliverSet, Effect, LocalNote, Propose, Send, Wait
 from .explorer import (
@@ -72,7 +78,9 @@ from .trace import TraceRecorder
 __all__ = [
     "Blocked",
     "BroadcastProcess",
+    "CHECKPOINT_SCHEMA",
     "ChannelFifoPolicy",
+    "CheckpointError",
     "CrashSchedule",
     "DecisionPolicy",
     "Deliver",
@@ -122,6 +130,8 @@ __all__ = [
     "explore_schedules",
     "independent",
     "observed_footprint",
+    "read_checkpoint",
     "spec_property",
     "stable_digest",
+    "write_checkpoint",
 ]

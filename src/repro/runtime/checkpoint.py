@@ -1,0 +1,217 @@
+"""Versioned, atomically-written checkpoints for the schedule explorer.
+
+An interrupted exploration used to be lost work: the DFS frontier, the
+transposition cache, and the partial counters lived only in process
+memory.  This module gives them an at-rest form.  A checkpoint file is
+one JSON envelope::
+
+    {"integrity": "<digest>", "checkpoint": {"schema": 1, ...}}
+
+where ``integrity`` is :func:`~repro.runtime.fingerprint.payload_digest`
+over the canonical JSON encoding of the body — a truncated or
+bit-flipped file is rejected loudly instead of resuming a corrupted
+search.  Files are written with the same atomic-replace discipline as
+the server's memo store (tmp file + ``os.replace``), so readers never
+observe a half-written checkpoint, and the previous checkpoint survives
+a crash mid-write.
+
+The body's ``config`` field is :func:`config_digest` over everything
+that determines the search tree — system size, algorithm, scripts,
+crash schedule, engine reductions, bounds — so a checkpoint can only
+resume the exploration it was written for; resuming against a different
+configuration raises :class:`CheckpointError` instead of silently
+merging incompatible partial results.
+
+The explorer-facing codecs here cover the search-state leaves shared
+across engines: recorded event :class:`~repro.runtime.independence.
+Footprint`\\ s, sleep-set/choice keys, and sleep sets themselves.  The
+engine-private structures (subtree summaries, cache entries, DFS
+frames) are encoded by :mod:`repro.runtime.explorer`, which owns their
+types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+from ..core.actions import PointToPointId
+from .fingerprint import payload_digest, stable_digest
+from .independence import Footprint
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "config_digest",
+    "footprint_from_json",
+    "footprint_to_json",
+    "key_from_json",
+    "key_to_json",
+    "read_checkpoint",
+    "sleep_from_json",
+    "sleep_to_json",
+    "write_checkpoint",
+]
+
+#: Version of the checkpoint body layout.  Bumped whenever the frame,
+#: cache, or outcome encodings change shape: a checkpoint written by an
+#: incompatible engine version must never be resumed, only discarded.
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint that cannot be read, verified, or resumed."""
+
+
+# ---------------------------------------------------------------------------
+# Leaf codecs: footprints, choice/sleep keys, sleep sets
+# ---------------------------------------------------------------------------
+
+
+def footprint_to_json(footprint: Footprint) -> dict:
+    """A lossless JSON dict for one recorded event footprint."""
+    return {
+        "kind": footprint.kind,
+        "pids": sorted(footprint.pids),
+        "sent": [[p.sender, p.receiver, p.seq] for p in footprint.sent],
+        "oracle": footprint.oracle,
+        "crashed": footprint.crashed,
+        "pending": sorted(footprint.pending),
+    }
+
+
+def footprint_from_json(data: Mapping[str, Any]) -> Footprint:
+    """Rebuild a :class:`Footprint` from :func:`footprint_to_json`."""
+    return Footprint(
+        kind=str(data["kind"]),
+        pids=frozenset(int(p) for p in data["pids"]),
+        sent=tuple(
+            PointToPointId(int(s), int(r), int(q))
+            for s, r, q in data["sent"]
+        ),
+        oracle=bool(data["oracle"]),
+        crashed=bool(data["crashed"]),
+        pending=frozenset(int(p) for p in data["pending"]),
+    )
+
+
+def key_to_json(key: tuple) -> list:
+    """A choice/sleep key (a flat tuple of strings and ints) as JSON."""
+    return list(key)
+
+
+def key_from_json(data: list) -> tuple:
+    """Rebuild a choice/sleep key from :func:`key_to_json`.
+
+    JSON keeps the leaf types (strings stay strings, ints stay ints),
+    so the tuple round-trips exactly — which matters: sleep-set
+    membership is an exact-equality test.
+    """
+    return tuple(data)
+
+
+def sleep_to_json(sleep: Mapping[tuple, Footprint]) -> list:
+    """A sleep set (key → slept event's footprint) as a JSON pair list."""
+    return [
+        [key_to_json(key), footprint_to_json(footprint)]
+        for key, footprint in sorted(
+            sleep.items(), key=lambda item: repr(item[0])
+        )
+    ]
+
+
+def sleep_from_json(data: list) -> dict:
+    """Rebuild a sleep set from :func:`sleep_to_json`."""
+    return {
+        key_from_json(key): footprint_from_json(footprint)
+        for key, footprint in data
+    }
+
+
+# ---------------------------------------------------------------------------
+# Configuration identity
+# ---------------------------------------------------------------------------
+
+
+def config_digest(**facets: Any) -> str:
+    """A stable digest of an exploration configuration.
+
+    The caller passes every facet that determines the search tree and
+    the result semantics (the explorer passes system size, algorithm,
+    scripts, crash schedule, engine reductions, and bounds).  Facet
+    values go through the canonical encoding of
+    :func:`~repro.runtime.fingerprint.stable_digest`, so dataclasses
+    (crash schedules) and nested tuples (normalized scripts) digest
+    structurally and machine-stably.
+    """
+    return stable_digest(
+        "repro.checkpoint.config", tuple(sorted(facets.items()))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Atomic file IO with integrity sealing
+# ---------------------------------------------------------------------------
+
+
+def _canonical_body(body: Mapping[str, Any]) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def write_checkpoint(path: str, body: Mapping[str, Any]) -> None:
+    """Seal ``body`` and write it to ``path`` atomically.
+
+    The schema version is stamped into the body, the integrity digest
+    is computed over the canonical encoding, and the file is replaced
+    in one ``os.replace`` — a crash mid-write leaves the previous
+    checkpoint intact, never a torn one.
+    """
+    stamped = dict(body)
+    stamped["schema"] = CHECKPOINT_SCHEMA
+    encoded = _canonical_body(stamped)
+    envelope = {"integrity": payload_digest(encoded), "checkpoint": stamped}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(envelope, handle)
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str) -> dict:
+    """Load, verify, and return a checkpoint body.
+
+    Raises :class:`CheckpointError` for every failure mode a resume
+    must not paper over: missing file, unparseable JSON, a tampered or
+    truncated body (integrity mismatch), or a schema written by an
+    incompatible engine version.
+    """
+    try:
+        with open(path) as handle:
+            envelope = json.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path!r}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint at {path!r}: {exc}"
+        ) from exc
+    if (
+        not isinstance(envelope, dict)
+        or not isinstance(envelope.get("checkpoint"), dict)
+        or not isinstance(envelope.get("integrity"), str)
+    ):
+        raise CheckpointError(
+            f"malformed checkpoint envelope at {path!r}"
+        )
+    body = envelope["checkpoint"]
+    if payload_digest(_canonical_body(body)) != envelope["integrity"]:
+        raise CheckpointError(
+            f"checkpoint at {path!r} failed its integrity check "
+            f"(truncated or tampered)"
+        )
+    schema = body.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint at {path!r} has schema {schema!r}; this engine "
+            f"reads schema {CHECKPOINT_SCHEMA} — re-run from scratch"
+        )
+    return body

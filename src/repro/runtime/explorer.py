@@ -147,11 +147,46 @@ bound — or aborted by ``stop_at_first_violation`` — reports
 ``exhausted=False`` (and ``aborted=True`` for the stop case); subtrees
 pruned at ``max_depth`` are *not* property-checked, since their runs are
 truncated mid-flight.
+
+Checkpoint and resume
+---------------------
+
+``checkpoint_to=path`` makes the incremental engines durable: every
+``checkpoint_every`` node expansions (and whenever a cooperative
+``cancel`` token fires) the search serializes its complete restartable
+state — the DFS frontier as a stack of per-level frames (taken branch,
+sleep set, explored-sibling footprints, and under dedup the level's
+partial summary and cache key), the transposition cache, and the
+partial counters — into a versioned, integrity-sealed checkpoint file
+written atomically (:mod:`repro.runtime.checkpoint`).
+``resume_from=path`` restores it: the resume descent replays the
+recorded branch at each checkpointed level *without re-counting it*
+(the restored counters already include that node's expansion), then
+re-enters normal DFS at the interruption point, so the resumed search
+reaches a result construction-identical to an uninterrupted run — same
+violations digest, same state counters, same per-depth maps.  The only
+honest exceptions are ``events_executed``/``events_replayed``, which
+additionally count the prefix replay the resume itself pays, exactly
+as the parallel engine's shard prefixes do.  Checkpoints are bound to
+their configuration by a :func:`~repro.runtime.checkpoint.config_digest`
+over everything that shapes the tree; resuming against anything else
+raises :class:`~repro.runtime.checkpoint.CheckpointError`.  Under
+``workers > 1`` the parent writes a parallel checkpoint of merged
+per-shard outcomes and each shard checkpoints its own subtree to
+``<path>.shard-<i>``; a resumed parallel run re-expands the (cheap,
+deterministic) frontier and skips every shard whose outcome was already
+merged.  ``cancel`` accepts any object with a ``threading.Event``-style
+``is_set()`` method, is polled at node entry, and makes the search
+return promptly with ``interrupted=True`` (after writing a final
+checkpoint when one was requested).  Forked shard workers see a *fork
+snapshot* of the token: an inherited pre-fork state is honored, and the
+merging parent polls the live token between shard merges either way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Sequence
@@ -159,6 +194,16 @@ from typing import Callable, Hashable, Mapping, Sequence
 from ..core.broadcast_spec import BroadcastSpec
 from ..core.model import ChannelTracker, check_channels
 from ..core.steps import Step
+from .checkpoint import (
+    CheckpointError,
+    config_digest,
+    read_checkpoint,
+    sleep_from_json,
+    sleep_to_json,
+    write_checkpoint,
+)
+from .checkpoint import key_from_json as _key_from_json
+from .checkpoint import key_to_json as _key_to_json
 from .crash import CrashSchedule
 from .fingerprint import stable_digest
 from .independence import Footprint, choice_key, independent
@@ -191,6 +236,7 @@ __all__ = [
     "Violation",
     "ExplorationResult",
     "ProgressSnapshot",
+    "RESULT_SCHEMA",
     "explore_schedules",
     "spec_property",
     "channels_property",
@@ -204,6 +250,29 @@ Property = Callable[[SimulationResult], list[str]]
 def _now() -> float:
     """Wall clock for progress telemetry; the search never reads it."""
     return time.perf_counter()  # repro-lint: disable=REP001 -- telemetry only; exploration order and results never depend on it
+
+
+#: Schema version stamped into serialized :class:`ExplorationResult` and
+#: :class:`ProgressSnapshot` payloads.  Version 1 payloads predate the
+#: stamp (its absence reads as 1); decoding tolerates older schemas by
+#: defaulting the fields they lack, and rejects newer ones loudly.
+RESULT_SCHEMA = 2
+
+
+def _require_schema(data: Mapping, kind: str) -> None:
+    """Reject payloads written by a newer serializer than this reader.
+
+    Older payloads decode tolerantly (missing newer fields take their
+    defaults); a *newer* schema means fields this reader has never heard
+    of may carry semantics it cannot honor, so the decode fails with a
+    clear error instead of a silently lossy one.
+    """
+    schema = int(data.get("schema", 1))
+    if schema > RESULT_SCHEMA:
+        raise ValueError(
+            f"{kind} payload has schema {schema}, newer than the "
+            f"supported {RESULT_SCHEMA} — decode it with a newer engine"
+        )
 
 
 @dataclass(frozen=True)
@@ -269,6 +338,12 @@ class ExplorationResult:
     #: aborted search is never exhaustive: schedules after the first
     #: violation were deliberately not visited.
     aborted: bool = False
+    #: True when a cooperative ``cancel`` token stopped the search
+    #: mid-flight.  An interrupted search is never exhaustive; when
+    #: ``checkpoint_to`` was set, a checkpoint capturing the frontier
+    #: was written just before the cut, so ``resume_from`` can finish
+    #: the remainder construction-identically.
+    interrupted: bool = False
     #: Scheduled events committed over the whole search, including any
     #: re-execution (the replay engine re-runs each prefix; the parallel
     #: engine re-runs shard prefixes once per worker).
@@ -328,6 +403,8 @@ class ExplorationResult:
     def __str__(self) -> str:
         if self.aborted:
             coverage = "aborted"
+        elif self.interrupted:
+            coverage = "interrupted"
         elif self.exhausted:
             coverage = "exhaustive"
         else:
@@ -369,12 +446,14 @@ class ExplorationResult:
         the at-rest format of its memo store.
         """
         return {
+            "schema": RESULT_SCHEMA,
             "schedules_explored": self.schedules_explored,
             "terminal_schedules": self.terminal_schedules,
             "violations": [v.to_json() for v in self.violations],
             "exhausted": self.exhausted,
             "max_depth_seen": self.max_depth_seen,
             "aborted": self.aborted,
+            "interrupted": self.interrupted,
             "events_executed": self.events_executed,
             "events_replayed": self.events_replayed,
             "workers": self.workers,
@@ -396,34 +475,59 @@ class ExplorationResult:
 
     @classmethod
     def from_json(cls, data: Mapping) -> "ExplorationResult":
-        """Rebuild an :class:`ExplorationResult` from :meth:`to_json`."""
-        return cls(
-            schedules_explored=int(data["schedules_explored"]),
-            terminal_schedules=int(data["terminal_schedules"]),
-            violations=[
-                Violation.from_json(v) for v in data["violations"]
-            ],
-            exhausted=bool(data["exhausted"]),
-            max_depth_seen=int(data["max_depth_seen"]),
-            aborted=bool(data["aborted"]),
-            events_executed=int(data["events_executed"]),
-            events_replayed=int(data["events_replayed"]),
-            workers=int(data["workers"]),
-            states_seen=int(data["states_seen"]),
-            states_deduped=int(data["states_deduped"]),
-            states_pruned_sleep=int(data["states_pruned_sleep"]),
-            states_merged_symmetry=int(data["states_merged_symmetry"]),
-            orbit_encodings=int(data["orbit_encodings"]),
-            expansions_by_depth={
-                int(depth): int(count)
-                for depth, count in data["expansions_by_depth"].items()
-            },
-            dedup_hits_by_depth={
-                int(depth): int(count)
-                for depth, count in data["dedup_hits_by_depth"].items()
-            },
-            progress_errors=[str(e) for e in data.get("progress_errors", [])],
-        )
+        """Rebuild an :class:`ExplorationResult` from :meth:`to_json`.
+
+        Payloads are schema-versioned: fields introduced after a
+        payload's schema take their defaults (a result recorded before
+        ``interrupted`` existed simply was not interrupted; a schema-1
+        result without ``workers`` ran on one), a payload from a *newer*
+        schema than this engine understands is rejected with a clear
+        :class:`ValueError`, and a payload missing a *core* field is
+        reported by name instead of surfacing as a bare ``KeyError``.
+        """
+        _require_schema(data, "ExplorationResult")
+        try:
+            return cls(
+                schedules_explored=int(data["schedules_explored"]),
+                terminal_schedules=int(data["terminal_schedules"]),
+                violations=[
+                    Violation.from_json(v) for v in data["violations"]
+                ],
+                exhausted=bool(data["exhausted"]),
+                max_depth_seen=int(data["max_depth_seen"]),
+                aborted=bool(data["aborted"]),
+                interrupted=bool(data.get("interrupted", False)),
+                events_executed=int(data["events_executed"]),
+                events_replayed=int(data["events_replayed"]),
+                workers=int(data.get("workers", 1)),
+                states_seen=int(data.get("states_seen", 0)),
+                states_deduped=int(data.get("states_deduped", 0)),
+                states_pruned_sleep=int(data.get("states_pruned_sleep", 0)),
+                states_merged_symmetry=int(
+                    data.get("states_merged_symmetry", 0)
+                ),
+                orbit_encodings=int(data.get("orbit_encodings", 0)),
+                expansions_by_depth={
+                    int(depth): int(count)
+                    for depth, count in data.get(
+                        "expansions_by_depth", {}
+                    ).items()
+                },
+                dedup_hits_by_depth={
+                    int(depth): int(count)
+                    for depth, count in data.get(
+                        "dedup_hits_by_depth", {}
+                    ).items()
+                },
+                progress_errors=[
+                    str(e) for e in data.get("progress_errors", [])
+                ],
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"ExplorationResult payload is missing required field "
+                f"{exc.args[0]!r}"
+            ) from exc
 
 
 @dataclass(frozen=True)
@@ -459,6 +563,7 @@ class ProgressSnapshot:
         JSON and are restored to ``int`` on the way back.
         """
         return {
+            "schema": RESULT_SCHEMA,
             "expansions": self.expansions,
             "terminals": self.terminals,
             "depth": self.depth,
@@ -476,22 +581,39 @@ class ProgressSnapshot:
 
     @classmethod
     def from_json(cls, data: Mapping) -> "ProgressSnapshot":
-        """Rebuild a :class:`ProgressSnapshot` from :meth:`to_json`."""
-        return cls(
-            expansions=int(data["expansions"]),
-            terminals=int(data["terminals"]),
-            depth=int(data["depth"]),
-            elapsed=float(data["elapsed"]),
-            states_per_second=float(data["states_per_second"]),
-            expansions_by_depth={
-                int(depth): int(count)
-                for depth, count in data["expansions_by_depth"].items()
-            },
-            dedup_hits_by_depth={
-                int(depth): int(count)
-                for depth, count in data["dedup_hits_by_depth"].items()
-            },
-        )
+        """Rebuild a :class:`ProgressSnapshot` from :meth:`to_json`.
+
+        Schema-versioned like :meth:`ExplorationResult.from_json`: older
+        payloads default the fields they lack, newer schemas are
+        rejected with a clear error, and a missing core field is
+        reported by name rather than as a bare ``KeyError``.
+        """
+        _require_schema(data, "ProgressSnapshot")
+        try:
+            return cls(
+                expansions=int(data["expansions"]),
+                terminals=int(data["terminals"]),
+                depth=int(data["depth"]),
+                elapsed=float(data.get("elapsed", 0.0)),
+                states_per_second=float(data.get("states_per_second", 0.0)),
+                expansions_by_depth={
+                    int(depth): int(count)
+                    for depth, count in data.get(
+                        "expansions_by_depth", {}
+                    ).items()
+                },
+                dedup_hits_by_depth={
+                    int(depth): int(count)
+                    for depth, count in data.get(
+                        "dedup_hits_by_depth", {}
+                    ).items()
+                },
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"ProgressSnapshot payload is missing required field "
+                f"{exc.args[0]!r}"
+            ) from exc
 
 
 ProgressCallback = Callable[[ProgressSnapshot], None]
@@ -700,6 +822,7 @@ class _SubtreeOutcome:
     violations: list[tuple[int, Violation]] = field(default_factory=list)
     exhausted: bool = True
     aborted: bool = False
+    interrupted: bool = False
     max_depth_seen: int = 0
     events_executed: int = 0
     events_replayed: int = 0
@@ -913,6 +1036,219 @@ def _entry_reusable(
     return depth + entry.height <= max_depth
 
 
+# -- checkpoint encoding of engine-private search state ---------------------
+#
+# The leaf codecs (footprints, keys, sleep sets) live in
+# repro.runtime.checkpoint; the structures below are private to this
+# engine, so their JSON forms are too.
+
+
+def _summary_to_json(summary: _Summary) -> dict:
+    return {
+        "terminals": summary.terminals,
+        "violations": [
+            [
+                ordinal,
+                list(guide),
+                list(problems),
+                None if perm is None else list(perm),
+            ]
+            for ordinal, guide, problems, perm in summary.violations
+        ],
+        "height": summary.height,
+        "truncated": summary.truncated,
+    }
+
+
+def _summary_from_json(data: Mapping) -> _Summary:
+    return _Summary(
+        terminals=int(data["terminals"]),
+        violations=[
+            (
+                int(ordinal),
+                tuple(int(b) for b in guide),
+                tuple(str(p) for p in problems),
+                None if perm is None else tuple(int(p) for p in perm),
+            )
+            for ordinal, guide, problems, perm in data["violations"]
+        ],
+        height=int(data["height"]),
+        truncated=bool(data["truncated"]),
+    )
+
+
+def _cache_to_json(cache: Mapping[str, _CacheEntry]) -> list:
+    return [
+        [
+            key,
+            {
+                "depth": entry.depth,
+                "summary": _summary_to_json(entry.summary),
+                "base": list(entry.base),
+                "raw": entry.raw,
+                "sleep_keys": sorted(
+                    (_key_to_json(k) for k in entry.sleep_keys), key=repr
+                ),
+                "perm": None if entry.perm is None else list(entry.perm),
+            },
+        ]
+        for key, entry in sorted(cache.items())
+    ]
+
+
+def _cache_from_json(data: list) -> dict[str, _CacheEntry]:
+    cache: dict[str, _CacheEntry] = {}
+    for key, entry in data:
+        cache[str(key)] = _CacheEntry(
+            depth=int(entry["depth"]),
+            summary=_summary_from_json(entry["summary"]),
+            base=tuple(int(b) for b in entry["base"]),
+            raw=str(entry["raw"]),
+            sleep_keys=frozenset(
+                _key_from_json(k) for k in entry["sleep_keys"]
+            ),
+            perm=(
+                None
+                if entry["perm"] is None
+                else tuple(int(p) for p in entry["perm"])
+            ),
+        )
+    return cache
+
+
+def _outcome_to_json(out: _SubtreeOutcome) -> dict:
+    return {
+        "schedules_explored": out.schedules_explored,
+        "terminal_schedules": out.terminal_schedules,
+        "violations": [
+            [ordinal, violation.to_json()]
+            for ordinal, violation in out.violations
+        ],
+        "exhausted": out.exhausted,
+        "aborted": out.aborted,
+        "interrupted": out.interrupted,
+        "max_depth_seen": out.max_depth_seen,
+        "events_executed": out.events_executed,
+        "events_replayed": out.events_replayed,
+        "states_seen": out.states_seen,
+        "states_deduped": out.states_deduped,
+        "states_pruned_sleep": out.states_pruned_sleep,
+        "states_merged_symmetry": out.states_merged_symmetry,
+        "orbit_encodings": out.orbit_encodings,
+        "expansions_by_depth": {
+            str(d): c for d, c in sorted(out.expansions_by_depth.items())
+        },
+        "dedup_hits_by_depth": {
+            str(d): c for d, c in sorted(out.dedup_hits_by_depth.items())
+        },
+        "progress_errors": list(out.progress_errors),
+    }
+
+
+def _outcome_from_json(data: Mapping) -> _SubtreeOutcome:
+    return _SubtreeOutcome(
+        schedules_explored=int(data["schedules_explored"]),
+        terminal_schedules=int(data["terminal_schedules"]),
+        violations=[
+            (int(ordinal), Violation.from_json(violation))
+            for ordinal, violation in data["violations"]
+        ],
+        exhausted=bool(data["exhausted"]),
+        aborted=bool(data["aborted"]),
+        interrupted=bool(data["interrupted"]),
+        max_depth_seen=int(data["max_depth_seen"]),
+        events_executed=int(data["events_executed"]),
+        events_replayed=int(data["events_replayed"]),
+        states_seen=int(data["states_seen"]),
+        states_deduped=int(data["states_deduped"]),
+        states_pruned_sleep=int(data["states_pruned_sleep"]),
+        states_merged_symmetry=int(data["states_merged_symmetry"]),
+        orbit_encodings=int(data["orbit_encodings"]),
+        expansions_by_depth={
+            int(d): int(c) for d, c in data["expansions_by_depth"].items()
+        },
+        dedup_hits_by_depth={
+            int(d): int(c) for d, c in data["dedup_hits_by_depth"].items()
+        },
+        progress_errors=[str(e) for e in data["progress_errors"]],
+    )
+
+
+class _LiveFrame:
+    """One in-progress DFS level, captured for checkpoint serialization.
+
+    Holds *references* to the level's live sleep/explored dicts (and,
+    under dedup, its partial summary): frames are only serialized at a
+    descendant's node entry, where those objects' current contents are
+    exactly the level's state as of the recorded branch.
+    """
+
+    __slots__ = (
+        "branch", "sleep", "explored", "key", "raw", "perm", "summary"
+    )
+
+    def __init__(
+        self,
+        branch: int,
+        sleep: _SleepSet,
+        explored: _SleepSet,
+        key: str | None = None,
+        raw: str | None = None,
+        perm: tuple[int, ...] | None = None,
+        summary: _Summary | None = None,
+    ) -> None:
+        self.branch = branch
+        self.sleep = sleep
+        self.explored = explored
+        self.key = key
+        self.raw = raw
+        self.perm = perm
+        self.summary = summary
+
+    def to_json(self) -> dict:
+        level: dict = {
+            "branch": self.branch,
+            "sleep": sleep_to_json(self.sleep),
+            "explored": sleep_to_json(self.explored),
+        }
+        if self.summary is not None:
+            level["dedup"] = {
+                "key": self.key,
+                "raw": self.raw,
+                "perm": None if self.perm is None else list(self.perm),
+                "summary": _summary_to_json(self.summary),
+            }
+        return level
+
+
+class _ResumeLevel:
+    """One decoded checkpoint frame, consumed during the resume descent."""
+
+    __slots__ = (
+        "branch", "sleep", "explored", "key", "raw", "perm", "summary"
+    )
+
+    def __init__(self, data: Mapping) -> None:
+        self.branch = int(data["branch"])
+        self.sleep = sleep_from_json(data["sleep"])
+        self.explored = sleep_from_json(data["explored"])
+        dedup = data.get("dedup")
+        if dedup is None:
+            self.key: str | None = None
+            self.raw: str | None = None
+            self.perm: tuple[int, ...] | None = None
+            self.summary: _Summary | None = None
+        else:
+            self.key = str(dedup["key"])
+            self.raw = str(dedup["raw"])
+            self.perm = (
+                None
+                if dedup["perm"] is None
+                else tuple(int(p) for p in dedup["perm"])
+            )
+            self.summary = _summary_from_json(dedup["summary"])
+
+
 def _explore_subtree(
     simulator: Simulator,
     scripts: Mapping[int, Sequence[Hashable]],
@@ -929,6 +1265,11 @@ def _explore_subtree(
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
     static_independence=None,
+    cancel=None,
+    checkpoint_to: str | None = None,
+    checkpoint_every: int = 1000,
+    resume: Mapping | None = None,
+    config: str = "",
 ) -> _SubtreeOutcome:
     """Incremental DFS below ``prefix`` (replayed once to materialize).
 
@@ -950,8 +1291,27 @@ def _explore_subtree(
     :func:`_independence_relation`).  A non-empty ``groups`` tuple
     switches the dedup cache to orbit-canonical keys (see
     :meth:`~repro.runtime.simulator.SimulationRun.orbit_key`).
+
+    ``cancel``/``checkpoint_to``/``checkpoint_every``/``resume`` are the
+    durability hooks (module docstring, *Checkpoint and resume*):
+    ``resume`` is an already-verified checkpoint body whose recorded
+    frame stack is replayed branch-for-branch without re-counting, and
+    ``config`` is the configuration digest stamped into every
+    checkpoint this call writes.  The caller is responsible for having
+    matched ``config`` against a resumed body's own stamp.
     """
-    out = _SubtreeOutcome()
+    if resume is not None and resume.get("complete"):
+        # The interrupted search had already finished (the final
+        # checkpoint landed); its outcome is the whole answer.
+        return _outcome_from_json(resume["outcome"])
+    if resume is not None:
+        out = _outcome_from_json(resume["outcome"])
+        cache = _cache_from_json(resume["cache"])
+        resume_stack = [_ResumeLevel(level) for level in resume["frames"]]
+    else:
+        out = _SubtreeOutcome()
+        cache = {}
+        resume_stack = []
     indep = _independence_relation(static_independence)
     prop = _as_property(property_check)
     handle = simulator.begin(scripts, crash_schedule=crash_schedule)
@@ -963,6 +1323,49 @@ def _explore_subtree(
     cursor = _Cursor(handle, prop.tracker(simulator.n), 0)
     path = list(prefix)
     started = _now() if progress is not None else 0.0
+    frames: list[_LiveFrame] = []
+    ckpt_mark = out.schedules_explored
+
+    def snapshot(*, complete: bool) -> None:
+        """Write the current search state to the checkpoint file.
+
+        Captured at a node's entry, *before* that node is counted: the
+        serialized counters plus the frame stack describe exactly the
+        work completed so far, and the resume descent re-enters the
+        frontier node as a normal (fully counted) expansion.
+        """
+        if checkpoint_to is None:
+            return
+        body: dict = {
+            "kind": "subtree",
+            "config": config,
+            "complete": complete,
+            "outcome": _outcome_to_json(out),
+            "frames": [] if complete else [f.to_json() for f in frames],
+            "cache": _cache_to_json(cache) if dedup and not complete else [],
+        }
+        write_checkpoint(checkpoint_to, body)
+
+    def checkpoint_due() -> bool:
+        nonlocal ckpt_mark
+        if checkpoint_to is None:
+            return False
+        if out.schedules_explored - ckpt_mark < checkpoint_every:
+            return False
+        ckpt_mark = out.schedules_explored
+        return True
+
+    def interrupt() -> None:
+        """Persist the frontier, then mark the partial result.
+
+        Order matters: the checkpoint captures the honest pre-cut state
+        (``interrupted`` stays False inside it — a resumed search is not
+        interrupted), and only the value *returned* from this run
+        carries the interruption flags.
+        """
+        snapshot(complete=False)
+        out.interrupted = True
+        out.exhausted = False
 
     def note_expansion(depth: int) -> None:
         """Per-depth accounting plus the periodic progress callback.
@@ -1043,29 +1446,87 @@ def _explore_subtree(
         }
         return kept, taken
 
-    def dfs(cursor: _Cursor, depth: int, sleep: _SleepSet) -> bool:
-        """Returns False to abort the whole search."""
-        if out.terminal_schedules >= max_schedules:
-            out.exhausted = False
-            return False
-        out.schedules_explored += 1
-        note_expansion(depth)
-        out.max_depth_seen = max(out.max_depth_seen, depth)
+    def restored_structure(
+        cursor: _Cursor, level: _ResumeLevel
+    ) -> tuple[_SleepSet, list[tuple], list[int], list[int], _SleepSet]:
+        """Recompute a checkpointed node's choice structure on re-entry.
+
+        Everything per-level is a deterministic function of the node's
+        state and the restored sleep set, so only the sleep set itself
+        (dedup's subset-reuse rule may have shrunk it at entry, a
+        history-dependent mutation) and the explored-sibling footprints
+        come from the checkpoint.  Nothing is counted here — the
+        restored counters already include this node's expansion.
+        """
         choices = cursor.handle.choices()
         cursor.sync()
-        if not choices:
-            _, keep_going = visit_terminal(cursor)
-            return keep_going
-        if depth >= max_depth:
-            out.exhausted = False
-            return True
+        sleep = level.sleep
         if sleep_sets:
-            active, keys = active_branches(choices, sleep)
+            keys = [choice_key(choice) for choice in choices]
+            active = [
+                b for b in range(len(choices)) if keys[b] not in sleep
+            ]
         else:
-            active, keys = list(range(len(choices))), []
-        explored: _SleepSet = {}
+            keys = []
+            active = list(range(len(choices)))
+        if level.branch not in active:
+            raise CheckpointError(
+                f"checkpoint frame at depth {cursor.handle.decisions} "
+                f"records branch {level.branch}, which is not enabled at "
+                f"the restored node — the checkpoint does not match this "
+                f"configuration"
+            )
+        pending = active[active.index(level.branch):]
+        return sleep, keys, active, pending, dict(level.explored)
+
+    def dfs(
+        cursor: _Cursor,
+        depth: int,
+        sleep: _SleepSet,
+        resume_level: _ResumeLevel | None = None,
+        resume_rest: "Sequence[_ResumeLevel] | None" = None,
+    ) -> bool:
+        """Returns False to abort the whole search.
+
+        A non-``None`` ``resume_level`` re-enters a checkpointed node:
+        its structure is restored instead of counted (the restored
+        counters already include it), the recorded branch is taken
+        first, and ``resume_rest`` descends the rest of the recorded
+        frontier the same way.
+        """
+        if resume_level is None:
+            if cancel is not None and cancel.is_set():
+                interrupt()
+                return False
+            if checkpoint_due():
+                snapshot(complete=False)
+            if out.terminal_schedules >= max_schedules:
+                out.exhausted = False
+                return False
+            out.schedules_explored += 1
+            note_expansion(depth)
+            out.max_depth_seen = max(out.max_depth_seen, depth)
+            choices = cursor.handle.choices()
+            cursor.sync()
+            if not choices:
+                _, keep_going = visit_terminal(cursor)
+                return keep_going
+            if depth >= max_depth:
+                out.exhausted = False
+                return True
+            if sleep_sets:
+                active, keys = active_branches(choices, sleep)
+            else:
+                active, keys = list(range(len(choices))), []
+            explored: _SleepSet = {}
+            pending = active
+        else:
+            sleep, keys, active, pending, explored = restored_structure(
+                cursor, resume_level
+            )
         last = active[-1] if active else None
-        for branch in active:
+        descend = resume_rest
+        for branch in pending:
             if branch != last:
                 child = cursor.fork()
                 out.events_replayed += child.handle.replayed_steps
@@ -1078,15 +1539,21 @@ def _explore_subtree(
             else:
                 child_sleep, taken = sleep, None
             path.append(branch)
-            keep_going = dfs(child, depth + 1, child_sleep)
+            frames.append(_LiveFrame(branch, sleep, explored))
+            if descend:
+                keep_going = dfs(
+                    child, depth + 1, child_sleep, descend[0], descend[1:]
+                )
+            else:
+                keep_going = dfs(child, depth + 1, child_sleep)
+            descend = None  # only the recorded branch resumes a frame
+            frames.pop()
             path.pop()
             if not keep_going:
                 return False
             if sleep_sets and taken is not None:
                 explored[keys[branch]] = taken
         return True
-
-    cache: dict[str, _CacheEntry] = {}
 
     def replay(summary: _Summary, base: tuple[int, ...] | None) -> bool:
         """Emit a cached subtree's terminals and violations.
@@ -1121,77 +1588,23 @@ def _explore_subtree(
         return True
 
     def dedup_dfs(
-        cursor: _Cursor, depth: int, sleep: _SleepSet
+        cursor: _Cursor,
+        depth: int,
+        sleep: _SleepSet,
+        resume_level: _ResumeLevel | None = None,
+        resume_rest: "Sequence[_ResumeLevel] | None" = None,
     ) -> _Summary | None:
         """DFS with transposition pruning (plus sleep/symmetry, if on).
 
         Returns the subtree's summary — cached for later arrivals at the
         same state, re-framed through the witnessing permutation on
         symmetry merges — or ``None`` when the search was cut (budget,
-        abort): partial summaries are never cached.
+        abort, cancellation): partial summaries are never cached.
+        Resume parameters as on ``dfs``; a re-entered node restores its
+        cache key, canonicalizing permutation, and partial summary from
+        the checkpoint frame instead of recomputing (and recounting)
+        them.
         """
-        if out.terminal_schedules >= max_schedules:
-            out.exhausted = False
-            return None
-        choices = cursor.handle.choices()  # prelude before fingerprinting
-        cursor.sync()
-        raw = cursor.handle.fingerprint()
-        if groups:
-            key, perm, encodings = cursor.handle.orbit_key(groups)
-            out.orbit_encodings += encodings
-        else:
-            key, perm = raw, None
-        entry = cache.get(key)
-        if entry is not None and _entry_reusable(
-            entry.summary, entry.depth, depth, max_depth
-        ):
-            # Subset-reuse: the stored subtree covers this arrival iff
-            # the arrival sleeps at least what the representative slept
-            # (compared in the canonical frame under symmetry).  A less
-            # slept arrival needs subtrees the entry skipped, so it
-            # falls through and re-expands — under the *intersection*
-            # of the two sleep sets, so the replacing summary serves
-            # the stored entry's arrival pattern as well as this one
-            # and the slot stabilizes after at most one re-expansion.
-            stored_keys = _canonical_sleep_keys(entry.sleep_keys, entry.perm)
-            compatible = (
-                not sleep_sets
-                or stored_keys <= _canonical_sleep_keys(sleep, perm)
-            )
-            if not compatible:
-                sleep = {
-                    k: fp
-                    for k, fp in sleep.items()
-                    if (k if perm is None else _map_sleep_key(k, perm))
-                    in stored_keys
-                }
-            if compatible:
-                if entry.raw == raw:
-                    out.states_deduped += 1
-                    summary = entry.summary
-                    base = None if groups else tuple(path)
-                else:
-                    out.states_merged_symmetry += 1
-                    assert perm is not None and entry.perm is not None
-                    witness = _witness_permutation(perm, entry.perm)
-                    summary = _transform_summary(entry.summary, witness)
-                    base = None
-                out.dedup_hits_by_depth[depth] = (
-                    out.dedup_hits_by_depth.get(depth, 0) + 1
-                )
-                out.max_depth_seen = max(
-                    out.max_depth_seen, depth + summary.height
-                )
-                if summary.truncated:
-                    out.exhausted = False
-                if not replay(summary, base):
-                    return None
-                return summary
-        out.schedules_explored += 1
-        if entry is None:
-            out.states_seen += 1  # first expansion of this state/orbit
-        note_expansion(depth)
-        out.max_depth_seen = max(out.max_depth_seen, depth)
 
         def remember(summary: _Summary) -> None:
             """Store the summary — unless the cached one covers more.
@@ -1217,29 +1630,110 @@ def _explore_subtree(
                 depth, summary, tuple(path), raw, frozenset(sleep), perm
             )
 
-        if not choices:
-            problems, keep_going = visit_terminal(cursor)
-            summary = _Summary(terminals=1)
-            if problems:
-                own = tuple(path) if groups else ()
-                summary.violations.append((0, own, problems, None))
-            if not keep_going:
+        if resume_level is None:
+            if cancel is not None and cancel.is_set():
+                interrupt()
                 return None
-            remember(summary)
-            return summary
-        if depth >= max_depth:
-            out.exhausted = False
-            summary = _Summary(truncated=True)
-            remember(summary)
-            return summary
-        summary = _Summary()
-        if sleep_sets:
-            active, keys = active_branches(choices, sleep)
+            if checkpoint_due():
+                snapshot(complete=False)
+            if out.terminal_schedules >= max_schedules:
+                out.exhausted = False
+                return None
+            choices = cursor.handle.choices()  # prelude before fingerprinting
+            cursor.sync()
+            raw = cursor.handle.fingerprint()
+            if groups:
+                key, perm, encodings = cursor.handle.orbit_key(groups)
+                out.orbit_encodings += encodings
+            else:
+                key, perm = raw, None
+            entry = cache.get(key)
+            if entry is not None and _entry_reusable(
+                entry.summary, entry.depth, depth, max_depth
+            ):
+                # Subset-reuse: the stored subtree covers this arrival
+                # iff the arrival sleeps at least what the
+                # representative slept (compared in the canonical frame
+                # under symmetry).  A less slept arrival needs subtrees
+                # the entry skipped, so it falls through and re-expands
+                # — under the *intersection* of the two sleep sets, so
+                # the replacing summary serves the stored entry's
+                # arrival pattern as well as this one and the slot
+                # stabilizes after at most one re-expansion.
+                stored_keys = _canonical_sleep_keys(
+                    entry.sleep_keys, entry.perm
+                )
+                compatible = (
+                    not sleep_sets
+                    or stored_keys <= _canonical_sleep_keys(sleep, perm)
+                )
+                if not compatible:
+                    sleep = {
+                        k: fp
+                        for k, fp in sleep.items()
+                        if (k if perm is None else _map_sleep_key(k, perm))
+                        in stored_keys
+                    }
+                if compatible:
+                    if entry.raw == raw:
+                        out.states_deduped += 1
+                        summary = entry.summary
+                        base = None if groups else tuple(path)
+                    else:
+                        out.states_merged_symmetry += 1
+                        assert perm is not None and entry.perm is not None
+                        witness = _witness_permutation(perm, entry.perm)
+                        summary = _transform_summary(entry.summary, witness)
+                        base = None
+                    out.dedup_hits_by_depth[depth] = (
+                        out.dedup_hits_by_depth.get(depth, 0) + 1
+                    )
+                    out.max_depth_seen = max(
+                        out.max_depth_seen, depth + summary.height
+                    )
+                    if summary.truncated:
+                        out.exhausted = False
+                    if not replay(summary, base):
+                        return None
+                    return summary
+            out.schedules_explored += 1
+            if entry is None:
+                out.states_seen += 1  # first expansion of this state/orbit
+            note_expansion(depth)
+            out.max_depth_seen = max(out.max_depth_seen, depth)
+            if not choices:
+                problems, keep_going = visit_terminal(cursor)
+                summary = _Summary(terminals=1)
+                if problems:
+                    own = tuple(path) if groups else ()
+                    summary.violations.append((0, own, problems, None))
+                if not keep_going:
+                    return None
+                remember(summary)
+                return summary
+            if depth >= max_depth:
+                out.exhausted = False
+                summary = _Summary(truncated=True)
+                remember(summary)
+                return summary
+            summary = _Summary()
+            if sleep_sets:
+                active, keys = active_branches(choices, sleep)
+            else:
+                active, keys = list(range(len(choices))), []
+            explored: _SleepSet = {}
+            pending = active
         else:
-            active, keys = list(range(len(choices))), []
-        explored: _SleepSet = {}
+            sleep, keys, active, pending, explored = restored_structure(
+                cursor, resume_level
+            )
+            key, raw = resume_level.key, resume_level.raw
+            perm = resume_level.perm
+            assert resume_level.summary is not None
+            summary = resume_level.summary
         last = active[-1] if active else None
-        for branch in active:
+        descend = resume_rest
+        for branch in pending:
             if branch != last:
                 child = cursor.fork()
                 out.events_replayed += child.handle.replayed_steps
@@ -1252,7 +1746,17 @@ def _explore_subtree(
             else:
                 child_sleep, taken = sleep, None
             path.append(branch)
-            child_summary = dedup_dfs(child, depth + 1, child_sleep)
+            frames.append(
+                _LiveFrame(branch, sleep, explored, key, raw, perm, summary)
+            )
+            if descend:
+                child_summary = dedup_dfs(
+                    child, depth + 1, child_sleep, descend[0], descend[1:]
+                )
+            else:
+                child_summary = dedup_dfs(child, depth + 1, child_sleep)
+            descend = None  # only the recorded branch resumes a frame
+            frames.pop()
             path.pop()
             if child_summary is None:
                 return None
@@ -1274,10 +1778,14 @@ def _explore_subtree(
         return summary
 
     root_sleep: _SleepSet = dict(initial_sleep or {})
+    head = resume_stack[0] if resume_stack else None
+    rest = resume_stack[1:] if resume_stack else None
     if dedup:
-        dedup_dfs(cursor, len(prefix), root_sleep)
+        dedup_dfs(cursor, len(prefix), root_sleep, head, rest)
     else:
-        dfs(cursor, len(prefix), root_sleep)
+        dfs(cursor, len(prefix), root_sleep, head, rest)
+    if not out.interrupted:
+        snapshot(complete=True)
     return out
 
 
@@ -1353,7 +1861,15 @@ _SHARD_STATE: tuple | None = None
 
 
 def _explore_shard(index: int) -> _SubtreeOutcome:
-    """Pool worker entry point: explore the ``index``-th shard subtree."""
+    """Pool worker entry point: explore the ``index``-th shard subtree.
+
+    With checkpointing on, each shard owns ``<path>.shard-<index>``: it
+    resumes from it when a valid one exists (a corrupt or
+    mismatched-config file means a cold start for that shard, never an
+    error — the shard's work is self-contained) and checkpoints its own
+    subtree into it.  The forked worker sees a fork-time *snapshot* of
+    the cancel token; the merging parent polls the live token.
+    """
     assert _SHARD_STATE is not None
     (
         simulator,
@@ -1368,8 +1884,31 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         sleep_sets,
         groups,
         static_independence,
+        cancel,
+        checkpoint_to,
+        checkpoint_every,
+        config,
     ) = _SHARD_STATE
     prefix, initial_sleep = shard_work[index]
+    shard_path = None
+    shard_config = ""
+    resume_body = None
+    if checkpoint_to is not None:
+        shard_path = f"{checkpoint_to}.shard-{index}"
+        shard_config = stable_digest(
+            "repro.checkpoint.shard", config, prefix
+        )
+        if os.path.exists(shard_path):
+            try:
+                body = read_checkpoint(shard_path)
+            except CheckpointError:
+                body = None  # corrupt or stale: start this shard cold
+            if (
+                body is not None
+                and body.get("kind") == "subtree"
+                and body.get("config") == shard_config
+            ):
+                resume_body = body
     return _explore_subtree(
         simulator,
         scripts,
@@ -1384,6 +1923,11 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         groups=groups,
         initial_sleep=initial_sleep,
         static_independence=static_independence,
+        cancel=cancel,
+        checkpoint_to=shard_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume_body,
+        config=shard_config,
     )
 
 
@@ -1501,6 +2045,11 @@ def _explore_parallel(
     sleep_sets: bool = False,
     groups: Sequence[tuple[int, ...]] = (),
     static_independence=None,
+    cancel=None,
+    checkpoint_to: str | None = None,
+    checkpoint_every: int = 1000,
+    resume: Mapping | None = None,
+    config: str = "",
 ) -> ExplorationResult:
     """Shard the tree over a worker pool and merge in DFS order.
 
@@ -1511,8 +2060,22 @@ def _explore_parallel(
     carries the sleep set its root would have had sequentially — and
     symmetry canonicalization is per-shard, so cross-shard orbits go
     unmerged the same way cross-shard states go undeduplicated.
+
+    With checkpointing on, the parent owns ``checkpoint_to``: its body
+    maps shard indices to already-merged outcomes, rewritten after each
+    merge, while each shard worker checkpoints its own subtree to
+    ``<path>.shard-<i>`` (see :func:`_explore_shard`).  A resumed run
+    re-expands the frontier — deterministic and cheap, so its counters
+    are recomputed rather than stored — then skips every shard whose
+    outcome the previous run already merged; unfinished shards resume
+    from their own files.
     """
     global _SHARD_STATE
+    if resume is not None and resume.get("complete"):
+        return ExplorationResult.from_json(resume["result"])
+    stored: dict[str, dict] = (
+        dict(resume["shards"]) if resume is not None else {}
+    )
     result = ExplorationResult(
         schedules_explored=0, terminal_schedules=0, workers=workers
     )
@@ -1531,6 +2094,9 @@ def _explore_parallel(
         # frontier nodes were expanded here, before any cache existed
         result.states_seen = result.schedules_explored
     shard_work = [(e[1], e[3]) for e in entries if e[0] == "shard"]
+    pending_indices = [
+        i for i in range(len(shard_work)) if str(i) not in stored
+    ]
     ctx = multiprocessing.get_context("fork")
     _SHARD_STATE = (
         simulator,
@@ -1545,10 +2111,27 @@ def _explore_parallel(
         sleep_sets,
         groups,
         static_independence,
+        cancel,
+        checkpoint_to,
+        checkpoint_every,
+        config,
     )
+
+    def parent_snapshot(*, complete: bool) -> None:
+        if checkpoint_to is None:
+            return
+        body: dict = {"kind": "parallel", "config": config,
+                      "complete": complete}
+        if complete:
+            body["result"] = result.to_json()
+        else:
+            body["shards"] = stored
+        write_checkpoint(checkpoint_to, body)
+
     try:
         with ctx.Pool(processes=workers) as pool:
-            shard_outcomes = pool.imap(_explore_shard, range(len(shard_work)))
+            shard_outcomes = pool.imap(_explore_shard, pending_indices)
+            shard_index = -1
             for entry in entries:
                 if result.terminal_schedules >= max_schedules:
                     result.exhausted = False
@@ -1565,7 +2148,30 @@ def _explore_parallel(
                             result.exhausted = False
                             break
                     continue
-                sub = next(shard_outcomes)
+                shard_index += 1
+                reused = str(shard_index) in stored
+                if reused:
+                    sub = _outcome_from_json(stored[str(shard_index)])
+                else:
+                    sub = next(shard_outcomes)
+                if sub.interrupted or (
+                    not reused and cancel is not None and cancel.is_set()
+                ):
+                    # A shard hit its (fork-inherited) cancel token, or
+                    # the live token fired parent-side.  A shard that
+                    # *completed* before the cut still counts: store it
+                    # so the resume skips it, but do not merge it — the
+                    # merge order is the construction-identity contract
+                    # and the resumed run will merge it in sequence.
+                    if not sub.interrupted and checkpoint_to is not None:
+                        stored[str(shard_index)] = _outcome_to_json(sub)
+                    result.interrupted = True
+                    result.exhausted = False
+                    parent_snapshot(complete=False)
+                    break
+                if not reused and checkpoint_to is not None:
+                    stored[str(shard_index)] = _outcome_to_json(sub)
+                    parent_snapshot(complete=False)
                 result.schedules_explored += sub.schedules_explored
                 result.events_executed += sub.events_executed
                 result.events_replayed += sub.events_replayed
@@ -1600,6 +2206,8 @@ def _explore_parallel(
                     break
     finally:
         _SHARD_STATE = None
+    if not result.interrupted:
+        parent_snapshot(complete=True)
     return result
 
 
@@ -1625,6 +2233,10 @@ def explore_schedules(
     symmetry: str = "none",
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
+    cancel=None,
+    checkpoint_to: str | None = None,
+    checkpoint_every: int = 1000,
+    resume_from: str | None = None,
 ) -> ExplorationResult:
     """Enumerate every schedule of the configuration and check each.
 
@@ -1678,6 +2290,19 @@ def explore_schedules(
     ``progress`` (sequential engines only) is invoked every
     ``progress_every`` node expansions with a :class:`ProgressSnapshot`
     of counters and wall-clock telemetry.
+
+    ``checkpoint_to=path`` (incremental engines) writes a versioned,
+    integrity-sealed checkpoint of the complete search state every
+    ``checkpoint_every`` node expansions, on cancellation, and once more
+    at completion; ``resume_from=path`` restores one and continues to a
+    result construction-identical to an uninterrupted run (module
+    docstring, *Checkpoint and resume*).  ``cancel`` is a cooperative
+    stop token (any object with a ``threading.Event``-style
+    ``is_set()``): once set, the search writes a final checkpoint (when
+    one was requested) and returns promptly with ``interrupted=True``.
+    A checkpoint records its configuration digest; ``resume_from`` with
+    a different configuration — including a different ``workers`` count
+    — raises :class:`~repro.runtime.checkpoint.CheckpointError`.
     """
     if engine not in ("incremental", "dedup", "replay"):
         raise ValueError(
@@ -1720,6 +2345,19 @@ def explore_schedules(
         raise ValueError("progress reporting requires the incremental engine")
     if progress is not None and workers > 1:
         raise ValueError("progress reporting requires workers=1")
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if engine == "replay" and (
+        cancel is not None
+        or checkpoint_to is not None
+        or resume_from is not None
+    ):
+        raise ValueError(
+            "checkpoint/resume and cooperative cancellation require the "
+            "incremental engine"
+        )
     simulator = Simulator(
         simulator.n,
         simulator.algorithm_factory,
@@ -1764,6 +2402,51 @@ def explore_schedules(
             multiprocessing.get_context("fork")
         except ValueError:
             workers = 1  # platform without fork: degrade gracefully
+    config = ""
+    if checkpoint_to is not None or resume_from is not None:
+        # Everything that shapes the search tree or the result
+        # semantics.  The algorithm is identified by its class name: the
+        # factory itself has no stable encoding, and a renamed or
+        # swapped algorithm must invalidate old checkpoints.
+        config = config_digest(
+            n=simulator.n,
+            k=simulator.k,
+            algorithm=type(
+                simulator.algorithm_factory(0, simulator.n)
+            ).__qualname__,
+            sync_broadcasts=simulator.sync_broadcasts,
+            scripts=tuple(
+                sorted(
+                    (pid, tuple(entries))
+                    for pid, entries in scripts.items()
+                )
+            ),
+            crash_schedule=crash_schedule,
+            dedup=dedup,
+            sleep_sets=sleep_sets,
+            static_independence=static_independence is not None,
+            groups=tuple(groups),
+            max_schedules=max_schedules,
+            max_depth=max_depth,
+            stop_at_first_violation=stop_at_first_violation,
+            workers=workers,
+        )
+    resume_body = None
+    if resume_from is not None:
+        resume_body = read_checkpoint(resume_from)
+        if resume_body.get("config") != config:
+            raise CheckpointError(
+                f"checkpoint at {resume_from!r} was written for a "
+                f"different exploration configuration (system, scripts, "
+                f"engine options, bounds, or workers changed)"
+            )
+        expected_kind = "parallel" if workers > 1 else "subtree"
+        if resume_body.get("kind") != expected_kind:
+            raise CheckpointError(
+                f"checkpoint at {resume_from!r} has kind "
+                f"{resume_body.get('kind')!r}, expected "
+                f"{expected_kind!r}"
+            )
     if workers > 1:
         return _explore_parallel(
             simulator,
@@ -1778,6 +2461,11 @@ def explore_schedules(
             sleep_sets=sleep_sets,
             groups=groups,
             static_independence=static_independence,
+            cancel=cancel,
+            checkpoint_to=checkpoint_to,
+            checkpoint_every=checkpoint_every,
+            resume=resume_body,
+            config=config,
         )
     sub = _explore_subtree(
         simulator,
@@ -1794,6 +2482,11 @@ def explore_schedules(
         progress=progress,
         progress_every=progress_every,
         static_independence=static_independence,
+        cancel=cancel,
+        checkpoint_to=checkpoint_to,
+        checkpoint_every=checkpoint_every,
+        resume=resume_body,
+        config=config,
     )
     return ExplorationResult(
         schedules_explored=sub.schedules_explored,
@@ -1802,6 +2495,7 @@ def explore_schedules(
         exhausted=sub.exhausted,
         max_depth_seen=sub.max_depth_seen,
         aborted=sub.aborted,
+        interrupted=sub.interrupted,
         events_executed=sub.events_executed,
         events_replayed=sub.events_replayed,
         workers=1,

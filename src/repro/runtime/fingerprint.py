@@ -57,6 +57,7 @@ __all__ = [
     "PidCanonicalizer",
     "canonical_update",
     "orbit_digest",
+    "payload_digest",
     "stable_digest",
 ]
 
@@ -217,6 +218,20 @@ def stable_digest(*parts: Any) -> str:
         return hashlib.blake2b(buf, digest_size=_DIGEST_SIZE).hexdigest()
     finally:
         _release_buffer(buf)
+
+
+def payload_digest(text: str) -> str:
+    """The integrity digest of one opaque serialized payload.
+
+    Used by :mod:`repro.runtime.checkpoint` to seal checkpoint files:
+    the payload is a canonical JSON string, and the digest is computed
+    over it under the same tagged encoding as every other
+    :func:`stable_digest` in the runtime, so it is stable across
+    interpreter runs and machines (a checkpoint written on one host
+    verifies on another).  The tag keeps payload digests from ever
+    colliding with state fingerprints or memo keys.
+    """
+    return stable_digest("repro.payload", text)
 
 
 class PidCanonicalizer:

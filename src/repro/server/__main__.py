@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import glob
 import json
 import os
 import signal
@@ -48,6 +49,20 @@ _SHOWCASE_RESPELLED: dict[str, Any] = {
     "progress_every": 200,
 }
 
+#: A deliberately long job on the plain incremental engine (seconds of
+#: wall clock, bounded by ``max_schedules``) — slow enough that a
+#: SIGTERM lands mid-flight, bounded enough to finish.  The checkpoint
+#: round-trip phase of the selfcheck kills a server running this job
+#: and expects a restarted one to complete it warm.
+_LONG: dict[str, Any] = {
+    "algorithm": "send-to-all",
+    "n": 3,
+    "scripts": {"0": ["a", "b"], "1": ["c"]},
+    "engine": "incremental",
+    "max_schedules": 20_000,
+    "progress_every": 25,
+}
+
 #: send-to-all checked against the total-order spec: violating.
 _VIOLATING: dict[str, Any] = {
     "algorithm": "send-to-all",
@@ -74,17 +89,34 @@ async def _cmd_serve(args: argparse.Namespace) -> int:
         max_entries=args.max_entries,
         max_bytes=args.max_bytes,
         backend=args.backend,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     )
-    if args.stdio:
-        await service.serve_stdio()
-        await service.shutdown()
-        return 0
-    host, port = await service.serve_tcp(args.host, args.port)
-    print(f"repro.server listening on {host}:{port}", flush=True)
+    # Both transports get the same operator contract: SIGINT/SIGTERM
+    # interrupt running jobs checkpoint-first, then drain and persist
+    # the memo — an orderly exit, never a lost search.
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError):
-            loop.add_signal_handler(sig, service.request_shutdown)
+            loop.add_signal_handler(
+                sig,
+                lambda: service.request_shutdown(stop_running=True),
+            )
+    if args.stdio:
+        session = asyncio.create_task(service.serve_stdio())
+        stopper = asyncio.create_task(service.run_until_shutdown())
+        # first of: client EOF (session ends) or a signal (stopper
+        # proceeds to shutdown, which cancels the session)
+        await asyncio.wait(
+            {session, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+        service.request_shutdown()
+        await stopper
+        with contextlib.suppress(asyncio.CancelledError):
+            await session
+        return 0
+    host, port = await service.serve_tcp(args.host, args.port)
+    print(f"repro.server listening on {host}:{port}", flush=True)
     await service.run_until_shutdown()
     return 0
 
@@ -119,7 +151,7 @@ async def _cmd_watch(args: argparse.Namespace) -> int:
 async def _cmd_simple(args: argparse.Namespace) -> int:
     async with ServiceClient(args.host, args.port) as client:
         verb = getattr(client, args.command)
-        if args.command in ("status", "result", "cancel"):
+        if args.command in ("status", "result", "cancel", "resume"):
             _print(await verb(args.job))
         else:
             _print(await verb())
@@ -214,6 +246,83 @@ async def _cmd_selfcheck(args: argparse.Namespace) -> int:
             )
         await restarted.shutdown()
 
+        # -- checkpoint round-trip: SIGTERM mid-job, warm resume -------
+        ckpt_dir = os.path.join(tmp, "ckpt")
+        ckpt_memo = os.path.join(tmp, "memo-ckpt.json")
+        serve_argv = [
+            sys.executable, "-m", "repro.server", "serve",
+            "--port", "0", "--memo", ckpt_memo,
+            "--checkpoint-dir", ckpt_dir, "--checkpoint-every", "25",
+            "--max-workers", "1",
+        ]
+        proc = await asyncio.create_subprocess_exec(
+            *serve_argv, stdout=asyncio.subprocess.PIPE
+        )
+        assert proc.stdout is not None
+        banner = await asyncio.wait_for(proc.stdout.readline(), 60)
+        port = int(banner.decode().strip().rsplit(":", 1)[1])
+        async with ServiceClient("127.0.0.1", port) as client:
+            job = (await client.submit(_LONG))["job"]
+            progressed = 0
+            async for event in client.watch(job):
+                if event["event"] == "progress":
+                    progressed += 1
+                    if progressed >= 3:
+                        break
+                elif event["event"] not in ("running",):
+                    break
+        proc.send_signal(signal.SIGTERM)
+        await asyncio.wait_for(proc.wait(), 60)
+        _check(
+            progressed >= 3 and bool(glob.glob(f"{ckpt_dir}/*.ckpt")),
+            "SIGTERM left the interrupted search checkpointed on disk",
+        )
+
+        proc = await asyncio.create_subprocess_exec(
+            *serve_argv, stdout=asyncio.subprocess.PIPE
+        )
+        assert proc.stdout is not None
+        banner = await asyncio.wait_for(proc.stdout.readline(), 60)
+        port = int(banner.decode().strip().rsplit(":", 1)[1])
+        async with ServiceClient("127.0.0.1", port) as client:
+            resumed = await asyncio.wait_for(
+                client.submit(_LONG, wait=True), 120
+            )
+            _check(
+                not resumed["memo_hit"]
+                and resumed["state"] == "done"
+                and not resumed["result"]["interrupted"],
+                "restarted service completed the interrupted job warm",
+            )
+            await client.shutdown()
+        await asyncio.wait_for(proc.wait(), 60)
+        _check(
+            not glob.glob(f"{ckpt_dir}/*.ckpt*"),
+            "completion discarded the at-rest checkpoint",
+        )
+
+        reference_service = VerificationService()
+        host, port = await reference_service.serve_tcp("127.0.0.1", 0)
+        async with ServiceClient(host, port) as client:
+            reference = await asyncio.wait_for(
+                client.submit(_LONG, wait=True), 120
+            )
+        await reference_service.shutdown()
+        invariant = (
+            "schedules_explored", "terminal_schedules", "exhausted",
+            "max_depth_seen", "states_seen", "expansions_by_depth",
+            "violations",
+        )
+        _check(
+            all(
+                resumed["result"][name] == reference["result"][name]
+                for name in invariant
+            )
+            and resumed["violations_digest"]
+            == reference["violations_digest"],
+            "resumed completion is construction-identical to a cold run",
+        )
+
     store = MemoStore(max_entries=8, max_bytes=4096)
     for index in range(50):
         store.put(
@@ -260,6 +369,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-entries", type=int, default=256)
     serve.add_argument("--max-bytes", type=int, default=16 << 20)
     serve.add_argument("--backend", choices=["process", "thread"])
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for digest-keyed job checkpoints (warm restarts)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        help="node expansions between periodic checkpoints",
+    )
 
     submit = sub.add_parser("submit", help="submit a job descriptor")
     _add_endpoint(submit)
@@ -283,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("status", True),
         ("result", True),
         ("cancel", True),
+        ("resume", True),
         ("jobs", False),
         ("stats", False),
         ("ping", False),

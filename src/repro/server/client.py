@@ -119,6 +119,10 @@ class ServiceClient:
     async def cancel(self, job: str) -> dict:
         return await self.request("cancel", job=job)
 
+    async def resume(self, job: str) -> dict:
+        """Resubmit a cancelled/failed job (warm from its checkpoint)."""
+        return await self.request("resume", job=job)
+
     async def jobs(self) -> list[dict]:
         return list((await self.request("jobs"))["jobs"])
 

@@ -21,7 +21,8 @@ The :class:`JobManager` owns every submission end to end:
   number of watchers stream a live exploration.
 
 Two execution backends share the same message protocol
-(``start`` / ``progress`` / ``done`` / ``failed`` / ``skipped`` tuples):
+(``start`` / ``progress`` / ``done`` / ``failed`` / ``skipped`` /
+``cancelled`` tuples):
 
 * ``"process"`` (default where ``fork`` exists) — each batch runs in a
   forked worker process, streaming messages over a pipe; a bounded
@@ -29,26 +30,48 @@ Two execution backends share the same message protocol
   cancellation of a running job terminates its worker (unfinished
   batch-mates are requeued, not lost);
 * ``"thread"`` — the degraded mode for fork-less platforms: batches run
-  on executor threads.  Running jobs cannot be terminated mid-run
-  (cancellation of a started job is refused; not-yet-started batch
-  members are skipped best-effort).
+  on executor threads.  A started job is interrupted *cooperatively*: a
+  per-job cancel event is threaded into the engine, which polls it at
+  node entry, writes a checkpoint (when checkpointing is on), and
+  returns promptly with ``interrupted=True`` — reported as
+  ``cancelled``.  Only jobs on the replay engine (no cancel support)
+  still run to completion; not-yet-started batch members are skipped.
+
+With ``checkpoint_dir`` set, running explorations checkpoint
+periodically under ``<dir>/<job digest>.ckpt``.  The digest-keyed path
+is the warm-restart contract: a requeued batch-mate, a job whose worker
+died, a cancelled-then-resumed job, or the same descriptor resubmitted
+to a restarted service all find the previous attempt's checkpoint and
+resume instead of starting cold.  Checkpoints are deleted when their
+job completes (the memo takes over from there).
 """
 
 from __future__ import annotations
 
 import asyncio
+import glob
 import heapq
 import multiprocessing
+import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable
 
+from ..runtime.checkpoint import CheckpointError
 from ..runtime.explorer import explore_schedules
 from .descriptor import JobDescriptor, job_digest
 from .memo import MemoStore
 
 __all__ = ["JobState", "JobRecord", "JobManager"]
+
+#: Times a job whose worker died is requeued (resuming from its
+#: checkpoint) before it is failed for good.  Without a checkpoint a
+#: died-worker job still fails on the first death — re-running it cold
+#: would repeat whatever killed the worker.
+_REQUEUE_CAP = 3
 
 
 class JobState(Enum):
@@ -84,6 +107,9 @@ class JobRecord:
     error: str | None = None
     #: Seconds the exploration took (memo hits report the original's).
     cost_seconds: float = 0.0
+    #: Times this job was requeued after its worker died; bounded by
+    #: ``_REQUEUE_CAP``.
+    requeues: int = 0
     _subscribers: list[asyncio.Queue] = field(
         default_factory=list, repr=False
     )
@@ -116,13 +142,22 @@ class JobRecord:
 def _run_descriptor(
     descriptor: JobDescriptor,
     emit: Callable[[dict], None] | None,
+    *,
+    cancel: Any | None = None,
+    checkpoint_to: str | None = None,
+    checkpoint_every: int = 256,
 ) -> tuple[dict, str, float]:
     """Execute one descriptor; returns ``(result_json, vdigest, seconds)``.
 
     ``emit`` receives each :class:`ProgressSnapshot` as its ``to_json``
     dict.  Progress is only wired where the engine supports it (the
     sequential incremental engines); the replay oracle and sharded runs
-    execute without it.
+    execute without it.  ``cancel``/``checkpoint_to`` are likewise wired
+    only for the incremental engines: a run with a checkpoint path
+    resumes from an existing file at that path (the digest-keyed warm
+    restart), falling back to a cold run — after discarding the file —
+    when it turns out stale or corrupt.  An interrupted run returns its
+    partial result; the caller inspects ``payload["interrupted"]``.
     """
     simulator, scripts, prop, crash, kwargs = descriptor.build()
     progress: Callable[[Any], None] | None = None
@@ -138,34 +173,86 @@ def _run_descriptor(
 
         progress = stream
 
+    if kwargs.get("engine") != "replay":
+        if cancel is not None:
+            kwargs["cancel"] = cancel
+        if checkpoint_to is not None:
+            kwargs["checkpoint_to"] = checkpoint_to
+            kwargs["checkpoint_every"] = checkpoint_every
+            if os.path.exists(checkpoint_to):
+                kwargs["resume_from"] = checkpoint_to
+
     started = time.perf_counter()
-    result = explore_schedules(
-        simulator,
-        scripts,
-        prop,
-        crash_schedule=crash,
-        progress=progress,
-        progress_every=descriptor.progress_every,
-        **kwargs,
-    )
+    try:
+        result = explore_schedules(
+            simulator,
+            scripts,
+            prop,
+            crash_schedule=crash,
+            progress=progress,
+            progress_every=descriptor.progress_every,
+            **kwargs,
+        )
+    except CheckpointError:
+        if not kwargs.pop("resume_from", None):
+            raise
+        # stale or corrupt at-rest state: this attempt starts cold
+        _discard_checkpoint_files(checkpoint_to)
+        result = explore_schedules(
+            simulator,
+            scripts,
+            prop,
+            crash_schedule=crash,
+            progress=progress,
+            progress_every=descriptor.progress_every,
+            **kwargs,
+        )
     elapsed = time.perf_counter() - started
     return result.to_json(), result.violations_digest(), elapsed
 
 
+def _discard_checkpoint_files(path: str | None) -> None:
+    """Remove a job's checkpoint and any per-shard side files."""
+    if path is None:
+        return
+    for name in [path, *glob.glob(f"{path}.shard-*")]:
+        try:
+            os.unlink(name)
+        except OSError:
+            pass
+
+
 def _batch_worker(
-    conn: Any, batch: list[tuple[str, JobDescriptor]]
+    conn: Any,
+    batch: list[tuple[str, JobDescriptor, str | None]],
+    checkpoint_every: int,
 ) -> None:
     """Forked-process entry point: run a batch, stream messages back."""
+    # The serving parent installs benign SIGINT/SIGTERM handlers
+    # (checkpoint-first shutdown), and a fork inherits them — which
+    # would turn ``terminate()`` into a no-op and make "cancel" mean
+    # "run to completion anyway".  Workers die on signal, by design:
+    # the periodic checkpoint is what survives them.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
     try:
-        for job_id, descriptor in batch:
+        for job_id, descriptor, checkpoint_to in batch:
             conn.send(("start", job_id))
 
             def emit(snapshot: dict, job_id: str = job_id) -> None:
                 conn.send(("progress", job_id, snapshot))
 
             try:
-                payload, vdigest, cost = _run_descriptor(descriptor, emit)
-                conn.send(("done", job_id, payload, vdigest, cost))
+                payload, vdigest, cost = _run_descriptor(
+                    descriptor,
+                    emit,
+                    checkpoint_to=checkpoint_to,
+                    checkpoint_every=checkpoint_every,
+                )
+                if payload.get("interrupted"):
+                    conn.send(("cancelled", job_id))
+                else:
+                    conn.send(("done", job_id, payload, vdigest, cost))
             except Exception as exc:
                 conn.send(
                     ("failed", job_id, f"{type(exc).__name__}: {exc}")
@@ -182,6 +269,9 @@ class _BatchHandle:
     process: Any | None = None
     cancel_requested: set[str] = field(default_factory=set)
     started: set[str] = field(default_factory=set)
+    #: Thread backend only: per-job cooperative cancel events, polled by
+    #: the engine at node entry.
+    cancel_events: dict[str, threading.Event] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -197,7 +287,9 @@ class JobManager:
     ``small_cost`` the :meth:`~JobDescriptor.estimated_cost` threshold
     under which jobs are batchable.  ``backend`` is ``"process"``,
     ``"thread"``, or ``None`` to pick ``"process"`` where the ``fork``
-    start method exists.
+    start method exists.  ``checkpoint_dir`` enables digest-keyed job
+    checkpoints (module docstring) written every ``checkpoint_every``
+    node expansions; the directory is created on first use.
     """
 
     def __init__(
@@ -208,11 +300,17 @@ class JobManager:
         batch_max: int = 4,
         small_cost: int = 32,
         backend: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 256,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         if backend is None:
             try:
                 multiprocessing.get_context("fork")
@@ -228,6 +326,10 @@ class JobManager:
         self.batch_max = batch_max
         self.small_cost = small_cost
         self.backend = backend
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
         self._jobs: dict[str, JobRecord] = {}
         self._heap: list[tuple[int, int, str]] = []
         #: digest → job_id of the queued/running job answering it.
@@ -243,6 +345,21 @@ class JobManager:
         self._explorations_run = 0
         self._batches_dispatched = 0
         self._batched_jobs = 0
+        self._resumed = 0
+        self._requeued_after_death = 0
+
+    def _checkpoint_path(self, digest: str) -> str | None:
+        """The digest-keyed checkpoint file for a job, if enabled.
+
+        Keyed by the job digest, not the job id: every attempt at an
+        equivalent descriptor — across requeues, cancellations, and
+        service restarts — shares one checkpoint, which is what makes
+        warm restart a property of the *work*, not of the process that
+        happened to start it.
+        """
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"{digest}.ckpt")
 
     # -- submission -------------------------------------------------------
 
@@ -408,11 +525,15 @@ class JobManager:
         loop = asyncio.get_running_loop()
         ctx = multiprocessing.get_context("fork")
         recv_conn, send_conn = ctx.Pipe(duplex=False)
-        payload = [(r.job_id, r.descriptor) for r in handle.jobs]
+        payload = [
+            (r.job_id, r.descriptor, self._checkpoint_path(r.digest))
+            for r in handle.jobs
+        ]
         # not a daemon: descriptors with workers > 1 fork their own
         # shard pool inside the worker, which daemons are denied
         process = ctx.Process(
-            target=_batch_worker, args=(send_conn, payload)
+            target=_batch_worker,
+            args=(send_conn, payload, self.checkpoint_every),
         )
         process.start()
         handle.process = process
@@ -443,6 +564,9 @@ class JobManager:
     async def _run_batch_thread(self, handle: _BatchHandle) -> None:
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue()
+        handle.cancel_events = {
+            record.job_id: threading.Event() for record in handle.jobs
+        }
 
         def emit(message: tuple | None) -> None:
             loop.call_soon_threadsafe(queue.put_nowait, message)
@@ -459,8 +583,16 @@ class JobManager:
                         lambda s, job_id=record.job_id: emit(
                             ("progress", job_id, s)
                         ),
+                        cancel=handle.cancel_events[record.job_id],
+                        checkpoint_to=self._checkpoint_path(record.digest),
+                        checkpoint_every=self.checkpoint_every,
                     )
-                    emit(("done", record.job_id, payload, vdigest, cost))
+                    if payload.get("interrupted"):
+                        emit(("cancelled", record.job_id))
+                    else:
+                        emit(
+                            ("done", record.job_id, payload, vdigest, cost)
+                        )
                 except Exception as exc:
                     emit(
                         (
@@ -501,6 +633,8 @@ class JobManager:
             self._fail(record, message[2])
         elif kind == "skipped":
             self._cancelled(record)
+        elif kind == "cancelled":
+            self._cancelled(record)
 
     def _complete(
         self, record: JobRecord, payload: dict, vdigest: str, cost: float
@@ -521,6 +655,9 @@ class JobManager:
             cost=cost,
         )
         self._active_by_digest.pop(record.digest, None)
+        # the memo answers this digest from here on; the at-rest search
+        # state has nothing left to resume
+        _discard_checkpoint_files(self._checkpoint_path(record.digest))
         self._publish(record, self._terminal_event(record))
         record._done.set()
 
@@ -545,8 +682,11 @@ class JobManager:
         After a clean batch every job is terminal.  After a terminated
         or crashed worker: the cancel target becomes ``cancelled``, a
         job that had *started* (and wasn't the target) died with the
-        worker and fails loudly, and jobs the worker never reached are
-        requeued — cancellation of a batch-mate must not lose them.
+        worker — with a checkpoint on disk it is requeued to resume warm
+        (at most ``_REQUEUE_CAP`` times: a job that keeps killing its
+        worker is failed, not retried forever), without one it fails
+        loudly — and jobs the worker never reached are requeued;
+        cancellation of a batch-mate must not lose them.
         """
         for record in handle.jobs:
             if record.state is not JobState.RUNNING:
@@ -554,17 +694,29 @@ class JobManager:
             if record.job_id in handle.cancel_requested:
                 self._cancelled(record)
             elif record.job_id in handle.started:
-                self._fail(
-                    record,
-                    f"worker process died (exitcode {exitcode})",
-                )
+                path = self._checkpoint_path(record.digest)
+                if (
+                    path is not None
+                    and os.path.exists(path)
+                    and record.requeues < _REQUEUE_CAP
+                ):
+                    record.requeues += 1
+                    self._requeued_after_death += 1
+                    self._requeue(record)
+                else:
+                    self._fail(
+                        record,
+                        f"worker process died (exitcode {exitcode})",
+                    )
             else:
-                record.state = JobState.QUEUED
-                self._seq += 1
-                heapq.heappush(
-                    self._heap,
-                    (record.priority, self._seq, record.job_id),
-                )
+                self._requeue(record)
+
+    def _requeue(self, record: JobRecord) -> None:
+        record.state = JobState.QUEUED
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (record.priority, self._seq, record.job_id)
+        )
 
     # -- cancellation and shutdown ---------------------------------------
 
@@ -574,8 +726,11 @@ class JobManager:
         Queued jobs cancel immediately.  A running job on the process
         backend has its worker terminated (batch-mates are requeued by
         :meth:`_finalize_batch`).  On the thread backend a started job
-        cannot be interrupted — the request is recorded (not-yet-started
-        batch members will be skipped) and ``False`` is returned.
+        is interrupted cooperatively: its cancel event is set and the
+        engine stops at the next node entry (checkpointing first when
+        enabled) — except replay-engine jobs, which cannot observe the
+        event; for those the request is recorded (not-yet-started batch
+        members will be skipped) and ``False`` is returned.
         """
         record = self._jobs[job_id]
         if record.state.terminal:
@@ -590,7 +745,52 @@ class JobManager:
         if handle.process is not None:
             handle.process.terminate()
             return True
+        event = handle.cancel_events.get(job_id)
+        if event is not None and record.descriptor.engine != "replay":
+            event.set()
+            return True
         return False
+
+    def stop_running(self) -> int:
+        """Interrupt every running batch (checkpoint-and-stop shutdown).
+
+        Marks all running jobs cancel-requested, then terminates process
+        workers and sets every thread-backend cancel event.  Jobs with
+        checkpointing enabled leave their partial search on disk, so a
+        restarted service resumes them warm.  Returns the number of jobs
+        interrupted.  Unlike :meth:`drain`, this does not wait — callers
+        (the signal path) follow up with :meth:`drain` to let workers
+        finish writing their final checkpoints and settle records.
+        """
+        stopped = 0
+        for handle in {
+            id(h): h for h in self._batches.values()
+        }.values():
+            for record in handle.jobs:
+                if record.state is JobState.RUNNING:
+                    handle.cancel_requested.add(record.job_id)
+                    stopped += 1
+            if handle.process is not None:
+                handle.process.terminate()
+            for event in handle.cancel_events.values():
+                event.set()
+        return stopped
+
+    def resume(self, job_id: str) -> JobRecord:
+        """Resubmit a cancelled or failed job (warm from its checkpoint).
+
+        Resubmission goes through :meth:`submit` with the original
+        descriptor and priority: the digest is unchanged, so the new
+        attempt finds the previous attempt's checkpoint (when one was
+        written) and continues instead of starting cold.  A job that is
+        queued, running, or done is returned as-is — there is nothing
+        to resume.
+        """
+        record = self._jobs[job_id]
+        if record.state not in (JobState.CANCELLED, JobState.FAILED):
+            return record
+        self._resumed += 1
+        return self.submit(record.descriptor, priority=record.priority)
 
     async def drain(self) -> None:
         """Refuse new work, cancel the queue, await running batches."""
@@ -635,6 +835,9 @@ class JobManager:
             "explorations_run": self._explorations_run,
             "batches_dispatched": self._batches_dispatched,
             "batched_jobs": self._batched_jobs,
+            "checkpoint_dir": self.checkpoint_dir,
+            "resumed": self._resumed,
+            "requeued_after_death": self._requeued_after_death,
             "jobs_by_state": by_state,
             "memo": self.memo.stats(),
         }

@@ -25,11 +25,19 @@ Verbs (see :mod:`repro.server.protocol` for framing):
     ``done``/``failed``/``cancelled`` event — and finally a closing
     reply.  Watching an already-finished job yields its terminal event
     immediately.
+``resume``
+    ``{"job": "job-1"}`` — resubmit a cancelled or failed job.  With
+    checkpointing enabled the new attempt picks up the previous
+    attempt's on-disk search state instead of starting cold.
 ``jobs`` / ``stats``
     Introspection.
 ``shutdown``
     Graceful stop: refuse new submissions, drain running jobs, persist
-    the memo store (warm restarts), close the listener.
+    the memo store (warm restarts), close the listener.  The *signal*
+    path (SIGINT/SIGTERM under ``python -m repro.server serve``) is
+    stricter: running jobs are interrupted checkpoint-first via
+    :meth:`JobManager.stop_running`, so a long exploration never holds
+    up process exit and never loses its progress.
 """
 
 from __future__ import annotations
@@ -63,6 +71,8 @@ class VerificationService:
         max_entries: int = 256,
         max_bytes: int = 16 << 20,
         backend: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 256,
     ) -> None:
         if memo_path is not None:
             memo = MemoStore.load(
@@ -77,10 +87,13 @@ class VerificationService:
             batch_max=batch_max,
             small_cost=small_cost,
             backend=backend,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
         )
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._shutdown_requested = asyncio.Event()
+        self._stop_running = False
         self._stopped = False
 
     # -- transports -------------------------------------------------------
@@ -117,8 +130,16 @@ class VerificationService:
         await self._shutdown_requested.wait()
         await self.shutdown()
 
-    def request_shutdown(self) -> None:
-        """Signal-handler-safe trigger for :meth:`run_until_shutdown`."""
+    def request_shutdown(self, *, stop_running: bool = False) -> None:
+        """Signal-handler-safe trigger for :meth:`run_until_shutdown`.
+
+        With ``stop_running`` (the SIGINT/SIGTERM path), running jobs
+        are interrupted — checkpoint first, then stop — instead of being
+        awaited to completion: an operator signal means "exit now
+        without losing work", not "exit whenever the searches finish".
+        """
+        if stop_running:
+            self._stop_running = True
         self._shutdown_requested.set()
 
     async def shutdown(self) -> None:
@@ -135,6 +156,8 @@ class VerificationService:
             await asyncio.gather(
                 *list(self._connections), return_exceptions=True
             )
+        if self._stop_running:
+            self.manager.stop_running()
         await self.manager.drain()
         if self.memo_path is not None:
             self.manager.memo.save(self.memo_path)
@@ -208,6 +231,21 @@ class VerificationService:
                 await write_message(
                     writer,
                     reply({**record.summary(), "cancelled": assured}),
+                )
+            elif op == "resume":
+                record = self._record(request)
+                try:
+                    resumed = self.manager.resume(record.job_id)
+                except RuntimeError as exc:  # draining
+                    raise ProtocolError(str(exc)) from exc
+                await write_message(
+                    writer,
+                    reply(
+                        {
+                            **resumed.summary(),
+                            "resumed_from": record.job_id,
+                        }
+                    ),
                 )
             elif op == "jobs":
                 await write_message(

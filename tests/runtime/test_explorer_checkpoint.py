@@ -1,0 +1,419 @@
+"""Checkpoint/resume: interruption loses no work and changes no result.
+
+The contract under test: kill an exploration at *any* node entry, and
+resuming from its checkpoint produces a result construction-identical
+to an uninterrupted run — same terminals, same violations (digest and
+guides), same counters, same per-depth maps — on every engine variant
+(plain incremental, dedup, sleep sets, symmetry, their composition, and
+the sharded parallel front-end).  Only the event-replay economics may
+differ: a resume re-pays schedule prefixes exactly as parallel shards
+do, so ``events_executed``/``events_replayed`` are exempt.
+
+The small n=2 configurations are cut at *every* cancellation boundary
+(every node entry is a poll point); the depth-8 n=3 showcase is cut at
+a stride, keeping the suite fast while still crossing checkpoint
+boundaries deep in the tree.
+"""
+
+import os
+
+import pytest
+
+from repro.broadcasts import SendToAllBroadcast
+from repro.runtime import Simulator
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.explorer import (
+    channels_property,
+    combine_properties,
+    explore_schedules,
+    spec_property,
+)
+from repro.specs import SendToAllSpec, TotalOrderBroadcastSpec
+
+
+def s2a_simulator(n=2):
+    return Simulator(n, lambda pid, n_: SendToAllBroadcast(pid, n_))
+
+
+def violating_property():
+    return spec_property(
+        TotalOrderBroadcastSpec(), assume_complete=False
+    )
+
+
+def clean_property():
+    return combine_properties(
+        spec_property(SendToAllSpec()), channels_property()
+    )
+
+
+class Countdown:
+    """A cancel token that fires on the Nth ``is_set`` poll."""
+
+    def __init__(self, fire_after: int) -> None:
+        self.remaining = fire_after
+
+    def is_set(self) -> bool:
+        self.remaining -= 1
+        return self.remaining < 0
+
+
+class PollCounter:
+    """A cancel token that never fires but counts poll points."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def is_set(self) -> bool:
+        self.count += 1
+        return False
+
+
+#: Every engine-variant kwarg set the identity contract covers.
+VARIANTS = {
+    "plain": {},
+    "dedup": {"engine": "dedup"},
+    "sleep": {"sleep_sets": True},
+    "dedup-sleep": {"engine": "dedup", "sleep_sets": True},
+    "composed": {
+        "engine": "dedup",
+        "sleep_sets": True,
+        "symmetry": "rename",
+        "static_independence": True,
+    },
+}
+
+#: Fields that must survive an interrupt/resume cycle bit-for-bit.
+IDENTITY = (
+    "schedules_explored",
+    "terminal_schedules",
+    "exhausted",
+    "max_depth_seen",
+    "aborted",
+    "states_seen",
+    "states_deduped",
+    "states_pruned_sleep",
+    "states_merged_symmetry",
+    "expansions_by_depth",
+    "dedup_hits_by_depth",
+)
+
+
+def assert_identical(resumed, reference):
+    assert not resumed.interrupted
+    for name in IDENTITY:
+        assert getattr(resumed, name) == getattr(reference, name), name
+    assert resumed.violations_digest() == reference.violations_digest()
+    assert [v.guide for v in resumed.violations] == [
+        v.guide for v in reference.violations
+    ]
+
+
+def interrupt_and_resume(make_config, path, cut, **kwargs):
+    """One kill at poll point ``cut``, then resume runs to completion."""
+    simulator, scripts, prop = make_config()
+    first = explore_schedules(
+        simulator,
+        scripts,
+        prop,
+        cancel=Countdown(cut),
+        checkpoint_to=path,
+        checkpoint_every=1,
+        **kwargs,
+    )
+    assert first.interrupted
+    assert not first.exhausted
+    simulator, scripts, prop = make_config()
+    resumed = explore_schedules(
+        simulator,
+        scripts,
+        prop,
+        checkpoint_to=path,
+        resume_from=path,
+        **kwargs,
+    )
+    return resumed
+
+
+class TestEveryBoundary:
+    """n=2: interrupt at every node entry, on every engine variant."""
+
+    @staticmethod
+    def make_config():
+        return s2a_simulator(), {0: ["a"], 1: ["b"]}, violating_property()
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_every_cut_is_lossless(self, variant, tmp_path):
+        kwargs = VARIANTS[variant]
+        polls = PollCounter()
+        simulator, scripts, prop = self.make_config()
+        reference = explore_schedules(
+            simulator, scripts, prop, cancel=polls, **kwargs
+        )
+        assert reference.violations, "config expected to violate"
+        path = os.path.join(tmp_path, "search.ckpt")
+        for cut in range(polls.count):
+            resumed = interrupt_and_resume(
+                self.make_config, path, cut, **kwargs
+            )
+            assert_identical(resumed, reference)
+            os.unlink(path)
+
+
+class TestDepthEightStrided:
+    """n=3 depth-8 showcase: strided cuts deep into the tree."""
+
+    @staticmethod
+    def make_config():
+        return (
+            s2a_simulator(3),
+            {0: ["a"], 1: ["b"]},
+            clean_property(),
+        )
+
+    @pytest.mark.parametrize(
+        "variant", ["plain", "dedup-sleep", "composed"]
+    )
+    def test_strided_cuts_are_lossless(self, variant, tmp_path):
+        kwargs = VARIANTS[variant]
+        polls = PollCounter()
+        simulator, scripts, prop = self.make_config()
+        reference = explore_schedules(
+            simulator, scripts, prop, cancel=polls, **kwargs
+        )
+        path = os.path.join(tmp_path, "search.ckpt")
+        stride = max(1, polls.count // 5)
+        for cut in range(0, polls.count, stride):
+            resumed = interrupt_and_resume(
+                self.make_config, path, cut, **kwargs
+            )
+            assert_identical(resumed, reference)
+            os.unlink(path)
+
+
+class TestParallelResume:
+    """workers=2: per-shard checkpoints, parent-side merge identity."""
+
+    @staticmethod
+    def make_config():
+        return (
+            s2a_simulator(3),
+            {0: ["a"], 1: ["b"]},
+            clean_property(),
+        )
+
+    @pytest.mark.parametrize("variant", ["plain", "dedup-sleep"])
+    @pytest.mark.parametrize("cut", [0, 3, 40])
+    def test_interrupted_shards_resume(self, variant, cut, tmp_path):
+        kwargs = dict(VARIANTS[variant], workers=2)
+        simulator, scripts, prop = self.make_config()
+        reference = explore_schedules(simulator, scripts, prop, **kwargs)
+        path = os.path.join(tmp_path, "parallel.ckpt")
+        resumed = interrupt_and_resume(
+            self.make_config, path, cut, **kwargs
+        )
+        assert_identical(resumed, reference)
+
+    def test_complete_checkpoint_short_circuits(self, tmp_path):
+        path = os.path.join(tmp_path, "done.ckpt")
+        simulator, scripts, prop = self.make_config()
+        reference = explore_schedules(
+            simulator, scripts, prop, workers=2, checkpoint_to=path
+        )
+        # the completed run leaves a complete checkpoint; resuming it
+        # reconstructs the stored result without re-exploring
+        simulator, scripts, prop = self.make_config()
+        resumed = explore_schedules(
+            simulator, scripts, prop, workers=2, resume_from=path
+        )
+        assert_identical(resumed, reference)
+        assert resumed.events_executed == reference.events_executed
+
+
+class TestCompleteCheckpoint:
+    """A finished sequential run's checkpoint replays for free."""
+
+    def test_sequential_fast_path(self, tmp_path):
+        path = os.path.join(tmp_path, "done.ckpt")
+        simulator = s2a_simulator()
+        prop = violating_property()
+        reference = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            prop,
+            engine="dedup",
+            checkpoint_to=path,
+        )
+        resumed = explore_schedules(
+            s2a_simulator(),
+            {0: ["a"], 1: ["b"]},
+            violating_property(),
+            engine="dedup",
+            resume_from=path,
+        )
+        assert_identical(resumed, reference)
+        assert resumed.events_executed == reference.events_executed
+
+
+class TestCooperativeCancel:
+    """The cancel token interrupts promptly and checkpoints first."""
+
+    def test_immediate_cancel_stops_at_first_node(self, tmp_path):
+        path = os.path.join(tmp_path, "early.ckpt")
+        result = explore_schedules(
+            s2a_simulator(3),
+            {0: ["a"], 1: ["b"]},
+            clean_property(),
+            cancel=Countdown(0),
+            checkpoint_to=path,
+        )
+        assert result.interrupted
+        assert not result.exhausted
+        assert result.schedules_explored == 0
+        assert os.path.exists(path)
+
+    def test_interrupt_without_checkpoint_path(self):
+        result = explore_schedules(
+            s2a_simulator(),
+            {0: ["a"], 1: ["b"]},
+            clean_property(),
+            cancel=Countdown(5),
+        )
+        assert result.interrupted
+
+    def test_interrupted_result_round_trips(self, tmp_path):
+        from repro.runtime.explorer import ExplorationResult
+
+        result = explore_schedules(
+            s2a_simulator(),
+            {0: ["a"], 1: ["b"]},
+            clean_property(),
+            cancel=Countdown(3),
+        )
+        assert result.interrupted
+        clone = ExplorationResult.from_json(result.to_json())
+        assert clone.interrupted
+
+
+class TestCheckpointSafety:
+    """Corruption, mismatch, and misuse are loud errors, not bad data."""
+
+    def checkpointed_run(self, path, **kwargs):
+        return explore_schedules(
+            s2a_simulator(),
+            {0: ["a"], 1: ["b"]},
+            clean_property(),
+            cancel=Countdown(4),
+            checkpoint_to=path,
+            checkpoint_every=1,
+            **kwargs,
+        )
+
+    def test_missing_file_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            explore_schedules(
+                s2a_simulator(),
+                {0: ["a"], 1: ["b"]},
+                clean_property(),
+                resume_from=os.path.join(tmp_path, "absent.ckpt"),
+            )
+
+    def test_corruption_is_detected(self, tmp_path):
+        path = os.path.join(tmp_path, "bits.ckpt")
+        self.checkpointed_run(path)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace('"schedules_explored":', '"x":', 1))
+        with pytest.raises(CheckpointError, match="integrity"):
+            read_checkpoint(path)
+
+    def test_truncation_is_detected(self, tmp_path):
+        path = os.path.join(tmp_path, "torn.ckpt")
+        self.checkpointed_run(path)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            read_checkpoint(path)
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "future.ckpt")
+        body = read_checkpoint_body_stub()
+        write_checkpoint(path, body)
+        with open(path) as handle:
+            text = handle.read()
+        # a future engine wrote schema 99; sealing is consistent, so
+        # only the schema gate can (and must) refuse it
+        import json
+
+        envelope = json.loads(text)
+        envelope["checkpoint"]["schema"] = 99
+        from repro.runtime.fingerprint import payload_digest
+
+        canonical = json.dumps(
+            envelope["checkpoint"], sort_keys=True, separators=(",", ":")
+        )
+        envelope["integrity"] = payload_digest(canonical)
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(CheckpointError, match="schema"):
+            read_checkpoint(path)
+
+    def test_config_mismatch_refuses_resume(self, tmp_path):
+        path = os.path.join(tmp_path, "other.ckpt")
+        self.checkpointed_run(path)
+        with pytest.raises(CheckpointError, match="configuration"):
+            explore_schedules(
+                s2a_simulator(3),  # different system size
+                {0: ["a"], 1: ["b"]},
+                clean_property(),
+                resume_from=path,
+            )
+
+    def test_engine_mismatch_refuses_resume(self, tmp_path):
+        path = os.path.join(tmp_path, "engine.ckpt")
+        self.checkpointed_run(path)
+        with pytest.raises(CheckpointError, match="configuration"):
+            explore_schedules(
+                s2a_simulator(),
+                {0: ["a"], 1: ["b"]},
+                clean_property(),
+                engine="dedup",
+                resume_from=path,
+            )
+
+    def test_replay_engine_rejects_checkpointing(self, tmp_path):
+        for kwargs in (
+            {"cancel": Countdown(1)},
+            {"checkpoint_to": os.path.join(tmp_path, "x.ckpt")},
+            {"resume_from": os.path.join(tmp_path, "x.ckpt")},
+        ):
+            with pytest.raises(ValueError, match="incremental engine"):
+                explore_schedules(
+                    s2a_simulator(),
+                    {0: ["a"], 1: ["b"]},
+                    clean_property(),
+                    engine="replay",
+                    **kwargs,
+                )
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            explore_schedules(
+                s2a_simulator(),
+                {0: ["a"], 1: ["b"]},
+                clean_property(),
+                checkpoint_to=os.path.join(tmp_path, "x.ckpt"),
+                checkpoint_every=0,
+            )
+
+
+def read_checkpoint_body_stub():
+    """A minimal well-formed body for schema-tamper tests."""
+    return {"kind": "subtree", "config": "cfg", "complete": False}

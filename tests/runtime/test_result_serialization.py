@@ -101,6 +101,55 @@ class TestExplorationResultRoundTrip:
         assert permuted.violations_digest() == result.violations_digest()
 
 
+class TestSchemaVersioning:
+    """Payload schema: tolerant of the past, loud about the future."""
+
+    def test_schema_one_payload_without_new_fields_loads(self):
+        # what a pre-versioning service memoized: no schema stamp, no
+        # interrupted flag, none of the later counter fields
+        data = violating_exploration(engine="dedup").to_json()
+        del data["schema"]
+        del data["interrupted"]
+        del data["workers"]
+        del data["states_deduped"]
+        restored = ExplorationResult.from_json(data)
+        assert restored.interrupted is False
+        assert restored.workers == 1
+        assert restored.states_deduped == 0
+
+    def test_newer_schema_rejected_with_clear_error(self):
+        data = violating_exploration(engine="dedup").to_json()
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema 99"):
+            ExplorationResult.from_json(data)
+
+    def test_missing_core_field_names_the_field(self):
+        data = violating_exploration(engine="dedup").to_json()
+        del data["terminal_schedules"]
+        with pytest.raises(ValueError, match="terminal_schedules"):
+            ExplorationResult.from_json(data)
+
+    def test_snapshot_newer_schema_rejected(self):
+        snapshots = []
+        violating_exploration(
+            engine="dedup", progress=snapshots.append, progress_every=5
+        )
+        data = snapshots[0].to_json()
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema 99"):
+            ProgressSnapshot.from_json(data)
+
+    def test_snapshot_missing_core_field_names_the_field(self):
+        snapshots = []
+        violating_exploration(
+            engine="dedup", progress=snapshots.append, progress_every=5
+        )
+        data = snapshots[0].to_json()
+        del data["expansions"]
+        with pytest.raises(ValueError, match="expansions"):
+            ProgressSnapshot.from_json(data)
+
+
 class TestProgressSnapshotRoundTrip:
     def test_live_snapshots_round_trip(self):
         snapshots = []

@@ -106,7 +106,7 @@ class TestLifecycleAndMemo:
 
     def test_failed_job_records_error(self, monkeypatch):
         # patch before fork: the worker inherits the raising stub
-        def explode(descriptor, emit):
+        def explode(descriptor, emit, **kwargs):
             raise RuntimeError("engine exploded")
 
         monkeypatch.setattr(jobs_module, "_run_descriptor", explode)
