@@ -4,12 +4,14 @@ import pytest
 
 from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
 from repro.runtime import (
+    CrashSchedule,
     Simulator,
     channels_property,
     combine_properties,
     explore_schedules,
     spec_property,
 )
+from repro.runtime.independence import Footprint, classify
 from repro.specs import (
     SendToAllSpec,
     TotalOrderBroadcastSpec,
@@ -134,3 +136,74 @@ def test_dedup_depth8_three_processes(benchmark):
     # the dedup acceptance metric: far fewer expansions than terminals
     assert result.states_seen * 3 <= result.terminal_schedules
     assert result.states_deduped > 0
+
+
+def test_crash_aware_sleep_depth8(benchmark):
+    """The crash config of BENCH_explorer.json through the crash-aware
+    sleep-set datapath: interned choice keys, bitmask sleep sets, and
+    the footprint-pair verdict memo all hot in the DFS inner loop."""
+    simulator = Simulator(3, lambda pid, n: SendToAllBroadcast(pid, n))
+
+    def explore():
+        result = explore_schedules(
+            simulator,
+            {0: ["a"], 1: ["b"]},
+            channels_property(assume_complete=False),
+            engine="dedup",
+            sleep_sets=True,
+            crash_schedule=CrashSchedule(at_step={2: 4}),
+            max_depth=8,
+        )
+        assert result.exhausted
+        return result
+
+    result = benchmark(explore)
+    # the crash-aware acceptance numbers: strictly below the blanket
+    # relation's 263 terminals, with the proof visibly firing
+    assert result.terminal_schedules == 154
+    stats = result.independence_stats
+    assert stats["crash_proof"] > 0
+    assert stats["memo_hits"] * 10 >= stats["memo_queries"] * 8
+
+
+def test_independence_oracle_interned_memo(benchmark):
+    """The oracle microbench: footprint interning + packed-pair memo.
+
+    Replays the verdict-query mix of a crash exploration (mostly
+    repeat pairs) against the oracle; after the first pass every query
+    is a memo hit on an interned int pair, so this times the
+    allocation-light datapath rather than the relation itself."""
+    from repro.runtime.explorer import _IndependenceOracle
+
+    footprints = [
+        Footprint("recv", frozenset({pid}), pending=frozenset({2}))
+        for pid in range(4)
+    ] + [
+        Footprint(
+            "recv",
+            frozenset({pid}),
+            pending=frozenset({2}),
+            imminent=frozenset({2}),
+        )
+        for pid in range(4)
+    ]
+    pairs = [
+        (a, b) for a in footprints for b in footprints if a is not b
+    ]
+
+    def query_all():
+        oracle = _IndependenceOracle()
+        total = 0
+        for _ in range(32):
+            for a, b in pairs:
+                total += oracle(a, b)
+        return oracle, total
+
+    oracle, total = benchmark(query_all)
+    assert total > 0
+    stats = oracle.stats
+    # every round after the first is pure memo hits
+    assert stats["memo_hits"] >= stats["memo_queries"] * 31 // 32
+    # sanity: the memoized verdicts agree with the relation
+    for a, b in pairs[:8]:
+        assert oracle(a, b) == classify(a, b)[0]

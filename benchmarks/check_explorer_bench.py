@@ -19,11 +19,15 @@ Usage::
     python benchmarks/check_explorer_bench.py \
         BENCH_explorer.json BENCH_explorer.fresh.json
 
-Beyond the baseline diff, the checker enforces one *internal* invariant
-of the fresh report: every engine variant of a configuration must agree
-on the violation-set digest — the reductions (sleep sets, renaming
-symmetry) are only admissible because they preserve violations, so a
-cross-engine mismatch is a reduction bug and always fails.
+Beyond the baseline diff, the checker enforces two *internal*
+invariants of the fresh report: every engine variant of a
+configuration must agree on the violation-set digest — the reductions
+(sleep sets, renaming symmetry, crash-aware commutation) are only
+admissible because they preserve violations, so a cross-engine
+mismatch is a reduction bug and always fails — and the
+``dedup-sleep-crashaware`` row must explore at most as many terminals
+and events as its blanket ``dedup-sleep`` counterpart, since the
+crash-aware relation is a strict refinement.
 
 Exit status: 0 when the reports agree on everything deterministic
 (timing warnings allowed), 1 on any schema, determinism, or
@@ -49,6 +53,7 @@ DETERMINISTIC_RUN_FIELDS = (
     "states_merged_symmetry",
     "orbit_encodings",
     "violations_digest",
+    "independence_stats",
 )
 
 #: Per-config derived metrics that are pure functions of the counts.
@@ -62,6 +67,8 @@ DETERMINISTIC_CONFIG_FIELDS = (
     "composed_state_reduction",
     "static_sleep_event_reduction",
     "static_sleep_terminal_reduction",
+    "crash_sleep_reduction",
+    "interned_key_hit_rate",
 )
 
 
@@ -100,6 +107,34 @@ def _cross_engine_violations(report: dict) -> list[str]:
     return errors
 
 
+def _crash_aware_regressions(report: dict) -> list[str]:
+    """Soundness/strength errors for the crash-aware commutation rows.
+
+    Within one configuration the ``dedup-sleep-crashaware`` row must
+    explore *at most* as many terminal schedules and executed events as
+    the blanket ``dedup-sleep`` row — the crash-aware relation is a
+    strict refinement, so drifting above the blanket means the proof
+    stopped firing.  (That the violation digest still matches is the
+    cross-engine check above.)
+    """
+    errors: list[str] = []
+    for config in report.get("configs", []):
+        rows = {_run_key(r): r for r in config["runs"]}
+        blanket = rows.get(("dedup-sleep", 1))
+        aware = rows.get(("dedup-sleep-crashaware", 1))
+        if blanket is None or aware is None:
+            continue
+        for field in ("terminal_schedules", "events_executed"):
+            if aware[field] > blanket[field]:
+                errors.append(
+                    f"{config['name']}: dedup-sleep-crashaware {field} = "
+                    f"{aware[field]} exceeds blanket dedup-sleep "
+                    f"{blanket[field]} — the crash-aware proof stopped "
+                    f"out-pruning the blanket relation"
+                )
+    return errors
+
+
 def compare(
     baseline: dict,
     candidate: dict,
@@ -112,6 +147,7 @@ def compare(
     warnings: list[str] = []
 
     errors.extend(_cross_engine_violations(candidate))
+    errors.extend(_crash_aware_regressions(candidate))
     for field in ("benchmark", "schema"):
         if baseline.get(field) != candidate.get(field):
             errors.append(

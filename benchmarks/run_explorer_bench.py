@@ -12,7 +12,8 @@ committed ``BENCH_explorer.json`` baseline.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_explorer_bench.py \
-        [--output BENCH_explorer.json] [--workers 4] [--quick]
+        [--output BENCH_explorer.json] [--workers 4] [--quick] \
+        [--profile PROFILE.txt]
 
 The schedule trees explored are deterministic; only the timings vary
 between machines.  The JSON includes per-config invariants (terminal
@@ -31,6 +32,20 @@ reference implementation it replaced.  Schema 5 also changes the
 canonical encoding itself (distinct list tag, raw-encoding set
 ordering), so digests and state counts are not comparable to schema ≤ 4
 baselines.
+
+Schema 6 additions: the crash-aware commutation rows.  The historical
+sleep-set variants are pinned to ``crash_aware=False`` (the blanket
+"any crash blocks commutation" relation) so they stay the before
+baseline, and a ``dedup-sleep-crashaware`` variant runs the default
+crash-aware relation on the crash configuration.  Every run row now
+carries the oracle's ``independence_stats`` (verdicts by source plus
+memo hit counts), and two derived metrics land per config where the
+rows exist: ``crash_sleep_reduction`` (terminal evaluations the
+crash-aware proof cuts below blanket sleep sets) and
+``interned_key_hit_rate`` (fraction of oracle queries answered from
+the interned-footprint-pair memo).  ``--profile`` additionally runs
+the hottest configuration under :mod:`cProfile` and writes the top-20
+cumulative-time entries for CI artifact upload.
 """
 
 from __future__ import annotations
@@ -78,23 +93,40 @@ def _property(config: dict):
 
 
 #: Engine variants: label -> explore_schedules keyword arguments.
+#:
+#: The historical sleep-set labels are pinned to ``crash_aware=False``
+#: (the blanket relation that refuses any pair near a crash) so their
+#: rows keep meaning the same trees across schema bumps — they are the
+#: *before* baseline the ``dedup-sleep-crashaware`` rows are measured
+#: against.  On crash-free configurations the flag is inert.
 ENGINE_KWARGS = {
     "incremental": {"engine": "incremental"},
     "replay": {"engine": "replay"},
     "dedup": {"engine": "dedup"},
-    "incremental-sleep": {"engine": "incremental", "sleep_sets": True},
-    "dedup-sleep": {"engine": "dedup", "sleep_sets": True},
+    "incremental-sleep": {
+        "engine": "incremental",
+        "sleep_sets": True,
+        "crash_aware": False,
+    },
+    "dedup-sleep": {
+        "engine": "dedup",
+        "sleep_sets": True,
+        "crash_aware": False,
+    },
     "dedup-rename": {"engine": "dedup", "symmetry": "rename"},
     "dedup-sleep-rename": {
         "engine": "dedup",
         "sleep_sets": True,
         "symmetry": "rename",
+        "crash_aware": False,
     },
     "dedup-sleep-static": {
         "engine": "dedup",
         "sleep_sets": True,
         "static_independence": True,
+        "crash_aware": False,
     },
+    "dedup-sleep-crashaware": {"engine": "dedup", "sleep_sets": True},
 }
 
 CONFIGS = [
@@ -138,17 +170,24 @@ CONFIGS = [
         "workers": [],
     },
     {
-        # crash-heavy tree: a pending injection keeps the *dynamic*
-        # sleep-set relation conservative until the crash fires, so
-        # these rows measure what the statically proven commutation
-        # table (dedup-sleep-static) recovers on crash schedules
+        # crash-heavy tree: under the blanket relation a pending
+        # injection keeps sleep sets conservative until the crash
+        # fires.  The dedup-sleep / dedup-sleep-static rows keep that
+        # before baseline (crash_aware=False); dedup-sleep-crashaware
+        # runs the default crash-aware proof, which discharges victims
+        # outside the swap window and must out-prune both
         "name": "s2a-crash-n3-depth8",
         "algorithm": "send-to-all",
         "n": 3,
         "scripts": {0: ["a"], 1: ["b"]},
         "crash_at_step": {2: 4},
         "max_depth": 8,
-        "engines": ["dedup", "dedup-sleep", "dedup-sleep-static"],
+        "engines": [
+            "dedup",
+            "dedup-sleep",
+            "dedup-sleep-static",
+            "dedup-sleep-crashaware",
+        ],
         "workers": [],
     },
     {
@@ -211,6 +250,10 @@ def run_one(config: dict, *, label: str, workers: int = 1) -> dict:
         "states_merged_symmetry": result.states_merged_symmetry,
         "orbit_encodings": result.orbit_encodings,
         "violations_digest": _violations_digest(result),
+        "independence_stats": {
+            key: value
+            for key, value in sorted(result.independence_stats.items())
+        },
     }
 
 
@@ -330,6 +373,37 @@ def run_encoder_microbench(rounds: int = 40) -> dict:
     }
 
 
+#: The config/variant pair --profile runs: the crash-aware sleep-set
+#: row of the crash configuration — the DFS inner loop with the
+#: independence oracle, interned keys, and bitmask sleep sets all hot.
+PROFILE_CONFIG = "s2a-crash-n3-depth8"
+PROFILE_LABEL = "dedup-sleep-crashaware"
+
+
+def _write_profile(path: str, top: int = 20) -> None:
+    """Profile the hottest config and write the top cumulative entries."""
+    import cProfile
+    import io
+    import pstats
+
+    config = next(c for c in CONFIGS if c["name"] == PROFILE_CONFIG)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_one(config, label=PROFILE_LABEL)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    text = (
+        f"cProfile top-{top} (cumulative) — "
+        f"{PROFILE_CONFIG} / {PROFILE_LABEL}\n{buffer.getvalue()}"
+    )
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(text)
+    print(f"wrote profile to {path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -344,18 +418,25 @@ def main() -> None:
         "--quick", action="store_true",
         help="skip the replay engine on the depth-8 config",
     )
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="run the hottest config under cProfile and write the "
+             "top-20 cumulative entries to PATH",
+    )
     args = parser.parse_args()
 
     report = {
         "benchmark": "explorer",
-        "schema": 5,
+        "schema": 6,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "notes": (
-            "canonical encoding v2 (schema 5): lists carry their own "
-            "tag and sets/dicts sort raw element encodings — digests "
-            "and state counts are not comparable to schema <= 4 "
-            "baselines"
+            "schema 6: crash-aware commutation rows — historical sleep "
+            "variants pinned to the blanket relation "
+            "(crash_aware=False) as the before baseline, "
+            "dedup-sleep-crashaware measures the crash-aware proof, "
+            "run rows carry independence_stats; digests and state "
+            "counts remain on the schema-5 canonical encoding"
         ),
         "encoder_microbench": run_encoder_microbench(),
         "configs": [],
@@ -478,6 +559,25 @@ def main() -> None:
                 1 - composed["states_seen"] / max(1, dedup["states_seen"]),
                 4,
             )
+        if "dedup-sleep" in by_label and "dedup-sleep-crashaware" in by_label:
+            blanket = by_label["dedup-sleep"]
+            aware = by_label["dedup-sleep-crashaware"]
+            # what the crash-aware proof recovers beyond blanket sleep
+            # sets: victims outside the adjacent-swap window no longer
+            # block commutation, so strictly fewer terminal property
+            # evaluations and executed events on crash schedules
+            entry["crash_sleep_reduction"] = round(
+                1
+                - aware["terminal_schedules"]
+                / max(1, blanket["terminal_schedules"]),
+                4,
+            )
+            stats = aware.get("independence_stats", {})
+            entry["interned_key_hit_rate"] = round(
+                stats.get("memo_hits", 0)
+                / max(1, stats.get("memo_queries", 0)),
+                4,
+            )
         report["configs"].append(entry)
         print(f"{entry['name']}:")
         for run in entry["runs"]:
@@ -541,10 +641,20 @@ def main() -> None:
                 f"  sleep+rename: {entry['composed_state_reduction']:.1%} "
                 f"fewer expanded states"
             )
+        if "crash_sleep_reduction" in entry:
+            print(
+                f"  crash-aware commutation: "
+                f"{entry['crash_sleep_reduction']:.1%} fewer terminal "
+                f"evaluations than blanket sleep sets, oracle memo hit "
+                f"rate {entry['interned_key_hit_rate']:.1%}"
+            )
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
     print(f"wrote {args.output}")
+
+    if args.profile:
+        _write_profile(args.profile)
 
 
 if __name__ == "__main__":

@@ -57,7 +57,9 @@ __all__ = [
 #: Version of the checkpoint body layout.  Bumped whenever the frame,
 #: cache, or outcome encodings change shape: a checkpoint written by an
 #: incompatible engine version must never be resumed, only discarded.
-CHECKPOINT_SCHEMA = 1
+#: Schema 2: footprints carry ``pending_deadlines`` and ``imminent``
+#: (crash-aware commutation) and outcomes carry ``independence_stats``.
+CHECKPOINT_SCHEMA = 2
 
 
 class CheckpointError(ValueError):
@@ -78,6 +80,11 @@ def footprint_to_json(footprint: Footprint) -> dict:
         "oracle": footprint.oracle,
         "crashed": footprint.crashed,
         "pending": sorted(footprint.pending),
+        "deadlines": [
+            [p, step] for p, step in footprint.pending_deadlines
+        ],
+        "imminent": sorted(footprint.imminent),
+        "crashed_pids": sorted(footprint.crashed_pids),
     }
 
 
@@ -93,6 +100,13 @@ def footprint_from_json(data: Mapping[str, Any]) -> Footprint:
         oracle=bool(data["oracle"]),
         crashed=bool(data["crashed"]),
         pending=frozenset(int(p) for p in data["pending"]),
+        pending_deadlines=tuple(
+            (int(p), int(step)) for p, step in data.get("deadlines", ())
+        ),
+        imminent=frozenset(int(p) for p in data.get("imminent", ())),
+        crashed_pids=frozenset(
+            int(p) for p in data.get("crashed_pids", ())
+        ),
     )
 
 

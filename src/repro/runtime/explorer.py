@@ -206,31 +206,144 @@ from .checkpoint import key_from_json as _key_from_json
 from .checkpoint import key_to_json as _key_to_json
 from .crash import CrashSchedule
 from .fingerprint import stable_digest
-from .independence import Footprint, choice_key, independent
+from .independence import (
+    Footprint,
+    choice_key,
+    classify,
+    conservative_independent,
+)
 from .simulator import Gated, SimulationResult, SimulationRun, Simulator
 
-#: The pairwise commutation relation the sleep-set recurrence consults.
-_IndepFn = Callable[["Footprint | None", "Footprint | None"], bool]
 
+class _IndependenceOracle:
+    """Memoizing, stats-counting commutation oracle for one exploration.
 
-def _independence_relation(static_independence) -> _IndepFn:
-    """The dynamic relation, optionally refined by a static table.
+    The sleep-set recurrence consults the independence relation once
+    per (slept event, taken event) pair per tree edge — by far the
+    hottest call site of the DFS inner loop.  This oracle owns the
+    allocation-light datapath for it:
 
-    With a :class:`~repro.statics.independence.StaticIndependence`
-    table, a pair the dynamic relation declined *solely because a crash
-    is pending* may still commute when the table proves neither event
-    can reach the injection's state (see that module's soundness
-    argument).  ``None`` keeps the plain dynamic relation.
+    * **footprint interning** — footprints are value-interned into
+      small ints (one dict hash per recorded event; value-equal
+      footprints are interchangeable because the relation is a pure
+      function of footprint values), so a verdict is memoized on a
+      packed int pair and repeat queries skip the field-by-field
+      checks entirely.  Memoizing on choice *keys* alone would be
+      unsound: the same key names different footprints on different
+      branches (a URB first copy forwards, its duplicate does not).
+    * **choice-key interning** — ``choice_key`` tuples are interned
+      per exploration into consecutive small ints; live sleep sets are
+      keyed by them and cached sleep-key *sets* become int bitmasks,
+      turning the subset-reuse test into ``stored & ~arrival == 0``.
+
+    Verdicts come from the crash-aware dynamic relation
+    (:func:`~repro.runtime.independence.classify`) — or its
+    pre-crash-aware form when ``crash_aware=False`` — with an optional
+    :class:`~repro.statics.independence.StaticIndependence` table as
+    the fallback refiner, and every verdict is counted by the argument
+    that carried it (``stats``).
     """
-    if static_independence is None:
-        return independent
 
-    def refined(
-        a: Footprint | None, b: Footprint | None
+    __slots__ = (
+        "_static", "_crash_aware", "_fp_ids", "_verdicts",
+        "_key_ids", "_key_tuples", "stats",
+    )
+
+    def __init__(self, static_independence=None, *,
+                 crash_aware: bool = True) -> None:
+        self._static = static_independence
+        self._crash_aware = crash_aware
+        self._fp_ids: dict[Footprint, int] = {}
+        #: packed (hi << 30 | lo) interned-footprint pair → (verdict, source)
+        self._verdicts: dict[int, tuple[bool, str]] = {}
+        self._key_ids: dict[tuple, int] = {}
+        self._key_tuples: list[tuple] = []
+        self.stats: dict[str, int] = {
+            "dynamic": 0,
+            "crash_proof": 0,
+            "static_table": 0,
+            "conservative": 0,
+            "memo_queries": 0,
+            "memo_hits": 0,
+        }
+
+    # -- the relation ----------------------------------------------------
+
+    def __call__(
+        self, a: Footprint | None, b: Footprint | None
     ) -> bool:
-        return independent(a, b) or static_independence.proves(a, b)
+        stats = self.stats
+        if a is None or b is None:
+            stats["conservative"] += 1
+            return False
+        fp_ids = self._fp_ids
+        ia = fp_ids.setdefault(a, len(fp_ids))
+        ib = fp_ids.setdefault(b, len(fp_ids))
+        packed = (ia << 30) | ib if ia >= ib else (ib << 30) | ia
+        stats["memo_queries"] += 1
+        cached = self._verdicts.get(packed)
+        if cached is not None:
+            stats["memo_hits"] += 1
+            verdict, source = cached
+        else:
+            if self._crash_aware:
+                verdict, source = classify(a, b)
+            elif conservative_independent(a, b):
+                verdict, source = True, "dynamic"
+            else:
+                verdict, source = False, "conservative"
+            if (
+                not verdict
+                and self._static is not None
+                and self._static.proves(a, b)
+            ):
+                verdict, source = True, "static_table"
+            self._verdicts[packed] = (verdict, source)
+        stats[source] += 1
+        return verdict
 
-    return refined
+    # -- choice-key interning and bitmask sleep-key sets -----------------
+
+    def intern_key(self, key: tuple) -> int:
+        """The small-int id of a choice key, minted on first sight."""
+        kid = self._key_ids.get(key)
+        if kid is None:
+            kid = len(self._key_tuples)
+            self._key_ids[key] = kid
+            self._key_tuples.append(key)
+        return kid
+
+    def key_tuple(self, kid: int) -> tuple:
+        """The choice-key tuple behind an interned id (codec boundary)."""
+        return self._key_tuples[kid]
+
+    def mask_of(self, kids) -> int:
+        """The bitmask of an iterable of interned key ids."""
+        mask = 0
+        for kid in kids:
+            mask |= 1 << kid
+        return mask
+
+    def canonical_mask(
+        self, mask: int, permutation: Sequence[int] | None
+    ) -> int:
+        """A sleep-key bitmask mapped into the canonical pid frame.
+
+        Sleep keys are pid-indexed, so comparing an arrival's sleep set
+        against a cached representative's (the subset-reuse test) is
+        only meaningful after both are pushed through their own
+        canonicalizing permutations.  Without symmetry
+        (``permutation is None``) masks compare verbatim.
+        """
+        if permutation is None:
+            return mask
+        out = 0
+        while mask:
+            bit = mask & -mask
+            mask ^= bit
+            key = self._key_tuples[bit.bit_length() - 1]
+            out |= 1 << self.intern_key(_map_sleep_key(key, permutation))
+        return out
 
 __all__ = [
     "Violation",
@@ -256,7 +369,8 @@ def _now() -> float:
 #: :class:`ProgressSnapshot` payloads.  Version 1 payloads predate the
 #: stamp (its absence reads as 1); decoding tolerates older schemas by
 #: defaulting the fields they lack, and rejects newer ones loudly.
-RESULT_SCHEMA = 2
+#: Schema 3 adds ``independence_stats``.
+RESULT_SCHEMA = 3
 
 
 def _require_schema(data: Mapping, kind: str) -> None:
@@ -388,6 +502,17 @@ class ExplorationResult:
     expansions_by_depth: dict[int, int] = field(default_factory=dict)
     #: Dedup-cache hits (identity or symmetry) per decision depth.
     dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
+    #: Independence-relation telemetry (``sleep_sets=True`` only):
+    #: verdicts by the argument that carried them — ``dynamic``
+    #: (independent, no pending crash), ``crash_proof`` (independent by
+    #: the crash-aware victim-disjointness argument), ``static_table``
+    #: (the static fallback proved a declined pair), ``conservative``
+    #: (dependent, branch kept) — plus the memoization counters
+    #: ``memo_queries``/``memo_hits`` of the interned-footprint verdict
+    #: cache.  Like :attr:`events_executed`, these are telemetry, not
+    #: part of the construction-identity contract: a resumed run
+    #: re-consults the relation along its restored frontier path.
+    independence_stats: dict[str, int] = field(default_factory=dict)
     #: Errors raised by the ``progress`` callback, as
     #: ``"ExceptionType: message"`` strings.  A raising callback is
     #: disabled after its first error and the search continues
@@ -470,6 +595,10 @@ class ExplorationResult:
                 str(depth): count
                 for depth, count in sorted(self.dedup_hits_by_depth.items())
             },
+            "independence_stats": {
+                source: count
+                for source, count in sorted(self.independence_stats.items())
+            },
             "progress_errors": list(self.progress_errors),
         }
 
@@ -519,6 +648,12 @@ class ExplorationResult:
                         "dedup_hits_by_depth", {}
                     ).items()
                 },
+                independence_stats={
+                    str(source): int(count)
+                    for source, count in data.get(
+                        "independence_stats", {}
+                    ).items()
+                },
                 progress_errors=[
                     str(e) for e in data.get("progress_errors", [])
                 ],
@@ -554,6 +689,10 @@ class ProgressSnapshot:
     expansions_by_depth: Mapping[int, int]
     #: Snapshot of per-depth dedup-cache hit counts (depth → count).
     dedup_hits_by_depth: Mapping[int, int]
+    #: Snapshot of independence-verdict counters by source (see
+    #: :attr:`ExplorationResult.independence_stats`); empty without the
+    #: sleep-set reduction.
+    independence_stats: Mapping[str, int] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         """A lossless JSON-compatible dict; inverse of :meth:`from_json`.
@@ -576,6 +715,10 @@ class ProgressSnapshot:
             "dedup_hits_by_depth": {
                 str(depth): count
                 for depth, count in sorted(self.dedup_hits_by_depth.items())
+            },
+            "independence_stats": {
+                source: count
+                for source, count in sorted(self.independence_stats.items())
             },
         }
 
@@ -606,6 +749,12 @@ class ProgressSnapshot:
                     int(depth): int(count)
                     for depth, count in data.get(
                         "dedup_hits_by_depth", {}
+                    ).items()
+                },
+                independence_stats={
+                    str(source): int(count)
+                    for source, count in data.get(
+                        "independence_stats", {}
                     ).items()
                 },
             )
@@ -833,6 +982,7 @@ class _SubtreeOutcome:
     orbit_encodings: int = 0
     expansions_by_depth: dict[int, int] = field(default_factory=dict)
     dedup_hits_by_depth: dict[int, int] = field(default_factory=dict)
+    independence_stats: dict[str, int] = field(default_factory=dict)
     progress_errors: list[str] = field(default_factory=list)
 
 
@@ -877,8 +1027,10 @@ class _CacheEntry:
     representative's absolute decision path, the base of symmetry-mode
     guides.  ``sleep_keys`` is the key set of the sleep set the summary
     was recorded under, in the representative's own frame: the summary
-    stands in for an arrival iff the arrival's sleep set is a superset
-    (the subset-reuse rule — the recorded subtree explored at least
+    stands in for an arrival iff the arrival's sleep set is a superset,
+    the bitwise test ``stored & ~arrival == 0`` on the interned-key
+    bitmasks of :meth:`_IndependenceOracle.mask_of` (the subset-reuse
+    rule — the recorded subtree explored at least
     everything the arrival may explore).
     """
 
@@ -886,17 +1038,25 @@ class _CacheEntry:
     summary: _Summary
     base: tuple[int, ...]
     raw: str
-    sleep_keys: frozenset[tuple]
+    sleep_keys: int
     perm: tuple[int, ...] | None
 
 
 # -- sleep sets and symmetry: key and witness helpers -----------------------
 
-#: A sleep set: choice identity (see ``choice_key``) → the footprint the
-#: event had when it was explored and put to sleep.  Footprints persist
-#: while the event stays asleep: every event taken since was independent
-#: of it, so what it touches cannot have changed.
-_SleepSet = dict[tuple, Footprint]
+#: A sleep set: *interned* choice identity (``choice_key`` through
+#: :meth:`_IndependenceOracle.intern_key`) → the footprint the event had
+#: when it was explored and put to sleep.  Footprints persist while the
+#: event stays asleep: every event taken since was independent of it, so
+#: what it touches cannot have changed.  Interned ids are
+#: per-exploration and not run-stable, so every serialization boundary
+#: (checkpoints, shard handoff) carries key *tuples* and re-interns on
+#: the way in.
+_SleepSet = dict[int, Footprint]
+
+#: A tuple-keyed sleep set: the at-rest / cross-process form, and the
+#: working form of the breadth-first frontier expansion.
+_PortableSleepSet = dict[tuple, Footprint]
 
 
 def _map_sleep_key(key: tuple, permutation: Sequence[int]) -> tuple:
@@ -906,23 +1066,6 @@ def _map_sleep_key(key: tuple, permutation: Sequence[int]) -> tuple:
         return ("recv", permutation[sender], permutation[receiver], seq)
     kind, pid = key
     return (kind, permutation[pid])
-
-
-def _canonical_sleep_keys(
-    keys: "frozenset[tuple] | Mapping[tuple, Footprint]",
-    permutation: Sequence[int] | None,
-) -> frozenset[tuple]:
-    """The sleep-set key set, mapped into the canonical frame.
-
-    Sleep keys are pid-indexed, so comparing an arrival's sleep set
-    against a cached representative's (the subset-reuse test) is only
-    meaningful after both are pushed through their own canonicalizing
-    permutations — in the shared frame of the cache key.  Without
-    symmetry (``permutation is None``) keys compare verbatim.
-    """
-    if permutation is None:
-        return frozenset(keys)
-    return frozenset(_map_sleep_key(key, permutation) for key in keys)
 
 
 def _witness_permutation(
@@ -1077,7 +1220,21 @@ def _summary_from_json(data: Mapping) -> _Summary:
     )
 
 
-def _cache_to_json(cache: Mapping[str, _CacheEntry]) -> list:
+def _mask_to_keys(mask: int, oracle: _IndependenceOracle) -> list[tuple]:
+    """The key tuples behind a sleep-key bitmask (codec boundary)."""
+    keys: list[tuple] = []
+    while mask:
+        bit = mask & -mask
+        mask ^= bit
+        keys.append(oracle.key_tuple(bit.bit_length() - 1))
+    return keys
+
+
+def _cache_to_json(
+    cache: Mapping[str, _CacheEntry], oracle: _IndependenceOracle
+) -> list:
+    # Interned ids are per-exploration, so the at-rest form carries the
+    # key tuples behind each entry's sleep-key bitmask; resume re-interns.
     return [
         [
             key,
@@ -1087,7 +1244,11 @@ def _cache_to_json(cache: Mapping[str, _CacheEntry]) -> list:
                 "base": list(entry.base),
                 "raw": entry.raw,
                 "sleep_keys": sorted(
-                    (_key_to_json(k) for k in entry.sleep_keys), key=repr
+                    (
+                        _key_to_json(k)
+                        for k in _mask_to_keys(entry.sleep_keys, oracle)
+                    ),
+                    key=repr,
                 ),
                 "perm": None if entry.perm is None else list(entry.perm),
             },
@@ -1096,7 +1257,9 @@ def _cache_to_json(cache: Mapping[str, _CacheEntry]) -> list:
     ]
 
 
-def _cache_from_json(data: list) -> dict[str, _CacheEntry]:
+def _cache_from_json(
+    data: list, oracle: _IndependenceOracle
+) -> dict[str, _CacheEntry]:
     cache: dict[str, _CacheEntry] = {}
     for key, entry in data:
         cache[str(key)] = _CacheEntry(
@@ -1104,8 +1267,9 @@ def _cache_from_json(data: list) -> dict[str, _CacheEntry]:
             summary=_summary_from_json(entry["summary"]),
             base=tuple(int(b) for b in entry["base"]),
             raw=str(entry["raw"]),
-            sleep_keys=frozenset(
-                _key_from_json(k) for k in entry["sleep_keys"]
+            sleep_keys=oracle.mask_of(
+                oracle.intern_key(_key_from_json(k))
+                for k in entry["sleep_keys"]
             ),
             perm=(
                 None
@@ -1141,6 +1305,9 @@ def _outcome_to_json(out: _SubtreeOutcome) -> dict:
         "dedup_hits_by_depth": {
             str(d): c for d, c in sorted(out.dedup_hits_by_depth.items())
         },
+        "independence_stats": {
+            s: c for s, c in sorted(out.independence_stats.items())
+        },
         "progress_errors": list(out.progress_errors),
     }
 
@@ -1169,6 +1336,10 @@ def _outcome_from_json(data: Mapping) -> _SubtreeOutcome:
         },
         dedup_hits_by_depth={
             int(d): int(c) for d, c in data["dedup_hits_by_depth"].items()
+        },
+        independence_stats={
+            str(s): int(c)
+            for s, c in data.get("independence_stats", {}).items()
         },
         progress_errors=[str(e) for e in data["progress_errors"]],
     )
@@ -1205,11 +1376,15 @@ class _LiveFrame:
         self.perm = perm
         self.summary = summary
 
-    def to_json(self) -> dict:
+    def to_json(self, oracle: _IndependenceOracle) -> dict:
         level: dict = {
             "branch": self.branch,
-            "sleep": sleep_to_json(self.sleep),
-            "explored": sleep_to_json(self.explored),
+            "sleep": sleep_to_json(
+                {oracle.key_tuple(k): fp for k, fp in self.sleep.items()}
+            ),
+            "explored": sleep_to_json(
+                {oracle.key_tuple(k): fp for k, fp in self.explored.items()}
+            ),
         }
         if self.summary is not None:
             level["dedup"] = {
@@ -1261,10 +1436,11 @@ def _explore_subtree(
     dedup: bool = False,
     sleep_sets: bool = False,
     groups: Sequence[tuple[int, ...]] = (),
-    initial_sleep: _SleepSet | None = None,
+    initial_sleep: _PortableSleepSet | None = None,
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
     static_independence=None,
+    crash_aware: bool = True,
     cancel=None,
     checkpoint_to: str | None = None,
     checkpoint_every: int = 1000,
@@ -1287,8 +1463,10 @@ def _explore_subtree(
     not part of the cache key, and an entry stands in for any arrival
     sleeping at least what the entry slept.
     ``static_independence`` refines the independence relation with a
-    proven-commutation table (crash schedules — see
-    :func:`_independence_relation`).  A non-empty ``groups`` tuple
+    proven-commutation table and ``crash_aware`` selects between the
+    crash-aware dynamic relation (default) and its pre-crash-aware
+    blanket form (see :class:`_IndependenceOracle`).  A non-empty
+    ``groups`` tuple
     switches the dedup cache to orbit-canonical keys (see
     :meth:`~repro.runtime.simulator.SimulationRun.orbit_key`).
 
@@ -1304,15 +1482,26 @@ def _explore_subtree(
         # The interrupted search had already finished (the final
         # checkpoint landed); its outcome is the whole answer.
         return _outcome_from_json(resume["outcome"])
+    indep = _IndependenceOracle(static_independence, crash_aware=crash_aware)
     if resume is not None:
         out = _outcome_from_json(resume["outcome"])
-        cache = _cache_from_json(resume["cache"])
+        cache = _cache_from_json(resume["cache"], indep)
         resume_stack = [_ResumeLevel(level) for level in resume["frames"]]
     else:
         out = _SubtreeOutcome()
         cache = {}
         resume_stack = []
-    indep = _independence_relation(static_independence)
+    # Verdict counters accumulated before a resume; the oracle's own
+    # counters are merged on top at every flush.
+    stats_base = dict(out.independence_stats)
+
+    def flush_stats() -> None:
+        merged = dict(stats_base)
+        for source, count in indep.stats.items():
+            if count:
+                merged[source] = merged.get(source, 0) + count
+        out.independence_stats = merged
+
     prop = _as_property(property_check)
     handle = simulator.begin(scripts, crash_schedule=crash_schedule)
     for branch in prefix:
@@ -1336,13 +1525,20 @@ def _explore_subtree(
         """
         if checkpoint_to is None:
             return
+        flush_stats()
         body: dict = {
             "kind": "subtree",
             "config": config,
             "complete": complete,
             "outcome": _outcome_to_json(out),
-            "frames": [] if complete else [f.to_json() for f in frames],
-            "cache": _cache_to_json(cache) if dedup and not complete else [],
+            "frames": (
+                [] if complete else [f.to_json(indep) for f in frames]
+            ),
+            "cache": (
+                _cache_to_json(cache, indep)
+                if dedup and not complete
+                else []
+            ),
         }
         write_checkpoint(checkpoint_to, body)
 
@@ -1384,6 +1580,7 @@ def _explore_subtree(
             and out.schedules_explored % progress_every == 0
         ):
             elapsed = _now() - started
+            flush_stats()
             snapshot = ProgressSnapshot(
                 expansions=out.schedules_explored,
                 terminals=out.terminal_schedules,
@@ -1396,6 +1593,7 @@ def _explore_subtree(
                 ),
                 expansions_by_depth=dict(out.expansions_by_depth),
                 dedup_hits_by_depth=dict(out.dedup_hits_by_depth),
+                independence_stats=dict(out.independence_stats),
             )
             try:
                 progress(snapshot)
@@ -1418,11 +1616,13 @@ def _explore_subtree(
                 return problems, False
         return problems, True
 
+    intern_key = indep.intern_key
+
     def active_branches(
         choices: list, sleep: _SleepSet
-    ) -> tuple[list[int], list[tuple]]:
-        """The non-slept branch indices, and every branch's choice key."""
-        keys = [choice_key(choice) for choice in choices]
+    ) -> tuple[list[int], list[int]]:
+        """The non-slept branch indices, and every branch's interned key."""
+        keys = [intern_key(choice_key(choice)) for choice in choices]
         active = [b for b in range(len(choices)) if keys[b] not in sleep]
         out.states_pruned_sleep += len(choices) - len(active)
         return active, keys
@@ -1448,21 +1648,25 @@ def _explore_subtree(
 
     def restored_structure(
         cursor: _Cursor, level: _ResumeLevel
-    ) -> tuple[_SleepSet, list[tuple], list[int], list[int], _SleepSet]:
+    ) -> tuple[_SleepSet, list[int], list[int], list[int], _SleepSet]:
         """Recompute a checkpointed node's choice structure on re-entry.
 
         Everything per-level is a deterministic function of the node's
         state and the restored sleep set, so only the sleep set itself
         (dedup's subset-reuse rule may have shrunk it at entry, a
         history-dependent mutation) and the explored-sibling footprints
-        come from the checkpoint.  Nothing is counted here — the
-        restored counters already include this node's expansion.
+        come from the checkpoint — both re-interned here, because
+        interned key ids are not stable across runs.  Nothing is
+        counted — the restored counters already include this node's
+        expansion.
         """
         choices = cursor.handle.choices()
         cursor.sync()
-        sleep = level.sleep
+        sleep = {
+            intern_key(key): fp for key, fp in level.sleep.items()
+        }
         if sleep_sets:
-            keys = [choice_key(choice) for choice in choices]
+            keys = [intern_key(choice_key(choice)) for choice in choices]
             active = [
                 b for b in range(len(choices)) if keys[b] not in sleep
             ]
@@ -1477,7 +1681,10 @@ def _explore_subtree(
                 f"configuration"
             )
         pending = active[active.index(level.branch):]
-        return sleep, keys, active, pending, dict(level.explored)
+        explored = {
+            intern_key(key): fp for key, fp in level.explored.items()
+        }
+        return sleep, keys, active, pending, explored
 
     def dfs(
         cursor: _Cursor,
@@ -1619,15 +1826,15 @@ def _explore_subtree(
             if existing is not None:
                 if summary.truncated and not existing.summary.truncated:
                     return
-                if sleep_sets and not (
-                    _canonical_sleep_keys(sleep, perm)
-                    <= _canonical_sleep_keys(
+                if sleep_sets:
+                    own = indep.canonical_mask(indep.mask_of(sleep), perm)
+                    stored = indep.canonical_mask(
                         existing.sleep_keys, existing.perm
                     )
-                ):
-                    return
+                    if own & ~stored:
+                        return
             cache[key] = _CacheEntry(
-                depth, summary, tuple(path), raw, frozenset(sleep), perm
+                depth, summary, tuple(path), raw, indep.mask_of(sleep), perm
             )
 
         if resume_level is None:
@@ -1660,19 +1867,26 @@ def _explore_subtree(
                 # the replacing summary serves the stored entry's
                 # arrival pattern as well as this one and the slot
                 # stabilizes after at most one re-expansion.
-                stored_keys = _canonical_sleep_keys(
+                stored_mask = indep.canonical_mask(
                     entry.sleep_keys, entry.perm
                 )
-                compatible = (
-                    not sleep_sets
-                    or stored_keys <= _canonical_sleep_keys(sleep, perm)
+                compatible = not sleep_sets or not (
+                    stored_mask
+                    & ~indep.canonical_mask(indep.mask_of(sleep), perm)
                 )
                 if not compatible:
                     sleep = {
                         k: fp
                         for k, fp in sleep.items()
-                        if (k if perm is None else _map_sleep_key(k, perm))
-                        in stored_keys
+                        if stored_mask
+                        >> (
+                            k
+                            if perm is None
+                            else intern_key(
+                                _map_sleep_key(indep.key_tuple(k), perm)
+                            )
+                        )
+                        & 1
                     }
                 if compatible:
                     if entry.raw == raw:
@@ -1777,13 +1991,16 @@ def _explore_subtree(
         remember(summary)
         return summary
 
-    root_sleep: _SleepSet = dict(initial_sleep or {})
+    root_sleep: _SleepSet = {
+        intern_key(key): fp for key, fp in (initial_sleep or {}).items()
+    }
     head = resume_stack[0] if resume_stack else None
     rest = resume_stack[1:] if resume_stack else None
     if dedup:
         dedup_dfs(cursor, len(prefix), root_sleep, head, rest)
     else:
         dfs(cursor, len(prefix), root_sleep, head, rest)
+    flush_stats()
     if not out.interrupted:
         snapshot(complete=True)
     return out
@@ -1884,6 +2101,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         sleep_sets,
         groups,
         static_independence,
+        crash_aware,
         cancel,
         checkpoint_to,
         checkpoint_every,
@@ -1923,6 +2141,7 @@ def _explore_shard(index: int) -> _SubtreeOutcome:
         groups=groups,
         initial_sleep=initial_sleep,
         static_independence=static_independence,
+        crash_aware=crash_aware,
         cancel=cancel,
         checkpoint_to=shard_path,
         checkpoint_every=checkpoint_every,
@@ -1941,6 +2160,7 @@ def _expand_frontier(
     result: ExplorationResult,
     sleep_sets: bool = False,
     static_independence=None,
+    crash_aware: bool = True,
 ) -> list[tuple]:
     """Expand the tree breadth-first until enough subtrees exist.
 
@@ -1954,7 +2174,9 @@ def _expand_frontier(
     here exactly as the sequential DFS would prune them.
     """
     prop = _as_property(property_check)
-    indep = _independence_relation(static_independence)
+    indep = _IndependenceOracle(
+        static_independence, crash_aware=crash_aware
+    )
     root = _Cursor(
         simulator.begin(scripts, crash_schedule=crash_schedule),
         prop.tracker(simulator.n),
@@ -2000,7 +2222,7 @@ def _expand_frontier(
             else:
                 keys = []
                 active = list(range(len(choices)))
-            explored: _SleepSet = {}
+            explored: _PortableSleepSet = {}
             last = active[-1] if active else None
             for branch in active:
                 if branch != last:
@@ -2029,6 +2251,11 @@ def _expand_frontier(
         entries = new_entries
         if not expanded:
             break
+    for source, count in indep.stats.items():
+        if count:
+            result.independence_stats[source] = (
+                result.independence_stats.get(source, 0) + count
+            )
     return entries
 
 
@@ -2045,6 +2272,7 @@ def _explore_parallel(
     sleep_sets: bool = False,
     groups: Sequence[tuple[int, ...]] = (),
     static_independence=None,
+    crash_aware: bool = True,
     cancel=None,
     checkpoint_to: str | None = None,
     checkpoint_every: int = 1000,
@@ -2089,6 +2317,7 @@ def _explore_parallel(
         result=result,
         sleep_sets=sleep_sets,
         static_independence=static_independence,
+        crash_aware=crash_aware,
     )
     if dedup:
         # frontier nodes were expanded here, before any cache existed
@@ -2111,6 +2340,7 @@ def _explore_parallel(
         sleep_sets,
         groups,
         static_independence,
+        crash_aware,
         cancel,
         checkpoint_to,
         checkpoint_every,
@@ -2189,6 +2419,10 @@ def _explore_parallel(
                     result.dedup_hits_by_depth[depth] = (
                         result.dedup_hits_by_depth.get(depth, 0) + count
                     )
+                for source, count in sub.independence_stats.items():
+                    result.independence_stats[source] = (
+                        result.independence_stats.get(source, 0) + count
+                    )
                 result.max_depth_seen = max(
                     result.max_depth_seen, sub.max_depth_seen
                 )
@@ -2230,6 +2464,7 @@ def explore_schedules(
     workers: int = 1,
     sleep_sets: bool = False,
     static_independence=None,
+    crash_aware: bool = True,
     symmetry: str = "none",
     progress: ProgressCallback | None = None,
     progress_every: int = 1000,
@@ -2264,15 +2499,23 @@ def explore_schedules(
     arrivals (the subset-reuse rule), so the count may include
     commutation-redundant terminals a from-scratch sleep-set search
     would have skipped; the set of distinct terminal observations and
-    violations is unaffected.  ``static_independence`` (requires
-    ``sleep_sets``) refines that relation with a proven-commutation
-    table from the algorithm's static effect summary
-    (:mod:`repro.statics.independence`), recovering pruning on crash
-    schedules where the recorded-footprint relation goes conservative;
-    pass ``True`` to infer the table from the algorithm (raises
+    violations is unaffected.  The recorded-footprint relation is
+    *crash-aware* by default: a pending crash fires at a fixed global
+    decision count that adjacent swaps preserve, so a pair commutes
+    when neither event touched a still-alive victim (see
+    :mod:`repro.runtime.independence`); ``crash_aware=False`` restores
+    the historical blanket that kept every pair dependent while a
+    crash was pending (the before/after benchmark axis).
+    ``static_independence`` (requires ``sleep_sets``) further refines
+    the relation with a proven-commutation table from the algorithm's
+    static effect summary (:mod:`repro.statics.independence`) — a
+    fallback the crash-aware relation subsumes in practice, kept for
+    the historical comparison and for ``crash_aware=False`` runs; pass
+    ``True`` to infer the table from the algorithm (raises
     :class:`ValueError` when no closed summary can be proven) or a
     prebuilt :class:`~repro.statics.independence.StaticIndependence`
-    instance.  ``symmetry="rename"`` (requires
+    instance.  Per-source verdict counts land in
+    :attr:`ExplorationResult.independence_stats`.  ``symmetry="rename"`` (requires
     dedup) additionally merges states equal up to a permutation of
     interchangeable process ids plus an injective renaming of message
     contents (the paper's Definition 3 applied to states); states are
@@ -2425,6 +2668,7 @@ def explore_schedules(
             dedup=dedup,
             sleep_sets=sleep_sets,
             static_independence=static_independence is not None,
+            crash_aware=crash_aware,
             groups=tuple(groups),
             max_schedules=max_schedules,
             max_depth=max_depth,
@@ -2461,6 +2705,7 @@ def explore_schedules(
             sleep_sets=sleep_sets,
             groups=groups,
             static_independence=static_independence,
+            crash_aware=crash_aware,
             cancel=cancel,
             checkpoint_to=checkpoint_to,
             checkpoint_every=checkpoint_every,
@@ -2482,6 +2727,7 @@ def explore_schedules(
         progress=progress,
         progress_every=progress_every,
         static_independence=static_independence,
+        crash_aware=crash_aware,
         cancel=cancel,
         checkpoint_to=checkpoint_to,
         checkpoint_every=checkpoint_every,
@@ -2506,5 +2752,6 @@ def explore_schedules(
         orbit_encodings=sub.orbit_encodings,
         expansions_by_depth=dict(sub.expansions_by_depth),
         dedup_hits_by_depth=dict(sub.dedup_hits_by_depth),
+        independence_stats=dict(sub.independence_stats),
         progress_errors=list(sub.progress_errors),
     )

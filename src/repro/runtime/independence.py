@@ -27,14 +27,49 @@ check over two footprints:
   conservatively dependent while Send-To-All receptions always commute;
 * no oracle touch — k-SA decision policies read the global
   proposals-so-far order, so propose steps never commute;
-* no crash — crash schedules are indexed by the global decision count,
-  so reordering two events across an injection changes which state the
-  crash hits.
+* no crash in the pair's window — crash schedules are indexed by the
+  global decision count, and an adjacent swap preserves every
+  subsequent count, so the victims an event must avoid are exactly
+  those whose injection lands between or immediately after the pair
+  (``crashed_pids`` and ``imminent`` below).
+
+Crashes — fired or pending — used to make the relation
+blanket-conservative.  The crash-aware proof replaces that: crashes
+inject at a fixed *global decision count*, and swapping two adjacent
+events preserves every subsequent decision count, so the injection
+lands on the same index either way.  For a pair enabled at decision
+count *s* (events committing at counts *s+1* and *s+2*), a schedule
+entry with deadline *t* interacts with the swap in exactly one of
+three ways:
+
+* ``t == s+1`` — the injection fires *between* the pair, at the
+  prelude after whichever event ran first, the same count in both
+  orders.  Both probed footprints record the victim in
+  ``crashed_pids``; the pair commutes iff neither event touched it.
+* ``t == s+2`` — the injection fires at the prelude after the second
+  event, *before* that prelude's ``atomic_local`` drain.  An event
+  touching the victim therefore behaves differently in second position
+  (its handler work on the victim is cut off by the crash) than in
+  first (fully drained one prelude earlier) — so the pair commutes
+  only when neither event's ``pids`` intersects the victims due at
+  exactly that count: the **imminent** set.
+* ``t > s+2`` — the injection fires after both events in both orders;
+  every victim is alive throughout the pair's window either way, and
+  the swap is invisible to the crash *even if the events touch the
+  victim*.
+
+The recorded footprint distinguishes the imminent and just-killed
+sets from the full still-alive victim set (``pending``), which is
+what makes the third case provable — the historical blanket refused
+every one of them wholesale.  :func:`classify` reports which argument
+carried the verdict so the explorer can count them.
 
 The conservative direction is always safe: a dependent verdict merely
 keeps a branch.  The commutation differential tests
 (``tests/runtime/test_independence.py``) execute both orders of every
-claimed-independent pair from forked handles and compare fingerprints.
+claimed-independent pair from forked handles — including at every
+pending-crash decision point of crash-heavy configs — and compare
+fingerprints and enabled sets.
 """
 
 from __future__ import annotations
@@ -47,6 +82,8 @@ __all__ = [
     "Footprint",
     "FootprintDraft",
     "choice_key",
+    "classify",
+    "conservative_independent",
     "independent",
     "observed_footprint",
 ]
@@ -72,20 +109,42 @@ class Footprint:
     #: True when the event (or its drain) proposed on a k-SA object.
     oracle: bool = False
     #: True when the next prelude injected a crash after this event.
+    #: Kept for observability and for the historical blanket relation
+    #: (:func:`conservative_independent`); the crash-aware check uses
+    #: ``crashed_pids`` instead.
     crashed: bool = False
     #: Still-alive victims of the crash schedule at the time the
-    #: footprint was finalized.  Non-empty means a crash is *pending*:
-    #: the dynamic relation stays conservative, but a
-    #: :class:`~repro.statics.independence.StaticIndependence` table can
-    #: still prove commutation when neither event touches a victim.
+    #: footprint was finalized.  Non-empty means a crash is *pending*;
+    #: the historical blanket relation
+    #: (:func:`conservative_independent`) refuses any such pair, and
+    #: :func:`classify` uses it to attribute crash-aware verdicts.
     pending: frozenset[int] = frozenset()
+    #: The pending schedule itself: sorted ``(victim, deadline)`` pairs
+    #: for every still-alive victim, where ``deadline`` is the global
+    #: decision count at which the injection fires.  Observability and
+    #: the commutation differential tests use this to locate
+    #: pending-crash decision points.
+    pending_deadlines: tuple[tuple[int, int], ...] = ()
+    #: Victims due to crash at the *next* decision count after this
+    #: footprint was finalized — the only pending entries an adjacent
+    #: swap can observe (the injection would land after the second
+    #: event of the pair, ahead of that prelude's drain).  The hot
+    #: independence check needs exactly this set.
+    imminent: frozenset[int] = frozenset()
+    #: Victims the finalizing prelude actually killed (``crashed`` is
+    #: True iff this is non-empty).  For a pair probed from the same
+    #: state the injection fires *between* the two events in both
+    #: orders — at the same decision count — so the swap commutes
+    #: whenever neither event touched one of these victims.
+    crashed_pids: frozenset[int] = frozenset()
 
 
 class FootprintDraft:
     """Mutable footprint being accumulated for the in-flight event."""
 
     __slots__ = ("kind", "origin", "pids", "sent", "oracle", "crashed",
-                 "pending")
+                 "pending", "pending_deadlines", "imminent",
+                 "crashed_pids")
 
     def __init__(self, kind: str, pid: int) -> None:
         self.kind = kind
@@ -98,6 +157,9 @@ class FootprintDraft:
         self.oracle = False
         self.crashed = False
         self.pending: frozenset[int] = frozenset()
+        self.pending_deadlines: tuple[tuple[int, int], ...] = ()
+        self.imminent: frozenset[int] = frozenset()
+        self.crashed_pids: frozenset[int] = frozenset()
 
     def copy(self) -> "FootprintDraft":
         clone = FootprintDraft(self.kind, self.origin)
@@ -106,6 +168,9 @@ class FootprintDraft:
         clone.oracle = self.oracle
         clone.crashed = self.crashed
         clone.pending = self.pending
+        clone.pending_deadlines = self.pending_deadlines
+        clone.imminent = self.imminent
+        clone.crashed_pids = self.crashed_pids
         return clone
 
     def freeze(self) -> Footprint:
@@ -116,6 +181,9 @@ class FootprintDraft:
             self.oracle,
             self.crashed,
             self.pending,
+            self.pending_deadlines,
+            self.imminent,
+            self.crashed_pids,
         )
 
 
@@ -125,23 +193,80 @@ def independent(a: Footprint | None, b: Footprint | None) -> bool:
     True only when commutation is *fingerprint-exact*: same reached
     state, same enabled events, same schedule-guide meaning.  ``None``
     (no footprint recorded) is conservatively dependent.
+
+    Crash-aware: a crash no longer blankets the pair.  The injection
+    fires at a global decision count that an adjacent swap preserves,
+    so the only victims the swap can observe are those whose injection
+    lands inside the pair's window: the ones the probe's own prelude
+    killed (``crashed_pids`` — between the two events, at the same
+    count in both orders) and the ones due at the very next count
+    (``imminent`` — after the second event, ahead of that prelude's
+    drain).  The pair commutes iff neither event's ``pids`` (including
+    the ``atomic_local`` drain) intersects either set.  Victims with
+    later deadlines crash after both events in both orders, so they
+    impose no constraint at all.
+    """
+    if a is None or b is None:
+        return False
+    if a.oracle or b.oracle:
+        return False
+    if a.sent or b.sent:
+        return False
+    if a.pids & b.pids:
+        return False
+    # Crash-aware victim disjointness: swapping adjacent events keeps
+    # every later decision count, so an injection lands on the same
+    # index either way — it is only observable through the pair if one
+    # of them advanced a victim that dies inside the pair's window
+    # (killed by the probed prelude, or due at the count right after
+    # the second event, where the prelude injects before draining and
+    # cuts off that victim's handler work when its event runs second).
+    hazards = a.crashed_pids | b.crashed_pids | a.imminent | b.imminent
+    return not ((a.pids | b.pids) & hazards)
+
+
+def conservative_independent(
+    a: Footprint | None, b: Footprint | None
+) -> bool:
+    """The pre-crash-aware relation: any pending crash blankets the pair.
+
+    Kept for before/after benchmarking (``crash_aware=False`` engine
+    variants) and as the reference the crash-aware differential tests
+    strengthen against.
     """
     if a is None or b is None:
         return False
     if a.crashed or b.crashed:
         return False
     if a.pending or b.pending:
-        # A crash is still scheduled at a *global* decision count; the
-        # recorded footprints alone cannot rule out that reordering
-        # changes what the injection lands on, so the dynamic relation
-        # stays conservative (a static commutation proof can refine it:
-        # :mod:`repro.statics.independence`).
         return False
-    if a.oracle or b.oracle:
-        return False
-    if a.sent or b.sent:
-        return False
-    return not (a.pids & b.pids)
+    return independent(a, b)
+
+
+def classify(
+    a: Footprint | None, b: Footprint | None
+) -> tuple[bool, str]:
+    """The :func:`independent` verdict plus the argument that carried it.
+
+    Sources:
+
+    * ``"dynamic"`` — independent with no pending crash in sight (the
+      pre-crash-aware relation would have agreed);
+    * ``"crash_proof"`` — independent *because* the crash-aware victim
+      disjointness argument discharged a pending or fired crash that
+      the old blanket would have refused;
+    * ``"conservative"`` — dependent (branch kept).
+
+    The explorer adds a fourth source, ``"static_table"``, when the
+    :class:`~repro.statics.independence.StaticIndependence` fallback
+    proves a pair this relation declined.
+    """
+    if not independent(a, b):
+        return (False, "conservative")
+    assert a is not None and b is not None
+    if a.pending or b.pending or a.crashed or b.crashed:
+        return (True, "crash_proof")
+    return (True, "dynamic")
 
 
 def choice_key(choice: tuple[str, object]) -> tuple:
@@ -168,9 +293,13 @@ def observed_footprint(run, index: int) -> Footprint | None:
     commutation tests use; the explorer itself reads
     ``SimulationRun.last_footprint`` from the handles it advances
     anyway, at zero extra cost.
+
+    ``choices()`` is enumerated once per probe: the terminal guard runs
+    on ``run`` itself (idempotent — the enumeration is cached on the
+    handle), so the fork inherits the cached choice list and only the
+    post-event prelude enumerates fresh state.
     """
-    probe = run.fork()
-    enabled = probe.choices()
+    enabled = run.choices()
     if not enabled:
         raise ValueError(
             "observed_footprint probed a terminal run: no event is "
@@ -178,6 +307,7 @@ def observed_footprint(run, index: int) -> Footprint | None:
             "would have rejected the index with an out-of-range error "
             "that hides the real cause)"
         )
+    probe = run.fork()
     probe.advance(index)
     probe.choices()
     return probe.last_footprint

@@ -205,22 +205,42 @@ class SimulationRun:
                     self.trace.crash(p)
                     self.alive.discard(p)
                     if self._pending_footprint is not None:
-                        # The crash lands between the last event and this
-                        # decision point; reordering that event would move
-                        # the injection, so mark it dependent-with-all.
+                        # The injection lands between the last event and
+                        # this decision point — at a global count an
+                        # adjacent swap preserves — so the crash-aware
+                        # relation only needs the pair to have avoided
+                        # this victim, not a blanket refusal.
                         self._pending_footprint.crashed = True
+                        self._pending_footprint.crashed_pids = (
+                            self._pending_footprint.crashed_pids | {p}
+                        )
             if self.simulator.atomic_local:
                 self._drain_local()
             self._choices = self._enabled_choices()
             if self._pending_footprint is not None:
-                # A crash still scheduled at a *global* step count makes
-                # the recorded footprint insufficient on its own: the
-                # dynamic relation treats a non-empty ``pending`` set as
-                # dependent-with-all, and only a static commutation
-                # proof (:mod:`repro.statics.independence`) may refine
-                # it for events that touch no victim.
+                # A crash still scheduled at a *global* step count is
+                # recorded on the footprint (victims and deadlines).
+                # The injection index is preserved by adjacent swaps,
+                # so the only pending victims a swap can observe are
+                # the *imminent* ones — due at the very next decision
+                # count, where the injection would land after the
+                # second event of a swapped pair but before that
+                # prelude's drain.  Later deadlines fire after both
+                # events in either order and impose no constraint.
                 self._pending_footprint.pending = frozenset(
                     p for p in self.crashes.at_step if p in self.alive
+                )
+                self._pending_footprint.pending_deadlines = tuple(
+                    sorted(
+                        (p, step)
+                        for p, step in self.crashes.at_step.items()
+                        if p in self.alive
+                    )
+                )
+                self._pending_footprint.imminent = frozenset(
+                    p
+                    for p, step in self.crashes.at_step.items()
+                    if p in self.alive and step == self.steps + 1
                 )
                 if self.simulator.validate_footprints:
                     self._validate_footprint(self._pending_footprint)
@@ -333,7 +353,14 @@ class SimulationRun:
             if self._pending_footprint is None
             else self._pending_footprint.copy()
         )
-        clone._choices = None
+        # The cached enumeration (if any) is valid on the clone: the
+        # prelude already ran on the parent, the copied state is
+        # post-prelude, and choice payloads are value-identified
+        # (``Network.receive`` looks up by ``PointToPointId``), so
+        # forked probes skip re-enumerating the parent state.
+        clone._choices = (
+            None if self._choices is None else list(self._choices)
+        )
         clone.runtimes = {}
         for p, runtime in self.runtimes.items():
             forked, replayed = runtime.fork(

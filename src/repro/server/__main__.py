@@ -141,10 +141,44 @@ async def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _independence_line(stats: Any) -> str | None:
+    """A one-line rendering of ``independence_stats``, or None if empty.
+
+    Shown on stderr by ``watch`` so the stdout event stream stays pure
+    NDJSON for machine consumers.
+    """
+    if not isinstance(stats, dict) or not stats:
+        return None
+    parts = [
+        f"{name}={stats[name]}"
+        for name in ("dynamic", "crash_proof", "static_table",
+                     "conservative")
+        if stats.get(name)
+    ]
+    queries = stats.get("memo_queries", 0)
+    if queries:
+        parts.append(f"memo={stats.get('memo_hits', 0)}/{queries}")
+    return " ".join(parts) if parts else None
+
+
 async def _cmd_watch(args: argparse.Namespace) -> int:
     async with ServiceClient(args.host, args.port) as client:
         async for event in client.watch(args.job):
             print(json.dumps(event, sort_keys=True), flush=True)
+            if event.get("event") == "progress":
+                stats = (event.get("snapshot") or {}).get(
+                    "independence_stats"
+                )
+            elif event.get("event") == "done":
+                stats = (event.get("result") or {}).get(
+                    "independence_stats"
+                )
+            else:
+                stats = None
+            line = _independence_line(stats)
+            if line is not None:
+                print(f"# independence: {line}", file=sys.stderr,
+                      flush=True)
     return 0
 
 

@@ -1,30 +1,37 @@
 """Proven commutation from effect summaries — POR under pending crashes.
 
 The dynamic relation (:func:`repro.runtime.independence.independent`)
-goes conservative the moment a crash is *pending*: a crash schedule is
-indexed by the global decision count, so the recorded footprint of every
-event carries the set of still-alive victims and the relation refuses to
-commute anything until the schedule has drained.  That blanket is sound
-but needlessly strong.  Reordering two adjacent events does **not** move
-the decision count at which a pending crash fires; the injection lands
-on a different state only if one of the events (a) had the injection
-fire adjacent to it, (b) touched a victim's process, or (c) reached
-state outside its own processes.  (a) and (b) are visible on the
-recorded footprints (``crashed``, ``pids`` vs ``pending``); (c) is
-exactly what a **closed** effect summary disproves statically — every
-handler reads and writes its own instance fields only, emits through
-the effect vocabulary only, and hides nothing from the analyzer.
+used to go conservative the moment a crash was *pending*: a crash
+schedule is indexed by the global decision count, so the recorded
+footprint of every event carries the set of still-alive victims, and
+the historical blanket (kept as :func:`repro.runtime.independence.
+conservative_independent`) refused to commute anything until the
+schedule had drained.  That blanket is sound but needlessly strong.
+Reordering two adjacent events does **not** move the decision count at
+which a pending crash fires; the injection lands on a different state
+only if one of the events (a) had the injection fire adjacent to it,
+(b) touched a victim's process, or (c) reached state outside its own
+processes.  (a) and (b) are visible on the recorded footprints
+(``crashed``, ``pids`` vs ``pending``); (c) is exactly what a
+**closed** effect summary disproves statically — every handler reads
+and writes its own instance fields only, emits through the effect
+vocabulary only, and hides nothing from the analyzer.
 
-:class:`StaticIndependence` packages that argument: built from a closed
-:class:`~repro.statics.model.AlgorithmSummary`, its :meth:`proves`
-decides commutation for footprint pairs the dynamic relation declined
-*solely because a crash was pending*.  The sleep-set engine consults it
-as a fallback (``independent(a, b) or table.proves(a, b)``), recovering
-partial-order pruning on crash schedules while staying
-construction-identical — the differential tests in
-``tests/runtime/test_explorer_static.py`` and
+This table was the first carrier of that argument.  The dynamic
+relation has since become crash-aware and makes the same victim-
+disjointness proof directly from the recorded footprints — because the
+footprint's ``pids`` already includes every process the drain stepped,
+(c) is discharged dynamically and the table's extra requirements
+(closed summary, handler attribution) only narrow it.  The crash-aware
+relation therefore *subsumes* :meth:`StaticIndependence.proves`; the
+sleep-set engine keeps the table as a fallback refiner
+(``independent(a, b) or table.proves(a, b)``) whose verdicts matter
+when the engine runs with ``crash_aware=False`` — the before/after
+benchmark baseline — and as an independently-derived cross-check.  The
+differential tests in ``tests/runtime/test_explorer_static.py`` and
 ``tests/statics/test_independence.py`` execute both orders of every
-statically-proven pair and compare fingerprints.
+statically-proven pair, compare fingerprints, and assert the
+subsumption as an invariant.
 """
 
 from __future__ import annotations

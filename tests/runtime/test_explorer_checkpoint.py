@@ -20,7 +20,7 @@ import os
 import pytest
 
 from repro.broadcasts import SendToAllBroadcast
-from repro.runtime import Simulator
+from repro.runtime import CrashSchedule, Simulator
 from repro.runtime.checkpoint import (
     CheckpointError,
     read_checkpoint,
@@ -257,6 +257,77 @@ class TestCompleteCheckpoint:
         )
         assert_identical(resumed, reference)
         assert resumed.events_executed == reference.events_executed
+
+
+class TestCrashAwareVariants:
+    """The crash-aware relation across every variant and execution mode.
+
+    The crash-aware commutation proof runs by default, so the identity
+    contract must hold where it actually fires: a crash-heavy
+    configuration.  Same-variant runs must be construction-identical
+    whether sequential or killed-and-resumed from a checkpoint; the
+    sharded front-end must agree on terminals and violations; and every
+    variant must agree on the semantic outcome.
+    """
+
+    CRASHES = CrashSchedule(at_step={2: 4})
+
+    @staticmethod
+    def make_config():
+        return (
+            s2a_simulator(3),
+            {0: ["x"], 1: ["y"]},
+            violating_property(),
+        )
+
+    def run(self, **kwargs):
+        simulator, scripts, prop = self.make_config()
+        return explore_schedules(
+            simulator, scripts, prop,
+            crash_schedule=self.CRASHES, max_depth=8, **kwargs,
+        )
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_modes_identical_per_variant(self, variant, tmp_path):
+        kwargs = VARIANTS[variant]
+        reference = self.run(**kwargs)
+        assert reference.exhausted
+        assert reference.violations, "crash config expected to violate"
+
+        parallel = self.run(workers=2, **kwargs)
+        assert parallel.exhausted
+        assert parallel.violations_digest() == reference.violations_digest()
+        if kwargs.get("engine") != "dedup":
+            # the dedup cache is per-shard, so sharding legitimately
+            # changes which revisits are cut (sequential and parallel
+            # dedup counts drift with or without crash-awareness); the
+            # incremental engine has no such order-dependence
+            assert (
+                parallel.terminal_schedules == reference.terminal_schedules
+            )
+
+        path = os.path.join(tmp_path, f"{variant}.ckpt")
+        resume_kwargs = dict(
+            kwargs, crash_schedule=self.CRASHES, max_depth=8
+        )
+        for cut in (0, 7, 31):
+            resumed = interrupt_and_resume(
+                self.make_config, path, cut, **resume_kwargs
+            )
+            assert_identical(resumed, reference)
+            os.unlink(path)
+
+    def test_variants_agree_semantically(self):
+        runs = {name: self.run(**VARIANTS[name]) for name in VARIANTS}
+        digests = {r.violations_digest() for r in runs.values()}
+        assert len(digests) == 1, "variants disagree on violations"
+        assert all(r.exhausted for r in runs.values())
+        # the sleep variants did their job through the pending crash
+        sleeping = runs["dedup-sleep"]
+        assert (
+            sleeping.terminal_schedules < runs["dedup"].terminal_schedules
+        )
+        assert sleeping.independence_stats.get("crash_proof", 0) > 0
 
 
 class TestCooperativeCancel:

@@ -5,7 +5,8 @@ Two consumers of the effect-summary analyzer meet the explorer here.
 proven-commutation table on crash schedules — the differential tests
 require the refinement to preserve every distinct terminal observation
 and every violation while executing *strictly fewer* events than the
-dynamic-only reduction.  ``validate_footprints`` turns each recorded
+blanket (``crash_aware=False``) reduction, and the crash-aware dynamic
+relation to do at least as well on its own.  ``validate_footprints`` turns each recorded
 footprint into a containment assertion against the static summary — the
 acceptance runs require zero violations across sync/async/crash
 configurations of every exercised algorithm.
@@ -124,24 +125,68 @@ class TestStaticSleepPreservesSemantics:
         assert digest(static) == digest(dynamic) == digest(plain)
 
 
-class TestStaticSleepStrictlyReduces:
-    """On crash schedules the table must out-prune the dynamic relation."""
+class TestCrashAwareStrictlyReduces:
+    """On crash schedules the crash-aware proof must out-prune the blanket."""
 
     def test_strictly_fewer_events_and_terminals(self):
         scripts = {0: ["a"], 1: ["b"]}
         crashes = CrashSchedule(at_step={2: 4})
-        dynamic_seen, dynamic = observations_of(
+        blanket_seen, blanket = observations_of(
             s2a(), scripts, crash_schedule=crashes,
             engine="dedup", max_depth=8, sleep_sets=True,
+            crash_aware=False,
+        )
+        aware_seen, aware = observations_of(
+            s2a(), scripts, crash_schedule=crashes,
+            engine="dedup", max_depth=8, sleep_sets=True,
+        )
+        assert aware_seen == blanket_seen
+        assert aware.events_executed < blanket.events_executed
+        assert aware.terminal_schedules < blanket.terminal_schedules
+        # the win came from discharged pending crashes, and it shows
+        assert aware.independence_stats.get("crash_proof", 0) > 0
+
+    def test_static_table_matches_crash_aware_pruning(self):
+        # the crash-aware dynamic relation subsumes the static table,
+        # so stacking the table on top must preserve semantics and
+        # never lose the crash-aware win over the blanket
+        scripts = {0: ["a"], 1: ["b"]}
+        crashes = CrashSchedule(at_step={2: 4})
+        blanket_seen, blanket = observations_of(
+            s2a(), scripts, crash_schedule=crashes,
+            engine="dedup", max_depth=8, sleep_sets=True,
+            crash_aware=False,
         )
         static_seen, static = observations_of(
             s2a(), scripts, crash_schedule=crashes,
             engine="dedup", max_depth=8,
             sleep_sets=True, static_independence=True,
         )
-        assert static_seen == dynamic_seen
-        assert static.events_executed < dynamic.events_executed
-        assert static.terminal_schedules < dynamic.terminal_schedules
+        assert static_seen == blanket_seen
+        assert static.events_executed < blanket.events_executed
+        assert static.terminal_schedules < blanket.terminal_schedules
+
+    def test_static_table_still_refines_the_blanket(self):
+        # with crash_aware=False the table is the only crash-pending
+        # refiner — the original strict-reduction claim, preserved as
+        # the before/after benchmark baseline semantics
+        scripts = {0: ["a"], 1: ["b"]}
+        crashes = CrashSchedule(at_step={2: 4})
+        blanket_seen, blanket = observations_of(
+            s2a(), scripts, crash_schedule=crashes,
+            engine="dedup", max_depth=8, sleep_sets=True,
+            crash_aware=False,
+        )
+        static_seen, static = observations_of(
+            s2a(), scripts, crash_schedule=crashes,
+            engine="dedup", max_depth=8,
+            sleep_sets=True, static_independence=True,
+            crash_aware=False,
+        )
+        assert static_seen == blanket_seen
+        assert static.events_executed < blanket.events_executed
+        assert static.terminal_schedules < blanket.terminal_schedules
+        assert static.independence_stats.get("static_table", 0) > 0
 
     def test_parallel_engine_matches_single_worker(self):
         # a closure-based observer cannot report back from worker

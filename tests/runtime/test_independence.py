@@ -14,6 +14,14 @@ The other direction (dependent verdicts) is allowed to be conservative,
 but the relation must not be vacuous: the Send-To-All configurations
 must yield claimed-independent pairs, otherwise sleep sets prune
 nothing and the reduction is dead code.
+
+The crash-aware differential (``TestCrashAwareCommutation``) is the
+tentpole's proof obligation made executable: at *every* reachable
+decision point of the crash-heavy configurations where a crash is still
+pending (located via ``Footprint.pending_deadlines``), every pair the
+crash-aware relation claims independent — including the pairs the
+historical blanket refused — is executed in both orders and compared
+fingerprint-exactly.
 """
 
 import random
@@ -23,7 +31,10 @@ import pytest
 from repro.broadcasts import SendToAllBroadcast, UniformReliableBroadcast
 from repro.runtime import CrashSchedule, Simulator
 from repro.runtime.independence import (
+    Footprint,
     choice_key,
+    classify,
+    conservative_independent,
     independent,
     observed_footprint,
 )
@@ -210,6 +221,172 @@ class TestRandomizedCommutation:
                 handle.choices()
 
 
+CRASH_HEAVY_CONFIGS = [
+    pytest.param(
+        s2a(), {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={2: 4}), 8,
+        id="s2a-crash-late",
+    ),
+    pytest.param(
+        s2a(), {0: ["a"], 1: ["b"]}, CrashSchedule(at_step={1: 4}), 8,
+        id="s2a-crash-mid",
+    ),
+    # n=3 with a non-broadcasting victim: with only two processes the
+    # crash-aware proof has no disjoint pair avoiding the victim, so a
+    # two-process config cannot witness the refinement
+    pytest.param(
+        urb(n=3), {0: ["a"]}, CrashSchedule(at_step={2: 6}), 5,
+        id="urb-crash",
+    ),
+]
+
+
+class TestCrashAwareCommutation:
+    """Both orders at every pending-crash decision point, exhaustively."""
+
+    @pytest.mark.parametrize(
+        "simulator, scripts, crashes, depth", CRASH_HEAVY_CONFIGS
+    )
+    def test_every_pending_crash_decision_point(
+        self, simulator, scripts, crashes, depth
+    ):
+        pending_points = 0
+        crash_proofs = 0
+        for handle in reachable_states(simulator, scripts, crashes, depth):
+            choices = handle.choices()
+            if not choices:
+                continue
+            footprints = [
+                observed_footprint(handle, index)
+                for index in range(len(choices))
+            ]
+            live = [f for f in footprints if f is not None and f.pending]
+            if not live:
+                continue  # the schedule drained: blanket and aware agree
+            pending_points += 1
+            for footprint in live:
+                # the deadlines locate the pending injections exactly
+                assert set(dict(footprint.pending_deadlines)) == set(
+                    footprint.pending
+                )
+                for victim, deadline in footprint.pending_deadlines:
+                    assert crashes.at_step[victim] == deadline
+                # the imminent set is exactly the deadline==next-count
+                # slice of the pending schedule (the probe committed at
+                # handle.steps + 1, so "next" is handle.steps + 2)
+                assert footprint.imminent == frozenset(
+                    victim
+                    for victim, deadline in footprint.pending_deadlines
+                    if deadline == handle.steps + 2
+                )
+                assert footprint.imminent <= footprint.pending
+            for i in range(len(choices)):
+                for j in range(i + 1, len(choices)):
+                    a, b = footprints[i], footprints[j]
+                    verdict, source = classify(a, b)
+                    assert verdict == independent(a, b)
+                    if not verdict:
+                        continue
+                    if source == "crash_proof":
+                        crash_proofs += 1
+                        # the blanket would have kept this branch
+                        assert not conservative_independent(a, b)
+                    assert_pair_commutes(handle, i, j)
+        assert pending_points > 0, "no pending-crash decision points probed"
+        assert crash_proofs > 0, (
+            "crash-aware proof never fired: the refinement is dead code"
+        )
+
+
+class TestClassify:
+    """Verdict sources and the blanket/aware strictness ordering."""
+
+    def test_sources(self):
+        free_a = Footprint("recv", frozenset({0}))
+        free_b = Footprint("recv", frozenset({1}))
+        assert classify(free_a, free_b) == (True, "dynamic")
+
+        pend_a = Footprint("recv", frozenset({0}), pending=frozenset({2}))
+        pend_b = Footprint("recv", frozenset({1}), pending=frozenset({2}))
+        assert classify(pend_a, pend_b) == (True, "crash_proof")
+
+        # touching a victim whose deadline is *distant* is fine: the
+        # injection fires after both events in either order
+        distant = Footprint("recv", frozenset({2}), pending=frozenset({2}))
+        assert classify(distant, pend_b) == (True, "crash_proof")
+
+        # touching a victim due at the very next decision count is not:
+        # the injection lands inside the swapped pair's window
+        victim = Footprint(
+            "recv",
+            frozenset({2}),
+            pending=frozenset({2}),
+            imminent=frozenset({2}),
+        )
+        assert classify(victim, pend_b) == (False, "conservative")
+        assert classify(None, free_a) == (False, "conservative")
+
+        # a crash that fired between the pair lands at the same count
+        # in both orders — fine as long as neither event touched the
+        # victim it killed
+        straddle = Footprint(
+            "recv", frozenset({0}), crashed=True,
+            crashed_pids=frozenset({2}),
+        )
+        assert classify(straddle, pend_b) == (True, "crash_proof")
+        toucher = Footprint("recv", frozenset({1, 2}))
+        assert classify(straddle, toucher) == (False, "conservative")
+
+    def test_conservative_implies_independent(self):
+        # the blanket only ever *declines more*: anything it accepts,
+        # the crash-aware relation accepts with source "dynamic"
+        samples = [
+            Footprint("recv", frozenset({0})),
+            Footprint("recv", frozenset({1})),
+            Footprint("recv", frozenset({0}), pending=frozenset({2})),
+            Footprint("recv", frozenset({1}), pending=frozenset({2})),
+            Footprint("recv", frozenset({2}), pending=frozenset({2})),
+            Footprint("bcast", frozenset({0}), oracle=True),
+            Footprint("recv", frozenset({0}), crashed=True),
+            None,
+        ]
+        for a in samples:
+            for b in samples:
+                if conservative_independent(a, b):
+                    assert classify(a, b) == (True, "dynamic")
+
+    def test_strictly_more_permissive_under_pending(self):
+        pend_a = Footprint("recv", frozenset({0}), pending=frozenset({2}))
+        pend_b = Footprint("recv", frozenset({1}), pending=frozenset({2}))
+        assert independent(pend_a, pend_b)
+        assert not conservative_independent(pend_a, pend_b)
+
+
+class TestPendingDeadlines:
+    """``Footprint.pending_deadlines`` mirrors the live crash schedule."""
+
+    def test_recorded_for_alive_victims(self):
+        crashes = CrashSchedule(at_step={1: 3, 2: 5})
+        handle = s2a(n=3).begin({0: ["a"]}, crash_schedule=crashes)
+        handle.choices()
+        handle.advance(0)
+        handle.choices()
+        footprint = handle.last_footprint
+        assert footprint is not None
+        assert footprint.pending == frozenset({1, 2})
+        assert footprint.pending_deadlines == ((1, 3), (2, 5))
+
+    def test_dropped_once_the_victim_dies(self):
+        crashes = CrashSchedule(at_step={1: 1})
+        handle = s2a(n=2).begin({0: ["a"]}, crash_schedule=crashes)
+        handle.choices()
+        handle.advance(0)
+        handle.choices()  # this prelude injects the crash
+        crashed = handle.last_footprint
+        assert crashed is not None and crashed.crashed
+        assert crashed.pending == frozenset()
+        assert crashed.pending_deadlines == ()
+
+
 class TestFootprintShape:
     """The recorded footprints carry what the docstrings promise."""
 
@@ -234,6 +411,53 @@ class TestFootprintShape:
             observed_footprint(handle, 0)
         # the probe runs on a fork: the original handle is untouched
         assert handle.choices() == []
+
+    def test_probe_enumerates_choices_once(self, monkeypatch):
+        # Regression: the probe used to enumerate twice (terminal guard
+        # on the fork + prelude finalization).  The guard now runs on
+        # the already-cached parent and the fork inherits that cache,
+        # so only the post-event prelude enumerates fresh state.
+        from repro.runtime.simulator import SimulationRun
+
+        simulator = s2a(n=3)
+        crashes = CrashSchedule(at_step={1: 3})
+        handle = simulator.begin(
+            {0: ["a"], 1: ["b"]}, crash_schedule=crashes
+        )
+        before = list(handle.choices())  # cache the parent enumeration
+
+        calls = {"fresh": 0}
+        real = SimulationRun._enabled_choices
+
+        def counting(self):
+            calls["fresh"] += 1
+            return real(self)
+
+        monkeypatch.setattr(SimulationRun, "_enabled_choices", counting)
+        footprint = observed_footprint(handle, 0)
+        assert footprint is not None
+        assert calls["fresh"] == 1, (
+            f"probe enumerated {calls['fresh']} times, expected 1"
+        )
+        # the probe ran on a fork: the parent still serves its cache
+        assert handle.choices() == before
+        assert calls["fresh"] == 1
+
+    def test_probe_footprint_matches_direct_advance(self):
+        # Regression companion: collapsing the double enumeration must
+        # not change footprint contents — the probe observes exactly
+        # what advancing a fork directly records, crash prelude and all.
+        crashes = CrashSchedule(at_step={1: 3})
+        for handle in reachable_states(
+            s2a(), {0: ["a"], 1: ["b"]}, crashes, 5
+        ):
+            for index in range(len(handle.choices())):
+                direct = handle.fork()
+                direct.advance(index)
+                direct.choices()
+                assert observed_footprint(handle, index) == (
+                    direct.last_footprint
+                )
 
     def test_choice_keys_stable_across_siblings(self):
         simulator = s2a(n=3)

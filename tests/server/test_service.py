@@ -104,6 +104,64 @@ class TestAcceptance:
 
         asyncio.run(main())
 
+    def test_watch_streams_independence_stats(self):
+        # a sleep-set crash job counts verdicts by source; the watch
+        # stream must carry them in both the progress snapshots and
+        # the terminal result
+        crashy = {
+            "algorithm": "send-to-all",
+            "n": 3,
+            "scripts": {"0": ["a"], "1": ["b"]},
+            "engine": "dedup",
+            "sleep_sets": True,
+            "crash_at_step": {"2": 4},
+            "max_depth": 8,
+            "progress_every": 25,
+        }
+
+        async def main():
+            service, host, port = await started_service()
+            async with ServiceClient(host, port) as client, ServiceClient(
+                host, port
+            ) as watcher:
+                job = (await client.submit(crashy))["job"]
+                snapshots = []
+                terminal = None
+                async for event in watcher.watch(job):
+                    if event["event"] == "progress":
+                        snapshots.append(event["snapshot"])
+                    elif event["event"] == "done":
+                        terminal = event
+                assert snapshots, "expected progress snapshots"
+                assert any(
+                    s.get("independence_stats", {}).get("memo_queries", 0)
+                    for s in snapshots
+                ), "no snapshot carried independence counters"
+                assert terminal is not None
+                stats = terminal["result"]["independence_stats"]
+                assert stats["crash_proof"] > 0
+                assert stats["memo_queries"] >= stats["memo_hits"] >= 0
+            await service.shutdown()
+
+        asyncio.run(main())
+
+    def test_independence_line_rendering(self):
+        from repro.server.__main__ import _independence_line
+
+        assert _independence_line(None) is None
+        assert _independence_line({}) is None
+        assert _independence_line({"dynamic": 0}) is None
+        line = _independence_line(
+            {
+                "dynamic": 3,
+                "crash_proof": 2,
+                "conservative": 5,
+                "memo_queries": 10,
+                "memo_hits": 4,
+            }
+        )
+        assert line == "dynamic=3 crash_proof=2 conservative=5 memo=4/10"
+
     def test_violating_config_reports_violations(self):
         async def main():
             service, host, port = await started_service()
